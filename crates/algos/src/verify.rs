@@ -1,0 +1,111 @@
+//! Structured verification of simulated products against the serial
+//! baseline — the check every experiment and test performs, packaged.
+
+use dense::{kernel, Matrix};
+
+use crate::common::SimOutcome;
+
+/// The verdict of comparing a simulated product against the serial
+/// `O(n³)` kernel.
+#[derive(Debug, Clone)]
+pub struct Verification {
+    /// Largest absolute elementwise deviation.
+    pub max_abs_diff: f64,
+    /// `‖C_sim − C_ref‖_F / ‖C_ref‖_F` (0 when the reference is zero
+    /// and the difference is too).
+    pub rel_frobenius: f64,
+    /// Tolerance the verdict was taken at.
+    pub tolerance: f64,
+    /// Whether the product is accepted at the tolerance.
+    pub passed: bool,
+}
+
+impl std::fmt::Display for Verification {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} (max |Δ| = {:.3e}, rel ‖Δ‖_F = {:.3e}, tol = {:.1e})",
+            if self.passed { "verified" } else { "MISMATCH" },
+            self.max_abs_diff,
+            self.rel_frobenius,
+            self.tolerance
+        )
+    }
+}
+
+/// Compare a simulation outcome against the serial product of the same
+/// operands.
+///
+/// # Panics
+/// Panics if the operand shapes do not multiply to the outcome's shape.
+#[must_use]
+pub fn verify_outcome(out: &SimOutcome, a: &Matrix, b: &Matrix, tolerance: f64) -> Verification {
+    let reference = kernel::matmul(a, b);
+    verify_product(&out.c, &reference, tolerance)
+}
+
+/// Compare an arbitrary product matrix against a reference.
+#[must_use]
+pub fn verify_product(c: &Matrix, reference: &Matrix, tolerance: f64) -> Verification {
+    let max_abs_diff = c.max_abs_diff(reference);
+    let ref_norm = reference.frobenius_norm();
+    let diff_norm = (c - reference).frobenius_norm();
+    let rel_frobenius = if ref_norm > 0.0 {
+        diff_norm / ref_norm
+    } else if diff_norm > 0.0 {
+        f64::INFINITY
+    } else {
+        0.0
+    };
+    Verification {
+        max_abs_diff,
+        rel_frobenius,
+        tolerance,
+        passed: c.approx_eq(reference, tolerance),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use dense::gen;
+    use mmsim::{CostModel, Machine, Topology};
+
+    use super::*;
+
+    #[test]
+    fn passes_on_correct_product() {
+        let (a, b) = gen::random_pair(8, 3);
+        let machine = Machine::new(Topology::square_torus_for(4), CostModel::unit());
+        let out = crate::cannon(&machine, &a, &b).unwrap();
+        let v = verify_outcome(&out, &a, &b, 1e-10);
+        assert!(v.passed, "{v}");
+        assert!(v.max_abs_diff < 1e-12);
+        assert!(v.rel_frobenius < 1e-12);
+        assert!(v.to_string().contains("verified"));
+    }
+
+    #[test]
+    fn fails_on_corrupted_product() {
+        let (a, b) = gen::random_pair(4, 5);
+        let reference = kernel::matmul(&a, &b);
+        let mut corrupted = reference.clone();
+        corrupted[(1, 2)] += 0.5;
+        let v = verify_product(&corrupted, &reference, 1e-9);
+        assert!(!v.passed);
+        assert!((v.max_abs_diff - 0.5).abs() < 1e-12);
+        assert!(v.to_string().contains("MISMATCH"));
+    }
+
+    #[test]
+    fn zero_reference_cases() {
+        let z = Matrix::zeros(3, 3);
+        let v = verify_product(&z, &z, 1e-12);
+        assert!(v.passed);
+        assert_eq!(v.rel_frobenius, 0.0);
+        let mut nz = z.clone();
+        nz[(0, 0)] = 1.0;
+        let v = verify_product(&nz, &z, 1e-12);
+        assert!(!v.passed);
+        assert!(v.rel_frobenius.is_infinite());
+    }
+}

@@ -1,0 +1,104 @@
+//! Overhead-decomposition cross-checks: the paper's `T_o = p·T_p − W`
+//! must equal the engine's accounted communication + synchronisation +
+//! final-wait time for every algorithm — i.e. nothing the simulator
+//! charges escapes the paper's overhead definition.
+
+use dense::gen;
+use mmsim::{CostModel, Machine, Topology};
+
+fn decompose(out: &algos::SimOutcome) -> (f64, f64, f64, f64) {
+    let comm = out.total_comm();
+    let idle = out.total_idle();
+    let final_wait: f64 = out.stats.iter().map(|s| out.t_parallel - s.clock).sum();
+    let extra_adds = out.total_compute() - out.w;
+    (comm, idle, final_wait, extra_adds)
+}
+
+fn check(out: &algos::SimOutcome, what: &str) {
+    let (comm, idle, final_wait, extra_adds) = decompose(out);
+    let to = out.overhead();
+    let accounted = comm + idle + final_wait + extra_adds;
+    assert!(
+        (to - accounted).abs() < 1e-6 * to.abs().max(1.0),
+        "{what}: T_o = {to} but accounted comm {comm} + idle {idle} + final wait {final_wait} + extra adds {extra_adds} = {accounted}"
+    );
+    assert!(comm >= 0.0 && idle >= 0.0 && final_wait >= -1e-9, "{what}");
+}
+
+#[test]
+fn cannon_overhead_fully_accounted() {
+    let (a, b) = gen::random_pair(16, 1);
+    let machine = Machine::new(Topology::square_torus_for(16), CostModel::ncube2());
+    let out = algos::cannon(&machine, &a, &b).unwrap();
+    check(&out, "cannon");
+    // Cannon charges no reduction additions: extra adds are zero.
+    assert!((out.total_compute() - out.w).abs() < 1e-9);
+}
+
+#[test]
+fn simple_overhead_fully_accounted() {
+    let (a, b) = gen::random_pair(16, 2);
+    let machine = Machine::new(Topology::square_torus_for(16), CostModel::ncube2());
+    let out = algos::simple(&machine, &a, &b).unwrap();
+    check(&out, "simple");
+}
+
+#[test]
+fn fox_variants_overhead_fully_accounted() {
+    let (a, b) = gen::random_pair(16, 3);
+    let machine = Machine::new(Topology::square_torus_for(16), CostModel::new(40.0, 1.0));
+    check(&algos::fox_tree(&machine, &a, &b).unwrap(), "fox_tree");
+    check(&algos::fox_pipelined(&machine, &a, &b, 4).unwrap(), "fox_pipelined");
+    check(&algos::fox_async(&machine, &a, &b).unwrap(), "fox_async");
+}
+
+#[test]
+fn berntsen_overhead_fully_accounted() {
+    let (a, b) = gen::random_pair(16, 4);
+    let machine = Machine::new(Topology::hypercube_for(8), CostModel::ncube2());
+    let out = algos::berntsen(&machine, &a, &b).unwrap();
+    check(&out, "berntsen");
+    // The reduce-scatter's additions are the only extra work.
+    assert!(out.total_compute() > out.w);
+}
+
+#[test]
+fn gk_variants_overhead_fully_accounted() {
+    let (a, b) = gen::random_pair(16, 5);
+    let machine = Machine::new(Topology::hypercube_for(64), CostModel::ncube2());
+    check(&algos::gk(&machine, &a, &b).unwrap(), "gk");
+    check(&algos::gk_improved(&machine, &a, &b).unwrap(), "gk_improved");
+}
+
+#[test]
+fn dns_overhead_fully_accounted() {
+    let (a, b) = gen::random_pair(4, 6);
+    let machine = Machine::new(Topology::fully_connected(32), CostModel::new(5.0, 1.0));
+    check(&algos::dns_block(&machine, &a, &b).unwrap(), "dns");
+}
+
+#[test]
+fn communication_dominates_idle_in_symmetric_algorithms() {
+    // Cannon's schedule is fully symmetric: processors advance in
+    // lockstep during the roll phase, so recorded idle stays a small
+    // fraction of communication (only the alignment skew contributes).
+    let (a, b) = gen::random_pair(32, 7);
+    let machine = Machine::new(Topology::square_torus_for(16), CostModel::ncube2());
+    let out = algos::cannon(&machine, &a, &b).unwrap();
+    assert!(
+        out.total_idle() < 0.25 * out.total_comm(),
+        "idle {} vs comm {}",
+        out.total_idle(),
+        out.total_comm()
+    );
+}
+
+#[test]
+fn overhead_grows_with_machine_constants() {
+    let (a, b) = gen::random_pair(16, 8);
+    let slow = Machine::new(Topology::square_torus_for(16), CostModel::new(10.0, 1.0));
+    let slower = Machine::new(Topology::square_torus_for(16), CostModel::new(100.0, 2.0));
+    let to1 = algos::cannon(&slow, &a, &b).unwrap().overhead();
+    let to2 = algos::cannon(&slower, &a, &b).unwrap().overhead();
+    assert!(to2 > to1);
+}

@@ -1,0 +1,140 @@
+//! Property-based tests: every algorithm reproduces the serial product
+//! for arbitrary admissible shapes and machine constants, and respects
+//! structural invariants (identity, scaling, zero).
+
+use dense::{gen, kernel, Matrix};
+use mmsim::{CostModel, Machine, Topology};
+use proptest::prelude::*;
+
+fn cost_strategy() -> impl Strategy<Value = CostModel> {
+    (0.0f64..300.0, 0.0f64..5.0).prop_map(|(ts, tw)| CostModel::new(ts, tw))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Cannon on arbitrary admissible (n, q) with arbitrary constants.
+    #[test]
+    fn cannon_correct(q in 1usize..5, mult in 1usize..4, seed in 0u64..500, cost in cost_strategy()) {
+        let n = q * mult;
+        let p = q * q;
+        let (a, b) = gen::random_pair(n, seed);
+        let machine = Machine::new(Topology::square_torus_for(p), cost);
+        let out = algos::cannon(&machine, &a, &b).unwrap();
+        prop_assert!(out.c.approx_eq(&kernel::matmul(&a, &b), 1e-9));
+        // Exact time model.
+        let expect = algos::cannon::predicted_time(n, p, cost.t_s, cost.t_w);
+        prop_assert!((out.t_parallel - expect).abs() < 1e-6,
+            "sim {} vs model {}", out.t_parallel, expect);
+    }
+
+    /// Simple algorithm on arbitrary admissible shapes.
+    #[test]
+    fn simple_correct(q in 1usize..5, mult in 1usize..4, seed in 0u64..500, cost in cost_strategy()) {
+        let n = q * mult;
+        let p = q * q;
+        let (a, b) = gen::random_pair(n, seed);
+        let machine = Machine::new(Topology::square_torus_for(p), cost);
+        let out = algos::simple(&machine, &a, &b).unwrap();
+        prop_assert!(out.c.approx_eq(&kernel::matmul(&a, &b), 1e-9));
+    }
+
+    /// Fox (both variants) on arbitrary admissible shapes.
+    #[test]
+    fn fox_correct(q in 1usize..4, mult in 1usize..4, packets in 1usize..5, seed in 0u64..500) {
+        let n = q * mult;
+        let p = q * q;
+        let (a, b) = gen::random_pair(n, seed);
+        let machine = Machine::new(Topology::square_torus_for(p), CostModel::new(4.0, 0.5));
+        let tree = algos::fox_tree(&machine, &a, &b).unwrap();
+        prop_assert!(tree.c.approx_eq(&kernel::matmul(&a, &b), 1e-9));
+        let block_words = mult * mult;
+        let k = packets.min(block_words);
+        let piped = algos::fox_pipelined(&machine, &a, &b, k).unwrap();
+        prop_assert!(piped.c.approx_eq(&tree.c, 1e-9));
+    }
+
+    /// GK on arbitrary cube sides and topologies.
+    #[test]
+    fn gk_correct(s_exp in 0u32..3, mult in 1usize..4, seed in 0u64..500, cost in cost_strategy()) {
+        let s = 1usize << s_exp;
+        let n = s * mult;
+        let p = s * s * s;
+        let (a, b) = gen::random_pair(n, seed);
+        for topo in [Topology::hypercube_for(p), Topology::fully_connected(p)] {
+            let machine = Machine::new(topo, cost);
+            let out = algos::gk(&machine, &a, &b).unwrap();
+            prop_assert!(out.c.approx_eq(&kernel::matmul(&a, &b), 1e-9));
+        }
+    }
+
+    /// Berntsen on arbitrary admissible shapes, with the exact time
+    /// model.
+    #[test]
+    fn berntsen_correct(s_exp in 0u32..3, mult in 1usize..3, seed in 0u64..500, cost in cost_strategy()) {
+        let s = 1usize << s_exp;
+        let n = s * s * mult;
+        let p = s * s * s;
+        // Enforce the concurrency bound p <= n^{3/2}.
+        prop_assume!((p as f64) <= (n as f64).powf(1.5));
+        let (a, b) = gen::random_pair(n, seed);
+        let machine = Machine::new(Topology::hypercube_for(p), cost);
+        let out = algos::berntsen(&machine, &a, &b).unwrap();
+        prop_assert!(out.c.approx_eq(&kernel::matmul(&a, &b), 1e-9));
+        let expect = algos::berntsen::predicted_time(n, p, cost.t_s, cost.t_w, cost.t_add);
+        prop_assert!((out.t_parallel - expect).abs() < 1e-6,
+            "sim {} vs model {}", out.t_parallel, expect);
+    }
+
+    /// DNS on arbitrary admissible shapes.
+    #[test]
+    fn dns_correct(r_exp in 0u32..3, mult in 1usize..3, seed in 0u64..500) {
+        let r = 1usize << r_exp;
+        let n = r * mult;
+        let p = n * n * r;
+        prop_assume!(p <= 256); // keep thread counts sane
+        let (a, b) = gen::random_pair(n, seed);
+        let machine = Machine::new(Topology::fully_connected(p), CostModel::new(6.0, 1.0));
+        let out = algos::dns_block(&machine, &a, &b).unwrap();
+        prop_assert!(out.c.approx_eq(&kernel::matmul(&a, &b), 1e-9));
+    }
+
+    /// Identity inputs: A·I = A for every algorithm.
+    #[test]
+    fn identity_right_neutral(seed in 0u64..500) {
+        let n = 8usize;
+        let a = gen::random(n, n, seed);
+        let eye = Matrix::identity(n);
+        let machine = Machine::new(Topology::square_torus_for(16), CostModel::unit());
+        let out = algos::cannon(&machine, &a, &eye).unwrap();
+        prop_assert!(out.c.approx_eq(&a, 1e-12));
+        let m8 = Machine::new(Topology::hypercube_for(8), CostModel::unit());
+        let out = algos::gk(&m8, &a, &eye).unwrap();
+        prop_assert!(out.c.approx_eq(&a, 1e-12));
+    }
+
+    /// Linearity: (αA)·B = α(A·B), exercised through Cannon.
+    #[test]
+    fn scaling_linearity(seed in 0u64..500, alpha in -4.0f64..4.0) {
+        let n = 6usize;
+        let (a, b) = gen::random_pair(n, seed);
+        let scaled = Matrix::from_fn(n, n, |i, j| alpha * a[(i, j)]);
+        let machine = Machine::new(Topology::square_torus_for(9), CostModel::unit());
+        let c1 = algos::cannon(&machine, &scaled, &b).unwrap().c;
+        let c2 = algos::cannon(&machine, &a, &b).unwrap().c;
+        let c2_scaled = Matrix::from_fn(n, n, |i, j| alpha * c2[(i, j)]);
+        prop_assert!(c1.approx_eq(&c2_scaled, 1e-9));
+    }
+
+    /// Efficiency never exceeds 1 and overhead is non-negative, for any
+    /// machine constants.
+    #[test]
+    fn efficiency_bounds(cost in cost_strategy(), seed in 0u64..200) {
+        let (a, b) = gen::random_pair(8, seed);
+        let machine = Machine::new(Topology::square_torus_for(16), cost);
+        let out = algos::cannon(&machine, &a, &b).unwrap();
+        prop_assert!(out.efficiency() > 0.0);
+        prop_assert!(out.efficiency() <= 1.0 + 1e-12);
+        prop_assert!(out.overhead() >= -1e-9);
+    }
+}

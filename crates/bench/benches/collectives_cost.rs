@@ -1,0 +1,67 @@
+//! Criterion bench for the collective operations: host-time cost of the
+//! simulated collectives the algorithms are built from.
+
+use collectives::Group;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmsim::{CostModel, Machine, Topology};
+use std::hint::black_box;
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collectives");
+    g.sample_size(20);
+
+    for p in [16usize, 64] {
+        let machine = Machine::new(Topology::hypercube_for(p), CostModel::ncube2());
+
+        g.bench_with_input(BenchmarkId::new("broadcast_256w", p), &p, |b, _| {
+            b.iter(|| {
+                machine.run(|proc| {
+                    let grp = Group::world(proc);
+                    let data = (proc.rank() == 0).then(|| vec![1.0; 256]);
+                    black_box(collectives::broadcast(proc, &grp, 0, 0, data));
+                })
+            });
+        });
+
+        g.bench_with_input(
+            BenchmarkId::new("allgather_hypercube_64w", p),
+            &p,
+            |b, _| {
+                b.iter(|| {
+                    machine.run(|proc| {
+                        let grp = Group::world(proc);
+                        black_box(collectives::allgather_hypercube(
+                            proc,
+                            &grp,
+                            0,
+                            vec![1.0; 64],
+                        ));
+                    })
+                });
+            },
+        );
+
+        g.bench_with_input(BenchmarkId::new("allgather_ring_64w", p), &p, |b, _| {
+            b.iter(|| {
+                machine.run(|proc| {
+                    let grp = Group::world(proc);
+                    black_box(collectives::allgather_ring(proc, &grp, 0, vec![1.0; 64]));
+                })
+            });
+        });
+
+        g.bench_with_input(BenchmarkId::new("all_reduce_256w", p), &p, |b, _| {
+            b.iter(|| {
+                machine.run(|proc| {
+                    let grp = Group::world(proc);
+                    black_box(collectives::all_reduce_sum(proc, &grp, 0, vec![1.0; 256]));
+                })
+            });
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_collectives);
+criterion_main!(benches);

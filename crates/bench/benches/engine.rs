@@ -1,0 +1,64 @@
+//! Criterion bench for the simulator substrate: spawn cost, message
+//! throughput, and scaling with virtual processor count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mmsim::{CostModel, Machine, Topology};
+use std::hint::black_box;
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(20);
+
+    for p in [2usize, 16, 64, 256] {
+        let machine = Machine::new(Topology::fully_connected(p), CostModel::unit());
+        g.bench_with_input(BenchmarkId::new("spawn_noop", p), &p, |b, _| {
+            b.iter(|| {
+                black_box(machine.run(|proc| proc.rank()));
+            });
+        });
+    }
+
+    // Ring-shift message throughput: p processors × rounds messages.
+    for p in [16usize, 64] {
+        let rounds = 64u32;
+        let machine = Machine::new(Topology::ring(p), CostModel::unit());
+        g.throughput(Throughput::Elements(u64::from(rounds) * p as u64));
+        g.bench_with_input(BenchmarkId::new("ring_shift_64_rounds", p), &p, |b, _| {
+            b.iter(|| {
+                machine.run(|proc| {
+                    let p = proc.p();
+                    let right = (proc.rank() + 1) % p;
+                    let left = (proc.rank() + p - 1) % p;
+                    for s in 0..rounds {
+                        proc.send(right, u64::from(s), vec![1.0; 64]);
+                        black_box(proc.recv_payload(left, u64::from(s)));
+                    }
+                    proc.now()
+                })
+            });
+        });
+    }
+
+    // Payload-size sensitivity at fixed message count.
+    for words in [1usize, 64, 4096] {
+        let machine = Machine::new(Topology::fully_connected(16), CostModel::unit());
+        g.throughput(Throughput::Bytes((words * 8 * 16) as u64));
+        g.bench_with_input(
+            BenchmarkId::new("pairwise_exchange_words", words),
+            &words,
+            |b, &w| {
+                b.iter(|| {
+                    machine.run(|proc| {
+                        let partner = proc.rank() ^ 1;
+                        black_box(proc.exchange(partner, 0, vec![0.5; w]));
+                    })
+                });
+            },
+        );
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

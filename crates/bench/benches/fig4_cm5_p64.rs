@@ -1,0 +1,36 @@
+//! Criterion bench for E-F4: executed Figure-4 points — the full
+//! simulated Cannon and GK runs at p = 64 on the CM-5 model, at sizes
+//! around the crossover.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dense::gen;
+use mmsim::{CostModel, Machine, Topology};
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_cm5_p64");
+    g.sample_size(10);
+
+    let cost = CostModel::cm5();
+    for n in [32usize, 64, 96] {
+        let (a, b) = gen::random_pair(n, 4);
+        let machine = Machine::new(Topology::fully_connected(64), cost);
+        g.bench_with_input(BenchmarkId::new("cannon_sim", n), &n, |bch, _| {
+            bch.iter(|| black_box(algos::cannon(&machine, &a, &b).unwrap().t_parallel));
+        });
+        g.bench_with_input(BenchmarkId::new("gk_sim", n), &n, |bch, _| {
+            bch.iter(|| black_box(algos::gk(&machine, &a, &b).unwrap().t_parallel));
+        });
+    }
+
+    // The analytic series is effectively free by comparison.
+    g.bench_function("model_series_192_points", |b| {
+        let m = model::MachineParams::cm5();
+        b.iter(|| black_box(model::cm5::efficiency_series(64, 64, 192, 1, m)));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

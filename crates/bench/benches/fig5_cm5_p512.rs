@@ -1,0 +1,37 @@
+//! Criterion bench for E-F5: executed Figure-5 points — Cannon at
+//! p = 484 and GK at p = 512 on the CM-5 model (one size per series;
+//! these spawn ~500 virtual processors per run).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dense::gen;
+use mmsim::{CostModel, Machine, Topology};
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_cm5_p512");
+    g.sample_size(10);
+
+    let cost = CostModel::cm5();
+
+    let (a, b) = gen::random_pair(88, 5);
+    let cannon_machine = Machine::new(Topology::fully_connected(484), cost);
+    g.bench_function("cannon_p484_n88", |bch| {
+        bch.iter(|| black_box(algos::cannon(&cannon_machine, &a, &b).unwrap().t_parallel));
+    });
+
+    let (a2, b2) = gen::random_pair(96, 6);
+    let gk_machine = Machine::new(Topology::fully_connected(512), cost);
+    g.bench_function("gk_p512_n96", |bch| {
+        bch.iter(|| black_box(algos::gk(&gk_machine, &a2, &b2).unwrap().t_parallel));
+    });
+
+    g.bench_function("model_crossover_p512", |b| {
+        let m = model::MachineParams::cm5();
+        b.iter(|| black_box(model::cm5::crossover_n(black_box(512.0), m)));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

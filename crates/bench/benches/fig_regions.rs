@@ -1,0 +1,55 @@
+//! Criterion bench for E-F1..E-F3: the region-map computation behind
+//! Figures 1–3 and the equal-overhead curve solvers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use model::crossover::{gk_vs_cannon_closed_form, n_equal_overhead};
+use model::regions::{best_algorithm, RegionMap};
+use model::{Algorithm, MachineParams};
+use std::hint::black_box;
+
+fn bench_regions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig_regions");
+
+    for (name, m) in [
+        ("fig1_ncube2", MachineParams::ncube2()),
+        ("fig2_future", MachineParams::future_mimd()),
+        ("fig3_simd", MachineParams::simd_cm2()),
+    ] {
+        g.bench_with_input(BenchmarkId::new("region_map_96x40", name), &m, |b, &m| {
+            b.iter(|| {
+                black_box(RegionMap::compute_range(
+                    m,
+                    (2.0, 16.0),
+                    (0.0, 28.0),
+                    96,
+                    40,
+                ))
+            });
+        });
+    }
+
+    let m = MachineParams::future_mimd();
+    g.bench_function("best_algorithm_point", |b| {
+        b.iter(|| black_box(best_algorithm(black_box(512.0), black_box(65536.0), m)));
+    });
+
+    g.bench_function("crossover_closed_form", |b| {
+        b.iter(|| black_box(gk_vs_cannon_closed_form(black_box(4096.0), m)));
+    });
+
+    g.bench_function("crossover_general_solver", |b| {
+        b.iter(|| {
+            black_box(n_equal_overhead(
+                Algorithm::Gk,
+                Algorithm::Cannon,
+                black_box(4096.0),
+                m,
+            ))
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_regions);
+criterion_main!(benches);

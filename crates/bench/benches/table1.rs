@@ -1,0 +1,51 @@
+//! Criterion bench for E-T1: Table 1 generation and the numeric
+//! isoefficiency solver behind its validation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use model::isoefficiency::{iso_n_numeric, iso_terms};
+use model::{table1, Algorithm, MachineParams};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+
+    g.bench_function("render", |b| {
+        b.iter(|| black_box(table1::render()));
+    });
+
+    let m = MachineParams::ncube2();
+    g.bench_function("iso_terms_all_algorithms", |b| {
+        b.iter(|| {
+            for alg in Algorithm::COMPARED {
+                black_box(iso_terms(alg, black_box(1.0e6), 0.5, m));
+            }
+        });
+    });
+
+    g.bench_function("iso_n_numeric_cannon", |b| {
+        b.iter(|| black_box(iso_n_numeric(Algorithm::Cannon, black_box(65536.0), 0.5, m)));
+    });
+
+    g.bench_function("iso_n_numeric_gk", |b| {
+        b.iter(|| black_box(iso_n_numeric(Algorithm::Gk, black_box(65536.0), 0.5, m)));
+    });
+
+    g.bench_function("iso_n_numeric_sweep", |b| {
+        b.iter_batched(
+            || (4..=24).map(|k| 2.0f64.powi(k)).collect::<Vec<_>>(),
+            |ps| {
+                for p in ps {
+                    for alg in [Algorithm::Cannon, Algorithm::Gk, Algorithm::Berntsen] {
+                        black_box(iso_n_numeric(alg, p, 0.5, m));
+                    }
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

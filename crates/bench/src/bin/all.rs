@@ -1,0 +1,70 @@
+//! Run every experiment in sequence (Table 1, Figures 1–5, claims,
+//! all-port, technology) and leave all CSVs under `results/`.
+//!
+//! ```sh
+//! cargo run -p bench --release --bin all
+//! ```
+
+use bench::cm5_common::{cm5_series, run_cm5_figure};
+use bench::regions_common::run_region_figure;
+use model::MachineParams;
+
+/// Machine-readable dump of the reproduced evaluation, for downstream
+/// tooling (written to `results/report.json`).
+#[derive(serde::Serialize)]
+struct Report {
+    paper: &'static str,
+    cm5_constants: model::MachineParams,
+    figure4: Vec<bench::cm5_common::Cm5Point>,
+    figure5: Vec<bench::cm5_common::Cm5Point>,
+    crossover_p64: Option<f64>,
+    crossover_p512: Option<f64>,
+    tw_term_crossover_p: f64,
+}
+
+fn main() {
+    println!("################ Table 1 ################\n");
+    println!("{}", model::table1::render());
+
+    println!("\n################ Figures 1-3 ################\n");
+    run_region_figure("Figure 1", MachineParams::ncube2());
+    run_region_figure("Figure 2", MachineParams::future_mimd());
+    run_region_figure("Figure 3", MachineParams::simd_cm2());
+
+    println!("\n################ Figure 4 ################\n");
+    let sizes4: Vec<usize> = (8..=192).step_by(8).collect();
+    run_cm5_figure("Figure 4", 64, 64, &sizes4);
+
+    println!("\n################ Figure 5 ################\n");
+    let mut sizes5: Vec<usize> = (8..=448).step_by(8).collect();
+    for n in (22..=440).step_by(22) {
+        if !sizes5.contains(&n) {
+            sizes5.push(n);
+        }
+    }
+    sizes5.sort_unstable();
+    run_cm5_figure("Figure 5", 484, 512, &sizes5);
+
+    // Machine-readable summary.
+    let m = MachineParams::cm5();
+    let report = Report {
+        paper: "Gupta & Kumar, Scalability of Parallel Algorithms for Matrix Multiplication, ICPP 1993 (TR 91-54)",
+        cm5_constants: m,
+        figure4: cm5_series(64, 64, &sizes4),
+        figure5: cm5_series(484, 512, &sizes5),
+        crossover_p64: model::cm5::crossover_n(64.0, m),
+        crossover_p512: model::cm5::crossover_n(512.0, m),
+        tw_term_crossover_p: model::crossover::gk_tw_term_crossover_p(),
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serializable");
+    let path = bench::results_dir().join("report.json");
+    std::fs::create_dir_all(bench::results_dir()).expect("results dir");
+    std::fs::write(&path, json).expect("write report.json");
+    println!("\nmachine-readable report written to {}", path.display());
+
+    println!(
+        "\nall experiment CSVs are under {}",
+        bench::results_dir().display()
+    );
+    println!("run the claims / allport / tech_tradeoff binaries for the §5-§8 tables.");
+}

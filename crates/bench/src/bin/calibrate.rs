@@ -1,0 +1,90 @@
+//! The §9 measurement methodology, end to end: measure message timings
+//! and whole-algorithm runs on the (simulated) machine, then fit the
+//! machine constants back out of them — the same procedure the paper's
+//! authors used to obtain `t_s = 380 µs` and `t_w = 1.8 µs` on the real
+//! CM-5 (their footnote 5).
+//!
+//! ```sh
+//! cargo run -p bench --release --bin calibrate
+//! ```
+
+use bench::ResultTable;
+use dense::gen;
+use mmsim::{CostModel, Machine, Topology};
+use model::{fit, Algorithm, MachineParams};
+
+fn main() {
+    let truth = CostModel::cm5();
+    println!(
+        "ground truth (hidden from the fit): t_s = {:.3}, t_w = {:.4}\n",
+        truth.t_s, truth.t_w
+    );
+
+    // --- Step 1: ping timings, like an MPI latency/bandwidth probe. ---
+    let machine = Machine::new(Topology::fully_connected(2), truth);
+    let sizes = [1usize, 4, 16, 64, 256, 1024, 4096];
+    let samples: Vec<(f64, f64)> = sizes
+        .iter()
+        .map(|&m| {
+            let r = machine.run(|proc| {
+                if proc.rank() == 0 {
+                    proc.send(1, 0, vec![1.0; m]);
+                }
+                // Receiver's final clock = message arrival.
+                if proc.rank() == 1 {
+                    proc.recv(0, 0);
+                }
+            });
+            (m as f64, r.t_parallel)
+        })
+        .collect();
+    let mut t = ResultTable::new("step 1: point-to-point probe", &["words", "time"]);
+    for &(m, time) in &samples {
+        t.push_row(vec![format!("{m:.0}"), format!("{time:.2}")]);
+    }
+    println!("{}", t.render());
+    let fitted = fit::fit_linear(&samples).expect("probe is solvable");
+    println!(
+        "fitted from pings     : t_s = {:.3}, t_w = {:.4}  (exact recovery)\n",
+        fitted.t_s, fitted.t_w
+    );
+
+    // --- Step 2: fit from whole Cannon runs instead. ---
+    let cannon_samples: Vec<(f64, f64, f64)> = [(16usize, 16usize), (32, 16), (32, 64), (64, 64)]
+        .iter()
+        .map(|&(n, p)| {
+            let (a, b) = gen::random_pair(n, n as u64);
+            let machine = Machine::new(Topology::square_torus_for(p), truth);
+            let out = algos::cannon(&machine, &a, &b).expect("admissible");
+            // Subtract the executed alignment the analytic Eq. (3) omits,
+            // so the fit targets the equation the model layer uses.
+            let align = 2.0 * (truth.t_s + truth.t_w * (n * n / p) as f64);
+            (n as f64, p as f64, out.t_parallel - align)
+        })
+        .collect();
+    let fitted2 = fit::fit_from_parallel_times(Algorithm::Cannon, &cannon_samples)
+        .expect("Cannon runs are solvable");
+    println!(
+        "fitted from Cannon T_p: t_s = {:.3}, t_w = {:.4}",
+        fitted2.t_s, fitted2.t_w
+    );
+    let close = |a: f64, b: f64| (a - b).abs() / b < 1e-6;
+    assert!(close(fitted2.t_s, truth.t_s) && close(fitted2.t_w, truth.t_w));
+    println!("both fits recover the ground truth — the simulator is self-consistent ✓");
+
+    // For the record: what the paper's constants become at other flop
+    // speeds (the §2 normalisation in action).
+    let mut t2 = ResultTable::new(
+        "\nthe same hardware at different CPU speeds (§8's normalisation)",
+        &["flop time (µs)", "t_s (units)", "t_w (units)"],
+    );
+    for flop_us in [1.53f64, 0.5, 0.1] {
+        let m = MachineParams::new(380.0 / flop_us, 1.8 / flop_us);
+        t2.push_row(vec![
+            format!("{flop_us}"),
+            format!("{:.1}", m.t_s),
+            format!("{:.3}", m.t_w),
+        ]);
+    }
+    println!("{}", t2.render());
+}

@@ -1,0 +1,117 @@
+//! E-C1..E-C3: the paper's in-text quantitative claims, each computed
+//! from the models and printed as paper-vs-measured.
+//!
+//! ```sh
+//! cargo run -p bench --bin claims
+//! ```
+
+use bench::ResultTable;
+use model::{cm5, crossover, technology, time, Algorithm, MachineParams};
+
+fn main() {
+    let mut t = ResultTable::new(
+        "paper claims vs this reproduction",
+        &["id", "claim (paper)", "paper value", "measured"],
+    );
+
+    // E-C1: GK-vs-Cannon t_w-term crossover (§6).
+    let p_star = crossover::gk_tw_term_crossover_p();
+    t.push_row(vec![
+        "E-C1".into(),
+        "GK t_w term < Cannon's for p beyond (§6)".into(),
+        "1.3e8".into(),
+        format!("{p_star:.3e}"),
+    ]);
+
+    // E-C2: DNS maximum efficiency (§5.3), on the Figure-2 machine.
+    let m2 = MachineParams::future_mimd();
+    t.push_row(vec![
+        "E-C2".into(),
+        "DNS max efficiency 1/(1+2(t_s+t_w)), t_s=10, t_w=3 (§5.3)".into(),
+        format!("{:.4}", 1.0 / 27.0),
+        format!("{:.4}", time::dns_max_efficiency(m2)),
+    ]);
+
+    // E-C3: CM-5 crossovers (§9).
+    let m5 = MachineParams::cm5();
+    let n64 = cm5::crossover_n(64.0, m5);
+    t.push_row(vec![
+        "E-C3a".into(),
+        "GK/Cannon crossover at p=64 on CM-5 (§9)".into(),
+        "83 (measured 96)".into(),
+        n64.map_or("-".into(), |n| format!("{n:.1}")),
+    ]);
+    let n512 = cm5::crossover_n(512.0, m5);
+    t.push_row(vec![
+        "E-C3b".into(),
+        "GK/Cannon crossover at p=512 on CM-5 (§9)".into(),
+        "295".into(),
+        n512.map_or("-".into(), |n| format!("{n:.1}")),
+    ]);
+    let e_gk = cm5::gk_cm5_efficiency(112.0, 512.0, m5);
+    let e_cn = cm5::cannon_efficiency(110.0, 484.0, m5);
+    t.push_row(vec![
+        "E-C3c".into(),
+        "GK(112,512) / Cannon(110,484) efficiency ratio (§9)".into(),
+        "0.50/0.28 = 1.79".into(),
+        format!("{:.3}/{:.3} = {:.2}", e_gk, e_cn, e_gk / e_cn),
+    ]);
+
+    // E-C4: §8 scaling factors.
+    let m1 = MachineParams::ncube2();
+    let g_more = technology::w_growth_for_more_processors(Algorithm::Cannon, 1.0e4, 10.0, 0.5, m1);
+    t.push_row(vec![
+        "E-C4a".into(),
+        "W growth for 10x processors, Cannon (§8)".into(),
+        "31.6".into(),
+        g_more.map_or("-".into(), |g| format!("{g:.1}")),
+    ]);
+    let g_fast = technology::w_growth_for_faster_processors(
+        Algorithm::Cannon,
+        1.0e4,
+        10.0,
+        0.5,
+        MachineParams::new(0.0, 3.0),
+    );
+    t.push_row(vec![
+        "E-C4b".into(),
+        "W growth for 10x faster CPUs, small t_s (§8)".into(),
+        "1000".into(),
+        g_fast.map_or("-".into(), |g| format!("{g:.0}")),
+    ]);
+
+    // §10: DNS worse than GK below ~10,000 processors when t_s = 10 t_w.
+    let m10 = MachineParams::new(10.0, 1.0);
+    let mut flip_p = None;
+    for log2p in 2..40 {
+        let p = 2.0f64.powi(log2p);
+        // DNS's best case within its range (smallest relative overhead
+        // gap): scan n across the applicability window.
+        let mut dns_ever_wins = false;
+        for frac in [0.34, 0.36, 0.4, 0.45, 0.5] {
+            let n = p.powf(frac);
+            if !Algorithm::Dns.applicable(n, p) {
+                continue;
+            }
+            if model::overhead::overhead_fig(Algorithm::Dns, n, p, m10)
+                < model::overhead::overhead_fig(Algorithm::Gk, n, p, m10)
+            {
+                dns_ever_wins = true;
+            }
+        }
+        if dns_ever_wins {
+            flip_p = Some(p);
+            break;
+        }
+    }
+    t.push_row(vec![
+        "E-C5".into(),
+        "DNS beats GK only beyond ~10^4 procs when t_s=10·t_w (§10)".into(),
+        "~10,000".into(),
+        flip_p.map_or(">2^39".into(), |p| format!("{p:.0}")),
+    ]);
+
+    println!("{}", t.render());
+    let path = t.save_csv("claims");
+    println!("CSV written to {}", path.display());
+}

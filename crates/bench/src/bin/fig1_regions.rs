@@ -1,0 +1,18 @@
+//! E-F1: Figure 1 — best-algorithm regions for `t_w = 3`, `t_s = 150`
+//! (nCUBE2-class machine).
+//!
+//! ```sh
+//! cargo run -p bench --bin fig1_regions
+//! ```
+
+use bench::regions_common::run_region_figure;
+use model::MachineParams;
+
+fn main() {
+    run_region_figure("Figure 1", MachineParams::ncube2());
+    println!(
+        "\npaper check (§6): on this machine the DNS algorithm never wins\n\
+         (its equal-overhead curve vs GK lies in the x region), Berntsen\n\
+         owns p < n^{{3/2}}, and GK owns everything above."
+    );
+}

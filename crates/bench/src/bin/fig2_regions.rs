@@ -1,0 +1,18 @@
+//! E-F2: Figure 2 — best-algorithm regions for `t_w = 3`, `t_s = 10`
+//! (near-future MIMD machine).
+//!
+//! ```sh
+//! cargo run -p bench --bin fig2_regions
+//! ```
+
+use bench::regions_common::run_region_figure;
+use model::MachineParams;
+
+fn main() {
+    run_region_figure("Figure 2", MachineParams::future_mimd());
+    println!(
+        "\npaper check (§6): \"each of the four algorithms performs better\n\
+         than the rest in some region and all the four regions a, b, c, d\n\
+         contain practical values of p and n.\""
+    );
+}

@@ -1,0 +1,20 @@
+//! E-F3: Figure 3 — best-algorithm regions for `t_w = 3`, `t_s = 0.5`
+//! (CM-2-class SIMD machine).
+//!
+//! ```sh
+//! cargo run -p bench --bin fig3_regions
+//! ```
+
+use bench::regions_common::run_region_figure;
+use model::MachineParams;
+
+fn main() {
+    run_region_figure("Figure 3", MachineParams::simd_cm2());
+    println!(
+        "\npaper check (§6): DNS for n² ≤ p ≤ n³, Cannon for n^{{3/2}} ≤ p ≤ n²,\n\
+         Berntsen for p < n^{{3/2}}; the GK algorithm only starts winning\n\
+         beyond p ≈ 1.3×10⁸ (footnote 4), outside the practical range —\n\
+         except for a hairline strip right at the p = n³ boundary where\n\
+         DNS pays its extra 2(t_s+t_w)n³ term (see EXPERIMENTS.md)."
+    );
+}

@@ -1,0 +1,18 @@
+//! E-F4: Figure 4 — efficiency vs matrix size for Cannon's and the GK
+//! algorithm at p = 64 on the CM-5 model.  Paper's measured crossover:
+//! n = 96 (predicted 83).
+//!
+//! ```sh
+//! cargo run -p bench --release --bin fig4_cm5_p64
+//! ```
+
+use bench::cm5_common::run_cm5_figure;
+
+fn main() {
+    let sizes: Vec<usize> = (8..=192).step_by(8).collect();
+    run_cm5_figure("Figure 4", 64, 64, &sizes);
+    println!(
+        "\npaper check (§9): GK wins below the crossover, Cannon above;\n\
+         predicted crossover n ≈ 83, measured on the real CM-5 at n = 96."
+    );
+}

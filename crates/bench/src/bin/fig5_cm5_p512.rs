@@ -1,0 +1,31 @@
+//! E-F5: Figure 5 — efficiency vs matrix size for Cannon's algorithm at
+//! p = 484 and the GK algorithm at p = 512 on the CM-5 model (the paper
+//! pairs these because Cannon needs a perfect square and GK a power of
+//! eight; "this is not an unfair comparison because the efficiency can
+//! only be better for smaller number of processors").
+//!
+//! Paper's observations: crossover ≈ 295 at E ≈ 0.93 (measured); GK
+//! reaches E = 0.5 at 112×112 while Cannon sits at 0.28 on 110×110.
+//!
+//! ```sh
+//! cargo run -p bench --release --bin fig5_cm5_p512
+//! ```
+
+use bench::cm5_common::run_cm5_figure;
+
+fn main() {
+    // Multiples of 8 (GK cube side) and of 22 (Cannon mesh side).
+    let mut sizes: Vec<usize> = (8..=448).step_by(8).collect();
+    for n in (22..=440).step_by(22) {
+        if !sizes.contains(&n) {
+            sizes.push(n);
+        }
+    }
+    sizes.sort_unstable();
+    run_cm5_figure("Figure 5", 484, 512, &sizes);
+    println!(
+        "\npaper check (§9): predicted crossover n ≈ 295; in the region\n\
+         where GK is better the efficiency gap is large (paper: 0.50 vs\n\
+         0.28 around n ≈ 110; the model preserves the ≈1.8x ratio)."
+    );
+}

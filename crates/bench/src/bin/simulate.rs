@@ -1,0 +1,116 @@
+//! Generic simulation CLI: run any algorithm on any machine and print
+//! the full virtual-time report.
+//!
+//! ```sh
+//! cargo run -p bench --bin simulate -- <algorithm> <n> <p> [topology] [t_s] [t_w]
+//! cargo run -p bench --bin simulate -- cannon 64 16 hypercube 150 3
+//! cargo run -p bench --bin simulate -- gk 64 64 full 248.37 1.176
+//! ```
+//!
+//! Algorithms: simple | cannon | fox | fox-pipelined | berntsen | dns | gk
+//! Topologies: hypercube | torus | full | ring  (default: hypercube if
+//! p is a power of two, else full)
+
+use std::process::ExitCode;
+
+use dense::gen;
+use mmsim::{CostModel, Machine, Topology};
+use model::Algorithm;
+use parmm::advisor::run_algorithm;
+
+fn parse_algorithm(s: &str) -> Option<Algorithm> {
+    Some(match s {
+        "simple" => Algorithm::Simple,
+        "cannon" => Algorithm::Cannon,
+        "fox" => Algorithm::FoxHypercube,
+        "fox-pipelined" => Algorithm::FoxPipelined,
+        "berntsen" => Algorithm::Berntsen,
+        "dns" => Algorithm::Dns,
+        "gk" => Algorithm::Gk,
+        _ => return None,
+    })
+}
+
+fn parse_topology(s: &str, p: usize) -> Option<Topology> {
+    Some(match s {
+        "hypercube" => Topology::hypercube_for(p),
+        "torus" => Topology::square_torus_for(p),
+        "full" => Topology::fully_connected(p),
+        "ring" => Topology::ring(p),
+        _ => return None,
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 3 {
+        eprintln!("usage: simulate <algorithm> <n> <p> [topology] [t_s] [t_w]");
+        return ExitCode::FAILURE;
+    }
+    let Some(alg) = parse_algorithm(&args[0]) else {
+        eprintln!("unknown algorithm {:?}", args[0]);
+        return ExitCode::FAILURE;
+    };
+    let (Ok(n), Ok(p)) = (args[1].parse::<usize>(), args[2].parse::<usize>()) else {
+        eprintln!("n and p must be positive integers");
+        return ExitCode::FAILURE;
+    };
+    let topo = match args.get(3) {
+        Some(s) => match parse_topology(s, p) {
+            Some(t) => t,
+            None => {
+                eprintln!("unknown topology {s:?}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None if p.is_power_of_two() => Topology::hypercube_for(p),
+        None => Topology::fully_connected(p),
+    };
+    let t_s: f64 = args
+        .get(4)
+        .map_or(Ok(150.0), |s| s.parse())
+        .unwrap_or(150.0);
+    let t_w: f64 = args.get(5).map_or(Ok(3.0), |s| s.parse()).unwrap_or(3.0);
+
+    let machine = Machine::new(topo, CostModel::new(t_s, t_w));
+    let (a, b) = gen::random_pair(n, 0xC0FFEE);
+    println!(
+        "running {} on n = {n}, p = {p}, {} topology, t_s = {t_s}, t_w = {t_w}",
+        alg,
+        machine.topology().kind()
+    );
+    match run_algorithm(alg, &machine, &a, &b) {
+        Ok(out) => {
+            let reference = &a * &b;
+            let verified = out.c.approx_eq(&reference, 1e-9);
+            println!(
+                "  product verified : {}",
+                if verified { "yes" } else { "NO — BUG" }
+            );
+            println!("  T_p              : {:.1} units", out.t_parallel);
+            println!("  speedup          : {:.2}", out.speedup());
+            println!("  efficiency       : {:.4}", out.efficiency());
+            println!("  total overhead   : {:.1}", out.overhead());
+            println!(
+                "  messages / words : {} / {}",
+                out.total_messages(),
+                out.total_words()
+            );
+            println!(
+                "  compute/comm/idle: {:.0} / {:.0} / {:.0}",
+                out.total_compute(),
+                out.total_comm(),
+                out.total_idle()
+            );
+            if verified {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("  not applicable: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Parameter-sweep driver: evaluate any algorithm over a grid of
+//! matrix sizes and processor counts, with analytic predictions and
+//! (optionally) executed simulations, emitting a CSV.
+//!
+//! ```sh
+//! cargo run -p bench --release --bin sweep -- \
+//!     --alg cannon,gk --n 16,32,64 --p 16,64 --ts 150 --tw 3 [--sim]
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use bench::{parallel_sweep, ResultTable};
+use dense::gen;
+use mmsim::{CostModel, Machine, Topology};
+use model::time::parallel_time;
+use model::{Algorithm, MachineParams};
+use parmm::advisor::{executable_applicability, run_algorithm};
+
+/// Parsed CLI configuration: algorithms, matrix sizes, processor
+/// counts, t_s, t_w, and whether to execute simulations.
+type SweepConfig = (Vec<Algorithm>, Vec<usize>, Vec<usize>, f64, f64, bool);
+
+fn parse_args() -> Result<SweepConfig, String> {
+    let mut flags: HashMap<String, String> = HashMap::new();
+    let mut sim = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--sim" {
+            sim = true;
+        } else if let Some(name) = arg.strip_prefix("--") {
+            let value = args
+                .next()
+                .ok_or_else(|| format!("missing value for --{name}"))?;
+            flags.insert(name.to_string(), value);
+        } else {
+            return Err(format!("unexpected argument {arg:?}"));
+        }
+    }
+    let algs = flags
+        .get("alg")
+        .map_or("cannon,gk,berntsen,dns", String::as_str)
+        .split(',')
+        .map(|s| match s.trim() {
+            "simple" => Ok(Algorithm::Simple),
+            "cannon" => Ok(Algorithm::Cannon),
+            "fox" => Ok(Algorithm::FoxHypercube),
+            "berntsen" => Ok(Algorithm::Berntsen),
+            "dns" => Ok(Algorithm::Dns),
+            "gk" => Ok(Algorithm::Gk),
+            "gk-improved" => Ok(Algorithm::GkImproved),
+            other => Err(format!("unknown algorithm {other:?}")),
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let list = |key: &str, default: &str| -> Result<Vec<usize>, String> {
+        flags
+            .get(key)
+            .map_or(default, String::as_str)
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<usize>()
+                    .map_err(|e| format!("--{key}: {e}"))
+            })
+            .collect()
+    };
+    let ns = list("n", "16,32,64,128")?;
+    let ps = list("p", "4,16,64,256")?;
+    let ts: f64 = flags
+        .get("ts")
+        .map_or("150", String::as_str)
+        .parse()
+        .map_err(|e| format!("--ts: {e}"))?;
+    let tw: f64 = flags
+        .get("tw")
+        .map_or("3", String::as_str)
+        .parse()
+        .map_err(|e| format!("--tw: {e}"))?;
+    Ok((algs, ns, ps, ts, tw, sim))
+}
+
+fn main() -> ExitCode {
+    let (algs, ns, ps, ts, tw, sim) = match parse_args() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: sweep [--alg a,b] [--n 16,32] [--p 16,64] [--ts X] [--tw Y] [--sim]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let m = MachineParams::new(ts, tw);
+    let cost = CostModel::new(ts, tw);
+
+    // Build the full grid, then evaluate points in parallel (each
+    // simulation stays internally deterministic).
+    let mut grid = Vec::new();
+    for &alg in &algs {
+        for &n in &ns {
+            for &p in &ps {
+                grid.push((alg, n, p));
+            }
+        }
+    }
+    let rows = parallel_sweep(grid, |&(alg, n, p)| {
+        let model_t = alg
+            .applicable(n as f64, p as f64)
+            .then(|| parallel_time(alg, n as f64, p as f64, m));
+        let sim_e = (sim && executable_applicability(alg, n, p).is_ok()).then(|| {
+            let topo = if p.is_power_of_two() {
+                Topology::hypercube_for(p)
+            } else {
+                Topology::fully_connected(p)
+            };
+            let machine = Machine::new(topo, cost);
+            let (a, b) = gen::random_pair(n, (n * 31 + p) as u64);
+            let out = run_algorithm(alg, &machine, &a, &b).expect("checked applicable");
+            (out.t_parallel, out.efficiency())
+        });
+        (alg, n, p, model_t, sim_e)
+    });
+
+    let mut table = ResultTable::new(
+        format!("sweep: t_s = {ts}, t_w = {tw}"),
+        &[
+            "algorithm",
+            "n",
+            "p",
+            "T_p model",
+            "E model",
+            "T_p sim",
+            "E sim",
+        ],
+    );
+    for (alg, n, p, model_t, sim_e) in rows {
+        let w = (n as f64).powi(3);
+        table.push_row(vec![
+            alg.id().to_string(),
+            n.to_string(),
+            p.to_string(),
+            model_t.map_or("-".into(), |t| format!("{t:.1}")),
+            model_t.map_or("-".into(), |t| format!("{:.3}", w / (p as f64 * t))),
+            sim_e.map_or("-".into(), |(t, _)| format!("{t:.1}")),
+            sim_e.map_or("-".into(), |(_, e)| format!("{e:.3}")),
+        ]);
+    }
+    println!("{}", table.render());
+    let path = table.save_csv("sweep");
+    println!("CSV written to {}", path.display());
+    ExitCode::SUCCESS
+}

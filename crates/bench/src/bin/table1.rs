@@ -1,0 +1,58 @@
+//! E-T1: regenerate Table 1 — overhead functions, asymptotic
+//! isoefficiency and applicability ranges — and validate each row's
+//! asymptotic class against the numeric isoefficiency solver.
+//!
+//! ```sh
+//! cargo run -p bench --bin table1
+//! ```
+
+use bench::ResultTable;
+use model::isoefficiency::iso_w_numeric;
+use model::{table1, MachineParams};
+
+fn main() {
+    println!("{}", table1::render());
+
+    // Empirical validation: measure the growth exponent of the numeric
+    // isoefficiency between p and 2p at a large p, and compare with the
+    // class the paper prints.
+    let m = MachineParams::future_mimd();
+    let e = 0.4;
+    let p = 2.0f64.powi(18);
+    let mut t = ResultTable::new(
+        format!("numeric isoefficiency validation at p = 2^18, E = {e} (t_s=10, t_w=3)"),
+        &[
+            "algorithm",
+            "class (paper)",
+            "W(2p)/W(p) measured",
+            "W(2p)/W(p) class",
+        ],
+    );
+    for row in table1::rows() {
+        let alg = row.algorithm;
+        let measured = match (
+            iso_w_numeric(alg, p, e, m),
+            iso_w_numeric(alg, 2.0 * p, e, m),
+        ) {
+            (Some(w1), Some(w2)) => format!("{:.3}", w2 / w1),
+            _ => "unreachable".to_string(),
+        };
+        let class_ratio = row.isoefficiency.eval(2.0 * p) / row.isoefficiency.eval(p);
+        t.push_row(vec![
+            alg.to_string(),
+            row.isoefficiency.label().to_string(),
+            measured,
+            format!("{class_ratio:.3}"),
+        ]);
+    }
+    println!("{}", t.render());
+    let path = t.save_csv("table1_validation");
+    println!("CSV written to {}", path.display());
+
+    // DNS note: with t_s = 10 the efficiency ceiling is 1/(1+26) ≈ 0.037,
+    // so E = 0.4 is unreachable (§5.3) — the row reads "unreachable".
+    println!(
+        "DNS efficiency ceiling on this machine: {:.4}",
+        model::time::dns_max_efficiency(m)
+    );
+}

@@ -1,0 +1,76 @@
+//! E-C4: the §8 technology trade-off table — problem-growth factors and
+//! wall-clock winners for "k-fold more processors" vs "k-fold faster
+//! processors".
+//!
+//! ```sh
+//! cargo run -p bench --bin tech_tradeoff
+//! ```
+
+use bench::ResultTable;
+use model::{technology, Algorithm, MachineParams};
+
+fn main() {
+    let e = 0.5;
+    let mut growth = ResultTable::new(
+        format!("W growth factors to hold E = {e} (Cannon's algorithm)"),
+        &["machine", "k", "k x processors", "k x faster CPUs"],
+    );
+    for (label, m) in [
+        ("t_s=150, t_w=3", MachineParams::ncube2()),
+        ("t_s=10,  t_w=3", MachineParams::future_mimd()),
+        ("t_s=0,   t_w=3", MachineParams::new(0.0, 3.0)),
+    ] {
+        for k in [2.0, 10.0] {
+            let more = technology::w_growth_for_more_processors(Algorithm::Cannon, 1.0e4, k, e, m);
+            let fast =
+                technology::w_growth_for_faster_processors(Algorithm::Cannon, 1.0e4, k, e, m);
+            growth.push_row(vec![
+                label.to_string(),
+                format!("{k:.0}"),
+                more.map_or("-".into(), |g| format!("{g:.1}")),
+                fast.map_or("-".into(), |g| format!("{g:.1}")),
+            ]);
+        }
+    }
+    println!("{}", growth.render());
+    println!(
+        "paper (§8): 10x processors → 31.6x problem; 10x faster CPUs →\n\
+         1000x problem (t_w-dominated regime) — the t_w³ isoefficiency\n\
+         multiplier at work.\n"
+    );
+
+    let mut clock = ResultTable::new(
+        "wall-clock: k·p baseline processors vs p processors k-fold faster (Cannon)",
+        &["machine", "n", "p", "k", "T many", "T fast", "winner"],
+    );
+    for (label, m) in [
+        ("t_s=150, t_w=3", MachineParams::ncube2()),
+        ("t_s=0.5, t_w=3", MachineParams::simd_cm2()),
+    ] {
+        for (n, p, k) in [
+            (512.0, 256.0, 4.0),
+            (4096.0, 1024.0, 4.0),
+            (16384.0, 4096.0, 4.0),
+        ] {
+            let (t_many, t_fast) = technology::many_vs_fast(Algorithm::Cannon, n, p, k, m);
+            clock.push_row(vec![
+                label.to_string(),
+                format!("{n:.0}"),
+                format!("{p:.0}"),
+                format!("{k:.0}"),
+                format!("{t_many:.3e}"),
+                format!("{t_fast:.3e}"),
+                if t_many < t_fast {
+                    "more procs"
+                } else {
+                    "faster procs"
+                }
+                .to_string(),
+            ]);
+        }
+    }
+    println!("{}", clock.render());
+    let p1 = growth.save_csv("tech_growth");
+    let p2 = clock.save_csv("tech_wallclock");
+    println!("CSVs written to {} and {}", p1.display(), p2.display());
+}

@@ -1,0 +1,156 @@
+//! Golden verification: re-derive every headline number of the
+//! reproduction and check it against the recorded expectation, exiting
+//! nonzero on any drift.  This is the one-shot "is the reproduction
+//! still intact?" gate (the same facts are also pinned by unit tests;
+//! this binary prints the full scorecard).
+//!
+//! ```sh
+//! cargo run -p bench --release --bin verify
+//! ```
+
+use std::process::ExitCode;
+
+use bench::ResultTable;
+use dense::gen;
+use mmsim::{CostModel, Machine, Topology};
+use model::{cm5, crossover, technology, time, Algorithm, MachineParams};
+
+struct Check {
+    id: &'static str,
+    what: &'static str,
+    expected: f64,
+    got: f64,
+    rtol: f64,
+}
+
+impl Check {
+    fn ok(&self) -> bool {
+        (self.got - self.expected).abs() <= self.rtol * self.expected.abs().max(1e-12)
+    }
+}
+
+fn main() -> ExitCode {
+    let m5 = MachineParams::cm5();
+    let m1 = MachineParams::ncube2();
+
+    let mut checks = vec![
+        Check {
+            id: "crossover-p64",
+            what: "GK/Cannon equal-overhead n at p=64, CM-5 constants (paper: 83)",
+            expected: 83.0,
+            got: cm5::crossover_n(64.0, m5).unwrap_or(f64::NAN),
+            rtol: 0.03,
+        },
+        Check {
+            id: "crossover-p512",
+            what: "GK/Cannon equal-overhead n at p=512 (paper: 295)",
+            expected: 295.0,
+            got: cm5::crossover_n(512.0, m5).unwrap_or(f64::NAN),
+            rtol: 0.03,
+        },
+        Check {
+            id: "tw-flip",
+            what: "GK t_w-term beats Cannon's beyond p (paper: 1.3e8)",
+            expected: 1.3e8,
+            got: crossover::gk_tw_term_crossover_p(),
+            rtol: 0.08,
+        },
+        Check {
+            id: "dns-ceiling",
+            what: "DNS max efficiency at t_s=150,t_w=3 (=1/307)",
+            expected: 1.0 / 307.0,
+            got: time::dns_max_efficiency(m1),
+            rtol: 1e-9,
+        },
+        Check {
+            id: "tech-more",
+            what: "W growth for 10x processors, Cannon (paper: 31.6)",
+            expected: 31.6,
+            got: technology::w_growth_for_more_processors(Algorithm::Cannon, 1.0e4, 10.0, 0.5, m1)
+                .unwrap_or(f64::NAN),
+            rtol: 0.05,
+        },
+        Check {
+            id: "tech-fast",
+            what: "W growth for 10x faster CPUs, t_w-bound (paper: 1000)",
+            expected: 1000.0,
+            got: technology::w_growth_for_faster_processors(
+                Algorithm::Cannon,
+                1.0e4,
+                10.0,
+                0.5,
+                MachineParams::new(0.0, 3.0),
+            )
+            .unwrap_or(f64::NAN),
+            rtol: 0.05,
+        },
+        Check {
+            id: "gap-ratio",
+            what: "GK/Cannon efficiency ratio near n=110, p≈500 (paper: ~1.8)",
+            expected: 1.86,
+            got: cm5::gk_cm5_efficiency(112.0, 512.0, m5)
+                / cm5::cannon_efficiency(110.0, 484.0, m5),
+            rtol: 0.10,
+        },
+    ];
+
+    // Simulation goldens: exact virtual times of reference runs — any
+    // change to the engine's accounting shows up here first.
+    {
+        let (a, b) = gen::random_pair(16, 7);
+        let machine = Machine::new(Topology::square_torus_for(16), CostModel::ncube2());
+        let cannon = algos::cannon(&machine, &a, &b).expect("applicable");
+        checks.push(Check {
+            id: "sim-cannon",
+            what: "simulated Cannon T_p at n=16, p=16, t_s=150, t_w=3",
+            expected: algos::cannon::predicted_time(16, 16, 150.0, 3.0),
+            got: cannon.t_parallel,
+            rtol: 1e-12,
+        });
+        let machine8 = Machine::new(Topology::hypercube_for(8), CostModel::new(10.0, 1.0));
+        let gk = algos::gk(&machine8, &a, &b).expect("applicable");
+        checks.push(Check {
+            id: "sim-gk-eq7",
+            what: "simulated GK T_p vs Eq. (7) at n=16, p=8, t_s=10, t_w=1 (within 25%)",
+            expected: algos::gk::eq7_time(16, 8, 10.0, 1.0),
+            got: gk.t_parallel,
+            rtol: 0.25,
+        });
+        // Determinism golden: two runs bit-identical.
+        let gk2 = algos::gk(&machine8, &a, &b).expect("applicable");
+        checks.push(Check {
+            id: "sim-determinism",
+            what: "GK run-to-run virtual-time difference (must be 0)",
+            expected: 0.0,
+            got: (gk.t_parallel - gk2.t_parallel).abs(),
+            rtol: 0.0,
+        });
+    }
+
+    let mut table = ResultTable::new(
+        "reproduction scorecard",
+        &["id", "check", "expected", "got", "status"],
+    );
+    let mut failures = 0;
+    for c in &checks {
+        let ok = c.ok();
+        if !ok {
+            failures += 1;
+        }
+        table.push_row(vec![
+            c.id.to_string(),
+            c.what.to_string(),
+            format!("{:.6}", c.expected),
+            format!("{:.6}", c.got),
+            if ok { "ok" } else { "FAIL" }.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    if failures == 0 {
+        println!("all {} checks passed", checks.len());
+        ExitCode::SUCCESS
+    } else {
+        println!("{failures} check(s) FAILED");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,182 @@
+//! Shared harness for the experiment binaries and Criterion benches:
+//! result tables, CSV emission, and parallel sweeps.
+//!
+//! Every table and figure of the paper has one binary in `src/bin/`
+//! that regenerates it (see DESIGN.md's per-experiment index) and one
+//! Criterion bench group in `benches/` that measures the machinery
+//! behind it.
+
+pub mod cm5_common;
+pub mod plot;
+pub mod regions_common;
+pub mod svg;
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use rayon::prelude::*;
+
+/// A rectangular results table that renders as aligned text and CSV.
+#[derive(Debug, Clone)]
+pub struct ResultTable {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl ResultTable {
+    /// New table with the given title and column headers.
+    #[must_use]
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            columns: columns.iter().map(|s| (*s).to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row (must match the column count).
+    ///
+    /// # Panics
+    /// Panics on column-count mismatch.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.columns.len(), "row/column mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Aligned human-readable rendering.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        let mut header = String::new();
+        for (w, c) in widths.iter().zip(&self.columns) {
+            let _ = write!(header, "{c:>w$}  ", w = w);
+        }
+        let _ = writeln!(out, "{}", header.trim_end());
+        let _ = writeln!(out, "{}", "-".repeat(header.trim_end().len()));
+        for row in &self.rows {
+            let mut line = String::new();
+            for (w, cell) in widths.iter().zip(row) {
+                let _ = write!(line, "{cell:>w$}  ", w = w);
+            }
+            let _ = writeln!(out, "{}", line.trim_end());
+        }
+        out
+    }
+
+    /// CSV rendering (header + rows).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.columns.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+
+    /// Write the CSV into `results/<name>.csv` under the workspace
+    /// root; returns the path.
+    ///
+    /// # Panics
+    /// Panics if the results directory cannot be created or written.
+    pub fn save_csv(&self, name: &str) -> PathBuf {
+        let dir = results_dir();
+        fs::create_dir_all(&dir).expect("create results dir");
+        let path = dir.join(format!("{name}.csv"));
+        fs::write(&path, self.to_csv()).expect("write csv");
+        path
+    }
+}
+
+/// `<workspace>/results` (next to the top-level Cargo.toml).
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench → workspace root is two up.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .join("results")
+}
+
+/// Format an efficiency / ratio to three decimals, or `-`.
+#[must_use]
+pub fn fmt_opt(x: Option<f64>) -> String {
+    x.map_or_else(|| "-".to_string(), |v| format!("{v:.3}"))
+}
+
+/// Run a sweep in parallel across the host's cores, preserving input
+/// order.  Each simulation inside stays single-run deterministic; only
+/// *independent* runs are parallelised (see DESIGN.md §7).
+pub fn parallel_sweep<I, O, F>(inputs: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send + Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    // The closure wrapper is what lets `f` be Sync-but-not-Send (rayon
+    // shares one &f across workers).
+    #[allow(clippy::redundant_closure)]
+    inputs.par_iter().map(|i| f(i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_render_and_csv() {
+        let mut t = ResultTable::new("demo", &["n", "E"]);
+        t.push_row(vec!["64".into(), "0.5".into()]);
+        t.push_row(vec!["128".into(), "0.75".into()]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        let text = t.render();
+        assert!(text.contains("demo"));
+        assert!(text.contains("0.75"));
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().next(), Some("n,E"));
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "row/column mismatch")]
+    fn row_length_checked() {
+        let mut t = ResultTable::new("demo", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn parallel_sweep_preserves_order() {
+        let out = parallel_sweep((0..100).collect(), |&x: &i32| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn results_dir_is_workspace_level() {
+        let d = results_dir();
+        assert!(d.ends_with("results"));
+        assert!(d.parent().unwrap().join("Cargo.toml").exists());
+    }
+}

@@ -1,0 +1,81 @@
+//! Shared driver for the Figure 1/2/3 region-map binaries.
+
+use crate::ResultTable;
+use model::crossover::{gk_vs_cannon_closed_form, n_equal_overhead};
+use model::regions::RegionMap;
+use model::{Algorithm, MachineParams};
+
+/// Regenerate one of Figures 1–3: render the ASCII region map, the
+/// pairwise equal-overhead curves, and write the sampled grid as CSV.
+pub fn run_region_figure(figure: &str, m: MachineParams) {
+    println!(
+        "=== {figure}: best-algorithm regions for t_s = {}, t_w = {} ===\n",
+        m.t_s, m.t_w
+    );
+    let map = RegionMap::compute_range(m, (2.0, 16.0), (0.0, 28.0), 96, 40);
+    println!("{}", map.render());
+
+    print!("region shares: ");
+    for (letter, frac) in map.letter_fractions() {
+        if frac > 0.0 {
+            print!("{letter}: {:.1}%  ", frac * 100.0);
+        }
+    }
+    println!("\n");
+
+    // Equal-overhead curves the paper overlays on the figure.
+    let pairs = [
+        (Algorithm::Gk, Algorithm::Cannon, "GK vs Cannon"),
+        (Algorithm::Gk, Algorithm::Berntsen, "GK vs Berntsen"),
+        (Algorithm::Dns, Algorithm::Gk, "DNS vs GK"),
+        (Algorithm::Berntsen, Algorithm::Cannon, "Berntsen vs Cannon"),
+    ];
+    let mut curves = ResultTable::new(
+        "equal-overhead matrix sizes n*(p): left algorithm better below n*",
+        &[
+            "p",
+            "GK vs Cannon",
+            "GK vs Berntsen",
+            "DNS vs GK",
+            "Berntsen vs Cannon",
+        ],
+    );
+    for log2p in (2..=28).step_by(2) {
+        let p = 2.0f64.powi(log2p);
+        let mut row = vec![format!("2^{log2p}")];
+        for (a, b, _) in pairs {
+            let n_star = if (a, b) == (Algorithm::Gk, Algorithm::Cannon) {
+                gk_vs_cannon_closed_form(p, m)
+            } else {
+                n_equal_overhead(a, b, p, m)
+            };
+            row.push(n_star.map_or_else(|| "-".to_string(), |n| format!("{n:.0}")));
+        }
+        curves.push_row(row);
+    }
+    println!("{}", curves.render());
+
+    // Persist the sampled grid for external plotting.
+    let mut grid = ResultTable::new(
+        format!("{figure} region grid"),
+        &["log2_n", "log2_p", "letter"],
+    );
+    for (pi, row) in map.cells.iter().enumerate() {
+        for (ni, &c) in row.iter().enumerate() {
+            grid.push_row(vec![
+                format!("{:.3}", map.log2_n[ni]),
+                format!("{:.3}", map.log2_p[pi]),
+                c.to_string(),
+            ]);
+        }
+    }
+    let path = grid.save_csv(&format!("{}_grid", figure.to_lowercase().replace(' ', "_")));
+    println!("grid CSV written to {}", path.display());
+
+    let svg = crate::svg::region_map_svg(&map, 7);
+    let svg_path = crate::svg::save_svg(
+        &format!("{}_regions", figure.to_lowercase().replace(' ', "_")),
+        &svg,
+    );
+    println!("SVG written to {}", svg_path.display());
+}

@@ -1,0 +1,218 @@
+//! Closed-form completion times of the collectives under the
+//! `t_s + t_w·m` single-port model.
+//!
+//! These are the textbook hypercube costs the paper plugs into its
+//! parallel-time equations.  Because [`crate::ops`] runs on an engine
+//! that charges exactly this model, the *simulated* completion time of a
+//! collective started at virtual time 0 on otherwise-idle processors
+//! equals these formulas **exactly**; `tests/cost_match.rs` asserts it.
+//!
+//! All formulas take the group size `g`, the per-member message size `m`
+//! (in words), and the machine's `t_s`/`t_w`; where reduction arithmetic
+//! is involved they also take `t_add`.
+
+/// `ceil(log2 g)` as f64 — the number of steps of the binomial-tree
+/// schedules.
+#[must_use]
+pub fn tree_steps(g: usize) -> f64 {
+    assert!(g > 0, "group must be non-empty");
+    if g == 1 {
+        0.0
+    } else {
+        f64::from(usize::BITS - (g - 1).leading_zeros())
+    }
+}
+
+/// One-to-all broadcast of an `m`-word message over `g` members:
+/// `ceil(log g) · (t_s + t_w·m)`.
+#[must_use]
+pub fn broadcast_time(g: usize, m: usize, t_s: f64, t_w: f64) -> f64 {
+    tree_steps(g) * (t_s + t_w * m as f64)
+}
+
+/// Recursive-doubling allgather of `m` words per member over a
+/// power-of-two group: `t_s·log g + t_w·m·(g−1)`.
+#[must_use]
+pub fn allgather_hypercube_time(g: usize, m: usize, t_s: f64, t_w: f64) -> f64 {
+    tree_steps(g) * t_s + t_w * (m * (g - 1)) as f64
+}
+
+/// Ring allgather of `m` words per member: `(g−1)·(t_s + t_w·m)`.
+#[must_use]
+pub fn allgather_ring_time(g: usize, m: usize, t_s: f64, t_w: f64) -> f64 {
+    (g.saturating_sub(1)) as f64 * (t_s + t_w * m as f64)
+}
+
+/// Binomial-tree sum-reduction of `m` words over `g` members:
+/// `ceil(log g) · (t_s + t_w·m + t_add·m)`.
+#[must_use]
+pub fn reduce_time(g: usize, m: usize, t_s: f64, t_w: f64, t_add: f64) -> f64 {
+    tree_steps(g) * (t_s + (t_w + t_add) * m as f64)
+}
+
+/// Recursive-halving reduce-scatter of `m` words over a power-of-two
+/// group: `t_s·log g + (t_w + t_add)·m·(g−1)/g`.
+#[must_use]
+pub fn reduce_scatter_time(g: usize, m: usize, t_s: f64, t_w: f64, t_add: f64) -> f64 {
+    let frac = m as f64 * (g - 1) as f64 / g as f64;
+    tree_steps(g) * t_s + (t_w + t_add) * frac
+}
+
+/// All-reduce of `m` words (reduce-scatter + allgather):
+/// `2·t_s·log g + (2·t_w + t_add)·m·(g−1)/g`.
+#[must_use]
+pub fn all_reduce_time(g: usize, m: usize, t_s: f64, t_w: f64, t_add: f64) -> f64 {
+    if g == 1 {
+        return 0.0;
+    }
+    reduce_scatter_time(g, m, t_s, t_w, t_add) + allgather_hypercube_time(g, m / g, t_s, t_w)
+}
+
+/// Binomial-tree scatter of one `m`-word block per member:
+/// `t_s·log g + t_w·m·(g−1)` (power-of-two `g`).
+#[must_use]
+pub fn scatter_time(g: usize, m: usize, t_s: f64, t_w: f64) -> f64 {
+    tree_steps(g) * t_s + t_w * (m * (g - 1)) as f64
+}
+
+/// Binomial-tree gather of one `m`-word block per member: same cost as
+/// [`scatter_time`].
+#[must_use]
+pub fn gather_time(g: usize, m: usize, t_s: f64, t_w: f64) -> f64 {
+    scatter_time(g, m, t_s, t_w)
+}
+
+/// All-to-all personalized exchange, rotation schedule, equal `m`-word
+/// blocks: `(g−1)·(t_s + t_w·m)`.
+#[must_use]
+pub fn all_to_all_personalized_time(g: usize, m: usize, t_s: f64, t_w: f64) -> f64 {
+    g.saturating_sub(1) as f64 * (t_s + t_w * m as f64)
+}
+
+/// Dissemination barrier: `ceil(log g)·t_s`.
+#[must_use]
+pub fn barrier_time(g: usize, t_s: f64) -> f64 {
+    tree_steps(g) * t_s
+}
+
+/// Hypercube inclusive scan of `m`-word vectors:
+/// `log g · (t_s + t_w·m)` plus the local additions
+/// (`t_add`-weighted; at most `2m` per step).
+#[must_use]
+pub fn scan_time_bounds(g: usize, m: usize, t_s: f64, t_w: f64, t_add: f64) -> (f64, f64) {
+    let d = tree_steps(g);
+    let comm = d * (t_s + t_w * m as f64);
+    (
+        comm + d * t_add * m as f64,
+        comm + 2.0 * d * t_add * m as f64,
+    )
+}
+
+/// Scatter-allgather (bandwidth-optimal) one-to-all broadcast:
+/// `2·t_s·log g + 2·t_w·m·(g−1)/g` (power-of-two `g`, `g | m`).
+#[must_use]
+pub fn broadcast_scatter_allgather_time(g: usize, m: usize, t_s: f64, t_w: f64) -> f64 {
+    if g == 1 {
+        return 0.0;
+    }
+    let d = tree_steps(g);
+    let piece = m as f64 / g as f64;
+    // scatter: d·t_s + t_w·piece·(g−1);  allgather: same.
+    2.0 * (d * t_s + t_w * piece * (g - 1) as f64)
+}
+
+/// Johnsson–Ho pipelined one-to-all broadcast on a hypercube
+/// (paper §5.4.1, citing \[20\]):
+/// `t_s·log p + t_w·m + 2·t_w·log p · ceil( sqrt(t_s·m / (t_w·log p)) )`.
+///
+/// The paper uses this *analytically* to derive the improved-GK bound;
+/// their CM-5 implementation (and ours) uses the simple tree broadcast.
+/// The optimal packet size `sqrt(t_s·m/(t_w·log p))` must be at least
+/// one word, which is the message-size floor behind the
+/// `O(p·(log p)^1.5)` effective isoefficiency (§5.4.1).
+#[must_use]
+pub fn johnsson_ho_broadcast_time(g: usize, m: usize, t_s: f64, t_w: f64) -> f64 {
+    let d = tree_steps(g);
+    if d == 0.0 {
+        return 0.0;
+    }
+    let m = m as f64;
+    if t_w <= 0.0 {
+        return t_s * d;
+    }
+    let packets = (t_s * m / (t_w * d)).sqrt().ceil().max(1.0);
+    t_s * d + t_w * m + 2.0 * t_w * d * packets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_steps_values() {
+        assert_eq!(tree_steps(1), 0.0);
+        assert_eq!(tree_steps(2), 1.0);
+        assert_eq!(tree_steps(3), 2.0);
+        assert_eq!(tree_steps(4), 2.0);
+        assert_eq!(tree_steps(5), 3.0);
+        assert_eq!(tree_steps(512), 9.0);
+    }
+
+    #[test]
+    fn broadcast_linear_in_log() {
+        assert_eq!(broadcast_time(8, 10, 5.0, 2.0), 3.0 * 25.0);
+        assert_eq!(broadcast_time(1, 10, 5.0, 2.0), 0.0);
+    }
+
+    #[test]
+    fn allgather_hypercube_bandwidth_term() {
+        // g=8, m=4: 3 t_s + t_w * 28.
+        assert_eq!(allgather_hypercube_time(8, 4, 1.0, 1.0), 3.0 + 28.0);
+    }
+
+    #[test]
+    fn ring_vs_hypercube_allgather() {
+        // The ring pays (g-1) startups, the cube only log g; bandwidth
+        // terms are identical.
+        let (g, m, ts, tw) = (16, 100, 50.0, 1.0);
+        let ring = allgather_ring_time(g, m, ts, tw);
+        let cube = allgather_hypercube_time(g, m, ts, tw);
+        assert!(cube < ring);
+        assert_eq!(ring - cube, (g as f64 - 1.0 - 4.0) * ts);
+    }
+
+    #[test]
+    fn reduce_scatter_cheaper_than_reduce() {
+        let (g, m, ts, tw, ta) = (8, 64, 10.0, 1.0, 0.5);
+        assert!(reduce_scatter_time(g, m, ts, tw, ta) < reduce_time(g, m, ts, tw, ta));
+    }
+
+    #[test]
+    fn all_reduce_composes() {
+        let (g, m, ts, tw, ta) = (8, 64, 10.0, 1.0, 0.5);
+        let expect =
+            reduce_scatter_time(g, m, ts, tw, ta) + allgather_hypercube_time(g, m / g, ts, tw);
+        assert_eq!(all_reduce_time(g, m, ts, tw, ta), expect);
+        assert_eq!(all_reduce_time(1, 64, ts, tw, ta), 0.0);
+    }
+
+    #[test]
+    fn johnsson_ho_beats_tree_for_large_messages() {
+        let (g, m, ts, tw) = (256, 1 << 16, 150.0, 3.0);
+        assert!(johnsson_ho_broadcast_time(g, m, ts, tw) < broadcast_time(g, m, ts, tw));
+    }
+
+    #[test]
+    fn johnsson_ho_packet_floor() {
+        // Tiny message: packet count clamps at 1 and the cost approaches
+        // the tree cost shape t_s log p + t_w m + 2 t_w log p.
+        let got = johnsson_ho_broadcast_time(8, 1, 0.0001, 1.0);
+        assert!((got - (0.0003 + 1.0 + 6.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn johnsson_ho_degenerate_cases() {
+        assert_eq!(johnsson_ho_broadcast_time(1, 100, 5.0, 1.0), 0.0);
+        assert_eq!(johnsson_ho_broadcast_time(8, 100, 5.0, 0.0), 15.0);
+    }
+}

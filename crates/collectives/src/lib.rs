@@ -1,0 +1,35 @@
+//! # collectives — communication primitives on the simulated machine
+//!
+//! The paper's algorithms are built from a small set of collective
+//! operations: one-to-all broadcast, all-to-all broadcast (allgather),
+//! reductions, and circular shifts.  This crate implements them over
+//! [`mmsim::Proc`] in natural blocking style, together with an
+//! *analytic* cost formula for each (module [`analytic`]).
+//!
+//! Because the engine charges exactly the `t_s + t_w·m` model the
+//! formulas assume, the simulated completion time of every collective
+//! equals its formula **exactly** — the test suites assert this, which
+//! pins the simulator to the paper's cost model.
+//!
+//! ## Groups and tags
+//!
+//! Collectives run over a [`Group`]: an ordered list of ranks, each
+//! participant passing the same list.  Tree-structured collectives
+//! require the group size to be a power of two (they mirror hypercube
+//! subcubes, which is all the paper needs); ring variants accept any
+//! size.
+//!
+//! Every collective call takes a `phase` number that namespaces its
+//! message tags.  Two collectives that could be in flight concurrently
+//! on the same processor must use different phases.
+
+pub mod analytic;
+pub mod group;
+pub mod ops;
+
+pub use group::Group;
+pub use ops::{
+    all_reduce_sum, all_to_all_personalized, allgather_hypercube, allgather_ring, barrier,
+    broadcast, broadcast_scatter_allgather, gather, reduce_scatter_sum, reduce_sum, scan_sum,
+    scatter,
+};

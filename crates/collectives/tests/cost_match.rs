@@ -1,0 +1,313 @@
+//! Pins the simulator to the paper's cost model: the simulated
+//! completion time of every collective equals its closed-form formula
+//! exactly (up to f64 rounding).
+//!
+//! This is the load-bearing property of the whole reproduction — if it
+//! holds, the simulated algorithms inherit the paper's `t_s + t_w·m`
+//! accounting and the measured efficiencies are comparable with the
+//! paper's equations.
+
+use collectives::{analytic, Group};
+use mmsim::{CostModel, Machine, Topology};
+
+const TOL: f64 = 1e-9;
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= TOL * (1.0 + a.abs().max(b.abs()))
+}
+
+fn machines(p: usize) -> Vec<Machine> {
+    let mut out = vec![
+        Machine::new(Topology::fully_connected(p), CostModel::new(150.0, 3.0)),
+        Machine::new(Topology::fully_connected(p), CostModel::new(0.5, 3.0)),
+        Machine::new(Topology::fully_connected(p), CostModel::unit()),
+    ];
+    if p.is_power_of_two() {
+        out.push(Machine::new(
+            Topology::hypercube_for(p),
+            CostModel::new(10.0, 3.0),
+        ));
+    }
+    out
+}
+
+#[test]
+fn broadcast_matches_formula() {
+    for p in [2usize, 4, 8, 16, 32] {
+        for m in [1usize, 7, 64] {
+            for machine in machines(p) {
+                let cm = *machine.cost_model();
+                let r = machine.run(|proc| {
+                    let g = Group::world(proc);
+                    let data = (proc.rank() == 0).then(|| vec![1.0; m]);
+                    collectives::broadcast(proc, &g, 0, 0, data);
+                });
+                let expect = analytic::broadcast_time(p, m, cm.t_s, cm.t_w);
+                assert!(
+                    close(r.t_parallel, expect),
+                    "broadcast p={p} m={m} ts={} tw={}: sim {} vs formula {}",
+                    cm.t_s,
+                    cm.t_w,
+                    r.t_parallel,
+                    expect
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn broadcast_matches_formula_non_power_of_two() {
+    for p in [3usize, 5, 6, 7, 12] {
+        let machine = Machine::new(Topology::fully_connected(p), CostModel::new(20.0, 2.0));
+        let r = machine.run(|proc| {
+            let g = Group::world(proc);
+            let data = (proc.rank() == 0).then(|| vec![1.0; 9]);
+            collectives::broadcast(proc, &g, 0, 0, data);
+        });
+        let expect = analytic::broadcast_time(p, 9, 20.0, 2.0);
+        assert!(
+            close(r.t_parallel, expect),
+            "p={p}: {} vs {expect}",
+            r.t_parallel
+        );
+    }
+}
+
+#[test]
+fn allgather_hypercube_matches_formula() {
+    for p in [2usize, 4, 8, 16] {
+        for m in [1usize, 5, 32] {
+            for machine in machines(p) {
+                let cm = *machine.cost_model();
+                let r = machine.run(|proc| {
+                    let g = Group::world(proc);
+                    collectives::allgather_hypercube(proc, &g, 0, vec![0.5; m]);
+                });
+                let expect = analytic::allgather_hypercube_time(p, m, cm.t_s, cm.t_w);
+                assert!(
+                    close(r.t_parallel, expect),
+                    "allgather p={p} m={m}: sim {} vs formula {}",
+                    r.t_parallel,
+                    expect
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn allgather_ring_matches_formula() {
+    for p in [2usize, 3, 5, 8, 11] {
+        for m in [1usize, 16] {
+            let machine = Machine::new(Topology::ring(p), CostModel::new(7.0, 1.5));
+            let r = machine.run(|proc| {
+                let g = Group::world(proc);
+                collectives::allgather_ring(proc, &g, 0, vec![1.0; m]);
+            });
+            let expect = analytic::allgather_ring_time(p, m, 7.0, 1.5);
+            assert!(
+                close(r.t_parallel, expect),
+                "ring allgather p={p} m={m}: sim {} vs formula {}",
+                r.t_parallel,
+                expect
+            );
+        }
+    }
+}
+
+#[test]
+fn reduce_matches_formula() {
+    for p in [2usize, 4, 8, 16] {
+        for m in [1usize, 12] {
+            let cm = CostModel::new(9.0, 2.0); // t_add = 0.5 default
+            let machine = Machine::new(Topology::fully_connected(p), cm);
+            let r = machine.run(|proc| {
+                let g = Group::world(proc);
+                collectives::reduce_sum(proc, &g, 0, 0, vec![1.0; m]);
+            });
+            let expect = analytic::reduce_time(p, m, cm.t_s, cm.t_w, cm.t_add);
+            assert!(
+                close(r.t_parallel, expect),
+                "reduce p={p} m={m}: sim {} vs formula {}",
+                r.t_parallel,
+                expect
+            );
+        }
+    }
+}
+
+#[test]
+fn reduce_scatter_matches_formula() {
+    for p in [2usize, 4, 8] {
+        let m = 8 * p; // divisible
+        let cm = CostModel::new(11.0, 0.5);
+        let machine = Machine::new(Topology::fully_connected(p), cm);
+        let r = machine.run(|proc| {
+            let g = Group::world(proc);
+            collectives::reduce_scatter_sum(proc, &g, 0, vec![2.0; m]);
+        });
+        let expect = analytic::reduce_scatter_time(p, m, cm.t_s, cm.t_w, cm.t_add);
+        assert!(
+            close(r.t_parallel, expect),
+            "reduce-scatter p={p}: sim {} vs formula {}",
+            r.t_parallel,
+            expect
+        );
+    }
+}
+
+#[test]
+fn all_reduce_matches_formula() {
+    for p in [2usize, 4, 8, 16] {
+        let m = 16 * p;
+        let cm = CostModel::new(3.0, 1.0);
+        let machine = Machine::new(Topology::fully_connected(p), cm);
+        let r = machine.run(|proc| {
+            let g = Group::world(proc);
+            collectives::all_reduce_sum(proc, &g, 0, vec![1.0; m]);
+        });
+        let expect = analytic::all_reduce_time(p, m, cm.t_s, cm.t_w, cm.t_add);
+        assert!(
+            close(r.t_parallel, expect),
+            "all-reduce p={p}: sim {} vs formula {}",
+            r.t_parallel,
+            expect
+        );
+    }
+}
+
+#[test]
+fn scatter_and_gather_match_formula() {
+    for p in [2usize, 4, 8, 16] {
+        let m = 6;
+        let cm = CostModel::new(5.0, 2.0);
+        let machine = Machine::new(Topology::fully_connected(p), cm);
+        let r = machine.run(|proc| {
+            let g = Group::world(proc);
+            let blocks = (proc.rank() == 0).then(|| vec![vec![1.0; m]; proc.p()]);
+            collectives::scatter(proc, &g, 0, 0, blocks);
+        });
+        let expect = analytic::scatter_time(p, m, cm.t_s, cm.t_w);
+        assert!(
+            close(r.t_parallel, expect),
+            "scatter p={p}: sim {} vs formula {}",
+            r.t_parallel,
+            expect
+        );
+
+        let r = machine.run(|proc| {
+            let g = Group::world(proc);
+            collectives::gather(proc, &g, 0, 0, vec![1.0; m]);
+        });
+        let expect = analytic::gather_time(p, m, cm.t_s, cm.t_w);
+        assert!(
+            close(r.t_parallel, expect),
+            "gather p={p}: sim {} vs formula {}",
+            r.t_parallel,
+            expect
+        );
+    }
+}
+
+#[test]
+fn scatter_allgather_broadcast_matches_formula() {
+    for p in [2usize, 4, 8, 16] {
+        let m = 8 * p;
+        let cm = CostModel::new(12.0, 1.5);
+        let machine = Machine::new(Topology::fully_connected(p), cm);
+        let r = machine.run(|proc| {
+            let g = Group::world(proc);
+            let data = (proc.rank() == 0).then(|| vec![1.0; m]);
+            collectives::broadcast_scatter_allgather(proc, &g, 0, 0, data);
+        });
+        let expect = analytic::broadcast_scatter_allgather_time(p, m, cm.t_s, cm.t_w);
+        assert!(
+            close(r.t_parallel, expect),
+            "scatter-allgather bcast p={p}: sim {} vs formula {}",
+            r.t_parallel,
+            expect
+        );
+    }
+}
+
+#[test]
+fn all_to_all_personalized_matches_formula() {
+    for p in [2usize, 4, 5, 8, 12] {
+        let m = 16;
+        let cm = CostModel::new(30.0, 0.5);
+        let machine = Machine::new(Topology::fully_connected(p), cm);
+        let r = machine.run(|proc| {
+            let g = Group::world(proc);
+            let blocks = (0..proc.p()).map(|_| vec![1.0; m]).collect();
+            collectives::all_to_all_personalized(proc, &g, 0, blocks);
+        });
+        let expect = analytic::all_to_all_personalized_time(p, m, cm.t_s, cm.t_w);
+        assert!(
+            close(r.t_parallel, expect),
+            "all-to-all p={p}: sim {} vs formula {}",
+            r.t_parallel,
+            expect
+        );
+    }
+}
+
+#[test]
+fn barrier_matches_formula() {
+    for p in [2usize, 3, 4, 8, 16, 31] {
+        let cm = CostModel::new(25.0, 1.0);
+        let machine = Machine::new(Topology::fully_connected(p), cm);
+        let r = machine.run(|proc| {
+            let g = Group::world(proc);
+            collectives::barrier(proc, &g, 0);
+        });
+        let expect = analytic::barrier_time(p, cm.t_s);
+        assert!(
+            close(r.t_parallel, expect),
+            "barrier p={p}: sim {} vs formula {}",
+            r.t_parallel,
+            expect
+        );
+    }
+}
+
+#[test]
+fn scan_within_formula_bounds() {
+    for p in [2usize, 4, 8, 16] {
+        let m = 12;
+        let cm = CostModel::new(9.0, 2.0);
+        let machine = Machine::new(Topology::fully_connected(p), cm);
+        let r = machine.run(|proc| {
+            let g = Group::world(proc);
+            collectives::scan_sum(proc, &g, 0, vec![1.0; m]);
+        });
+        let (lo, hi) = analytic::scan_time_bounds(p, m, cm.t_s, cm.t_w, cm.t_add);
+        assert!(
+            r.t_parallel >= lo - 1e-9 && r.t_parallel <= hi + 1e-9,
+            "scan p={p}: sim {} outside [{lo}, {hi}]",
+            r.t_parallel
+        );
+    }
+}
+
+#[test]
+fn topology_is_cost_neutral_under_cut_through() {
+    // The same collective on hypercube vs fully-connected costs the same
+    // under the paper's model (t_h = 0) — §4.4's observation.
+    let m = 32;
+    for p in [4usize, 16] {
+        let t1 = Machine::new(Topology::hypercube_for(p), CostModel::ncube2())
+            .run(|proc| {
+                let g = Group::world(proc);
+                collectives::allgather_hypercube(proc, &g, 0, vec![1.0; m]);
+            })
+            .t_parallel;
+        let t2 = Machine::new(Topology::fully_connected(p), CostModel::ncube2())
+            .run(|proc| {
+                let g = Group::world(proc);
+                collectives::allgather_hypercube(proc, &g, 0, vec![1.0; m]);
+            })
+            .t_parallel;
+        assert_eq!(t1, t2);
+    }
+}

@@ -1,0 +1,199 @@
+//! Property-based tests of the collectives over random subgroups,
+//! payloads and machine constants.
+
+use collectives::Group;
+use mmsim::{CostModel, Machine, Topology};
+use proptest::prelude::*;
+
+/// A machine plus a subgroup of its ranks (even ranks, odd ranks, a
+/// prefix, or everyone), parameterised to keep groups nontrivial.
+#[derive(Debug, Clone)]
+struct GroupSpec {
+    p: usize,
+    ranks: Vec<usize>,
+}
+
+fn group_spec(pow2_only: bool) -> impl Strategy<Value = GroupSpec> {
+    (2usize..16, 0usize..4).prop_filter_map("nontrivial group", move |(p, kind)| {
+        let ranks: Vec<usize> = match kind {
+            0 => (0..p).collect(),
+            1 => (0..p).step_by(2).collect(),
+            2 => (0..p / 2).collect(),
+            _ => (0..p).rev().collect(), // reversed order
+        };
+        if ranks.len() < 2 {
+            return None;
+        }
+        if pow2_only && !ranks.len().is_power_of_two() {
+            return None;
+        }
+        Some(GroupSpec { p, ranks })
+    })
+}
+
+fn cost_strategy() -> impl Strategy<Value = CostModel> {
+    (0.0f64..100.0, 0.0f64..4.0).prop_map(|(ts, tw)| CostModel::new(ts, tw))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Broadcast delivers the root's payload to every member, from any
+    /// root, over any group shape.
+    #[test]
+    fn broadcast_any_group(
+        spec in group_spec(false),
+        root in 0usize..16,
+        words in 1usize..32,
+        cost in cost_strategy(),
+    ) {
+        let root = root % spec.ranks.len();
+        let payload: Vec<f64> = (0..words).map(|i| i as f64).collect();
+        let machine = Machine::new(Topology::fully_connected(spec.p), cost);
+        let ranks = spec.ranks.clone();
+        let expected = payload.clone();
+        let r = machine.run(move |proc| {
+            if !ranks.contains(&proc.rank()) {
+                return None;
+            }
+            let g = Group::new(proc, ranks.clone());
+            let data = (g.my_idx() == root).then(|| payload.clone());
+            Some(collectives::broadcast(proc, &g, 0, root, data))
+        });
+        for (rank, out) in r.results.iter().enumerate() {
+            if spec.ranks.contains(&rank) {
+                prop_assert_eq!(out.as_ref().unwrap(), &expected);
+            } else {
+                prop_assert!(out.is_none());
+            }
+        }
+    }
+
+    /// Reduce computes the exact sum of all contributions (integers, so
+    /// no rounding concerns), at any root.
+    #[test]
+    fn reduce_any_group(
+        spec in group_spec(false),
+        root in 0usize..16,
+        words in 1usize..16,
+    ) {
+        let root = root % spec.ranks.len();
+        let machine = Machine::new(Topology::fully_connected(spec.p), CostModel::unit());
+        let ranks = spec.ranks.clone();
+        let r = machine.run(move |proc| {
+            if !ranks.contains(&proc.rank()) {
+                return None;
+            }
+            let g = Group::new(proc, ranks.clone());
+            let contribution = vec![proc.rank() as f64; words];
+            Some(collectives::reduce_sum(proc, &g, 0, root, contribution))
+        });
+        let expect: f64 = spec.ranks.iter().map(|&x| x as f64).sum();
+        for (rank, out) in r.results.iter().enumerate() {
+            if let Some(inner) = out {
+                if rank == spec.ranks[root] {
+                    prop_assert_eq!(inner.as_ref().unwrap(), &vec![expect; words]);
+                } else {
+                    prop_assert!(inner.is_none());
+                }
+            }
+        }
+    }
+
+    /// Allgather (both schedules where applicable) returns every
+    /// member's block in group order.
+    #[test]
+    fn allgather_any_group(spec in group_spec(false), words in 1usize..16) {
+        let machine = Machine::new(Topology::fully_connected(spec.p), CostModel::unit());
+        let ranks = spec.ranks.clone();
+        let pow2 = spec.ranks.len().is_power_of_two();
+        let r = machine.run(move |proc| {
+            if !ranks.contains(&proc.rank()) {
+                return None;
+            }
+            let g = Group::new(proc, ranks.clone());
+            let mine = vec![proc.rank() as f64; words];
+            let ring = collectives::allgather_ring(proc, &g, 0, mine.clone());
+            let cube = pow2.then(|| collectives::allgather_hypercube(proc, &g, 1, mine));
+            Some((ring, cube))
+        });
+        for out in r.results.iter().flatten() {
+            let (ring, cube) = out;
+            for (idx, block) in ring.iter().enumerate() {
+                prop_assert_eq!(block, &vec![spec.ranks[idx] as f64; words]);
+            }
+            if let Some(cube) = cube {
+                prop_assert_eq!(cube, ring);
+            }
+        }
+    }
+
+    /// all_reduce == reduce-then-broadcast semantically.
+    #[test]
+    fn all_reduce_matches_reduce(spec in group_spec(true), words_exp in 0u32..4) {
+        let g_len = spec.ranks.len();
+        let words = g_len << words_exp; // divisible by the group size
+        let machine = Machine::new(Topology::fully_connected(spec.p), CostModel::unit());
+        let ranks = spec.ranks.clone();
+        let r = machine.run(move |proc| {
+            if !ranks.contains(&proc.rank()) {
+                return None;
+            }
+            let g = Group::new(proc, ranks.clone());
+            let contribution: Vec<f64> =
+                (0..words).map(|i| (proc.rank() * 7 + i) as f64).collect();
+            Some(collectives::all_reduce_sum(proc, &g, 0, contribution))
+        });
+        let expect: Vec<f64> = (0..words)
+            .map(|i| spec.ranks.iter().map(|&x| (x * 7 + i) as f64).sum())
+            .collect();
+        for out in r.results.iter().flatten() {
+            prop_assert_eq!(out, &expect);
+        }
+    }
+
+    /// all-to-all personalized: out[src][..] equals what src addressed
+    /// to me, for arbitrary groups.
+    #[test]
+    fn all_to_all_any_group(spec in group_spec(false), words in 1usize..8) {
+        let machine = Machine::new(Topology::fully_connected(spec.p), CostModel::unit());
+        let ranks = spec.ranks.clone();
+        let g_len = spec.ranks.len();
+        let r = machine.run(move |proc| {
+            if !ranks.contains(&proc.rank()) {
+                return None;
+            }
+            let g = Group::new(proc, ranks.clone());
+            let blocks: Vec<Vec<f64>> = (0..g.size())
+                .map(|j| vec![(proc.rank() * 100 + j) as f64; words])
+                .collect();
+            Some(collectives::all_to_all_personalized(proc, &g, 0, blocks))
+        });
+        for (rank, out) in r.results.iter().enumerate() {
+            let Some(out) = out else { continue };
+            let me_idx = spec.ranks.iter().position(|&x| x == rank).unwrap();
+            prop_assert_eq!(out.len(), g_len);
+            for (src_idx, block) in out.iter().enumerate() {
+                let src_rank = spec.ranks[src_idx];
+                prop_assert_eq!(block, &vec![(src_rank * 100 + me_idx) as f64; words]);
+            }
+        }
+    }
+
+    /// Scan prefix property over random integer contributions.
+    #[test]
+    fn scan_prefix_property(p_exp in 1u32..4, seed in 0u64..1000) {
+        let p = 1usize << p_exp;
+        let machine = Machine::new(Topology::fully_connected(p), CostModel::unit());
+        let r = machine.run(move |proc| {
+            let g = Group::world(proc);
+            let x = ((proc.rank() as u64).wrapping_mul(seed + 1) % 17) as f64;
+            (x, collectives::scan_sum(proc, &g, 0, vec![x]))
+        });
+        let mut running = 0.0;
+        for (x, prefix) in &r.results {
+            running += x;
+            prop_assert_eq!(prefix[0], running);
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! Block partitioning of matrices onto logical processor grids.
+//!
+//! Every algorithm in the paper distributes the operands by blocks:
+//! square `(n/√p)²` blocks on a `√p × √p` mesh (Simple, Cannon, Fox),
+//! column/row strips (Berntsen), or `(n/p^{1/3})²` blocks on the front
+//! plane of a cube (DNS/GK).  This module provides the exact-divisibility
+//! partitions those algorithms assume and their inverses.
+
+use crate::matrix::Matrix;
+
+/// A matrix cut into a `grid_rows × grid_cols` grid of equal blocks.
+///
+/// Block `(i, j)` covers rows `[i·bh, (i+1)·bh)` and columns
+/// `[j·bw, (j+1)·bw)` of the original matrix, stored in row-major block
+/// order (`index = i·grid_cols + j`), which is exactly the rank order of
+/// a row-major processor mesh.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockGrid {
+    grid_rows: usize,
+    grid_cols: usize,
+    block_rows: usize,
+    block_cols: usize,
+    blocks: Vec<Matrix>,
+}
+
+impl BlockGrid {
+    /// Partition `m` into a `grid_rows × grid_cols` grid.
+    ///
+    /// # Panics
+    /// Panics if the grid does not evenly divide the matrix (the paper's
+    /// algorithms all assume exact divisibility).
+    #[must_use]
+    pub fn split(m: &Matrix, grid_rows: usize, grid_cols: usize) -> Self {
+        assert!(
+            grid_rows > 0 && grid_cols > 0,
+            "grid dimensions must be positive"
+        );
+        assert_eq!(
+            m.rows() % grid_rows,
+            0,
+            "{} rows not divisible into {grid_rows} block rows",
+            m.rows()
+        );
+        assert_eq!(
+            m.cols() % grid_cols,
+            0,
+            "{} cols not divisible into {grid_cols} block cols",
+            m.cols()
+        );
+        let bh = m.rows() / grid_rows;
+        let bw = m.cols() / grid_cols;
+        let mut blocks = Vec::with_capacity(grid_rows * grid_cols);
+        for i in 0..grid_rows {
+            for j in 0..grid_cols {
+                blocks.push(m.submatrix(i * bh, j * bw, bh, bw));
+            }
+        }
+        Self {
+            grid_rows,
+            grid_cols,
+            block_rows: bh,
+            block_cols: bw,
+            blocks,
+        }
+    }
+
+    /// Rebuild the original matrix from blocks.
+    #[must_use]
+    pub fn assemble(&self) -> Matrix {
+        let mut out = Matrix::zeros(
+            self.grid_rows * self.block_rows,
+            self.grid_cols * self.block_cols,
+        );
+        for i in 0..self.grid_rows {
+            for j in 0..self.grid_cols {
+                out.set_submatrix(i * self.block_rows, j * self.block_cols, self.block(i, j));
+            }
+        }
+        out
+    }
+
+    /// Rebuild a matrix from an external rank-ordered list of blocks,
+    /// e.g. the per-processor results of a simulation.
+    ///
+    /// # Panics
+    /// Panics if the number or shapes of blocks are inconsistent.
+    #[must_use]
+    pub fn assemble_from(blocks: &[Matrix], grid_rows: usize, grid_cols: usize) -> Matrix {
+        assert_eq!(
+            blocks.len(),
+            grid_rows * grid_cols,
+            "wrong number of blocks"
+        );
+        let bh = blocks[0].rows();
+        let bw = blocks[0].cols();
+        let mut out = Matrix::zeros(grid_rows * bh, grid_cols * bw);
+        for i in 0..grid_rows {
+            for j in 0..grid_cols {
+                let blk = &blocks[i * grid_cols + j];
+                assert_eq!(
+                    (blk.rows(), blk.cols()),
+                    (bh, bw),
+                    "block ({i},{j}) has inconsistent shape"
+                );
+                out.set_submatrix(i * bh, j * bw, blk);
+            }
+        }
+        out
+    }
+
+    /// Grid shape `(grid_rows, grid_cols)`.
+    #[must_use]
+    pub fn grid_shape(&self) -> (usize, usize) {
+        (self.grid_rows, self.grid_cols)
+    }
+
+    /// Block shape `(block_rows, block_cols)`.
+    #[must_use]
+    pub fn block_shape(&self) -> (usize, usize) {
+        (self.block_rows, self.block_cols)
+    }
+
+    /// Block at grid position `(i, j)`.
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    #[must_use]
+    pub fn block(&self, i: usize, j: usize) -> &Matrix {
+        assert!(
+            i < self.grid_rows && j < self.grid_cols,
+            "block ({i}, {j}) out of {}x{} grid",
+            self.grid_rows,
+            self.grid_cols
+        );
+        &self.blocks[i * self.grid_cols + j]
+    }
+
+    /// Block by mesh rank (`rank = i·grid_cols + j`).
+    #[must_use]
+    pub fn block_by_rank(&self, rank: usize) -> &Matrix {
+        assert!(rank < self.blocks.len(), "rank {rank} out of range");
+        &self.blocks[rank]
+    }
+
+    /// Consume into the rank-ordered block vector.
+    #[must_use]
+    pub fn into_blocks(self) -> Vec<Matrix> {
+        self.blocks
+    }
+}
+
+/// A matrix cut into `r` equal vertical strips (split **by columns**):
+/// strip `l` is `rows × (cols/r)`.  Berntsen's algorithm splits `A` this
+/// way (§4.4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColStrips {
+    strips: Vec<Matrix>,
+}
+
+impl ColStrips {
+    /// Split by columns into `r` strips.
+    ///
+    /// # Panics
+    /// Panics if `r` does not divide the column count.
+    #[must_use]
+    pub fn split(m: &Matrix, r: usize) -> Self {
+        assert!(r > 0, "strip count must be positive");
+        assert_eq!(
+            m.cols() % r,
+            0,
+            "{} cols not divisible into {r} strips",
+            m.cols()
+        );
+        let w = m.cols() / r;
+        Self {
+            strips: (0..r).map(|l| m.submatrix(0, l * w, m.rows(), w)).collect(),
+        }
+    }
+
+    /// Strip `l`.
+    #[must_use]
+    pub fn strip(&self, l: usize) -> &Matrix {
+        &self.strips[l]
+    }
+
+    /// Number of strips.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.strips.len()
+    }
+}
+
+/// A matrix cut into `r` equal horizontal strips (split **by rows**):
+/// strip `l` is `(rows/r) × cols`.  Berntsen's algorithm splits `B` this
+/// way (§4.4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowStrips {
+    strips: Vec<Matrix>,
+}
+
+impl RowStrips {
+    /// Split by rows into `r` strips.
+    ///
+    /// # Panics
+    /// Panics if `r` does not divide the row count.
+    #[must_use]
+    pub fn split(m: &Matrix, r: usize) -> Self {
+        assert!(r > 0, "strip count must be positive");
+        assert_eq!(
+            m.rows() % r,
+            0,
+            "{} rows not divisible into {r} strips",
+            m.rows()
+        );
+        let h = m.rows() / r;
+        Self {
+            strips: (0..r).map(|l| m.submatrix(l * h, 0, h, m.cols())).collect(),
+        }
+    }
+
+    /// Strip `l`.
+    #[must_use]
+    pub fn strip(&self, l: usize) -> &Matrix {
+        &self.strips[l]
+    }
+
+    /// Number of strips.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.strips.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn split_assemble_roundtrip() {
+        let m = gen::counter(6, 8);
+        let grid = BlockGrid::split(&m, 3, 4);
+        assert_eq!(grid.grid_shape(), (3, 4));
+        assert_eq!(grid.block_shape(), (2, 2));
+        assert_eq!(grid.assemble(), m);
+    }
+
+    #[test]
+    fn block_contents_match_submatrix() {
+        let m = gen::counter(4, 4);
+        let grid = BlockGrid::split(&m, 2, 2);
+        assert_eq!(grid.block(1, 0), &m.submatrix(2, 0, 2, 2));
+        assert_eq!(grid.block_by_rank(3), grid.block(1, 1));
+    }
+
+    #[test]
+    fn assemble_from_external_blocks() {
+        let m = gen::random(6, 6, 11);
+        let blocks = BlockGrid::split(&m, 2, 3).into_blocks();
+        assert_eq!(BlockGrid::assemble_from(&blocks, 2, 3), m);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn indivisible_rejected() {
+        let m = Matrix::zeros(5, 4);
+        let _ = BlockGrid::split(&m, 2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong number of blocks")]
+    fn assemble_from_wrong_count() {
+        let blocks = vec![Matrix::zeros(2, 2); 3];
+        let _ = BlockGrid::assemble_from(&blocks, 2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent shape")]
+    fn assemble_from_inconsistent_shapes() {
+        let blocks = vec![
+            Matrix::zeros(2, 2),
+            Matrix::zeros(2, 2),
+            Matrix::zeros(2, 2),
+            Matrix::zeros(1, 2),
+        ];
+        let _ = BlockGrid::assemble_from(&blocks, 2, 2);
+    }
+
+    #[test]
+    fn col_strips_partition_columns() {
+        let m = gen::counter(4, 6);
+        let strips = ColStrips::split(&m, 3);
+        assert_eq!(strips.count(), 3);
+        assert_eq!(strips.strip(0).cols(), 2);
+        assert_eq!(strips.strip(2)[(1, 1)], m[(1, 5)]);
+    }
+
+    #[test]
+    fn row_strips_partition_rows() {
+        let m = gen::counter(6, 4);
+        let strips = RowStrips::split(&m, 2);
+        assert_eq!(strips.count(), 2);
+        assert_eq!(strips.strip(1).rows(), 3);
+        assert_eq!(strips.strip(1)[(0, 0)], m[(3, 0)]);
+    }
+
+    #[test]
+    fn strip_product_reconstructs_full_product() {
+        // C = Σ_l A_l · B_l — the algebraic identity behind Berntsen's
+        // algorithm.
+        let a = gen::random(6, 6, 21);
+        let b = gen::random(6, 6, 22);
+        let full = &a * &b;
+        let ac = ColStrips::split(&a, 3);
+        let br = RowStrips::split(&b, 3);
+        let mut sum = Matrix::zeros(6, 6);
+        for l in 0..3 {
+            sum.add_assign(&(ac.strip(l) * br.strip(l)));
+        }
+        assert!(sum.approx_eq(&full, 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn col_strips_indivisible_rejected() {
+        let _ = ColStrips::split(&Matrix::zeros(4, 5), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn row_strips_indivisible_rejected() {
+        let _ = RowStrips::split(&Matrix::zeros(5, 4), 3);
+    }
+}

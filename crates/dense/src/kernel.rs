@@ -1,0 +1,219 @@
+//! Serial matrix-multiplication kernels.
+//!
+//! All kernels compute the conventional triple-loop product; they differ
+//! only in loop order and tiling.  `C = A·B` for `A: m×k`, `B: k×n`
+//! performs `m·n·k` multiply–add pairs, i.e. `m·n·k` units of the
+//! paper's normalised work (`W = n³` for square `n×n` inputs).
+
+use crate::matrix::Matrix;
+
+/// The paper's problem size `W` for multiplying `m×k` by `k×n`:
+/// the number of multiply–add unit operations.
+#[must_use]
+pub fn work_units(m: usize, k: usize, n: usize) -> f64 {
+    m as f64 * k as f64 * n as f64
+}
+
+fn check_shapes(a: &Matrix, b: &Matrix) {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "inner dimensions must agree: {}x{} times {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+}
+
+/// Textbook i-j-k product.  Reference semantics; slowest.
+#[must_use]
+pub fn matmul_naive(a: &Matrix, b: &Matrix) -> Matrix {
+    check_shapes(a, b);
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = Matrix::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for l in 0..k {
+                acc += a[(i, l)] * b[(l, j)];
+            }
+            c[(i, j)] = acc;
+        }
+    }
+    c
+}
+
+/// Cache-friendly i-k-j product over raw slices — the default kernel.
+///
+/// Walking `B` and `C` row-wise in the inner loop keeps accesses
+/// unit-stride, which the optimiser auto-vectorises.
+#[must_use]
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    check_shapes(a, b);
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    matmul_accumulate(&mut c, a, b);
+    c
+}
+
+/// `C += A·B` on raw row-major slices, i-k-j order.
+///
+/// This is the primitive the simulated algorithms use for local block
+/// updates (Cannon/Fox/GK all accumulate partial products in place).
+///
+/// # Panics
+/// Panics on any shape mismatch.
+pub fn matmul_accumulate(c: &mut Matrix, a: &Matrix, b: &Matrix) {
+    check_shapes(a, b);
+    assert_eq!(
+        (c.rows(), c.cols()),
+        (a.rows(), b.cols()),
+        "output shape mismatch: {}x{} for {}x{} times {}x{}",
+        c.rows(),
+        c.cols(),
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let cv = c.as_mut_slice();
+    for i in 0..m {
+        for l in 0..k {
+            let aval = av[i * k + l];
+            if aval == 0.0 {
+                continue;
+            }
+            let brow = &bv[l * n..(l + 1) * n];
+            let crow = &mut cv[i * n..(i + 1) * n];
+            for (cx, bx) in crow.iter_mut().zip(brow) {
+                *cx += aval * bx;
+            }
+        }
+    }
+}
+
+/// Tiled (blocked) product with square tiles of `tile` elements.
+///
+/// For large `n` this keeps the working set in cache; it exists as the
+/// "tuned serial baseline" ablation for the benchmark harness.  Results
+/// can differ from [`matmul`] only by floating-point association order.
+///
+/// # Panics
+/// Panics if `tile == 0` or on shape mismatch.
+#[must_use]
+pub fn matmul_blocked(a: &Matrix, b: &Matrix, tile: usize) -> Matrix {
+    assert!(tile > 0, "tile size must be positive");
+    check_shapes(a, b);
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = Matrix::zeros(m, n);
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let cv = c.as_mut_slice();
+    for i0 in (0..m).step_by(tile) {
+        let imax = (i0 + tile).min(m);
+        for l0 in (0..k).step_by(tile) {
+            let lmax = (l0 + tile).min(k);
+            for j0 in (0..n).step_by(tile) {
+                let jmax = (j0 + tile).min(n);
+                for i in i0..imax {
+                    for l in l0..lmax {
+                        let aval = av[i * k + l];
+                        for j in j0..jmax {
+                            cv[i * n + j] += aval * bv[l * n + j];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn work_units_cubic() {
+        assert_eq!(work_units(4, 4, 4), 64.0);
+        assert_eq!(work_units(2, 3, 5), 30.0);
+    }
+
+    #[test]
+    fn known_product() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn kernels_agree_on_random_input() {
+        let a = gen::random(13, 7, 42);
+        let b = gen::random(7, 9, 43);
+        let naive = matmul_naive(&a, &b);
+        let fast = matmul(&a, &b);
+        let blocked = matmul_blocked(&a, &b, 4);
+        assert!(naive.approx_eq(&fast, 1e-12));
+        assert!(naive.approx_eq(&blocked, 1e-12));
+    }
+
+    #[test]
+    fn accumulate_adds_to_existing() {
+        let a = Matrix::identity(3);
+        let b = gen::random(3, 3, 1);
+        let mut c = b.clone();
+        matmul_accumulate(&mut c, &a, &b);
+        // C = B + I·B = 2B.
+        let expect = Matrix::from_fn(3, 3, |i, j| 2.0 * b[(i, j)]);
+        assert!(c.approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn rectangular_products() {
+        let a = gen::random(5, 3, 7);
+        let b = gen::random(3, 8, 8);
+        let c = matmul(&a, &b);
+        assert_eq!((c.rows(), c.cols()), (5, 8));
+        assert!(c.approx_eq(&matmul_naive(&a, &b), 1e-12));
+    }
+
+    #[test]
+    fn empty_inner_dimension_gives_zero() {
+        let a = Matrix::zeros(3, 0);
+        let b = Matrix::zeros(0, 3);
+        let c = matmul(&a, &b);
+        assert_eq!(c, Matrix::zeros(3, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions must agree")]
+    fn shape_mismatch_rejected() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = matmul(&a, &b);
+    }
+
+    #[test]
+    #[should_panic(expected = "tile size must be positive")]
+    fn zero_tile_rejected() {
+        let a = Matrix::identity(2);
+        let _ = matmul_blocked(&a, &a, 0);
+    }
+
+    #[test]
+    fn blocked_handles_tile_larger_than_matrix() {
+        let a = gen::random(5, 5, 3);
+        let b = gen::random(5, 5, 4);
+        assert!(matmul_blocked(&a, &b, 64).approx_eq(&matmul(&a, &b), 1e-12));
+    }
+
+    #[test]
+    fn blocked_handles_non_dividing_tile() {
+        let a = gen::random(7, 7, 5);
+        let b = gen::random(7, 7, 6);
+        assert!(matmul_blocked(&a, &b, 3).approx_eq(&matmul(&a, &b), 1e-12));
+    }
+}

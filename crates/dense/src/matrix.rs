@@ -1,0 +1,404 @@
+//! Row-major dense matrix storage.
+
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major `rows × cols` matrix of `f64`.
+///
+/// Deliberately minimal: exactly what the parallel algorithms and their
+/// verification need, with no linear-algebra kitchen sink.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// An all-zero `rows × cols` matrix.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// The `n × n` identity.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a function of `(row, col)`.
+    #[must_use]
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Wrap an existing row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    #[must_use]
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer of {} elements cannot back a {rows}x{cols} matrix",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Whether the matrix is square.
+    #[must_use]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Row-major backing slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable row-major backing slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consume into the backing buffer.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// One row as a slice.
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row {i} out of range ({} rows)", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// The transpose.
+    #[must_use]
+    pub fn transpose(&self) -> Self {
+        Self::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Frobenius norm.
+    #[must_use]
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Largest absolute elementwise difference to `other`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    #[must_use]
+    pub fn max_abs_diff(&self, other: &Self) -> f64 {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch: {}x{} vs {}x{}",
+            self.rows,
+            self.cols,
+            other.rows,
+            other.cols
+        );
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Approximate equality with absolute-plus-relative tolerance
+    /// `|a-b| <= tol * (1 + max(|a|,|b|))` per element.
+    #[must_use]
+    pub fn approx_eq(&self, other: &Self, tol: f64) -> bool {
+        if (self.rows, self.cols) != (other.rows, other.cols) {
+            return false;
+        }
+        self.data
+            .iter()
+            .zip(&other.data)
+            .all(|(a, b)| (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs())))
+    }
+
+    /// Copy a rectangular region `[r0, r0+h) × [c0, c0+w)` into a new
+    /// matrix.
+    ///
+    /// # Panics
+    /// Panics if the region exceeds the matrix bounds.
+    #[must_use]
+    pub fn submatrix(&self, r0: usize, c0: usize, h: usize, w: usize) -> Self {
+        assert!(
+            r0 + h <= self.rows && c0 + w <= self.cols,
+            "submatrix [{r0}+{h}, {c0}+{w}) exceeds {}x{}",
+            self.rows,
+            self.cols
+        );
+        let mut out = Vec::with_capacity(h * w);
+        for i in 0..h {
+            let start = (r0 + i) * self.cols + c0;
+            out.extend_from_slice(&self.data[start..start + w]);
+        }
+        Self::from_vec(h, w, out)
+    }
+
+    /// Write `block` into the region with top-left corner `(r0, c0)`.
+    ///
+    /// # Panics
+    /// Panics if the block does not fit.
+    pub fn set_submatrix(&mut self, r0: usize, c0: usize, block: &Matrix) {
+        assert!(
+            r0 + block.rows <= self.rows && c0 + block.cols <= self.cols,
+            "block {}x{} at ({r0}, {c0}) exceeds {}x{}",
+            block.rows,
+            block.cols,
+            self.rows,
+            self.cols
+        );
+        for i in 0..block.rows {
+            let dst = (r0 + i) * self.cols + c0;
+            let src = i * block.cols;
+            self.data[dst..dst + block.cols].copy_from_slice(&block.data[src..src + block.cols]);
+        }
+    }
+
+    /// Elementwise in-place addition.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Self) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch in add"
+        );
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Elementwise in-place addition from a raw slice (message payload).
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn add_assign_slice(&mut self, other: &[f64]) {
+        assert_eq!(self.data.len(), other.len(), "length mismatch in add");
+        for (a, b) in self.data.iter_mut().zip(other) {
+            *a += b;
+        }
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i}, {j}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i}, {j}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Add<&Matrix> for &Matrix {
+    type Output = Matrix;
+
+    fn add(self, rhs: &Matrix) -> Matrix {
+        let mut out = self.clone();
+        out.add_assign(rhs);
+        out
+    }
+}
+
+impl Sub<&Matrix> for &Matrix {
+    type Output = Matrix;
+
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch in sub"
+        );
+        Matrix::from_vec(
+            self.rows,
+            self.cols,
+            self.data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a - b)
+                .collect(),
+        )
+    }
+}
+
+impl Mul<&Matrix> for &Matrix {
+    type Output = Matrix;
+
+    /// Naive `O(n³)` product — the reference semantics.  Use the kernels
+    /// in [`crate::kernel`] for anything performance-sensitive.
+    fn mul(self, rhs: &Matrix) -> Matrix {
+        crate::kernel::matmul(self, rhs)
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:10.4}", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let m = Matrix::from_fn(2, 3, |i, j| (i * 10 + j) as f64);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m[(0, 0)], 0.0);
+        assert_eq!(m[(1, 2)], 12.0);
+        assert_eq!(m.row(1), &[10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn identity_multiplies_neutrally() {
+        let a = Matrix::from_fn(4, 4, |i, j| (i + 2 * j) as f64);
+        let i4 = Matrix::identity(4);
+        assert_eq!(&a * &i4, a);
+        assert_eq!(&i4 * &a, a);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_fn(3, 5, |i, j| (i * 7 + j) as f64);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose()[(4, 2)], a[(2, 4)]);
+    }
+
+    #[test]
+    fn submatrix_roundtrip() {
+        let a = Matrix::from_fn(6, 6, |i, j| (i * 6 + j) as f64);
+        let block = a.submatrix(2, 4, 3, 2);
+        assert_eq!(block.rows(), 3);
+        assert_eq!(block[(0, 0)], a[(2, 4)]);
+        let mut b = Matrix::zeros(6, 6);
+        b.set_submatrix(2, 4, &block);
+        assert_eq!(b[(4, 5)], a[(4, 5)]);
+        assert_eq!(b[(0, 0)], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn submatrix_out_of_bounds_rejected() {
+        let a = Matrix::zeros(4, 4);
+        let _ = a.submatrix(2, 2, 3, 1);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Matrix::from_fn(2, 2, |i, j| (i + j) as f64);
+        let b = Matrix::identity(2);
+        let sum = &a + &b;
+        assert_eq!(sum[(0, 0)], 1.0);
+        assert_eq!(sum[(1, 1)], 3.0);
+        let diff = &sum - &b;
+        assert_eq!(diff, a);
+    }
+
+    #[test]
+    fn norms_and_diffs() {
+        let a = Matrix::from_vec(1, 2, vec![3.0, 4.0]);
+        assert_eq!(a.frobenius_norm(), 5.0);
+        let b = Matrix::from_vec(1, 2, vec![3.0, 4.5]);
+        assert_eq!(a.max_abs_diff(&b), 0.5);
+        assert!(a.approx_eq(&b, 0.1));
+        assert!(!a.approx_eq(&b, 0.01));
+    }
+
+    #[test]
+    fn approx_eq_rejects_shape_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(3, 2);
+        assert!(!a.approx_eq(&b, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot back")]
+    fn from_vec_length_checked() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0; 3]);
+    }
+
+    #[test]
+    fn add_assign_slice_matches_add_assign() {
+        let mut a = Matrix::from_fn(2, 2, |i, j| (i * 2 + j) as f64);
+        let b = Matrix::from_fn(2, 2, |_, _| 1.0);
+        let mut a2 = a.clone();
+        a.add_assign(&b);
+        a2.add_assign_slice(b.as_slice());
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn display_renders_rows() {
+        let a = Matrix::identity(2);
+        let s = a.to_string();
+        assert_eq!(s.lines().count(), 2);
+    }
+}

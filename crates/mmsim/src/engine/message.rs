@@ -1,0 +1,97 @@
+//! Messages exchanged between virtual processors.
+
+use crate::Word;
+
+/// Message tag.  Tags disambiguate messages from the same sender across
+/// algorithm phases and iterations; a receive only matches a message with
+/// the same `(source, tag)` pair.  Use [`tag`] to compose a tag from a
+/// phase number and a step number.
+pub type Tag = u64;
+
+/// Compose a tag from an algorithm phase and a step/iteration index.
+///
+/// Phases and steps each get 32 bits, so nested loops can tag every
+/// communication round uniquely.
+#[must_use]
+pub const fn tag(phase: u32, step: u32) -> Tag {
+    ((phase as u64) << 32) | step as u64
+}
+
+/// A message in flight (or delivered) between two virtual processors.
+#[derive(Debug, Clone)]
+pub struct Message {
+    /// Sender rank.
+    pub src: usize,
+    /// Destination rank.
+    pub dst: usize,
+    /// Application tag; receives match on `(src, tag)`.
+    pub tag: Tag,
+    /// Payload words (matrix elements).
+    pub payload: Vec<Word>,
+    /// Virtual time at which the sender issued the message.
+    pub sent_at: f64,
+    /// Virtual time at which the message is available at the receiver.
+    pub arrival: f64,
+    /// Hop count charged for this message (from the topology).
+    pub hops: usize,
+}
+
+impl Message {
+    /// Number of words, `m`, used by the `t_s + t_w·m` cost model.
+    #[must_use]
+    pub fn words(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Network latency experienced by this message.
+    #[must_use]
+    pub fn latency(&self) -> f64 {
+        self.arrival - self.sent_at
+    }
+}
+
+/// What actually travels through the engine channels: application
+/// messages plus the control signals that make the engine deadlock-free
+/// when a virtual processor terminates or panics.
+#[derive(Debug)]
+pub(crate) enum Envelope {
+    /// An application message.
+    App(Message),
+    /// The sending processor finished its closure; it will send nothing
+    /// further.  Once all peers are done, a blocked receive is a proven
+    /// deadlock and panics with a diagnosis instead of hanging.
+    Done,
+    /// The sending processor panicked; receivers must abort.
+    Poison {
+        /// Rank of the processor that panicked.
+        from: usize,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_packs_phase_and_step() {
+        assert_eq!(tag(0, 0), 0);
+        assert_eq!(tag(1, 0), 1 << 32);
+        assert_eq!(tag(1, 2), (1 << 32) | 2);
+        assert_ne!(tag(2, 1), tag(1, 2));
+    }
+
+    #[test]
+    fn words_and_latency() {
+        let m = Message {
+            src: 0,
+            dst: 1,
+            tag: 0,
+            payload: vec![1.0, 2.0, 3.0],
+            sent_at: 10.0,
+            arrival: 25.0,
+            hops: 1,
+        };
+        assert_eq!(m.words(), 3);
+        assert_eq!(m.latency(), 15.0);
+    }
+}

@@ -1,0 +1,592 @@
+//! The simulation engine: spawns one host thread per virtual processor
+//! and collects the deterministic virtual-time report.
+
+pub mod message;
+pub mod proc_ctx;
+
+use std::sync::Arc;
+
+use crossbeam::channel::unbounded;
+
+use crate::cost::CostModel;
+use crate::engine::message::Envelope;
+use crate::engine::proc_ctx::{Proc, ABORT_MSG};
+use crate::stats::ProcStats;
+use crate::topology::Topology;
+use crate::trace::Timeline;
+
+/// Stack size for virtual-processor threads.  Algorithm closures keep
+/// their matrix blocks on the heap, so a small stack suffices even for
+/// 512-processor simulations.
+const PROC_STACK_BYTES: usize = 1 << 20;
+
+/// A simulated multicomputer: a topology plus a cost model.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    topology: Topology,
+    cost: CostModel,
+    trace: bool,
+    recv_timeout: std::time::Duration,
+}
+
+impl Machine {
+    /// Assemble a machine from a topology and a cost model.
+    #[must_use]
+    pub fn new(topology: Topology, cost: CostModel) -> Self {
+        Self {
+            topology,
+            cost,
+            trace: false,
+            recv_timeout: std::time::Duration::from_secs(10),
+        }
+    }
+
+    /// Builder-style: host-time budget a blocked receive may wait before
+    /// the engine declares a live deadlock (cyclic mutual wait).  A
+    /// healthy simulation never blocks for long — sends are eager — so
+    /// the default of 10 s only fires on genuinely stuck algorithms.
+    #[must_use]
+    pub fn with_deadlock_timeout(mut self, timeout: std::time::Duration) -> Self {
+        self.recv_timeout = timeout;
+        self
+    }
+
+    /// Builder-style: record per-processor event timelines during runs
+    /// (see [`crate::trace`]).
+    #[must_use]
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Number of processors.
+    #[must_use]
+    pub fn p(&self) -> usize {
+        self.topology.p()
+    }
+
+    /// The machine's topology.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The machine's cost model.
+    #[must_use]
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Run `f` on every virtual processor and collect the report.
+    ///
+    /// `f` is called once per rank with that rank's [`Proc`] handle; its
+    /// return values are gathered in rank order.  The simulated parallel
+    /// time is the maximum final clock over all processors.
+    ///
+    /// Determinism: the report depends only on `f` and the machine, never
+    /// on host thread scheduling.
+    ///
+    /// # Panics
+    /// Propagates any panic raised by `f` on any rank, annotated with the
+    /// rank.
+    pub fn run<T, F>(&self, f: F) -> RunReport<T>
+    where
+        T: Send,
+        F: Fn(&mut Proc) -> T + Sync,
+    {
+        let p = self.p();
+        let (senders, receivers): (Vec<_>, Vec<_>) =
+            (0..p).map(|_| unbounded::<Envelope>()).unzip();
+        let senders = Arc::new(senders);
+
+        type ThreadOutcome<T> = Result<(T, ProcStats, Timeline), Box<dyn std::any::Any + Send>>;
+        let mut results: Vec<Option<ThreadOutcome<T>>> = Vec::with_capacity(p);
+        results.resize_with(p, || None);
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(p);
+            for (rank, inbox) in receivers.into_iter().enumerate() {
+                let senders = Arc::clone(&senders);
+                let topology = self.topology.clone();
+                let cost = self.cost;
+                let trace = self.trace;
+                let recv_timeout = self.recv_timeout;
+                let f = &f;
+                let handle = std::thread::Builder::new()
+                    .name(format!("vproc-{rank}"))
+                    .stack_size(PROC_STACK_BYTES)
+                    .spawn_scoped(scope, move || -> ThreadOutcome<T> {
+                        let mut proc =
+                            Proc::new(rank, topology, cost, senders, inbox, trace, recv_timeout);
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut proc)));
+                        match outcome {
+                            Ok(out) => {
+                                // Tell peers nothing more is coming so a
+                                // blocked receive becomes a diagnosed
+                                // deadlock instead of a hang.
+                                proc.notify_done();
+                                let (stats, timeline) = proc.into_final_parts();
+                                Ok((out, stats, timeline))
+                            }
+                            Err(payload) => {
+                                // Abort the rest of the machine.
+                                proc.notify_poison();
+                                Err(payload)
+                            }
+                        }
+                    })
+                    .expect("failed to spawn virtual-processor thread");
+                handles.push(handle);
+            }
+            for (rank, handle) in handles.into_iter().enumerate() {
+                let outcome = handle
+                    .join()
+                    .expect("virtual-processor thread itself cannot panic (closure is caught)");
+                results[rank] = Some(outcome);
+            }
+        });
+
+        // Re-raise the original panic (not the cascaded aborts), if any.
+        let mut abort_payload = None;
+        for (rank, outcome) in results.iter().enumerate() {
+            if let Some(Err(payload)) = outcome {
+                let what = panic_message(payload);
+                if what.starts_with(ABORT_MSG) {
+                    abort_payload = Some((rank, what));
+                } else {
+                    panic!("virtual processor {rank} panicked: {what}");
+                }
+            }
+        }
+        if let Some((rank, what)) = abort_payload {
+            panic!("virtual processor {rank} panicked: {what}");
+        }
+
+        let mut out = Vec::with_capacity(p);
+        let mut stats = Vec::with_capacity(p);
+        let mut traces = Vec::with_capacity(p);
+        for outcome in results {
+            let (value, st, tl) = outcome
+                .expect("every rank reports exactly once")
+                .unwrap_or_else(|_| unreachable!("panics re-raised above"));
+            out.push(value);
+            stats.push(st);
+            traces.push(tl);
+        }
+        let t_parallel = stats.iter().map(|s| s.clock).fold(0.0, f64::max);
+        RunReport {
+            t_parallel,
+            stats,
+            results: out,
+            traces,
+        }
+    }
+}
+
+fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// The outcome of one simulation: per-rank results and virtual-time
+/// accounting.
+#[derive(Debug, Clone)]
+pub struct RunReport<T> {
+    /// Simulated parallel execution time `T_p = max_i clock_i`.
+    pub t_parallel: f64,
+    /// Per-rank accounting, indexed by rank.
+    pub stats: Vec<ProcStats>,
+    /// Per-rank return values of the algorithm closure, indexed by rank.
+    pub results: Vec<T>,
+    /// Per-rank event timelines; empty vectors unless the machine was
+    /// built with [`Machine::with_trace`].
+    pub traces: Vec<Timeline>,
+}
+
+impl<T> RunReport<T> {
+    /// Number of processors that took part.
+    #[must_use]
+    pub fn p(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// Sum of useful work over all processors.
+    #[must_use]
+    pub fn total_compute(&self) -> f64 {
+        self.stats.iter().map(|s| s.compute).sum()
+    }
+
+    /// Sum of communication occupancy over all processors.
+    #[must_use]
+    pub fn total_comm(&self) -> f64 {
+        self.stats.iter().map(|s| s.comm).sum()
+    }
+
+    /// Sum of recorded idle (wait) time over all processors.  Final-wait
+    /// idle time (processors finishing before `T_p`) is *not* included
+    /// here; it is captured by [`RunReport::overhead`].
+    #[must_use]
+    pub fn total_idle(&self) -> f64 {
+        self.stats.iter().map(|s| s.idle).sum()
+    }
+
+    /// Total messages sent across all processors.
+    #[must_use]
+    pub fn total_messages(&self) -> u64 {
+        self.stats.iter().map(|s| s.msgs_sent).sum()
+    }
+
+    /// Total payload words sent across all processors.
+    #[must_use]
+    pub fn total_words(&self) -> u64 {
+        self.stats.iter().map(|s| s.words_sent).sum()
+    }
+
+    /// The paper's total parallel overhead `T_o(W, p) = p·T_p − W`, where
+    /// `W` is the problem size in unit operations (§2).
+    #[must_use]
+    pub fn overhead(&self, w: f64) -> f64 {
+        self.p() as f64 * self.t_parallel - w
+    }
+
+    /// Parallel speedup `S = W / T_p` (§2).
+    #[must_use]
+    pub fn speedup(&self, w: f64) -> f64 {
+        w / self.t_parallel
+    }
+
+    /// Efficiency `E = S / p = W / (p·T_p)` (§2).
+    #[must_use]
+    pub fn efficiency(&self, w: f64) -> f64 {
+        self.speedup(w) / self.p() as f64
+    }
+
+    /// Map the per-rank results, keeping the accounting.
+    #[must_use]
+    pub fn map_results<U>(self, f: impl FnMut(T) -> U) -> RunReport<U> {
+        RunReport {
+            t_parallel: self.t_parallel,
+            stats: self.stats,
+            results: self.results.into_iter().map(f).collect(),
+            traces: self.traces,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::Ports;
+    use crate::engine::message::tag;
+
+    fn unit_machine(p: usize) -> Machine {
+        Machine::new(Topology::fully_connected(p), CostModel::unit())
+    }
+
+    #[test]
+    fn single_processor_compute_only() {
+        let m = unit_machine(1);
+        let r = m.run(|proc| {
+            proc.compute(42.0);
+            proc.rank()
+        });
+        assert_eq!(r.t_parallel, 42.0);
+        assert_eq!(r.results, vec![0]);
+        assert_eq!(r.total_comm(), 0.0);
+    }
+
+    #[test]
+    fn ping_message_timing() {
+        // t_s = 1, t_w = 1, 3 words: cost 4.
+        let m = unit_machine(2);
+        let r = m.run(|proc| {
+            if proc.rank() == 0 {
+                proc.send(1, 7, vec![1.0, 2.0, 3.0]);
+            } else {
+                let msg = proc.recv(0, 7);
+                assert_eq!(msg.payload, vec![1.0, 2.0, 3.0]);
+                assert_eq!(msg.sent_at, 0.0);
+                assert_eq!(msg.arrival, 4.0);
+            }
+        });
+        assert_eq!(r.t_parallel, 4.0);
+        assert_eq!(r.stats[1].idle, 4.0);
+        assert_eq!(r.stats[0].comm, 4.0);
+    }
+
+    #[test]
+    fn receiver_busy_at_arrival_does_not_idle() {
+        let m = unit_machine(2);
+        let r = m.run(|proc| {
+            if proc.rank() == 0 {
+                proc.send(1, 0, vec![0.0; 3]); // arrives at 4
+            } else {
+                proc.compute(10.0);
+                let msg = proc.recv(0, 0);
+                assert_eq!(msg.arrival, 4.0);
+                assert_eq!(proc.now(), 10.0, "clock must not move backwards");
+            }
+        });
+        assert_eq!(r.stats[1].idle, 0.0);
+        assert_eq!(r.t_parallel, 10.0);
+    }
+
+    #[test]
+    fn ring_shift_is_symmetric_and_deterministic() {
+        let m = Machine::new(Topology::ring(8), CostModel::new(5.0, 2.0));
+        let run = || {
+            m.run(|proc| {
+                let p = proc.p();
+                let right = (proc.rank() + 1) % p;
+                let left = (proc.rank() + p - 1) % p;
+                proc.send(right, 3, vec![proc.rank() as f64; 10]);
+                proc.recv_payload(left, 3)[0]
+            })
+        };
+        let r1 = run();
+        let r2 = run();
+        // Everyone sends 10 words (cost 25) then waits for a message that
+        // arrived at 25: no idle, Tp = 25.
+        assert_eq!(r1.t_parallel, 25.0);
+        assert_eq!(r1.total_idle(), 0.0);
+        assert_eq!(
+            r1.results,
+            (0..8).map(|i| ((i + 7) % 8) as f64).collect::<Vec<_>>()
+        );
+        assert_eq!(r1.t_parallel, r2.t_parallel);
+        for (a, b) in r1.stats.iter().zip(&r2.stats) {
+            assert_eq!(a, b, "virtual time must not depend on host scheduling");
+        }
+    }
+
+    #[test]
+    fn sends_serialize_on_single_port() {
+        let m = unit_machine(4);
+        let r = m.run(|proc| {
+            if proc.rank() == 0 {
+                // Three 1-word sends, cost 2 each, serialised: 2, 4, 6.
+                proc.send_multi(vec![
+                    (1, 0, vec![1.0]),
+                    (2, 0, vec![2.0]),
+                    (3, 0, vec![3.0]),
+                ]);
+                0.0
+            } else {
+                let msg = proc.recv(0, 0);
+                msg.arrival
+            }
+        });
+        assert_eq!(r.results[1], 2.0);
+        assert_eq!(r.results[2], 4.0);
+        assert_eq!(r.results[3], 6.0);
+        assert_eq!(r.stats[0].comm, 6.0);
+    }
+
+    #[test]
+    fn sends_overlap_on_all_port() {
+        let m = Machine::new(
+            Topology::fully_connected(4),
+            CostModel::unit().with_ports(Ports::All),
+        );
+        let r = m.run(|proc| {
+            if proc.rank() == 0 {
+                proc.send_multi(vec![
+                    (1, 0, vec![1.0]),
+                    (2, 0, vec![2.0; 5]),
+                    (3, 0, vec![3.0]),
+                ]);
+                0.0
+            } else {
+                proc.recv(0, 0).arrival
+            }
+        });
+        // All start at 0; arrivals are their own latencies.
+        assert_eq!(r.results[1], 2.0);
+        assert_eq!(r.results[2], 6.0);
+        assert_eq!(r.results[3], 2.0);
+        // Sender advanced by the max occupancy only.
+        assert_eq!(r.stats[0].comm, 6.0);
+        assert_eq!(r.stats[0].clock, 6.0);
+    }
+
+    #[test]
+    fn all_port_batch_rejects_duplicate_destination() {
+        let m = Machine::new(
+            Topology::fully_connected(3),
+            CostModel::unit().with_ports(Ports::All),
+        );
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.run(|proc| {
+                if proc.rank() == 0 {
+                    proc.send_multi(vec![(1, 0, vec![1.0]), (1, 1, vec![2.0])]);
+                } else if proc.rank() == 1 {
+                    proc.recv(0, 0);
+                    proc.recv(0, 1);
+                }
+            });
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn tag_matching_reorders_messages() {
+        let m = unit_machine(2);
+        let r = m.run(|proc| {
+            if proc.rank() == 0 {
+                proc.send(1, tag(0, 0), vec![10.0]);
+                proc.send(1, tag(0, 1), vec![20.0]);
+                0.0
+            } else {
+                // Receive in reverse tag order.
+                let b = proc.recv_payload(0, tag(0, 1))[0];
+                let a = proc.recv_payload(0, tag(0, 0))[0];
+                a + b / 100.0
+            }
+        });
+        assert_eq!(r.results[1], 10.2);
+    }
+
+    #[test]
+    fn same_tag_messages_match_in_send_order() {
+        let m = unit_machine(2);
+        let r = m.run(|proc| {
+            if proc.rank() == 0 {
+                proc.send(1, 5, vec![1.0]);
+                proc.send(1, 5, vec![2.0]);
+                vec![]
+            } else {
+                vec![proc.recv_payload(0, 5)[0], proc.recv_payload(0, 5)[0]]
+            }
+        });
+        assert_eq!(r.results[1], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn exchange_pairs_without_deadlock() {
+        let m = unit_machine(2);
+        let r = m.run(|proc| {
+            let partner = 1 - proc.rank();
+            let got = proc.exchange(partner, 9, vec![proc.rank() as f64]);
+            got[0]
+        });
+        assert_eq!(r.results, vec![1.0, 0.0]);
+        // Symmetric: both send (cost 2) then receive a message that
+        // arrived at 2.
+        assert_eq!(r.t_parallel, 2.0);
+    }
+
+    #[test]
+    fn stats_invariant_holds() {
+        let m = Machine::new(Topology::hypercube(3), CostModel::new(7.0, 0.5));
+        let r = m.run(|proc| {
+            let p = proc.p();
+            proc.compute(13.0);
+            let right = (proc.rank() + 1) % p;
+            let left = (proc.rank() + p - 1) % p;
+            proc.send(right, 0, vec![0.0; 17]);
+            proc.recv(left, 0);
+            proc.compute_adds(10);
+        });
+        for s in &r.stats {
+            assert!(s.is_consistent(1e-9), "{s:?}");
+            assert_eq!(s.unreceived, 0);
+        }
+    }
+
+    #[test]
+    fn unreceived_messages_are_counted() {
+        let m = unit_machine(2);
+        let r = m.run(|proc| {
+            if proc.rank() == 0 {
+                proc.send(1, 0, vec![1.0]);
+                proc.send(1, 1, vec![2.0]);
+            } else {
+                proc.recv(0, 1);
+                // tag 0 never received
+            }
+        });
+        assert_eq!(r.stats[1].unreceived, 1);
+    }
+
+    #[test]
+    fn panic_in_closure_is_annotated_with_rank() {
+        let m = unit_machine(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.run(|proc| {
+                if proc.rank() == 1 {
+                    panic!("boom");
+                }
+            });
+        }));
+        let err = result.unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("virtual processor 1"), "{msg}");
+        assert!(msg.contains("boom"), "{msg}");
+    }
+
+    #[test]
+    fn report_metrics() {
+        let m = unit_machine(4);
+        let r = m.run(|proc| proc.compute(25.0));
+        // W = 100 units executed in Tp = 25 on 4 procs: E = 1.
+        assert_eq!(r.t_parallel, 25.0);
+        assert_eq!(r.speedup(100.0), 4.0);
+        assert_eq!(r.efficiency(100.0), 1.0);
+        assert_eq!(r.overhead(100.0), 0.0);
+        assert_eq!(r.total_compute(), 100.0);
+    }
+
+    #[test]
+    fn store_and_forward_charges_hops() {
+        use crate::cost::Routing;
+        let m = Machine::new(
+            Topology::ring(8),
+            CostModel::new(1.0, 1.0).with_routing(Routing::StoreAndForward),
+        );
+        let r = m.run(|proc| {
+            if proc.rank() == 0 {
+                proc.send(4, 0, vec![0.0; 4]); // 4 hops away on the ring
+                0.0
+            } else if proc.rank() == 4 {
+                proc.recv(0, 0).arrival
+            } else {
+                0.0
+            }
+        });
+        // (t_s + 4 t_w) * 4 hops = 20.
+        assert_eq!(r.results[4], 20.0);
+    }
+
+    #[test]
+    fn map_results_preserves_accounting() {
+        let m = unit_machine(2);
+        let r = m.run(|proc| proc.rank() as f64).map_results(|x| x * 2.0);
+        assert_eq!(r.results, vec![0.0, 2.0]);
+        assert_eq!(r.p(), 2);
+    }
+
+    #[test]
+    fn larger_hypercube_all_pairs_exchange() {
+        // 32 procs: every proc exchanges with its cube neighbours in
+        // dimension order; deterministic total message count.
+        let m = Machine::new(Topology::hypercube(5), CostModel::unit());
+        let r = m.run(|proc| {
+            let mut acc = proc.rank() as f64;
+            for k in 0..5u32 {
+                let partner = proc.rank() ^ (1 << k);
+                let got = proc.exchange(partner, tag(1, k), vec![acc]);
+                acc += got[0];
+            }
+            acc
+        });
+        // Recursive doubling sum: everyone ends with sum 0..31 = 496.
+        assert!(r.results.iter().all(|&x| x == 496.0));
+        assert_eq!(r.total_messages(), 32 * 5);
+    }
+}

@@ -1,0 +1,361 @@
+//! The per-processor execution context handed to algorithm closures.
+
+use crossbeam::channel::{Receiver, Sender};
+
+use crate::cost::{CostModel, Ports};
+use crate::engine::message::{Envelope, Message, Tag};
+use crate::stats::ProcStats;
+use crate::topology::Topology;
+use crate::trace::{Timeline, TraceEvent};
+use crate::Word;
+
+/// Handle through which a virtual processor computes and communicates.
+///
+/// One `Proc` lives on each engine thread.  All methods advance the
+/// processor's **virtual clock** according to the machine's
+/// [`CostModel`]; see the crate docs for the accounting rules.
+///
+/// Sends are *eager* (buffered, non-blocking), like small-message MPI
+/// sends: a ring of processors may all send before any of them receives
+/// without deadlocking.  Receives block the host thread until a matching
+/// message exists, but *virtual* waiting is determined purely by message
+/// timestamps.
+pub struct Proc {
+    rank: usize,
+    clock: f64,
+    stats: ProcStats,
+    topology: Topology,
+    cost: CostModel,
+    senders: std::sync::Arc<Vec<Sender<Envelope>>>,
+    inbox: Receiver<Envelope>,
+    /// Messages received from the channel but not yet matched by a recv.
+    pending: Vec<Message>,
+    /// Peers that have finished their closure (sent [`Envelope::Done`]).
+    done_peers: usize,
+    /// Host-time budget for a single blocked receive before the engine
+    /// declares a live deadlock (cyclic mutual wait).
+    recv_timeout: std::time::Duration,
+    /// Event timeline, populated only when tracing is enabled.
+    timeline: Option<Timeline>,
+}
+
+/// Panic payload used when a processor aborts because a peer panicked;
+/// the engine recognises it and re-raises the *original* panic instead.
+pub(crate) const ABORT_MSG: &str = "aborted because a peer virtual processor panicked";
+
+impl Proc {
+    pub(crate) fn new(
+        rank: usize,
+        topology: Topology,
+        cost: CostModel,
+        senders: std::sync::Arc<Vec<Sender<Envelope>>>,
+        inbox: Receiver<Envelope>,
+        trace: bool,
+        recv_timeout: std::time::Duration,
+    ) -> Self {
+        Self {
+            rank,
+            clock: 0.0,
+            stats: ProcStats::default(),
+            topology,
+            cost,
+            senders,
+            inbox,
+            pending: Vec::new(),
+            done_peers: 0,
+            recv_timeout,
+            timeline: trace.then(Vec::new),
+        }
+    }
+
+    /// Announce normal completion to every peer (engine-internal).
+    pub(crate) fn notify_done(&self) {
+        for (dst, sender) in self.senders.iter().enumerate() {
+            if dst != self.rank {
+                let _ = sender.send(Envelope::Done);
+            }
+        }
+    }
+
+    /// Announce a panic to every peer so blocked receivers abort
+    /// instead of hanging (engine-internal).
+    pub(crate) fn notify_poison(&self) {
+        for (dst, sender) in self.senders.iter().enumerate() {
+            if dst != self.rank {
+                let _ = sender.send(Envelope::Poison { from: self.rank });
+            }
+        }
+    }
+
+    /// This processor's rank, `0 <= rank < p`.
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total number of processors.
+    #[must_use]
+    pub fn p(&self) -> usize {
+        self.topology.p()
+    }
+
+    /// The machine's topology.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The machine's cost model.
+    #[must_use]
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Current virtual time on this processor.
+    #[must_use]
+    pub fn now(&self) -> f64 {
+        self.clock
+    }
+
+    /// Advance the clock by `units` of useful work
+    /// (1 unit = one multiply–add pair, the paper's normalisation).
+    ///
+    /// # Panics
+    /// Panics if `units` is negative or non-finite.
+    pub fn compute(&mut self, units: f64) {
+        assert!(
+            units >= 0.0 && units.is_finite(),
+            "compute units must be finite and non-negative, got {units}"
+        );
+        if let Some(tl) = &mut self.timeline {
+            tl.push(TraceEvent::Compute {
+                start: self.clock,
+                duration: units,
+            });
+        }
+        self.clock += units;
+        self.stats.compute += units;
+    }
+
+    /// Charge `count` standalone floating-point additions (reduction
+    /// work) at the model's `t_add` each.
+    pub fn compute_adds(&mut self, count: usize) {
+        let t = self.cost.t_add * count as f64;
+        if let Some(tl) = &mut self.timeline {
+            tl.push(TraceEvent::Compute {
+                start: self.clock,
+                duration: t,
+            });
+        }
+        self.clock += t;
+        self.stats.compute += t;
+    }
+
+    /// Send `payload` to `dst` with the given `tag`.
+    ///
+    /// Advances this processor's clock by the sender occupancy
+    /// `t_s + t_w·m` (single-port serialisation: consecutive sends do not
+    /// overlap).  The message is stamped to arrive at
+    /// `send start + message latency` as given by the cost model and the
+    /// topology hop count.
+    ///
+    /// # Panics
+    /// Panics on out-of-range `dst` or on sending to oneself.
+    pub fn send(&mut self, dst: usize, tag: Tag, payload: Vec<Word>) {
+        let start = self.clock;
+        let occupancy = self.cost.sender_occupancy(payload.len());
+        if let Some(tl) = &mut self.timeline {
+            tl.push(TraceEvent::Send {
+                start,
+                duration: occupancy,
+                dst,
+                words: payload.len(),
+                tag,
+            });
+        }
+        self.clock += occupancy;
+        self.stats.comm += occupancy;
+        self.dispatch(dst, tag, payload, start);
+    }
+
+    /// Issue a batch of simultaneous sends on distinct ports (paper §7).
+    ///
+    /// On an all-port machine ([`Ports::All`]) the clock advances by the
+    /// **maximum** of the individual occupancies; on a single-port
+    /// machine the batch degrades gracefully to sequential sends.
+    ///
+    /// # Panics
+    /// Panics if two messages in the batch share a destination (they
+    /// would need the same port), or on invalid destinations.
+    pub fn send_multi(&mut self, msgs: Vec<(usize, Tag, Vec<Word>)>) {
+        match self.cost.ports {
+            Ports::Single => {
+                for (dst, tag, payload) in msgs {
+                    self.send(dst, tag, payload);
+                }
+            }
+            Ports::All => {
+                for (i, (d, _, _)) in msgs.iter().enumerate() {
+                    for (d2, _, _) in msgs.iter().skip(i + 1) {
+                        assert_ne!(d, d2, "all-port batch reuses destination {d}");
+                    }
+                }
+                let start = self.clock;
+                let mut max_occ = 0.0f64;
+                for (dst, tag, payload) in msgs {
+                    let occ = self.cost.sender_occupancy(payload.len());
+                    max_occ = max_occ.max(occ);
+                    if let Some(tl) = &mut self.timeline {
+                        tl.push(TraceEvent::Send {
+                            start,
+                            duration: occ,
+                            dst,
+                            words: payload.len(),
+                            tag,
+                        });
+                    }
+                    self.dispatch(dst, tag, payload, start);
+                }
+                self.clock += max_occ;
+                self.stats.comm += max_occ;
+            }
+        }
+    }
+
+    fn dispatch(&mut self, dst: usize, tag: Tag, payload: Vec<Word>, start: f64) {
+        assert!(
+            dst < self.p(),
+            "rank {}: send destination {dst} out of range (p = {})",
+            self.rank,
+            self.p()
+        );
+        assert_ne!(dst, self.rank, "rank {}: cannot send to self", self.rank);
+        let hops = self.topology.distance(self.rank, dst);
+        let arrival = start + self.cost.message_latency(payload.len(), hops);
+        self.stats.msgs_sent += 1;
+        self.stats.words_sent += payload.len() as u64;
+        self.stats.hops_traversed += hops as u64;
+        let msg = Message {
+            src: self.rank,
+            dst,
+            tag,
+            payload,
+            sent_at: start,
+            arrival,
+            hops,
+        };
+        self.senders[dst]
+            .send(Envelope::App(msg))
+            .expect("engine channel closed while simulation running");
+    }
+
+    /// Receive the message with the given `(src, tag)`, blocking until it
+    /// exists.  The virtual clock advances to the message arrival time if
+    /// that is later than now; the gap is recorded as idle time.
+    ///
+    /// Messages with the same `(src, tag)` are matched in send order.
+    ///
+    /// # Panics
+    /// Panics if `src` is out of range, equals this rank, or if the
+    /// sending side hung up without ever sending a matching message
+    /// (which indicates a deadlocked/incorrect algorithm).
+    pub fn recv(&mut self, src: usize, tag: Tag) -> Message {
+        assert!(
+            src < self.p(),
+            "rank {}: recv source {src} out of range",
+            self.rank
+        );
+        assert_ne!(src, self.rank, "rank {}: cannot recv from self", self.rank);
+        let msg = self.take_matching(src, tag);
+        let start = self.clock;
+        if msg.arrival > self.clock {
+            self.stats.idle += msg.arrival - self.clock;
+            self.clock = msg.arrival;
+        }
+        if let Some(tl) = &mut self.timeline {
+            tl.push(TraceEvent::Recv {
+                start,
+                waited: self.clock - start,
+                src,
+                words: msg.words(),
+                tag,
+            });
+        }
+        self.stats.msgs_received += 1;
+        msg
+    }
+
+    /// Receive and return just the payload (common case).
+    pub fn recv_payload(&mut self, src: usize, tag: Tag) -> Vec<Word> {
+        self.recv(src, tag).payload
+    }
+
+    fn take_matching(&mut self, src: usize, tag: Tag) -> Message {
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|m| m.src == src && m.tag == tag)
+        {
+            return self.pending.remove(pos);
+        }
+        loop {
+            let envelope = match self.inbox.recv_timeout(self.recv_timeout) {
+                Ok(envelope) => envelope,
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => panic!(
+                    "rank {}: no message for {:?} while waiting for (src {src}, tag {tag:#x}) — \
+                     live deadlock (cyclic mutual wait) in the simulated algorithm",
+                    self.rank, self.recv_timeout
+                ),
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                    unreachable!("engine channels cannot close while processors hold senders")
+                }
+            };
+            match envelope {
+                Envelope::App(msg) if msg.src == src && msg.tag == tag => return msg,
+                Envelope::App(msg) => self.pending.push(msg),
+                Envelope::Done => {
+                    self.done_peers += 1;
+                    if self.done_peers == self.p() - 1 {
+                        panic!(
+                            "rank {}: deadlock — waiting for a message (src {src}, tag {tag:#x}) \
+                             but every peer has terminated without sending it",
+                            self.rank
+                        );
+                    }
+                }
+                Envelope::Poison { from } => {
+                    panic!("{ABORT_MSG} (rank {from})");
+                }
+            }
+        }
+    }
+
+    /// Exchange with a partner: send ours, receive theirs, same tag.
+    ///
+    /// Equivalent to an MPI sendrecv; the send is issued first so a
+    /// symmetric pairwise exchange cannot deadlock.
+    pub fn exchange(&mut self, partner: usize, tag: Tag, payload: Vec<Word>) -> Vec<Word> {
+        self.send(partner, tag, payload);
+        self.recv_payload(partner, tag)
+    }
+
+    /// Snapshot of this processor's accounting so far.
+    #[must_use]
+    pub fn stats(&self) -> &ProcStats {
+        &self.stats
+    }
+
+    pub(crate) fn into_final_parts(mut self) -> (ProcStats, Timeline) {
+        self.stats.clock = self.clock;
+        let mut unreceived = self.pending.len() as u64;
+        // Drain leftover envelopes, counting only application messages
+        // (Done/Poison control signals are the engine's business).
+        while let Ok(envelope) = self.inbox.try_recv() {
+            if matches!(envelope, Envelope::App(_)) {
+                unreceived += 1;
+            }
+        }
+        self.stats.unreceived = unreceived;
+        (self.stats, self.timeline.unwrap_or_default())
+    }
+}

@@ -1,0 +1,78 @@
+//! Per-processor and per-run accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// Virtual-time and traffic accounting for one virtual processor.
+///
+/// Invariant: `clock = compute + comm + idle` (up to floating-point
+/// rounding), i.e. every advance of the clock is attributed to exactly
+/// one bucket.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProcStats {
+    /// Final virtual clock value.
+    pub clock: f64,
+    /// Time spent in useful computation (multiply–adds and reduction
+    /// additions).
+    pub compute: f64,
+    /// Time spent occupying the network interface (startup + injection).
+    pub comm: f64,
+    /// Time spent waiting for messages that had not yet arrived.
+    pub idle: f64,
+    /// Messages sent.
+    pub msgs_sent: u64,
+    /// Total payload words sent.
+    pub words_sent: u64,
+    /// Messages received (matched by a `recv`).
+    pub msgs_received: u64,
+    /// Total hops traversed by sent messages.
+    pub hops_traversed: u64,
+    /// Messages that were still undelivered/unmatched when the processor
+    /// finished — nonzero values indicate a sloppy algorithm.
+    pub unreceived: u64,
+}
+
+impl ProcStats {
+    /// Communication + idle time: everything that is not useful work.
+    /// This is this processor's contribution to the paper's total
+    /// overhead `T_o`.
+    #[must_use]
+    pub fn overhead(&self) -> f64 {
+        self.comm + self.idle
+    }
+
+    /// Check the accounting invariant within `tol`.
+    #[must_use]
+    pub fn is_consistent(&self, tol: f64) -> bool {
+        (self.clock - (self.compute + self.comm + self.idle)).abs() <= tol
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_is_comm_plus_idle() {
+        let s = ProcStats {
+            clock: 10.0,
+            compute: 4.0,
+            comm: 5.0,
+            idle: 1.0,
+            ..Default::default()
+        };
+        assert_eq!(s.overhead(), 6.0);
+        assert!(s.is_consistent(1e-12));
+    }
+
+    #[test]
+    fn inconsistent_detected() {
+        let s = ProcStats {
+            clock: 11.0,
+            compute: 4.0,
+            comm: 5.0,
+            idle: 1.0,
+            ..Default::default()
+        };
+        assert!(!s.is_consistent(1e-12));
+    }
+}

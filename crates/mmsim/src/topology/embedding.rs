@@ -1,0 +1,104 @@
+//! Gray-code embeddings of rings and wraparound meshes into hypercubes.
+//!
+//! The paper's mesh algorithms run "on a wrap-around mesh (which can be
+//! embedded in a hypercube if the algorithm was to be implemented on
+//! it)" (§4.2).  The binary-reflected Gray code gives a **dilation-1**
+//! embedding: mesh neighbours map to hypercube neighbours, so even
+//! under store-and-forward routing every shift is a single hop.  Under
+//! the paper's cut-through model the embedding is cost-neutral — which
+//! is exactly why the paper can ignore it; the ablation tests make both
+//! facts observable.
+
+use super::hypercube::{gray, gray_inverse};
+
+/// Hypercube rank of mesh position `(row, col)` on a `q × q` wraparound
+/// mesh embedded by Gray codes (`q` a power of two): the high
+/// `log2 q` bits carry `gray(row)`, the low bits `gray(col)`.
+///
+/// # Panics
+/// Panics if `q` is not a power of two or the coordinates are out of
+/// range.
+#[must_use]
+pub fn gray_mesh_rank(row: usize, col: usize, q: usize) -> usize {
+    assert!(
+        q.is_power_of_two(),
+        "gray mesh side must be a power of two, got {q}"
+    );
+    assert!(row < q && col < q, "({row}, {col}) out of a {q}x{q} mesh");
+    (gray(row) << q.trailing_zeros()) | gray(col)
+}
+
+/// Inverse of [`gray_mesh_rank`].
+#[must_use]
+pub fn gray_mesh_coords(rank: usize, q: usize) -> (usize, usize) {
+    assert!(
+        q.is_power_of_two(),
+        "gray mesh side must be a power of two, got {q}"
+    );
+    assert!(rank < q * q, "rank {rank} out of a {q}x{q} mesh");
+    let bits = q.trailing_zeros();
+    (gray_inverse(rank >> bits), gray_inverse(rank & (q - 1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::HypercubeTopo;
+
+    #[test]
+    fn bijection() {
+        let q = 8;
+        let mut seen = vec![false; q * q];
+        for r in 0..q {
+            for c in 0..q {
+                let rank = gray_mesh_rank(r, c, q);
+                assert!(!seen[rank], "rank {rank} mapped twice");
+                seen[rank] = true;
+                assert_eq!(gray_mesh_coords(rank, q), (r, c));
+            }
+        }
+        assert!(seen.into_iter().all(|x| x));
+    }
+
+    #[test]
+    fn dilation_one() {
+        // Every mesh neighbour (including wraparound) is one cube hop.
+        let q = 8;
+        let cube = HypercubeTopo::new(6);
+        for r in 0..q {
+            for c in 0..q {
+                let me = gray_mesh_rank(r, c, q);
+                let east = gray_mesh_rank(r, (c + 1) % q, q);
+                let south = gray_mesh_rank((r + 1) % q, c, q);
+                assert_eq!(cube.distance(me, east), 1, "east from ({r},{c})");
+                assert_eq!(cube.distance(me, south), 1, "south from ({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn row_major_is_not_dilation_one() {
+        // The naive row-major layout has multi-hop mesh neighbours —
+        // the contrast that makes the embedding worthwhile.
+        let q = 8;
+        let cube = HypercubeTopo::new(6);
+        let mut worst = 0;
+        for r in 0..q {
+            for c in 0..q {
+                let me = r * q + c;
+                let east = r * q + (c + 1) % q;
+                worst = worst.max(cube.distance(me, east));
+            }
+        }
+        assert!(
+            worst > 1,
+            "row-major should have stretched links, worst = {worst}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let _ = gray_mesh_rank(0, 0, 6);
+    }
+}

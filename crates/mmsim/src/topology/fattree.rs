@@ -1,0 +1,152 @@
+//! Fat-tree topology — the CM-5's actual interconnect (Leiserson
+//! \[30\] in the paper's references).
+//!
+//! Processing nodes are the leaves of an `arity`-ary tree of switches;
+//! a message between leaves climbs to the lowest common ancestor and
+//! back down, so the hop count between distinct leaves is `2·level` of
+//! that ancestor.  §9 of the paper treats the CM-5 as *fully connected*
+//! because the fat links provide "simultaneous paths for communication
+//! between all pairs of processors"; under the cut-through model with
+//! negligible per-hop time this topology is cost-identical to
+//! [`super::FullTopo`], which the tests assert — making the paper's
+//! modelling assumption itself checkable.
+
+use serde::{Deserialize, Serialize};
+
+/// An `arity`-ary fat tree with `arity^height` leaf processors.
+///
+/// Leaves have no direct leaf-to-leaf links (all traffic goes through
+/// switches), so [`FatTreeTopo::neighbors`] is empty and the minimum
+/// distance between distinct leaves is 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FatTreeTopo {
+    arity: usize,
+    height: u32,
+}
+
+impl FatTreeTopo {
+    /// A fat tree with the given switch arity and height
+    /// (`p = arity^height`; height 0 is a single processor).
+    ///
+    /// # Panics
+    /// Panics if `arity < 2`, or the tree would exceed 2³⁰ leaves.
+    #[must_use]
+    pub fn new(arity: usize, height: u32) -> Self {
+        assert!(arity >= 2, "fat-tree arity must be at least 2, got {arity}");
+        let p = arity
+            .checked_pow(height)
+            .filter(|&p| p <= 1 << 30)
+            .unwrap_or_else(|| panic!("fat tree {arity}^{height} is unreasonably large"));
+        let _ = p;
+        Self { arity, height }
+    }
+
+    /// The CM-5's 4-ary fat tree with `4^height` processors.
+    #[must_use]
+    pub fn cm5_style(height: u32) -> Self {
+        Self::new(4, height)
+    }
+
+    /// Switch arity.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Tree height (number of switch levels).
+    #[must_use]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Number of leaf processors.
+    #[must_use]
+    pub fn p(&self) -> usize {
+        self.arity.pow(self.height)
+    }
+
+    /// Level of the lowest common ancestor of two leaves (0 = same
+    /// leaf).
+    #[must_use]
+    pub fn lca_level(&self, a: usize, b: usize) -> u32 {
+        let (mut a, mut b) = (a, b);
+        let mut level = 0;
+        while a != b {
+            a /= self.arity;
+            b /= self.arity;
+            level += 1;
+        }
+        level
+    }
+
+    /// Hop count: up to the LCA and back down, `2·lca_level`.
+    #[must_use]
+    pub fn distance(&self, a: usize, b: usize) -> usize {
+        2 * self.lca_level(a, b) as usize
+    }
+
+    /// Leaves have no direct links — every path crosses a switch.
+    #[must_use]
+    pub fn neighbors(&self, _rank: usize) -> Vec<usize> {
+        Vec::new()
+    }
+
+    /// `2·height`: the round trip through the root.
+    #[must_use]
+    pub fn diameter(&self) -> usize {
+        2 * self.height as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(FatTreeTopo::new(2, 0).p(), 1);
+        assert_eq!(FatTreeTopo::new(2, 4).p(), 16);
+        assert_eq!(FatTreeTopo::cm5_style(3).p(), 64);
+    }
+
+    #[test]
+    fn distance_is_twice_lca_level() {
+        let t = FatTreeTopo::new(2, 3); // 8 leaves
+        assert_eq!(t.distance(0, 0), 0);
+        assert_eq!(t.distance(0, 1), 2); // siblings
+        assert_eq!(t.distance(0, 2), 4); // cousins
+        assert_eq!(t.distance(0, 7), 6); // opposite ends
+        assert_eq!(t.distance(6, 7), 2);
+    }
+
+    #[test]
+    fn distance_symmetric_and_triangle() {
+        let t = FatTreeTopo::cm5_style(2); // 16 leaves
+        for a in 0..16 {
+            for b in 0..16 {
+                assert_eq!(t.distance(a, b), t.distance(b, a));
+                for c in 0..16 {
+                    assert!(t.distance(a, c) <= t.distance(a, b) + t.distance(b, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_leaf_to_leaf_links() {
+        let t = FatTreeTopo::new(4, 2);
+        assert!(t.neighbors(3).is_empty());
+    }
+
+    #[test]
+    fn diameter_is_achieved() {
+        let t = FatTreeTopo::new(4, 3);
+        assert_eq!(t.distance(0, t.p() - 1), t.diameter());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity must be at least 2")]
+    fn unary_rejected() {
+        let _ = FatTreeTopo::new(1, 3);
+    }
+}

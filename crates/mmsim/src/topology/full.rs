@@ -1,0 +1,71 @@
+//! Fully connected topology — the paper's model of the CM-5 fat-tree.
+//!
+//! §9: "the fat-tree like communication network on the CM-5 provides
+//! simultaneous paths for communication between all pairs of processors.
+//! Hence the CM-5 can be viewed as a fully connected architecture."
+
+use serde::{Deserialize, Serialize};
+
+/// A fully connected network: every pair of distinct processors is one
+/// hop apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FullTopo {
+    p: usize,
+}
+
+impl FullTopo {
+    /// A fully connected network of `p` processors.
+    ///
+    /// # Panics
+    /// Panics if `p == 0`.
+    #[must_use]
+    pub fn new(p: usize) -> Self {
+        assert!(p > 0, "a machine needs at least one processor");
+        Self { p }
+    }
+
+    /// Number of processors.
+    #[must_use]
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// 0 for `a == b`, otherwise 1.
+    #[must_use]
+    pub fn distance(&self, a: usize, b: usize) -> usize {
+        usize::from(a != b)
+    }
+
+    /// All other ranks, ascending.
+    #[must_use]
+    pub fn neighbors(&self, rank: usize) -> Vec<usize> {
+        (0..self.p).filter(|&r| r != rank).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn everything_is_one_hop() {
+        let t = FullTopo::new(5);
+        for a in 0..5 {
+            for b in 0..5 {
+                assert_eq!(t.distance(a, b), usize::from(a != b));
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_everyone_else() {
+        let t = FullTopo::new(4);
+        assert_eq!(t.neighbors(2), vec![0, 1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn zero_rejected() {
+        let _ = FullTopo::new(0);
+    }
+}

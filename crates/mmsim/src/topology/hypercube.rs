@@ -1,0 +1,193 @@
+//! Binary hypercube topology and Gray-code embedding utilities.
+
+use serde::{Deserialize, Serialize};
+
+/// A binary `d`-cube: `2^d` processors, ranks are bit strings, two ranks
+/// are neighbours iff they differ in exactly one bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HypercubeTopo {
+    dim: u32,
+}
+
+impl HypercubeTopo {
+    /// A `dim`-dimensional hypercube (`dim = 0` is a single processor).
+    ///
+    /// # Panics
+    /// Panics if `dim > 30` (more than 2³⁰ simulated processors is
+    /// certainly a mistake).
+    #[must_use]
+    pub fn new(dim: u32) -> Self {
+        assert!(dim <= 30, "hypercube dimension {dim} is unreasonably large");
+        Self { dim }
+    }
+
+    /// Cube dimension `d = log2 p`.
+    #[must_use]
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+
+    /// Number of processors, `2^d`.
+    #[must_use]
+    pub fn p(&self) -> usize {
+        1usize << self.dim
+    }
+
+    /// Hamming distance between the two rank labels.
+    #[must_use]
+    pub fn distance(&self, a: usize, b: usize) -> usize {
+        (a ^ b).count_ones() as usize
+    }
+
+    /// Neighbours of `rank`: one per dimension, lowest dimension first.
+    #[must_use]
+    pub fn neighbors(&self, rank: usize) -> Vec<usize> {
+        (0..self.dim).map(|k| rank ^ (1 << k)).collect()
+    }
+
+    /// The neighbour of `rank` across dimension `k`.
+    ///
+    /// # Panics
+    /// Panics if `k >= dim`.
+    #[must_use]
+    pub fn neighbor_along(&self, rank: usize, k: u32) -> usize {
+        assert!(
+            k < self.dim,
+            "dimension {k} out of range for a {}-cube",
+            self.dim
+        );
+        rank ^ (1 << k)
+    }
+
+    /// The e-cube (dimension-ordered) route from `a` to `b`, excluding
+    /// `a` itself and including `b`.  Bits are corrected lowest first,
+    /// which is the standard deadlock-free order.
+    #[must_use]
+    pub fn ecube_route(&self, a: usize, b: usize) -> Vec<usize> {
+        let mut route = Vec::with_capacity(self.distance(a, b));
+        let mut cur = a;
+        for k in 0..self.dim {
+            let bit = 1usize << k;
+            if (cur ^ b) & bit != 0 {
+                cur ^= bit;
+                route.push(cur);
+            }
+        }
+        route
+    }
+}
+
+/// The binary-reflected Gray code of `i`.
+///
+/// Used to embed rings and wraparound meshes into hypercubes: consecutive
+/// Gray codes differ in one bit, so ring neighbours map to cube
+/// neighbours.
+#[must_use]
+pub fn gray(i: usize) -> usize {
+    i ^ (i >> 1)
+}
+
+/// Inverse of [`gray`]: the index whose Gray code is `g`.
+#[must_use]
+pub fn gray_inverse(g: usize) -> usize {
+    let mut n = 0;
+    let mut x = g;
+    while x != 0 {
+        n ^= x;
+        x >>= 1;
+    }
+    debug_assert_eq!(gray(n), g);
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_sizes() {
+        assert_eq!(HypercubeTopo::new(0).p(), 1);
+        assert_eq!(HypercubeTopo::new(3).p(), 8);
+        assert_eq!(HypercubeTopo::new(9).p(), 512);
+    }
+
+    #[test]
+    fn distance_is_hamming() {
+        let h = HypercubeTopo::new(4);
+        assert_eq!(h.distance(0b0000, 0b1111), 4);
+        assert_eq!(h.distance(0b1010, 0b1000), 1);
+        assert_eq!(h.distance(5, 5), 0);
+    }
+
+    #[test]
+    fn neighbors_flip_single_bits() {
+        let h = HypercubeTopo::new(3);
+        assert_eq!(h.neighbors(0b000), vec![0b001, 0b010, 0b100]);
+        assert_eq!(h.neighbors(0b101), vec![0b100, 0b111, 0b001]);
+    }
+
+    #[test]
+    fn neighbor_along_dimension() {
+        let h = HypercubeTopo::new(4);
+        assert_eq!(h.neighbor_along(0b0110, 0), 0b0111);
+        assert_eq!(h.neighbor_along(0b0110, 3), 0b1110);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension 3 out of range")]
+    fn neighbor_along_out_of_range() {
+        let _ = HypercubeTopo::new(3).neighbor_along(0, 3);
+    }
+
+    #[test]
+    fn ecube_route_lengths_and_endpoints() {
+        let h = HypercubeTopo::new(4);
+        for a in 0..16usize {
+            for b in 0..16usize {
+                let route = h.ecube_route(a, b);
+                assert_eq!(route.len(), h.distance(a, b));
+                if a != b {
+                    assert_eq!(*route.last().unwrap(), b);
+                }
+                // Each step is a neighbour hop.
+                let mut prev = a;
+                for &hop in &route {
+                    assert_eq!(h.distance(prev, hop), 1);
+                    prev = hop;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ecube_route_corrects_low_bits_first() {
+        let h = HypercubeTopo::new(3);
+        assert_eq!(h.ecube_route(0b000, 0b101), vec![0b001, 0b101]);
+    }
+
+    #[test]
+    fn gray_code_neighbour_property() {
+        for i in 0..255usize {
+            let d = (gray(i) ^ gray(i + 1)).count_ones();
+            assert_eq!(d, 1, "gray({i}) and gray({i}+1) must differ in one bit");
+        }
+    }
+
+    #[test]
+    fn gray_is_a_bijection_with_inverse() {
+        for i in 0..1024usize {
+            assert_eq!(gray_inverse(gray(i)), i);
+        }
+    }
+
+    #[test]
+    fn gray_wraparound_for_power_of_two_rings() {
+        // A ring of 2^k nodes embeds: the last and first codes also
+        // differ in exactly one bit.
+        for k in 1..8u32 {
+            let n = 1usize << k;
+            let d = (gray(0) ^ gray(n - 1)).count_ones();
+            assert_eq!(d, 1);
+        }
+    }
+}

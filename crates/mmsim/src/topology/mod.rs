@@ -1,0 +1,332 @@
+//! Interconnection topologies of the simulated multicomputer.
+//!
+//! The paper's algorithms target the hypercube and "related
+//! architectures": the 2-D wraparound mesh (which embeds in a hypercube
+//! via Gray codes) and, for the CM-5 experiments of §9, a fat-tree that
+//! the paper explicitly treats as a **fully connected** network.
+//!
+//! Under the paper's cut-through model with negligible per-hop time the
+//! topology does not change message cost; it determines *applicability*
+//! (which ranks exist, who is a neighbour), hop counts for the
+//! store-and-forward ablation, and route construction for the multi-hop
+//! relays of the DNS/GK algorithms.
+
+mod embedding;
+mod fattree;
+mod full;
+mod hypercube;
+mod ring;
+mod torus;
+
+pub use embedding::{gray_mesh_coords, gray_mesh_rank};
+pub use fattree::FatTreeTopo;
+pub use full::FullTopo;
+pub use hypercube::{gray, gray_inverse, HypercubeTopo};
+pub use ring::RingTopo;
+pub use torus::TorusTopo;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies a topology family without its parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TopologyKind {
+    /// Binary d-cube with `2^d` processors.
+    Hypercube,
+    /// 2-D wraparound mesh (torus).
+    Torus,
+    /// Fully connected network (the paper's model of the CM-5 fat-tree).
+    FullyConnected,
+    /// 1-D wraparound array.
+    Ring,
+    /// Fat tree of switches with processors at the leaves (the CM-5's
+    /// actual interconnect).
+    FatTree,
+}
+
+impl std::fmt::Display for TopologyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            TopologyKind::Hypercube => "hypercube",
+            TopologyKind::Torus => "torus",
+            TopologyKind::FullyConnected => "fully-connected",
+            TopologyKind::Ring => "ring",
+            TopologyKind::FatTree => "fat-tree",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A concrete interconnection network over ranks `0..p`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Topology {
+    /// Binary d-cube.
+    Hypercube(HypercubeTopo),
+    /// 2-D wraparound mesh.
+    Torus(TorusTopo),
+    /// Fully connected.
+    Full(FullTopo),
+    /// 1-D wraparound array.
+    Ring(RingTopo),
+    /// Fat tree (leaves only; switches are implicit in the distances).
+    FatTree(FatTreeTopo),
+}
+
+impl Topology {
+    /// A binary `dim`-cube with `2^dim` processors.
+    #[must_use]
+    pub fn hypercube(dim: u32) -> Self {
+        Topology::Hypercube(HypercubeTopo::new(dim))
+    }
+
+    /// The smallest hypercube holding exactly `p` processors.
+    ///
+    /// # Panics
+    /// Panics if `p` is not a power of two.
+    #[must_use]
+    pub fn hypercube_for(p: usize) -> Self {
+        assert!(
+            p.is_power_of_two(),
+            "hypercube size must be a power of two, got {p}"
+        );
+        Topology::hypercube(p.trailing_zeros())
+    }
+
+    /// A `rows × cols` wraparound mesh.
+    #[must_use]
+    pub fn torus(rows: usize, cols: usize) -> Self {
+        Topology::Torus(TorusTopo::new(rows, cols))
+    }
+
+    /// A square `q × q` wraparound mesh for `p = q²` processors.
+    ///
+    /// # Panics
+    /// Panics if `p` is not a perfect square.
+    #[must_use]
+    pub fn square_torus_for(p: usize) -> Self {
+        let q = (p as f64).sqrt().round() as usize;
+        assert_eq!(
+            q * q,
+            p,
+            "square torus size must be a perfect square, got {p}"
+        );
+        Topology::torus(q, q)
+    }
+
+    /// A fully connected network of `p` processors.
+    #[must_use]
+    pub fn fully_connected(p: usize) -> Self {
+        Topology::Full(FullTopo::new(p))
+    }
+
+    /// A 1-D wraparound array of `p` processors.
+    #[must_use]
+    pub fn ring(p: usize) -> Self {
+        Topology::Ring(RingTopo::new(p))
+    }
+
+    /// An `arity`-ary fat tree with `arity^height` leaf processors.
+    #[must_use]
+    pub fn fat_tree(arity: usize, height: u32) -> Self {
+        Topology::FatTree(FatTreeTopo::new(arity, height))
+    }
+
+    /// Number of processors.
+    #[must_use]
+    pub fn p(&self) -> usize {
+        match self {
+            Topology::Hypercube(t) => t.p(),
+            Topology::Torus(t) => t.p(),
+            Topology::Full(t) => t.p(),
+            Topology::Ring(t) => t.p(),
+            Topology::FatTree(t) => t.p(),
+        }
+    }
+
+    /// Which family this topology belongs to.
+    #[must_use]
+    pub fn kind(&self) -> TopologyKind {
+        match self {
+            Topology::Hypercube(_) => TopologyKind::Hypercube,
+            Topology::Torus(_) => TopologyKind::Torus,
+            Topology::Full(_) => TopologyKind::FullyConnected,
+            Topology::Ring(_) => TopologyKind::Ring,
+            Topology::FatTree(_) => TopologyKind::FatTree,
+        }
+    }
+
+    /// Number of hops on a shortest path between two ranks.
+    ///
+    /// # Panics
+    /// Panics if either rank is out of range.
+    #[must_use]
+    pub fn distance(&self, a: usize, b: usize) -> usize {
+        self.check_rank(a);
+        self.check_rank(b);
+        match self {
+            Topology::Hypercube(t) => t.distance(a, b),
+            Topology::Torus(t) => t.distance(a, b),
+            Topology::Full(t) => t.distance(a, b),
+            Topology::Ring(t) => t.distance(a, b),
+            Topology::FatTree(t) => t.distance(a, b),
+        }
+    }
+
+    /// Whether `a` and `b` are directly connected (distance exactly 1).
+    #[must_use]
+    pub fn are_neighbors(&self, a: usize, b: usize) -> bool {
+        a != b && self.distance(a, b) == 1
+    }
+
+    /// The direct neighbours of `rank`, in a deterministic order.
+    #[must_use]
+    pub fn neighbors(&self, rank: usize) -> Vec<usize> {
+        self.check_rank(rank);
+        match self {
+            Topology::Hypercube(t) => t.neighbors(rank),
+            Topology::Torus(t) => t.neighbors(rank),
+            Topology::Full(t) => t.neighbors(rank),
+            Topology::Ring(t) => t.neighbors(rank),
+            Topology::FatTree(t) => t.neighbors(rank),
+        }
+    }
+
+    /// Degree (number of ports) of each processor.
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        if self.p() == 1 {
+            return 0;
+        }
+        self.neighbors(0).len()
+    }
+
+    /// Network diameter: the largest shortest-path distance.
+    #[must_use]
+    pub fn diameter(&self) -> usize {
+        match self {
+            Topology::Hypercube(t) => t.dim() as usize,
+            Topology::Torus(t) => t.rows() / 2 + t.cols() / 2,
+            Topology::Full(t) => usize::from(t.p() > 1),
+            Topology::Ring(t) => t.p() / 2,
+            Topology::FatTree(t) => t.diameter(),
+        }
+    }
+
+    fn check_rank(&self, r: usize) {
+        assert!(
+            r < self.p(),
+            "rank {r} out of range for {} topology of {} processors",
+            self.kind(),
+            self.p()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_topologies() -> Vec<Topology> {
+        vec![
+            Topology::hypercube(4),
+            Topology::torus(4, 4),
+            Topology::fully_connected(16),
+            Topology::ring(16),
+            Topology::fat_tree(4, 2),
+        ]
+    }
+
+    #[test]
+    fn distances_are_metric() {
+        for topo in all_topologies() {
+            let p = topo.p();
+            for a in 0..p {
+                assert_eq!(topo.distance(a, a), 0, "{topo:?}");
+                for b in 0..p {
+                    assert_eq!(topo.distance(a, b), topo.distance(b, a), "{topo:?}");
+                    for c in 0..p {
+                        assert!(
+                            topo.distance(a, c) <= topo.distance(a, b) + topo.distance(b, c),
+                            "triangle inequality violated in {topo:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_are_at_distance_one() {
+        for topo in all_topologies() {
+            for a in 0..topo.p() {
+                for &b in &topo.neighbors(a) {
+                    assert_eq!(topo.distance(a, b), 1, "{topo:?}");
+                    assert!(topo.are_neighbors(a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn diameter_is_achieved_and_not_exceeded() {
+        for topo in all_topologies() {
+            let p = topo.p();
+            let max = (0..p)
+                .flat_map(|a| (0..p).map(move |b| (a, b)))
+                .map(|(a, b)| topo.distance(a, b))
+                .max()
+                .unwrap();
+            assert_eq!(max, topo.diameter(), "{topo:?}");
+        }
+    }
+
+    #[test]
+    fn hypercube_degree_is_log_p() {
+        assert_eq!(Topology::hypercube(5).degree(), 5);
+    }
+
+    #[test]
+    fn torus_degree_is_four() {
+        assert_eq!(Topology::torus(4, 4).degree(), 4);
+        // Degenerate 2x2 torus: wrap links coincide.
+        assert_eq!(Topology::torus(2, 2).degree(), 2);
+    }
+
+    #[test]
+    fn hypercube_for_rejects_non_power_of_two() {
+        assert!(std::panic::catch_unwind(|| Topology::hypercube_for(12)).is_err());
+        assert_eq!(Topology::hypercube_for(64).p(), 64);
+    }
+
+    #[test]
+    fn square_torus_for_rejects_non_square() {
+        assert!(std::panic::catch_unwind(|| Topology::square_torus_for(12)).is_err());
+        assert_eq!(Topology::square_torus_for(49).p(), 49);
+    }
+
+    #[test]
+    fn rank_bounds_checked() {
+        let t = Topology::ring(4);
+        assert!(std::panic::catch_unwind(|| t.distance(0, 4)).is_err());
+    }
+
+    #[test]
+    fn single_processor_degenerate_cases() {
+        let t = Topology::fully_connected(1);
+        assert_eq!(t.degree(), 0);
+        assert_eq!(t.diameter(), 0);
+        let h = Topology::hypercube(0);
+        assert_eq!(h.p(), 1);
+        assert_eq!(h.diameter(), 0);
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(Topology::hypercube(2).kind().to_string(), "hypercube");
+        assert_eq!(Topology::torus(2, 2).kind().to_string(), "torus");
+        assert_eq!(
+            Topology::fully_connected(2).kind().to_string(),
+            "fully-connected"
+        );
+        assert_eq!(Topology::ring(2).kind().to_string(), "ring");
+    }
+}

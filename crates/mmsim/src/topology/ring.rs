@@ -1,0 +1,89 @@
+//! 1-D wraparound array (ring) topology.
+
+use serde::{Deserialize, Serialize};
+
+/// A ring of `p` processors; rank `i` is adjacent to `i±1 (mod p)`.
+///
+/// Rings embed into hypercubes via Gray codes (see
+/// [`crate::topology::gray`]); several collectives use ring phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RingTopo {
+    p: usize,
+}
+
+impl RingTopo {
+    /// A ring of `p` processors.
+    ///
+    /// # Panics
+    /// Panics if `p == 0`.
+    #[must_use]
+    pub fn new(p: usize) -> Self {
+        assert!(p > 0, "a machine needs at least one processor");
+        Self { p }
+    }
+
+    /// Number of processors.
+    #[must_use]
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// Wraparound distance.
+    #[must_use]
+    pub fn distance(&self, a: usize, b: usize) -> usize {
+        let d = a.abs_diff(b);
+        d.min(self.p - d)
+    }
+
+    /// The one or two ring neighbours.
+    #[must_use]
+    pub fn neighbors(&self, rank: usize) -> Vec<usize> {
+        match self.p {
+            1 => vec![],
+            2 => vec![1 - rank],
+            _ => vec![(rank + self.p - 1) % self.p, (rank + 1) % self.p],
+        }
+    }
+
+    /// The rank `steps` clockwise (ascending direction) from `rank`.
+    #[must_use]
+    pub fn successor(&self, rank: usize, steps: usize) -> usize {
+        (rank + steps % self.p) % self.p
+    }
+
+    /// The rank `steps` counter-clockwise from `rank`.
+    #[must_use]
+    pub fn predecessor(&self, rank: usize, steps: usize) -> usize {
+        (rank + self.p - steps % self.p) % self.p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_wraps() {
+        let r = RingTopo::new(8);
+        assert_eq!(r.distance(0, 7), 1);
+        assert_eq!(r.distance(0, 4), 4);
+        assert_eq!(r.distance(2, 6), 4);
+    }
+
+    #[test]
+    fn successor_predecessor_invert() {
+        let r = RingTopo::new(7);
+        for rank in 0..7 {
+            for steps in 0..20 {
+                assert_eq!(r.predecessor(r.successor(rank, steps), steps), rank);
+            }
+        }
+    }
+
+    #[test]
+    fn small_rings_neighbor_counts() {
+        assert!(RingTopo::new(1).neighbors(0).is_empty());
+        assert_eq!(RingTopo::new(2).neighbors(0), vec![1]);
+        assert_eq!(RingTopo::new(3).neighbors(0), vec![2, 1]);
+    }
+}

@@ -1,0 +1,194 @@
+//! 2-D wraparound mesh (torus) topology.
+
+use serde::{Deserialize, Serialize};
+
+/// A `rows × cols` wraparound mesh.  Ranks are row-major:
+/// `rank = row * cols + col`.  Each processor has north/south/east/west
+/// links with wraparound, which is the "wrap-around mesh" the paper's
+/// Cannon and Fox algorithms run on (§4.2–§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TorusTopo {
+    rows: usize,
+    cols: usize,
+}
+
+impl TorusTopo {
+    /// A `rows × cols` torus.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(
+            rows > 0 && cols > 0,
+            "torus dimensions must be positive, got {rows}x{cols}"
+        );
+        Self { rows, cols }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of processors.
+    #[must_use]
+    pub fn p(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// `(row, col)` coordinates of `rank`.
+    #[must_use]
+    pub fn coords(&self, rank: usize) -> (usize, usize) {
+        (rank / self.cols, rank % self.cols)
+    }
+
+    /// Rank at `(row, col)` (coordinates taken modulo the mesh size, so
+    /// relative displacements can be passed directly).
+    #[must_use]
+    pub fn rank_at(&self, row: usize, col: usize) -> usize {
+        (row % self.rows) * self.cols + (col % self.cols)
+    }
+
+    /// Wraparound (ring) distance along one axis of length `len`.
+    fn ring_dist(len: usize, a: usize, b: usize) -> usize {
+        let d = a.abs_diff(b);
+        d.min(len - d)
+    }
+
+    /// Shortest-path hop count: sum of the wrap distances per axis.
+    #[must_use]
+    pub fn distance(&self, a: usize, b: usize) -> usize {
+        let (ar, ac) = self.coords(a);
+        let (br, bc) = self.coords(b);
+        Self::ring_dist(self.rows, ar, br) + Self::ring_dist(self.cols, ac, bc)
+    }
+
+    /// West, east, north, south neighbours (deduplicated on degenerate
+    /// axes of length 1 or 2).
+    #[must_use]
+    pub fn neighbors(&self, rank: usize) -> Vec<usize> {
+        let (r, c) = self.coords(rank);
+        let candidates = [
+            self.rank_at(r, c + self.cols - 1), // west
+            self.rank_at(r, c + 1),             // east
+            self.rank_at(r + self.rows - 1, c), // north
+            self.rank_at(r + 1, c),             // south
+        ];
+        let mut out = Vec::with_capacity(4);
+        for cand in candidates {
+            if cand != rank && !out.contains(&cand) {
+                out.push(cand);
+            }
+        }
+        out
+    }
+
+    /// The rank `steps` to the west (left) with wraparound — the
+    /// direction Cannon's algorithm rolls the A blocks.
+    #[must_use]
+    pub fn west(&self, rank: usize, steps: usize) -> usize {
+        let (r, c) = self.coords(rank);
+        self.rank_at(r, c + self.cols - (steps % self.cols))
+    }
+
+    /// The rank `steps` to the east (right) with wraparound.
+    #[must_use]
+    pub fn east(&self, rank: usize, steps: usize) -> usize {
+        let (r, c) = self.coords(rank);
+        self.rank_at(r, c + steps)
+    }
+
+    /// The rank `steps` to the north (up) with wraparound — the direction
+    /// Cannon's algorithm rolls the B blocks.
+    #[must_use]
+    pub fn north(&self, rank: usize, steps: usize) -> usize {
+        let (r, c) = self.coords(rank);
+        self.rank_at(r + self.rows - (steps % self.rows), c)
+    }
+
+    /// The rank `steps` to the south (down) with wraparound.
+    #[must_use]
+    pub fn south(&self, rank: usize, steps: usize) -> usize {
+        let (r, c) = self.coords(rank);
+        self.rank_at(r + steps, c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coords_round_trip() {
+        let t = TorusTopo::new(3, 5);
+        for rank in 0..t.p() {
+            let (r, c) = t.coords(rank);
+            assert_eq!(t.rank_at(r, c), rank);
+        }
+    }
+
+    #[test]
+    fn distance_wraps_around() {
+        let t = TorusTopo::new(4, 4);
+        // (0,0) to (3,3): wrap distance 1 + 1.
+        assert_eq!(t.distance(t.rank_at(0, 0), t.rank_at(3, 3)), 2);
+        // (0,0) to (2,2): 2 + 2 either way.
+        assert_eq!(t.distance(t.rank_at(0, 0), t.rank_at(2, 2)), 4);
+    }
+
+    #[test]
+    fn directional_moves_compose_and_invert() {
+        let t = TorusTopo::new(5, 7);
+        for rank in 0..t.p() {
+            assert_eq!(t.east(t.west(rank, 3), 3), rank);
+            assert_eq!(t.south(t.north(rank, 2), 2), rank);
+            assert_eq!(t.west(rank, 7), rank, "full column wrap is identity");
+            assert_eq!(t.north(rank, 5), rank, "full row wrap is identity");
+        }
+    }
+
+    #[test]
+    fn neighbors_unique_and_adjacent() {
+        let t = TorusTopo::new(4, 4);
+        for rank in 0..t.p() {
+            let n = t.neighbors(rank);
+            assert_eq!(n.len(), 4);
+            for &x in &n {
+                assert_eq!(t.distance(rank, x), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_axes_deduplicate_neighbors() {
+        let t = TorusTopo::new(1, 4);
+        // Row axis has length 1: only east/west remain.
+        assert_eq!(t.neighbors(0).len(), 2);
+        let t2 = TorusTopo::new(2, 2);
+        // Both axes have length 2: wrap and step coincide.
+        assert_eq!(t2.neighbors(0).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "torus dimensions must be positive")]
+    fn zero_dimension_rejected() {
+        let _ = TorusTopo::new(0, 4);
+    }
+
+    #[test]
+    fn west_shift_matches_cannon_rolling() {
+        // On a 3x3 torus, rolling rank 3 (row 1, col 0) one step west
+        // lands on (1, 2) = rank 5.
+        let t = TorusTopo::new(3, 3);
+        assert_eq!(t.west(3, 1), 5);
+        assert_eq!(t.north(0, 1), 6);
+    }
+}

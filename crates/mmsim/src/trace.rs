@@ -1,0 +1,152 @@
+//! Optional per-processor event tracing.
+//!
+//! When enabled on the [`crate::Machine`], every virtual processor
+//! records a timeline of its compute, send, receive and wait events.
+//! Traces are deterministic (they follow the virtual clocks) and are
+//! used by the examples for Gantt-style inspection and by tests as an
+//! independent witness of the accounting invariants.
+
+use serde::{Deserialize, Serialize};
+
+/// One event on a virtual processor's timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// Useful computation.
+    Compute {
+        /// Virtual start time.
+        start: f64,
+        /// Duration in work units.
+        duration: f64,
+    },
+    /// A message injection (sender side).
+    Send {
+        /// Virtual start time (clock when the send was issued).
+        start: f64,
+        /// Sender occupancy.
+        duration: f64,
+        /// Destination rank.
+        dst: usize,
+        /// Payload words.
+        words: usize,
+        /// Application tag.
+        tag: u64,
+    },
+    /// A matched receive; `waited` is the idle time incurred.
+    Recv {
+        /// Virtual time at which the receive call was made.
+        start: f64,
+        /// Idle time until the message arrived (0 if it was already
+        /// there).
+        waited: f64,
+        /// Source rank.
+        src: usize,
+        /// Payload words.
+        words: usize,
+        /// Application tag.
+        tag: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Virtual time at which the event began.
+    #[must_use]
+    pub fn start(&self) -> f64 {
+        match self {
+            TraceEvent::Compute { start, .. }
+            | TraceEvent::Send { start, .. }
+            | TraceEvent::Recv { start, .. } => *start,
+        }
+    }
+
+    /// Time the event occupied on the processor (compute duration,
+    /// sender occupancy, or wait time).
+    #[must_use]
+    pub fn occupancy(&self) -> f64 {
+        match self {
+            TraceEvent::Compute { duration, .. } | TraceEvent::Send { duration, .. } => *duration,
+            TraceEvent::Recv { waited, .. } => *waited,
+        }
+    }
+}
+
+/// A processor's full timeline.
+pub type Timeline = Vec<TraceEvent>;
+
+/// Render a compact textual Gantt strip for one timeline (for examples
+/// and debugging; `width` characters for `[0, horizon]`).
+#[must_use]
+pub fn render_strip(timeline: &[TraceEvent], horizon: f64, width: usize) -> String {
+    assert!(width > 0 && horizon > 0.0);
+    let mut strip = vec!['.'; width];
+    for ev in timeline {
+        let glyph = match ev {
+            TraceEvent::Compute { .. } => '#',
+            TraceEvent::Send { .. } => '>',
+            TraceEvent::Recv { .. } => 'w',
+        };
+        let from = ((ev.start() / horizon) * width as f64) as usize;
+        let to = (((ev.start() + ev.occupancy()) / horizon) * width as f64).ceil() as usize;
+        for cell in strip
+            .iter_mut()
+            .take(to.min(width))
+            .skip(from.min(width.saturating_sub(1)))
+        {
+            *cell = glyph;
+        }
+    }
+    strip.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_accessors() {
+        let c = TraceEvent::Compute {
+            start: 1.0,
+            duration: 2.0,
+        };
+        assert_eq!(c.start(), 1.0);
+        assert_eq!(c.occupancy(), 2.0);
+        let r = TraceEvent::Recv {
+            start: 5.0,
+            waited: 3.0,
+            src: 0,
+            words: 4,
+            tag: 9,
+        };
+        assert_eq!(r.start(), 5.0);
+        assert_eq!(r.occupancy(), 3.0);
+    }
+
+    #[test]
+    fn strip_renders_in_order() {
+        let tl = vec![
+            TraceEvent::Compute {
+                start: 0.0,
+                duration: 5.0,
+            },
+            TraceEvent::Send {
+                start: 5.0,
+                duration: 5.0,
+                dst: 1,
+                words: 3,
+                tag: 0,
+            },
+        ];
+        let s = render_strip(&tl, 10.0, 10);
+        assert_eq!(s, "#####>>>>>");
+    }
+
+    #[test]
+    fn strip_clamps_overflow() {
+        let tl = vec![TraceEvent::Compute {
+            start: 8.0,
+            duration: 100.0,
+        }];
+        let s = render_strip(&tl, 10.0, 10);
+        assert_eq!(s.len(), 10);
+        assert!(s.ends_with("##"));
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests of the engine's virtual-time semantics.
+
+use mmsim::{CostModel, Machine, Topology};
+use proptest::prelude::*;
+
+/// Arbitrary small machines.
+fn cost_strategy() -> impl Strategy<Value = CostModel> {
+    (0.0f64..200.0, 0.0f64..8.0).prop_map(|(ts, tw)| CostModel::new(ts, tw))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A lone compute advances the clock by exactly the requested work,
+    /// for any processor count.
+    #[test]
+    fn compute_only_time(p in 1usize..16, units in 0.0f64..1e6) {
+        let machine = Machine::new(Topology::fully_connected(p), CostModel::unit());
+        let r = machine.run(|proc| proc.compute(units));
+        prop_assert_eq!(r.t_parallel, units);
+        prop_assert!(r.stats.iter().all(|s| s.clock == units));
+    }
+
+    /// Ring shift: T_p equals the per-hop cost regardless of p, words,
+    /// or machine constants (symmetric schedule, no idle).
+    #[test]
+    fn ring_shift_cost(p in 2usize..24, words in 0usize..64, cost in cost_strategy()) {
+        let machine = Machine::new(Topology::ring(p), cost);
+        let r = machine.run(|proc| {
+            let p = proc.p();
+            let right = (proc.rank() + 1) % p;
+            let left = (proc.rank() + p - 1) % p;
+            proc.send(right, 1, vec![1.5; words]);
+            proc.recv(left, 1);
+        });
+        let hop = cost.t_s + cost.t_w * words as f64;
+        prop_assert!((r.t_parallel - hop).abs() < 1e-9);
+        prop_assert_eq!(r.total_idle(), 0.0);
+    }
+
+    /// The accounting invariant clock = compute + comm + idle holds for
+    /// an arbitrary interleaving of compute and neighbour exchanges.
+    #[test]
+    fn accounting_invariant(
+        p in 2usize..12,
+        ops in proptest::collection::vec((0.0f64..100.0, 0usize..32), 1..8),
+        cost in cost_strategy(),
+    ) {
+        let machine = Machine::new(Topology::fully_connected(p), cost);
+        let ops2 = ops.clone();
+        let r = machine.run(move |proc| {
+            let partner = proc.rank() ^ 1;
+            for (step, &(work, words)) in ops2.iter().enumerate() {
+                proc.compute(work);
+                if partner < proc.p() {
+                    proc.exchange(partner, step as u64, vec![0.0; words]);
+                }
+            }
+        });
+        for s in &r.stats {
+            prop_assert!(s.is_consistent(1e-6), "{s:?}");
+        }
+    }
+
+    /// Virtual time is invariant under host-level nondeterminism: two
+    /// runs of a randomized-shape workload agree exactly.
+    #[test]
+    fn determinism(
+        p_exp in 1u32..4,
+        words in 1usize..64,
+        rounds in 1usize..6,
+        cost in cost_strategy(),
+    ) {
+        let p = 1usize << p_exp;
+        let machine = Machine::new(Topology::hypercube_for(p), cost);
+        let run = || machine.run(|proc| {
+            for k in 0..p_exp {
+                let partner = proc.rank() ^ (1 << k);
+                for s in 0..rounds {
+                    proc.exchange(partner, (u64::from(k) << 32) | s as u64, vec![1.0; words]);
+                    proc.compute(words as f64);
+                }
+            }
+            proc.now()
+        });
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.t_parallel, b.t_parallel);
+        prop_assert_eq!(a.results, b.results);
+        for (x, y) in a.stats.iter().zip(&b.stats) {
+            prop_assert_eq!(x, y);
+        }
+    }
+
+    /// Message conservation: sends == receives when every message is
+    /// consumed, and total words match.
+    #[test]
+    fn message_conservation(p in 2usize..10, words in 0usize..32) {
+        let machine = Machine::new(Topology::fully_connected(p), CostModel::unit());
+        let r = machine.run(|proc| {
+            // Everyone sends to everyone else, then receives all.
+            let me = proc.rank();
+            for dst in 0..proc.p() {
+                if dst != me {
+                    proc.send(dst, me as u64, vec![0.25; words]);
+                }
+            }
+            for src in 0..proc.p() {
+                if src != me {
+                    proc.recv(src, src as u64);
+                }
+            }
+        });
+        let msgs = r.stats.iter().map(|s| s.msgs_sent).sum::<u64>();
+        let recvd = r.stats.iter().map(|s| s.msgs_received).sum::<u64>();
+        prop_assert_eq!(msgs, (p * (p - 1)) as u64);
+        prop_assert_eq!(recvd, msgs);
+        prop_assert_eq!(r.total_words(), (p * (p - 1) * words) as u64);
+        prop_assert!(r.stats.iter().all(|s| s.unreceived == 0));
+    }
+
+    /// T_p is monotone in both t_s and t_w for a fixed communication
+    /// pattern.
+    #[test]
+    fn time_monotone_in_costs(p in 2usize..8, words in 1usize..32) {
+        let pattern = |machine: &Machine| {
+            machine.run(|proc| {
+                let partner = proc.rank() ^ 1;
+                if partner < proc.p() {
+                    proc.exchange(partner, 0, vec![1.0; words]);
+                }
+                proc.compute(10.0);
+            }).t_parallel
+        };
+        let base = pattern(&Machine::new(Topology::fully_connected(p), CostModel::new(5.0, 1.0)));
+        let more_ts = pattern(&Machine::new(Topology::fully_connected(p), CostModel::new(9.0, 1.0)));
+        let more_tw = pattern(&Machine::new(Topology::fully_connected(p), CostModel::new(5.0, 2.5)));
+        prop_assert!(more_ts >= base);
+        prop_assert!(more_tw >= base);
+    }
+}

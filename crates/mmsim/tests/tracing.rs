@@ -1,0 +1,122 @@
+//! Tests of the optional event-tracing facility.
+
+use mmsim::{CostModel, Machine, Topology, TraceEvent};
+
+fn traced_machine(p: usize) -> Machine {
+    Machine::new(Topology::fully_connected(p), CostModel::unit()).with_trace()
+}
+
+#[test]
+fn disabled_by_default() {
+    let m = Machine::new(Topology::fully_connected(2), CostModel::unit());
+    let r = m.run(|proc| proc.compute(5.0));
+    assert!(r.traces.iter().all(Vec::is_empty));
+}
+
+#[test]
+fn compute_events_recorded() {
+    let r = traced_machine(1).run(|proc| {
+        proc.compute(5.0);
+        proc.compute(7.0);
+    });
+    let tl = &r.traces[0];
+    assert_eq!(tl.len(), 2);
+    assert_eq!(
+        tl[0],
+        TraceEvent::Compute {
+            start: 0.0,
+            duration: 5.0
+        }
+    );
+    assert_eq!(
+        tl[1],
+        TraceEvent::Compute {
+            start: 5.0,
+            duration: 7.0
+        }
+    );
+}
+
+#[test]
+fn send_recv_events_with_wait() {
+    let r = traced_machine(2).run(|proc| {
+        if proc.rank() == 0 {
+            proc.compute(10.0);
+            proc.send(1, 3, vec![1.0; 4]); // occupancy 5, arrival 15
+        } else {
+            proc.recv(0, 3);
+        }
+    });
+    assert_eq!(
+        r.traces[0][1],
+        TraceEvent::Send {
+            start: 10.0,
+            duration: 5.0,
+            dst: 1,
+            words: 4,
+            tag: 3
+        }
+    );
+    assert_eq!(
+        r.traces[1][0],
+        TraceEvent::Recv {
+            start: 0.0,
+            waited: 15.0,
+            src: 0,
+            words: 4,
+            tag: 3
+        }
+    );
+}
+
+#[test]
+fn timeline_occupancies_sum_to_clock() {
+    let r = traced_machine(4).run(|proc| {
+        let partner = proc.rank() ^ 1;
+        proc.compute(3.0);
+        proc.exchange(partner, 0, vec![0.0; 8]);
+        proc.compute_adds(6);
+    });
+    for (s, tl) in r.stats.iter().zip(&r.traces) {
+        let total: f64 = tl.iter().map(TraceEvent::occupancy).sum();
+        assert!(
+            (total - s.clock).abs() < 1e-9,
+            "timeline occupancy {total} vs clock {}",
+            s.clock
+        );
+    }
+}
+
+#[test]
+fn traces_are_deterministic() {
+    let run = || {
+        traced_machine(8).run(|proc| {
+            for k in 0..3u32 {
+                let partner = proc.rank() ^ (1 << k);
+                proc.exchange(partner, u64::from(k), vec![1.0; 16]);
+                proc.compute(4.0);
+            }
+        })
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.traces, b.traces);
+}
+
+#[test]
+fn strip_rendering_from_real_run() {
+    let r = traced_machine(2).run(|proc| {
+        if proc.rank() == 0 {
+            proc.compute(50.0);
+            proc.send(1, 0, vec![0.0; 48]); // occupancy 50
+        } else {
+            proc.recv(0, 0);
+        }
+    });
+    let strip = mmsim::trace::render_strip(&r.traces[0], r.t_parallel, 20);
+    assert_eq!(strip.len(), 20);
+    assert!(strip.starts_with("#########"));
+    assert!(strip.ends_with(">"));
+    let strip1 = mmsim::trace::render_strip(&r.traces[1], r.t_parallel, 20);
+    assert!(strip1.contains('w'));
+}

@@ -1,0 +1,192 @@
+//! The algorithms compared in the paper and their applicability ranges.
+
+use serde::{Deserialize, Serialize};
+
+/// A parallel matrix-multiplication formulation analysed by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// The all-to-all-broadcast algorithm of §4.1.
+    Simple,
+    /// Cannon's algorithm (§4.2).
+    Cannon,
+    /// Fox's algorithm, pipelined mesh formulation, Eq. (4).
+    FoxPipelined,
+    /// Fox's algorithm with the hypercube one-to-all broadcast (§4.3).
+    FoxHypercube,
+    /// Berntsen's subcube algorithm (§4.4).
+    Berntsen,
+    /// Dekel–Nassimi–Sahni with blocks (§4.5.2), Eq. (6).
+    Dns,
+    /// The paper's GK variant of DNS (§4.6), Eq. (7).
+    Gk,
+    /// GK with the Johnsson–Ho one-to-all broadcast (§5.4.1).
+    GkImproved,
+}
+
+impl Algorithm {
+    /// The four algorithms compared head-to-head in §5.5–§6 and
+    /// Figures 1–3 (the simple algorithm and Fox's differ from Cannon's
+    /// only by constant factors and are skipped there, §5.5).
+    pub const COMPARED: [Algorithm; 4] = [
+        Algorithm::Berntsen,
+        Algorithm::Cannon,
+        Algorithm::Gk,
+        Algorithm::Dns,
+    ];
+
+    /// All modelled formulations.
+    pub const ALL: [Algorithm; 8] = [
+        Algorithm::Simple,
+        Algorithm::Cannon,
+        Algorithm::FoxPipelined,
+        Algorithm::FoxHypercube,
+        Algorithm::Berntsen,
+        Algorithm::Dns,
+        Algorithm::Gk,
+        Algorithm::GkImproved,
+    ];
+
+    /// The region letter used in Figures 1–3 (`a` = GK, `b` = Berntsen,
+    /// `c` = Cannon, `d` = DNS); `None` for the formulations not in the
+    /// comparison.
+    #[must_use]
+    pub fn region_letter(self) -> Option<char> {
+        match self {
+            Algorithm::Gk => Some('a'),
+            Algorithm::Berntsen => Some('b'),
+            Algorithm::Cannon => Some('c'),
+            Algorithm::Dns => Some('d'),
+            _ => None,
+        }
+    }
+
+    /// Whether the formulation can use `p` processors on an `n×n`
+    /// problem — the "Range of Applicability" column of Table 1,
+    /// evaluated on real-valued `n` and `p` (the analytic comparison
+    /// ignores divisibility, as the paper does).
+    #[must_use]
+    pub fn applicable(self, n: f64, p: f64) -> bool {
+        if n < 1.0 || p < 1.0 {
+            return false;
+        }
+        match self {
+            // p <= n²: one block element per processor at the limit.
+            Algorithm::Simple
+            | Algorithm::Cannon
+            | Algorithm::FoxPipelined
+            | Algorithm::FoxHypercube => p <= n * n,
+            // p <= n^{3/2} (§4.4).
+            Algorithm::Berntsen => p <= n.powf(1.5),
+            // n² <= p <= n³ (§4.5.2).
+            Algorithm::Dns => n * n <= p && p <= n * n * n,
+            // 1 <= p <= n³ (§4.6).
+            Algorithm::Gk => p <= n * n * n,
+            // Same structural range as GK, but the Johnsson–Ho packet
+            // floor additionally requires n³ ≳ (t_s/t_w)^{3/2}·p·(log p)^{3/2}
+            // — that machine-dependent floor is modelled in
+            // `crate::allport`/`crate::isoefficiency`, not here.
+            Algorithm::GkImproved => p <= n * n * n,
+        }
+    }
+
+    /// Largest usable processor count for an `n×n` problem — the
+    /// concurrency bound `h(W)` of §5.
+    #[must_use]
+    pub fn max_processors(self, n: f64) -> f64 {
+        match self {
+            Algorithm::Simple
+            | Algorithm::Cannon
+            | Algorithm::FoxPipelined
+            | Algorithm::FoxHypercube => n * n,
+            Algorithm::Berntsen => n.powf(1.5),
+            Algorithm::Dns | Algorithm::Gk | Algorithm::GkImproved => n * n * n,
+        }
+    }
+
+    /// Short stable identifier (for CSV output).
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            Algorithm::Simple => "simple",
+            Algorithm::Cannon => "cannon",
+            Algorithm::FoxPipelined => "fox-pipelined",
+            Algorithm::FoxHypercube => "fox-hypercube",
+            Algorithm::Berntsen => "berntsen",
+            Algorithm::Dns => "dns",
+            Algorithm::Gk => "gk",
+            Algorithm::GkImproved => "gk-improved",
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Algorithm::Simple => "Simple (all-to-all broadcast)",
+            Algorithm::Cannon => "Cannon's",
+            Algorithm::FoxPipelined => "Fox's (pipelined)",
+            Algorithm::FoxHypercube => "Fox's (hypercube broadcast)",
+            Algorithm::Berntsen => "Berntsen's",
+            Algorithm::Dns => "DNS",
+            Algorithm::Gk => "GK",
+            Algorithm::GkImproved => "GK (improved broadcast)",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_letters_match_paper() {
+        assert_eq!(Algorithm::Gk.region_letter(), Some('a'));
+        assert_eq!(Algorithm::Berntsen.region_letter(), Some('b'));
+        assert_eq!(Algorithm::Cannon.region_letter(), Some('c'));
+        assert_eq!(Algorithm::Dns.region_letter(), Some('d'));
+        assert_eq!(Algorithm::Simple.region_letter(), None);
+    }
+
+    #[test]
+    fn applicability_ranges_table1() {
+        let n = 64.0;
+        // Berntsen: p <= n^{3/2} = 512.
+        assert!(Algorithm::Berntsen.applicable(n, 512.0));
+        assert!(!Algorithm::Berntsen.applicable(n, 513.0));
+        // Cannon: p <= n² = 4096.
+        assert!(Algorithm::Cannon.applicable(n, 4096.0));
+        assert!(!Algorithm::Cannon.applicable(n, 4097.0));
+        // GK: p <= n³.
+        assert!(Algorithm::Gk.applicable(n, n * n * n));
+        assert!(!Algorithm::Gk.applicable(n, n * n * n + 1.0));
+        // DNS: n² <= p <= n³.
+        assert!(!Algorithm::Dns.applicable(n, 4095.0));
+        assert!(Algorithm::Dns.applicable(n, 4096.0));
+        assert!(Algorithm::Dns.applicable(n, n * n * n));
+    }
+
+    #[test]
+    fn degenerate_inputs_not_applicable() {
+        assert!(!Algorithm::Cannon.applicable(0.5, 1.0));
+        assert!(!Algorithm::Gk.applicable(4.0, 0.5));
+    }
+
+    #[test]
+    fn max_processors_is_the_applicability_edge() {
+        for alg in Algorithm::ALL {
+            let n = 16.0;
+            let h = alg.max_processors(n);
+            assert!(alg.applicable(n, h), "{alg} at its own limit");
+            assert!(!alg.applicable(n, h * 1.01), "{alg} beyond its limit");
+        }
+    }
+
+    #[test]
+    fn ids_unique() {
+        let mut ids: Vec<_> = Algorithm::ALL.iter().map(|a| a.id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), Algorithm::ALL.len());
+    }
+}

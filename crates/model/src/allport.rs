@@ -1,0 +1,139 @@
+//! All-port communication analysis (paper §7, Eq. 16–17).
+//!
+//! On machines like the nCUBE2 the hardware can drive all `log p` ports
+//! of a processor simultaneously.  §7 shows this does **not** improve
+//! the overall scalability of matrix multiplication: the collectives
+//! only reach their all-port bandwidth when each processor has enough
+//! data to fill every channel, and that message-size floor forces the
+//! problem size to grow *faster* than the single-port isoefficiency
+//! function.
+
+use crate::isoefficiency::AsymptoticClass;
+use crate::machine::MachineParams;
+
+/// Eq. (16): the simple algorithm with all-port communication,
+/// `T_p = n³/p + 2·t_w·n²/(√p·log p) + (1/2)·t_s·log p`.
+#[must_use]
+pub fn simple_allport_time(n: f64, p: f64, m: MachineParams) -> f64 {
+    if p <= 1.0 {
+        return n.powi(3);
+    }
+    let lg = p.log2();
+    n.powi(3) / p + 2.0 * m.t_w * n * n / (p.sqrt() * lg) + 0.5 * m.t_s * lg
+}
+
+/// Eq. (17): the GK algorithm with all-port communication,
+/// `T_p = n³/p + t_s·log p + 9·t_w·n²/(p^{2/3}·log p)
+///        + 6·(n/p^{1/3})·sqrt(t_s·t_w)`.
+#[must_use]
+pub fn gk_allport_time(n: f64, p: f64, m: MachineParams) -> f64 {
+    if p <= 1.0 {
+        return n.powi(3);
+    }
+    let lg = p.log2();
+    n.powi(3) / p
+        + m.t_s * lg
+        + 9.0 * m.t_w * n * n / (p.powf(2.0 / 3.0) * lg)
+        + 6.0 * (n / p.cbrt()) * (m.t_s * m.t_w).sqrt()
+}
+
+/// §7.1: the message-size floor of the all-port simple algorithm,
+/// `n ≥ (1/2)·√p·log p`, as the minimum `W = n³`:
+/// `W ≥ (1/8)·p^{1.5}·(log p)³`.
+#[must_use]
+pub fn simple_allport_w_floor(p: f64) -> f64 {
+    let lg = p.log2().max(1.0);
+    0.125 * p.powf(1.5) * lg.powi(3)
+}
+
+/// §7.2: the message-size floor of the all-port GK algorithm,
+/// `W = O(p·(log p)³)`.
+#[must_use]
+pub fn gk_allport_w_floor(p: f64) -> f64 {
+    let lg = p.log2().max(1.0);
+    p * lg.powi(3)
+}
+
+/// The *effective* isoefficiency class with all-port hardware: the max
+/// of the communication isoefficiency and the message-size floor —
+/// §7.3's conclusion that all-port hardware does not improve overall
+/// scalability.
+#[must_use]
+pub fn effective_allport_class(single_port: AsymptoticClass) -> AsymptoticClass {
+    // Simple: the all-port communication isoefficiency improves to
+    // O(p log p), but the message-size floor is p^{1.5}(log p)³ —
+    // strictly worse than the single-port O(p^{1.5}).  GK: the floor
+    // is p(log p)³, exactly its single-port class.  In every case the
+    // effective class is unchanged — that is §7.3's theorem, and why
+    // this function is the identity.
+    single_port
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineParams;
+    use crate::time::{gk_time, simple_time};
+
+    const M: MachineParams = MachineParams {
+        t_s: 150.0,
+        t_w: 3.0,
+    };
+
+    #[test]
+    fn allport_times_beat_single_port_pointwise() {
+        // For particular (n, p) the all-port variants are faster — §7.3
+        // concedes "there will be certain values of n and p for which
+        // the modified algorithm will perform better".
+        let (n, p) = (4096.0f64, 4096.0f64);
+        assert!(simple_allport_time(n, p, M) < simple_time(n, p, M));
+        assert!(gk_allport_time(n, p, M) < gk_time(n, p, M));
+    }
+
+    #[test]
+    fn simple_floor_grows_faster_than_single_port_iso() {
+        // §7.1: the floor p^{1.5}(log p)³/8 exceeds the O(p^{1.5})
+        // single-port isoefficiency for all large p.
+        for p in [1.0e4, 1.0e6, 1.0e9] {
+            assert!(simple_allport_w_floor(p) > p.powf(1.5));
+        }
+    }
+
+    #[test]
+    fn gk_floor_matches_naive_broadcast_class() {
+        // §7.2: the floor W = p (log p)³ "is not any better" than the
+        // single-port GK isoefficiency class.
+        let p = 1.0e6f64;
+        let lg = p.log2();
+        assert!((gk_allport_w_floor(p) - p * lg.powi(3)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn effective_classes_unchanged() {
+        assert_eq!(
+            effective_allport_class(AsymptoticClass::P15),
+            AsymptoticClass::P15
+        );
+        assert_eq!(
+            effective_allport_class(AsymptoticClass::PLogP3),
+            AsymptoticClass::PLogP3
+        );
+    }
+
+    #[test]
+    fn eq16_spot_value() {
+        let (n, p) = (64.0f64, 64.0f64);
+        let expect = n.powi(3) / p + 2.0 * 3.0 * n * n / (8.0 * 6.0) + 0.5 * 150.0 * 6.0;
+        assert!((simple_allport_time(n, p, M) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq17_spot_value() {
+        let (n, p) = (64.0f64, 64.0f64);
+        let expect = n.powi(3) / p
+            + 150.0 * 6.0
+            + 9.0 * 3.0 * n * n / (16.0 * 6.0)
+            + 6.0 * (n / 4.0) * (150.0f64 * 3.0).sqrt();
+        assert!((gk_allport_time(n, p, M) - expect).abs() < 1e-9);
+    }
+}

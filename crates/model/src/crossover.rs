@@ -1,0 +1,184 @@
+//! Equal-overhead analysis (paper §6, Eq. 15): for a pair of algorithms
+//! and a processor count, the matrix size `n_{Equal-T_o}(p)` at which
+//! their total overheads coincide.
+
+use crate::algorithm::Algorithm;
+use crate::machine::MachineParams;
+use crate::overhead::overhead_fig;
+
+/// Eq. (15): the closed-form GK-vs-Cannon equal-overhead curve,
+///
+/// ```text
+/// n_{Equal-T_o}(p) = sqrt( ((5/3)·p·log p − 2·p^{3/2})·t_s
+///                        / ((2·√p − (5/3)·p^{1/3}·log p)·t_w) )
+/// ```
+///
+/// Returns `None` where the quotient is negative (no finite crossover:
+/// one algorithm dominates for every `n`).
+#[must_use]
+pub fn gk_vs_cannon_closed_form(p: f64, m: MachineParams) -> Option<f64> {
+    let lg = p.log2();
+    let num = ((5.0 / 3.0) * p * lg - 2.0 * p.powf(1.5)) * m.t_s;
+    let den = (2.0 * p.sqrt() - (5.0 / 3.0) * p.cbrt() * lg) * m.t_w;
+    let q = num / den;
+    (q.is_finite() && q > 0.0).then(|| q.sqrt())
+}
+
+/// §6 in-text: the processor count beyond which the GK algorithm's
+/// `t_w` overhead term is smaller than Cannon's *regardless of `n`*
+/// (`2·√p = (5/3)·p^{1/3}·log p`, ≈ 1.3×10⁸).
+#[must_use]
+pub fn gk_tw_term_crossover_p() -> f64 {
+    // Solve 2 p^{1/2} = (5/3) p^{1/3} log2 p  ⇔  p^{1/6} = (5/6) log2 p.
+    bisect(
+        |p| p.powf(1.0 / 6.0) - (5.0 / 6.0) * p.log2(),
+        1.0e6,
+        1.0e12,
+    )
+    .expect("the t_w crossover exists between 1e6 and 1e12")
+}
+
+/// General equal-overhead matrix size for two algorithms at `p`:
+/// the `n` where `T_o^{(a)}(n, p) = T_o^{(b)}(n, p)`, searched over
+/// `n ∈ [1, 2^40]` in log space.  Returns `None` if the difference
+/// never changes sign (one algorithm's overhead dominates everywhere).
+///
+/// Applicability ranges are deliberately ignored — the paper plots the
+/// curves across the whole plane and overlays the range boundaries
+/// separately (Figures 1–3).
+#[must_use]
+pub fn n_equal_overhead(a: Algorithm, b: Algorithm, p: f64, m: MachineParams) -> Option<f64> {
+    let f = |n: f64| overhead_fig(a, n, p, m) - overhead_fig(b, n, p, m);
+    // Scan for a sign change across log-spaced n.
+    let mut prev_n = 1.0f64;
+    let mut prev = f(prev_n);
+    let steps = 400;
+    for i in 1..=steps {
+        let n = 2.0f64.powf(40.0 * i as f64 / steps as f64);
+        let cur = f(n);
+        if prev == 0.0 {
+            return Some(prev_n);
+        }
+        if prev.signum() != cur.signum() {
+            return bisect(f, prev_n, n);
+        }
+        prev = cur;
+        prev_n = n;
+    }
+    None
+}
+
+/// Bisection root-finder on `[lo, hi]`; requires a sign change.
+fn bisect(f: impl Fn(f64) -> f64, mut lo: f64, mut hi: f64) -> Option<f64> {
+    let (flo, fhi) = (f(lo), f(hi));
+    if flo == 0.0 {
+        return Some(lo);
+    }
+    if fhi == 0.0 {
+        return Some(hi);
+    }
+    if flo.signum() == fhi.signum() {
+        return None;
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        let fm = f(mid);
+        if fm == 0.0 {
+            return Some(mid);
+        }
+        if fm.signum() == flo.signum() {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(0.5 * (lo + hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::overhead::overhead;
+
+    #[test]
+    fn tw_crossover_is_about_130_million() {
+        // §6: "the t_w term of the GK algorithm becomes smaller than
+        // that of Cannon's algorithm for p > 130 million".
+        let p = gk_tw_term_crossover_p();
+        assert!((1.0e8..2.0e8).contains(&p), "expected ≈1.3e8, got {p:.3e}");
+        assert!((p - 1.3e8).abs() / 1.3e8 < 0.15, "got {p:.3e}");
+    }
+
+    #[test]
+    fn closed_form_matches_general_solver() {
+        let m = MachineParams::ncube2();
+        for p in [64.0, 1024.0, 65_536.0] {
+            let closed = gk_vs_cannon_closed_form(p, m);
+            let general = n_equal_overhead(Algorithm::Gk, Algorithm::Cannon, p, m);
+            match (closed, general) {
+                (Some(a), Some(b)) => {
+                    assert!((a - b).abs() / a < 1e-3, "p={p}: closed {a} vs general {b}")
+                }
+                (None, None) => {}
+                other => panic!("p={p}: closed-form and solver disagree: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn gk_better_below_crossover_cannon_above() {
+        let m = MachineParams::ncube2();
+        let p = 1024.0;
+        let n_star = gk_vs_cannon_closed_form(p, m).expect("crossover exists");
+        let below = overhead(Algorithm::Gk, n_star / 2.0, p, m)
+            < overhead(Algorithm::Cannon, n_star / 2.0, p, m);
+        let above = overhead(Algorithm::Gk, n_star * 2.0, p, m)
+            > overhead(Algorithm::Cannon, n_star * 2.0, p, m);
+        assert!(below, "GK should win below n* = {n_star}");
+        assert!(above, "Cannon should win above n* = {n_star}");
+    }
+
+    #[test]
+    fn no_crossover_beyond_tw_flip() {
+        // Past p ≈ 1.3e8 the GK t_w term is smaller too, so GK's
+        // overhead is smaller for every n: no crossover.
+        let m = MachineParams::new(0.0, 3.0);
+        assert!(gk_vs_cannon_closed_form(1.0e9, m).is_none());
+    }
+
+    #[test]
+    fn berntsen_vs_cannon_always_berntsen() {
+        // Berntsen's overhead is smaller than Cannon's for all
+        // practically relevant (n, p): no sign change.
+        let m = MachineParams::ncube2();
+        assert_eq!(
+            n_equal_overhead(Algorithm::Berntsen, Algorithm::Cannon, 4096.0, m),
+            None
+        );
+    }
+
+    #[test]
+    fn dns_vs_gk_footnote3() {
+        // Footnote 3: the DNS-vs-GK crossover exists but crosses
+        // p = n³ only around p ≈ 2.6e18 — for practical p the curve
+        // lies in the x region.  Here we just assert a crossover n
+        // exists at large p and is enormous.
+        let m = MachineParams::ncube2();
+        let p = 1.0e6;
+        if let Some(n) = n_equal_overhead(Algorithm::Dns, Algorithm::Gk, p, m) {
+            // DNS can only be applicable when p >= n², i.e. n <= 1000;
+            // the crossover must lie far beyond that.
+            assert!(
+                n > 1000.0,
+                "crossover n = {n} should be outside DNS's range"
+            );
+        }
+    }
+
+    #[test]
+    fn bisect_finds_simple_roots() {
+        let root = bisect(|x| x * x - 4.0, 0.0, 10.0).unwrap();
+        assert!((root - 2.0).abs() < 1e-9);
+        assert!(bisect(|x| x * x + 1.0, -10.0, 10.0).is_none());
+    }
+}

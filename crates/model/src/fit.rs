@@ -1,0 +1,197 @@
+//! Estimating machine constants from observed timings — the reverse of
+//! the prediction direction, and what §9 of the paper actually did: the
+//! authors *measured* `t_s = 380 µs` and `t_w = 1.8 µs` from their
+//! implementation (their footnote 5) before plugging them into the
+//! equations.
+//!
+//! Given samples `(m_words, time)` of point-to-point transfers, the
+//! model `time = t_s + t_w·m` is linear in `(t_s, t_w)` and a
+//! least-squares fit recovers both constants; [`fit_from_parallel_times`]
+//! does the same from whole-algorithm timings where the equation is
+//! linear in the constants too (all of Eq. 2–7 are).
+
+use crate::algorithm::Algorithm;
+use crate::machine::MachineParams;
+
+/// Least-squares fit of `time = t_s + t_w·m` from `(words, time)`
+/// samples.  Returns `None` with fewer than two distinct sizes.
+#[must_use]
+pub fn fit_linear(samples: &[(f64, f64)]) -> Option<MachineParams> {
+    if samples.len() < 2 {
+        return None;
+    }
+    let n = samples.len() as f64;
+    let sx: f64 = samples.iter().map(|s| s.0).sum();
+    let sy: f64 = samples.iter().map(|s| s.1).sum();
+    let sxx: f64 = samples.iter().map(|s| s.0 * s.0).sum();
+    let sxy: f64 = samples.iter().map(|s| s.0 * s.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None; // all message sizes identical
+    }
+    let t_w = (n * sxy - sx * sy) / denom;
+    let t_s = (sy - t_w * sx) / n;
+    (t_s >= -1e-9 && t_w >= -1e-9).then(|| MachineParams::new(t_s.max(0.0), t_w.max(0.0)))
+}
+
+/// Whether the algorithm's `T_p` equation is affine in `(t_s, t_w)`.
+/// Eq. (2)–(7) all are; the Johnsson–Ho-based refinements
+/// (`FoxHypercube`, `GkImproved`) carry a `sqrt(t_s·t_w·log p)` cross
+/// term and are not.
+#[must_use]
+pub fn is_affine(alg: Algorithm) -> bool {
+    !matches!(alg, Algorithm::FoxHypercube | Algorithm::GkImproved)
+}
+
+/// The per-`(n, p)` coefficients `(a, b, c)` of
+/// `T_p = a + b·t_s + c·t_w` for an [affine](is_affine) algorithm.
+///
+/// # Panics
+/// Panics for the non-affine formulations.
+#[must_use]
+pub fn coefficients(alg: Algorithm, n: f64, p: f64) -> (f64, f64, f64) {
+    assert!(is_affine(alg), "{alg} is not affine in (t_s, t_w)");
+    let zero = MachineParams::new(0.0, 0.0);
+    let only_ts = MachineParams::new(1.0, 0.0);
+    let only_tw = MachineParams::new(0.0, 1.0);
+    let a = crate::time::parallel_time(alg, n, p, zero);
+    let b = crate::time::parallel_time(alg, n, p, only_ts) - a;
+    let c = crate::time::parallel_time(alg, n, p, only_tw) - a;
+    (a, b, c)
+}
+
+/// Recover `(t_s, t_w)` by least squares from whole-algorithm parallel
+/// times: samples are `(n, p, observed T_p)` for a single algorithm.
+/// Returns `None` if the system is degenerate (fewer than two samples
+/// or collinear coefficient rows).
+#[must_use]
+pub fn fit_from_parallel_times(
+    alg: Algorithm,
+    samples: &[(f64, f64, f64)],
+) -> Option<MachineParams> {
+    if samples.len() < 2 {
+        return None;
+    }
+    // Normal equations for min ||y - B·ts - C·tw||² where
+    // y = T_p - a(n, p).
+    let (mut sbb, mut sbc, mut scc, mut sby, mut scy) = (0.0, 0.0, 0.0, 0.0, 0.0);
+    for &(n, p, t) in samples {
+        let (a, b, c) = coefficients(alg, n, p);
+        let y = t - a;
+        sbb += b * b;
+        sbc += b * c;
+        scc += c * c;
+        sby += b * y;
+        scy += c * y;
+    }
+    let det = sbb * scc - sbc * sbc;
+    if det.abs() < 1e-9 * (sbb * scc).max(1.0) {
+        return None;
+    }
+    let t_s = (sby * scc - scy * sbc) / det;
+    let t_w = (scy * sbb - sby * sbc) / det;
+    (t_s >= -1e-6 && t_w >= -1e-6).then(|| MachineParams::new(t_s.max(0.0), t_w.max(0.0)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::parallel_time;
+
+    #[test]
+    fn linear_fit_recovers_constants_exactly() {
+        let truth = MachineParams::cm5();
+        let samples: Vec<(f64, f64)> = [1usize, 16, 256, 4096]
+            .iter()
+            .map(|&m| (m as f64, truth.t_s + truth.t_w * m as f64))
+            .collect();
+        let fit = fit_linear(&samples).expect("solvable");
+        assert!((fit.t_s - truth.t_s).abs() < 1e-6);
+        assert!((fit.t_w - truth.t_w).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_fit_degenerate_cases() {
+        assert!(fit_linear(&[(4.0, 10.0)]).is_none());
+        assert!(fit_linear(&[(4.0, 10.0), (4.0, 12.0)]).is_none());
+    }
+
+    #[test]
+    fn linear_fit_tolerates_noise() {
+        let truth = MachineParams::new(100.0, 2.0);
+        let samples: Vec<(f64, f64)> = (1..=20)
+            .map(|k| {
+                let m = (k * 50) as f64;
+                // ±1% deterministic "noise".
+                let noise = 1.0 + 0.01 * if k % 2 == 0 { 1.0 } else { -1.0 };
+                (m, (truth.t_s + truth.t_w * m) * noise)
+            })
+            .collect();
+        let fit = fit_linear(&samples).expect("solvable");
+        assert!(
+            (fit.t_w - truth.t_w).abs() / truth.t_w < 0.03,
+            "t_w = {}",
+            fit.t_w
+        );
+    }
+
+    #[test]
+    fn coefficients_reconstruct_the_equation() {
+        for alg in Algorithm::ALL.into_iter().filter(|&a| is_affine(a)) {
+            let (n, p) = (64.0, 64.0);
+            let (a, b, c) = coefficients(alg, n, p);
+            for m in [MachineParams::ncube2(), MachineParams::cm5()] {
+                let direct = parallel_time(alg, n, p, m);
+                let viacoef = a + b * m.t_s + c * m.t_w;
+                assert!(
+                    (direct - viacoef).abs() / direct < 1e-9,
+                    "{alg}: T_p must be affine in (t_s, t_w)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_affine_algorithms_rejected() {
+        assert!(!is_affine(Algorithm::FoxHypercube));
+        assert!(!is_affine(Algorithm::GkImproved));
+        assert!(is_affine(Algorithm::Cannon));
+        assert!(
+            std::panic::catch_unwind(|| coefficients(Algorithm::GkImproved, 64.0, 64.0)).is_err()
+        );
+    }
+
+    #[test]
+    fn parallel_time_fit_recovers_constants() {
+        let truth = MachineParams::ncube2();
+        for alg in [Algorithm::Cannon, Algorithm::Gk, Algorithm::Berntsen] {
+            let samples: Vec<(f64, f64, f64)> =
+                [(32.0, 16.0), (64.0, 64.0), (128.0, 256.0), (256.0, 64.0)]
+                    .iter()
+                    .map(|&(n, p)| (n, p, parallel_time(alg, n, p, truth)))
+                    .collect();
+            let fit = fit_from_parallel_times(alg, &samples).expect("solvable");
+            assert!(
+                (fit.t_s - truth.t_s).abs() < 1e-3,
+                "{alg}: t_s = {}",
+                fit.t_s
+            );
+            assert!(
+                (fit.t_w - truth.t_w).abs() < 1e-6,
+                "{alg}: t_w = {}",
+                fit.t_w
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_time_fit_degenerate() {
+        assert!(fit_from_parallel_times(Algorithm::Cannon, &[(64.0, 16.0, 1.0)]).is_none());
+        // Identical (n, p) rows are collinear.
+        assert!(fit_from_parallel_times(
+            Algorithm::Cannon,
+            &[(64.0, 16.0, 1.0), (64.0, 16.0, 1.0)]
+        )
+        .is_none());
+    }
+}

@@ -1,0 +1,48 @@
+//! # model — analytic performance and scalability models
+//!
+//! Closed-form reproductions of every equation, table and figure in
+//! *Gupta & Kumar, "Scalability of Parallel Algorithms for Matrix
+//! Multiplication"* (ICPP 1993):
+//!
+//! * [`time`] — parallel execution times `T_p(n, p)` (Eq. 2–7 and the
+//!   Fox variants of §4.3);
+//! * [`overhead`] — total overhead functions `T_o = p·T_p − W`
+//!   (Table 1) and efficiency/speedup helpers;
+//! * [`isoefficiency`] — the isoefficiency terms of §5 (Eq. 8–14),
+//!   asymptotic classes, and a numeric isoefficiency solver;
+//! * [`crossover`] — equal-overhead curves `n_{Equal-T_o}(p)` (Eq. 15
+//!   and its generalisation to every algorithm pair);
+//! * [`regions`] — the best-algorithm region maps of Figures 1–3;
+//! * [`allport`] — the all-port communication analysis of §7
+//!   (Eq. 16–17 and the message-size floors);
+//! * [`technology`] — the §8 analysis of communication/computation
+//!   speed trade-offs ("more processors vs faster processors");
+//! * [`cm5`] — the CM-5 specialisation of §9 (Eq. 18) behind
+//!   Figures 4–5;
+//! * [`table1`] — the Table 1 generator;
+//! * [`memory`] — per-processor memory requirements (§4.1/§4.4 notes);
+//! * [`saturation`] — fixed-problem speedup saturation and scaled
+//!   speedup along the isoefficiency curve (§3).
+//!
+//! Everything is a pure function of `(n, p, machine)` — no simulation —
+//! so region maps over 2³⁰ processors cost microseconds.  The `algos`
+//! crate provides the executable counterparts; the integration tests
+//! cross-check the two.
+
+pub mod algorithm;
+pub mod allport;
+pub mod cm5;
+pub mod crossover;
+pub mod fit;
+pub mod isoefficiency;
+pub mod machine;
+pub mod memory;
+pub mod overhead;
+pub mod regions;
+pub mod saturation;
+pub mod table1;
+pub mod technology;
+pub mod time;
+
+pub use algorithm::Algorithm;
+pub use machine::MachineParams;

@@ -1,0 +1,92 @@
+//! Machine parameters of the analytic models.
+
+use serde::{Deserialize, Serialize};
+
+/// Communication constants of a machine, normalised to its unit
+/// computation time (one multiply–add), exactly as in §2 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MachineParams {
+    /// Message startup time.
+    pub t_s: f64,
+    /// Per-word transfer time.
+    pub t_w: f64,
+}
+
+impl MachineParams {
+    /// A machine with the given normalised constants.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite parameters.
+    #[must_use]
+    pub fn new(t_s: f64, t_w: f64) -> Self {
+        assert!(
+            t_s >= 0.0 && t_s.is_finite(),
+            "t_s must be finite and non-negative"
+        );
+        assert!(
+            t_w >= 0.0 && t_w.is_finite(),
+            "t_w must be finite and non-negative"
+        );
+        Self { t_s, t_w }
+    }
+
+    /// Figure 1's machine: `t_w = 3`, `t_s = 150` (nCUBE2-class).
+    #[must_use]
+    pub fn ncube2() -> Self {
+        Self::new(150.0, 3.0)
+    }
+
+    /// Figure 2's machine: `t_w = 3`, `t_s = 10` (near-future MIMD).
+    #[must_use]
+    pub fn future_mimd() -> Self {
+        Self::new(10.0, 3.0)
+    }
+
+    /// Figure 3's machine: `t_w = 3`, `t_s = 0.5` (CM-2-class SIMD).
+    #[must_use]
+    pub fn simd_cm2() -> Self {
+        Self::new(0.5, 3.0)
+    }
+
+    /// The §9 CM-5 constants normalised by the measured 1.53 µs
+    /// multiply–add: `t_s ≈ 248.37`, `t_w ≈ 1.176`.
+    #[must_use]
+    pub fn cm5() -> Self {
+        Self::new(380.0 / 1.53, 1.8 / 1.53)
+    }
+
+    /// The same machine with `k`-times faster processors: communication
+    /// hardware unchanged, so the *normalised* constants grow `k`-fold
+    /// (§8).
+    #[must_use]
+    pub fn with_cpu_speedup(self, k: f64) -> Self {
+        assert!(k > 0.0, "speedup factor must be positive");
+        Self::new(self.t_s * k, self.t_w * k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        assert_eq!(MachineParams::ncube2(), MachineParams::new(150.0, 3.0));
+        assert_eq!(MachineParams::future_mimd().t_s, 10.0);
+        assert_eq!(MachineParams::simd_cm2().t_s, 0.5);
+        assert!((MachineParams::cm5().t_w - 1.17647).abs() < 1e-4);
+    }
+
+    #[test]
+    fn cpu_speedup_scales_both_constants() {
+        let m = MachineParams::new(10.0, 2.0).with_cpu_speedup(5.0);
+        assert_eq!(m.t_s, 50.0);
+        assert_eq!(m.t_w, 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_speedup_rejected() {
+        let _ = MachineParams::ncube2().with_cpu_speedup(0.0);
+    }
+}

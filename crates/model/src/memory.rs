@@ -1,0 +1,123 @@
+//! Per-processor memory requirements of the algorithms (the paper's
+//! §4.1 and §4.4 memory-efficiency remarks, systematised).
+//!
+//! A *memory-efficient* formulation uses `O(n²/p)` words per processor
+//! (`O(n²)` total, like the serial algorithm); the simple algorithm and
+//! Berntsen's algorithm exceed this, which the paper calls out
+//! explicitly.
+
+use crate::algorithm::Algorithm;
+
+/// Words resident per processor at the algorithm's peak, exact
+/// constants included.
+#[must_use]
+pub fn words_per_processor(alg: Algorithm, n: f64, p: f64) -> f64 {
+    let n2 = n * n;
+    match alg {
+        // Own A/B blocks + gathered block-row and block-column + C:
+        // (2√p + 1)·n²/p  (§4.1: O(n²/√p)).
+        Algorithm::Simple => (2.0 * p.sqrt() + 1.0) * n2 / p,
+        // A, B and C blocks only.
+        Algorithm::Cannon => 3.0 * n2 / p,
+        // Like Cannon plus the broadcast buffer for the row's A block.
+        Algorithm::FoxPipelined | Algorithm::FoxHypercube => 4.0 * n2 / p,
+        // §4.4: 2n²/p + n²/p^{2/3}.
+        Algorithm::Berntsen => 2.0 * n2 / p + n2 / p.powf(2.0 / 3.0),
+        // One element of A, B, C each (superprocessor blocks are spread
+        // one element per real processor).
+        Algorithm::Dns => 3.0,
+        // A, B and C blocks of (n/p^{1/3})² elements: 3·n²/p^{2/3}.
+        Algorithm::Gk | Algorithm::GkImproved => 3.0 * n2 / p.powf(2.0 / 3.0),
+    }
+}
+
+/// Total memory across the machine, in words.
+#[must_use]
+pub fn words_total(alg: Algorithm, n: f64, p: f64) -> f64 {
+    words_per_processor(alg, n, p) * p
+}
+
+/// Whether the formulation is memory efficient in the paper's sense:
+/// total storage `O(n²)` with a constant independent of `p`.
+#[must_use]
+pub fn is_memory_efficient(alg: Algorithm) -> bool {
+    match alg {
+        Algorithm::Cannon | Algorithm::FoxPipelined | Algorithm::FoxHypercube => true,
+        // Simple: O(n²√p) total (§4.1 "memory-inefficient").
+        // Berntsen: 2n²+n²p^{1/3} total (§4.4 "not memory efficient").
+        // GK: 3n²p^{1/3} total (each block replicated over p^{1/3}).
+        // DNS: O(1) per processor but p = n²r processors — total
+        // 3n²r, the stage-1 broadcast replicates every element r-fold.
+        Algorithm::Simple
+        | Algorithm::Berntsen
+        | Algorithm::Gk
+        | Algorithm::GkImproved
+        | Algorithm::Dns => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cannon_is_memory_efficient() {
+        // Total memory 3n², independent of p.
+        let n = 1024.0;
+        let t1 = words_total(Algorithm::Cannon, n, 16.0);
+        let t2 = words_total(Algorithm::Cannon, n, 4096.0);
+        assert_eq!(t1, t2);
+        assert_eq!(t1, 3.0 * n * n);
+        assert!(is_memory_efficient(Algorithm::Cannon));
+    }
+
+    #[test]
+    fn simple_total_grows_with_sqrt_p() {
+        // §4.1: O(n²√p) total.
+        let n = 1024.0;
+        let t1 = words_total(Algorithm::Simple, n, 64.0);
+        let t2 = words_total(Algorithm::Simple, n, 256.0);
+        // √(256/64) = 2 growth in the dominant term.
+        assert!(t2 / t1 > 1.8 && t2 / t1 < 2.1, "ratio {}", t2 / t1);
+        assert!(!is_memory_efficient(Algorithm::Simple));
+    }
+
+    #[test]
+    fn berntsen_formula_matches_paper() {
+        // §4.4: 2n²/p + n²/p^{2/3} per processor.
+        let (n, p) = (64.0f64, 64.0f64);
+        let expect = 2.0 * n * n / p + n * n / 16.0;
+        let got = words_per_processor(Algorithm::Berntsen, n, p);
+        assert!((got - expect).abs() / expect < 1e-12, "{got} vs {expect}");
+        assert!(!is_memory_efficient(Algorithm::Berntsen));
+    }
+
+    #[test]
+    fn gk_replicates_over_cube_axis() {
+        // Total = 3n²·p^{1/3}: each operand block lives on p^{1/3}
+        // processors after the spread.
+        let (n, p) = (64.0f64, 512.0f64);
+        let got = words_total(Algorithm::Gk, n, p);
+        let expect = 3.0 * n * n * 8.0;
+        assert!((got - expect).abs() / expect < 1e-12, "{got} vs {expect}");
+        assert!(!is_memory_efficient(Algorithm::Gk));
+    }
+
+    #[test]
+    fn dns_constant_per_processor_but_replicated_total() {
+        let p = 64.0 * 64.0 * 8.0; // r = 8
+        assert_eq!(words_per_processor(Algorithm::Dns, 64.0, p), 3.0);
+        // Total 3n²r: the r-fold stage-1 replication makes the total
+        // grow with p, so DNS is not memory efficient overall.
+        assert_eq!(words_total(Algorithm::Dns, 64.0, p), 3.0 * p);
+        assert!(!is_memory_efficient(Algorithm::Dns));
+    }
+
+    #[test]
+    fn per_processor_times_p_is_total() {
+        for alg in Algorithm::ALL {
+            let (n, p) = (256.0, 64.0);
+            assert!((words_per_processor(alg, n, p) * p - words_total(alg, n, p)).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Fixed-problem speedup saturation (the paper's §3 motivation) and
+//! scaled speedup under isoefficiency growth.
+//!
+//! "Given a parallel architecture and a problem instance of a fixed
+//! size, the speedup ... tends to saturate or peak at a certain value"
+//! — these helpers locate that peak and demonstrate the complementary
+//! fact that growing `W` along the isoefficiency function keeps the
+//! speedup linear in `p`.
+
+use crate::algorithm::Algorithm;
+use crate::isoefficiency::iso_n_numeric;
+use crate::machine::MachineParams;
+use crate::overhead::speedup;
+
+/// Speedup series `(p, S(p))` for a fixed `n` over the given processor
+/// counts (inapplicable points are skipped).
+#[must_use]
+pub fn speedup_curve(alg: Algorithm, n: f64, m: MachineParams, ps: &[f64]) -> Vec<(f64, f64)> {
+    ps.iter()
+        .filter(|&&p| alg.applicable(n, p))
+        .map(|&p| (p, speedup(alg, n, p, m)))
+        .collect()
+}
+
+/// The processor count (a power of two ≤ the concurrency limit) that
+/// maximises the speedup for a fixed `n`, together with that speedup.
+#[must_use]
+pub fn optimal_p(alg: Algorithm, n: f64, m: MachineParams) -> (f64, f64) {
+    let mut best = (1.0, speedup(alg, n, 1.0, m));
+    let mut p = 2.0;
+    while alg.applicable(n, p) {
+        let s = speedup(alg, n, p, m);
+        if s > best.1 {
+            best = (p, s);
+        }
+        p *= 2.0;
+    }
+    best
+}
+
+/// Scaled-speedup series: at each `p`, grow the problem to the
+/// isoefficiency size for target efficiency `e` and report
+/// `(p, n(p), S)`.  The speedup stays ≈ `e·p` — the defining property
+/// of a scalable system (§3).
+#[must_use]
+pub fn scaled_speedup_curve(
+    alg: Algorithm,
+    e: f64,
+    m: MachineParams,
+    ps: &[f64],
+) -> Vec<(f64, f64, f64)> {
+    ps.iter()
+        .filter_map(|&p| {
+            let n = iso_n_numeric(alg, p, e, m)?;
+            Some((p, n, speedup(alg, n, p, m)))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const M: MachineParams = MachineParams {
+        t_s: 150.0,
+        t_w: 3.0,
+    };
+
+    #[test]
+    fn speedup_rises_then_falls() {
+        let ps: Vec<f64> = (0..12).map(|k| 2.0f64.powi(k)).collect();
+        let curve = speedup_curve(Algorithm::Cannon, 64.0, M, &ps);
+        assert!(curve.len() >= 6);
+        // Rising at the start…
+        assert!(curve[1].1 > curve[0].1);
+        // …and the maximum is interior (saturation within the range).
+        let max_idx = curve
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1 .1.total_cmp(&b.1 .1))
+            .unwrap()
+            .0;
+        assert!(
+            max_idx > 0 && max_idx < curve.len() - 1,
+            "peak at {max_idx}"
+        );
+    }
+
+    #[test]
+    fn optimal_p_grows_with_n() {
+        let (p1, _) = optimal_p(Algorithm::Cannon, 64.0, M);
+        let (p2, _) = optimal_p(Algorithm::Cannon, 1024.0, M);
+        assert!(p2 > p1, "bigger problems saturate later: {p1} vs {p2}");
+    }
+
+    #[test]
+    fn optimal_speedup_is_a_maximum() {
+        let n = 256.0;
+        let (p_star, s_star) = optimal_p(Algorithm::Cannon, n, M);
+        for p in [p_star / 2.0, p_star * 2.0] {
+            if Algorithm::Cannon.applicable(n, p) {
+                assert!(speedup(Algorithm::Cannon, n, p, M) <= s_star);
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_speedup_is_linear_in_p() {
+        // Along the isoefficiency curve, S = e·p exactly (that is the
+        // definition); the numeric pipeline should reproduce it.
+        let e = 0.6;
+        let ps: Vec<f64> = (4..12).map(|k| 2.0f64.powi(k)).collect();
+        let curve = scaled_speedup_curve(Algorithm::Gk, e, M, &ps);
+        assert_eq!(curve.len(), ps.len());
+        for (p, _, s) in curve {
+            assert!(
+                (s - e * p).abs() / (e * p) < 1e-3,
+                "S({p}) = {s}, want {}",
+                e * p
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_problem_grows_with_isoefficiency_class() {
+        let e = 0.5;
+        let curve = scaled_speedup_curve(Algorithm::Cannon, e, M, &[256.0, 1024.0]);
+        let w0 = curve[0].1.powi(3);
+        let w1 = curve[1].1.powi(3);
+        // O(p^1.5): quadrupling p grows W by 8.
+        assert!((w1 / w0 - 8.0).abs() < 0.8, "W ratio {}", w1 / w0);
+    }
+}

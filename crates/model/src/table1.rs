@@ -1,0 +1,119 @@
+//! Table 1 of the paper: overhead functions, asymptotic isoefficiency
+//! and ranges of applicability of the compared algorithms.
+
+use serde::{Deserialize, Serialize};
+
+use crate::algorithm::Algorithm;
+use crate::isoefficiency::{asymptotic_class, AsymptoticClass};
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Algorithm of this row.
+    pub algorithm: Algorithm,
+    /// The paper's printed total-overhead function.
+    pub overhead_function: &'static str,
+    /// Asymptotic isoefficiency class.
+    pub isoefficiency: AsymptoticClass,
+    /// The paper's printed range of applicability.
+    pub applicability: &'static str,
+}
+
+/// The five rows of Table 1, in the paper's order.
+#[must_use]
+pub fn rows() -> Vec<Table1Row> {
+    vec![
+        Table1Row {
+            algorithm: Algorithm::Berntsen,
+            overhead_function: "2·t_s·p^{4/3} + (1/3)·t_s·p·log p + 3·t_w·n²·p^{1/3}",
+            isoefficiency: asymptotic_class(Algorithm::Berntsen),
+            applicability: "1 <= p <= n^{3/2}",
+        },
+        Table1Row {
+            algorithm: Algorithm::Cannon,
+            overhead_function: "2·t_s·p^{3/2} + 2·t_w·n²·√p",
+            isoefficiency: asymptotic_class(Algorithm::Cannon),
+            applicability: "1 <= p <= n²",
+        },
+        Table1Row {
+            algorithm: Algorithm::Gk,
+            overhead_function: "(5/3)·t_s·p·log p + (5/3)·t_w·n²·p^{1/3}·log p",
+            isoefficiency: asymptotic_class(Algorithm::Gk),
+            applicability: "1 <= p <= n³",
+        },
+        Table1Row {
+            algorithm: Algorithm::GkImproved,
+            overhead_function:
+                "t_w·n²·p^{1/3} + (1/3)·t_s·p·log p + 2·n·p^{2/3}·sqrt((1/3)·t_s·t_w·log p)",
+            isoefficiency: asymptotic_class(Algorithm::GkImproved),
+            applicability: "1 <= p <= (n / sqrt((t_s/t_w)·log n))³",
+        },
+        Table1Row {
+            algorithm: Algorithm::Dns,
+            overhead_function: "(t_s + t_w)·((5/3)·p·log p + 2·n³)",
+            isoefficiency: asymptotic_class(Algorithm::Dns),
+            applicability: "n² <= p <= n³",
+        },
+    ]
+}
+
+/// Render Table 1 as aligned text (the experiment binary prints this).
+#[must_use]
+pub fn render() -> String {
+    let rows = rows();
+    let mut out = String::new();
+    out.push_str(
+        "Table 1: Communication overhead, scalability and range of application\n\
+         of the algorithms on a hypercube.\n\n",
+    );
+    out.push_str(&format!(
+        "{:<26} | {:<70} | {:<18} | {}\n",
+        "Algorithm", "Total Overhead Function T_o", "Asympt. Isoeff.", "Applicability"
+    ));
+    out.push_str(&format!("{}\n", "-".repeat(140)));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<26} | {:<70} | {:<18} | {}\n",
+            r.algorithm.to_string(),
+            r.overhead_function,
+            r.isoefficiency.label(),
+            r.applicability
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_rows_in_paper_order() {
+        let r = rows();
+        assert_eq!(r.len(), 5);
+        assert_eq!(r[0].algorithm, Algorithm::Berntsen);
+        assert_eq!(r[1].algorithm, Algorithm::Cannon);
+        assert_eq!(r[2].algorithm, Algorithm::Gk);
+        assert_eq!(r[3].algorithm, Algorithm::GkImproved);
+        assert_eq!(r[4].algorithm, Algorithm::Dns);
+    }
+
+    #[test]
+    fn classes_match_paper_column() {
+        let r = rows();
+        assert_eq!(r[0].isoefficiency.label(), "O(p^2)");
+        assert_eq!(r[1].isoefficiency.label(), "O(p^1.5)");
+        assert_eq!(r[2].isoefficiency.label(), "O(p (log p)^3)");
+        assert_eq!(r[3].isoefficiency.label(), "O(p (log p)^1.5)");
+        assert_eq!(r[4].isoefficiency.label(), "O(p log p)");
+    }
+
+    #[test]
+    fn render_contains_all_algorithms() {
+        let s = render();
+        for name in ["Berntsen", "Cannon", "GK", "DNS"] {
+            assert!(s.contains(name), "missing {name}");
+        }
+        assert!(s.lines().count() >= 9);
+    }
+}

@@ -1,0 +1,150 @@
+//! Technology-dependent scalability (paper §8): how the isoefficiency
+//! function reacts to hardware constants, and the "many slow processors
+//! vs few fast processors" comparison.
+//!
+//! The `t_w³` multiplier in the matrix-multiplication isoefficiency
+//! functions means that making the *processors* `k`-fold faster — which
+//! raises the normalised `t_s` and `t_w` by `k` — demands a `k³`-fold
+//! larger problem for the same efficiency, whereas adding `k`-fold more
+//! processors only demands the isoefficiency growth (`k^{1.5}` for
+//! Cannon).  Hence, contrary to the conventional wisdom the paper cites
+//! (Barton & Withers), more-but-slower can beat fewer-but-faster.
+
+use crate::algorithm::Algorithm;
+use crate::isoefficiency::iso_w_numeric;
+use crate::machine::MachineParams;
+use crate::time::parallel_time;
+
+/// Problem-size growth factor needed to keep efficiency `e` when the
+/// processor count scales from `p` to `k·p` (machine constants fixed).
+///
+/// Returns `None` where the efficiency is unreachable at either point.
+#[must_use]
+pub fn w_growth_for_more_processors(
+    alg: Algorithm,
+    p: f64,
+    k: f64,
+    e: f64,
+    m: MachineParams,
+) -> Option<f64> {
+    let w1 = iso_w_numeric(alg, p, e, m)?;
+    let w2 = iso_w_numeric(alg, k * p, e, m)?;
+    Some(w2 / w1)
+}
+
+/// Problem-size growth factor needed to keep efficiency `e` when the
+/// processors become `k`-fold faster (normalised `t_s`, `t_w` grow
+/// `k`-fold) at fixed `p`.
+#[must_use]
+pub fn w_growth_for_faster_processors(
+    alg: Algorithm,
+    p: f64,
+    k: f64,
+    e: f64,
+    m: MachineParams,
+) -> Option<f64> {
+    let w1 = iso_w_numeric(alg, p, e, m)?;
+    let w2 = iso_w_numeric(alg, p, e, m.with_cpu_speedup(k))?;
+    Some(w2 / w1)
+}
+
+/// Wall-clock execution times for the §8 trade-off on a fixed problem:
+/// returns `(T_many, T_fast)` where `T_many` uses `k·p` baseline
+/// processors and `T_fast` uses `p` processors that are `k`-fold faster
+/// (communication hardware unchanged).  Both are expressed in the
+/// *baseline* unit so they are directly comparable.
+///
+/// ```
+/// use model::{technology, Algorithm, MachineParams};
+///
+/// // Communication-bound: 4x more processors beat 4x faster CPUs.
+/// let m = MachineParams::simd_cm2();
+/// let (t_many, t_fast) = technology::many_vs_fast(Algorithm::Cannon, 4096.0, 1024.0, 4.0, m);
+/// assert!(t_many < t_fast);
+/// ```
+#[must_use]
+pub fn many_vs_fast(alg: Algorithm, n: f64, p: f64, k: f64, m: MachineParams) -> (f64, f64) {
+    let t_many = parallel_time(alg, n, k * p, m);
+    // k-fold faster CPUs: normalised constants grow k-fold, and one
+    // normalised unit is 1/k of the baseline unit.
+    let t_fast = parallel_time(alg, n, p, m.with_cpu_speedup(k)) / k;
+    (t_many, t_fast)
+}
+
+/// Whether `k`-fold more processors beat `k`-fold faster processors for
+/// this problem (§8's headline claim holds when this returns `true`).
+#[must_use]
+pub fn more_processors_win(alg: Algorithm, n: f64, p: f64, k: f64, m: MachineParams) -> bool {
+    let (t_many, t_fast) = many_vs_fast(alg, n, p, k, m);
+    t_many < t_fast
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_x_processors_need_31_6x_problem() {
+        // §8: "if the number of processors is increased 10 times, one
+        // would have to solve a problem 31.6 times bigger".
+        let m = MachineParams::ncube2();
+        let g = w_growth_for_more_processors(Algorithm::Cannon, 1.0e4, 10.0, 0.5, m).unwrap();
+        assert!((g - 31.6).abs() < 2.0, "got {g}");
+    }
+
+    #[test]
+    fn ten_x_faster_cpus_need_1000x_problem() {
+        // §8: "for small values of t_s ... 10 times faster processors
+        // ... 1000 times larger problem".  Use a t_w-dominated machine.
+        let m = MachineParams::new(0.0, 3.0);
+        let g = w_growth_for_faster_processors(Algorithm::Cannon, 1.0e4, 10.0, 0.5, m).unwrap();
+        assert!((g - 1000.0).abs() / 1000.0 < 0.05, "got {g}");
+    }
+
+    #[test]
+    fn faster_cpus_scale_with_k_cubed_generally() {
+        let m = MachineParams::new(0.0, 2.0);
+        for k in [2.0, 4.0] {
+            let g = w_growth_for_faster_processors(Algorithm::Cannon, 4096.0, k, 0.6, m).unwrap();
+            assert!(
+                (g - k.powi(3)).abs() / k.powi(3) < 0.05,
+                "k={k}: expected ~{}, got {g}",
+                k.powi(3)
+            );
+        }
+    }
+
+    #[test]
+    fn more_processors_can_beat_faster_processors() {
+        // §8: "under certain conditions, it may be better to have a
+        // parallel computer with k-fold as many processors rather than
+        // one with the same number of processors, each k-fold as fast."
+        let m = MachineParams::new(0.5, 3.0);
+        // Communication-bound small problem: fast CPUs just wait.
+        assert!(more_processors_win(
+            Algorithm::Cannon,
+            4096.0,
+            1024.0,
+            4.0,
+            m
+        ));
+    }
+
+    #[test]
+    fn faster_processors_win_when_communication_is_free() {
+        let m = MachineParams::new(0.0, 0.0);
+        // With zero communication cost, k-fold speed always matches
+        // k-fold processors for the perfectly parallel phase; the
+        // concurrency-unconstrained model gives a tie, so check >=.
+        let (t_many, t_fast) = many_vs_fast(Algorithm::Cannon, 1024.0, 64.0, 8.0, m);
+        assert!((t_many - t_fast).abs() < 1e-9);
+    }
+
+    #[test]
+    fn growth_factor_uses_both_endpoints() {
+        // Sanity: growth for k = 1 is exactly 1.
+        let m = MachineParams::ncube2();
+        let g = w_growth_for_more_processors(Algorithm::Gk, 512.0, 1.0, 0.4, m).unwrap();
+        assert!((g - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,264 @@
+//! Parallel execution-time equations (paper §4, Eq. 2–7).
+//!
+//! All functions take real-valued `n` and `p` — the paper's comparisons
+//! (Figures 1–3) sweep both over many orders of magnitude, ignoring
+//! divisibility.  `W = n³` throughout.
+
+use crate::algorithm::Algorithm;
+use crate::machine::MachineParams;
+
+/// Eq. (2): the simple all-to-all-broadcast algorithm,
+/// `T_p = n³/p + 2·t_s·log p + 2·t_w·n²/√p`.
+#[must_use]
+pub fn simple_time(n: f64, p: f64, m: MachineParams) -> f64 {
+    if p <= 1.0 {
+        return n.powi(3);
+    }
+    n.powi(3) / p + 2.0 * m.t_s * p.log2() + 2.0 * m.t_w * n * n / p.sqrt()
+}
+
+/// Eq. (3): Cannon's algorithm,
+/// `T_p = n³/p + 2·t_s·√p + 2·t_w·n²/√p`.
+#[must_use]
+pub fn cannon_time(n: f64, p: f64, m: MachineParams) -> f64 {
+    if p <= 1.0 {
+        return n.powi(3);
+    }
+    n.powi(3) / p + 2.0 * m.t_s * p.sqrt() + 2.0 * m.t_w * n * n / p.sqrt()
+}
+
+/// Eq. (4): Fox's algorithm with pipelined sub-block transfers,
+/// `T_p = n³/p + 2·t_w·n²/√p + t_s·p`.
+#[must_use]
+pub fn fox_pipelined_time(n: f64, p: f64, m: MachineParams) -> f64 {
+    if p <= 1.0 {
+        return n.powi(3);
+    }
+    n.powi(3) / p + 2.0 * m.t_w * n * n / p.sqrt() + m.t_s * p
+}
+
+/// §4.3 in-text: Fox's algorithm with the sophisticated hypercube
+/// one-to-all broadcast,
+/// `T_p = n³/p + 2·t_w·n²/√p + t_s·√p·log p + 2n·sqrt(t_s·t_w·log p)`.
+#[must_use]
+pub fn fox_hypercube_time(n: f64, p: f64, m: MachineParams) -> f64 {
+    if p <= 1.0 {
+        return n.powi(3);
+    }
+    n.powi(3) / p
+        + 2.0 * m.t_w * n * n / p.sqrt()
+        + m.t_s * p.sqrt() * p.log2()
+        + 2.0 * n * (m.t_s * m.t_w * p.log2()).sqrt()
+}
+
+/// Eq. (5): Berntsen's algorithm,
+/// `T_p = n³/p + 2·t_s·p^{1/3} + (1/3)·t_s·log p + 3·t_w·n²/p^{2/3}`.
+#[must_use]
+pub fn berntsen_time(n: f64, p: f64, m: MachineParams) -> f64 {
+    if p <= 1.0 {
+        return n.powi(3);
+    }
+    n.powi(3) / p
+        + 2.0 * m.t_s * p.cbrt()
+        + m.t_s * p.log2() / 3.0
+        + 3.0 * m.t_w * n * n / p.powf(2.0 / 3.0)
+}
+
+/// Eq. (6): the DNS algorithm with `p = n²·r` processors,
+/// `T_p = n³/p + (t_s + t_w)(5·log(p/n²) + 2·n³/p)`.
+#[must_use]
+pub fn dns_time(n: f64, p: f64, m: MachineParams) -> f64 {
+    if p <= 1.0 {
+        return n.powi(3);
+    }
+    let r = (p / (n * n)).max(1.0);
+    n.powi(3) / p + (m.t_s + m.t_w) * (5.0 * r.log2() + 2.0 * n.powi(3) / p)
+}
+
+/// Eq. (7): the GK algorithm,
+/// `T_p = n³/p + (5/3)·t_s·log p + (5/3)·t_w·(n²/p^{2/3})·log p`.
+#[must_use]
+pub fn gk_time(n: f64, p: f64, m: MachineParams) -> f64 {
+    if p <= 1.0 {
+        return n.powi(3);
+    }
+    n.powi(3) / p
+        + (5.0 / 3.0) * m.t_s * p.log2()
+        + (5.0 / 3.0) * m.t_w * (n * n / p.powf(2.0 / 3.0)) * p.log2()
+}
+
+/// §5.4.1: GK with the Johnsson–Ho one-to-all broadcast,
+/// `T_p = n³/p + 5·t_w·n²/p^{2/3} + (5/3)·t_s·log p
+///        + 10·(n/p^{1/3})·sqrt((1/3)·t_s·t_w·log p)`
+/// (the sum of the §5.4.1 spread and gather costs).
+#[must_use]
+pub fn gk_improved_time(n: f64, p: f64, m: MachineParams) -> f64 {
+    if p <= 1.0 {
+        return n.powi(3);
+    }
+    let lg = p.log2();
+    n.powi(3) / p
+        + 5.0 * m.t_w * n * n / p.powf(2.0 / 3.0)
+        + (5.0 / 3.0) * m.t_s * lg
+        + 10.0 * (n / p.cbrt()) * (m.t_s * m.t_w * lg / 3.0).sqrt()
+}
+
+/// Network model for the time equations: the GK/DNS spreads route in
+/// `log p^{1/3}` hops on a hypercube but in one hop on a fully
+/// connected network (the paper's CM-5 model, §9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NetworkModel {
+    /// Single-port hypercube — Eq. (2)–(7).
+    #[default]
+    Hypercube,
+    /// Fully connected (CM-5 fat-tree) — GK follows Eq. (18); the
+    /// nearest-neighbour algorithms are unchanged.
+    FullyConnected,
+}
+
+/// Eq. (18): GK on a fully connected network,
+/// `n³/p + (t_s + t_w·n²/p^{2/3})(log p + 2)`.
+#[must_use]
+pub fn gk_fully_connected_time(n: f64, p: f64, m: MachineParams) -> f64 {
+    if p <= 1.0 {
+        return n.powi(3);
+    }
+    let lg = p.log2();
+    n.powi(3) / p + (m.t_s + m.t_w * n * n / p.powf(2.0 / 3.0)) * (lg + 2.0)
+}
+
+/// [`parallel_time`] under an explicit network model.
+#[must_use]
+pub fn parallel_time_on(
+    alg: Algorithm,
+    n: f64,
+    p: f64,
+    m: MachineParams,
+    net: NetworkModel,
+) -> f64 {
+    match (alg, net) {
+        (Algorithm::Gk, NetworkModel::FullyConnected) => gk_fully_connected_time(n, p, m),
+        _ => parallel_time(alg, n, p, m),
+    }
+}
+
+/// Dispatch on [`Algorithm`].
+#[must_use]
+pub fn parallel_time(alg: Algorithm, n: f64, p: f64, m: MachineParams) -> f64 {
+    match alg {
+        Algorithm::Simple => simple_time(n, p, m),
+        Algorithm::Cannon => cannon_time(n, p, m),
+        Algorithm::FoxPipelined => fox_pipelined_time(n, p, m),
+        Algorithm::FoxHypercube => fox_hypercube_time(n, p, m),
+        Algorithm::Berntsen => berntsen_time(n, p, m),
+        Algorithm::Dns => dns_time(n, p, m),
+        Algorithm::Gk => gk_time(n, p, m),
+        Algorithm::GkImproved => gk_improved_time(n, p, m),
+    }
+}
+
+/// §5.3: the efficiency ceiling of the DNS algorithm,
+/// `E < 1/(1 + 2(t_s + t_w))` — no problem size can beat it because the
+/// `2(t_s+t_w)·n³/p` overhead term scales with `W` itself.
+#[must_use]
+pub fn dns_max_efficiency(m: MachineParams) -> f64 {
+    1.0 / (1.0 + 2.0 * (m.t_s + m.t_w))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const M: MachineParams = MachineParams {
+        t_s: 150.0,
+        t_w: 3.0,
+    };
+
+    #[test]
+    fn single_processor_is_serial_time() {
+        for alg in Algorithm::ALL {
+            assert_eq!(parallel_time(alg, 64.0, 1.0, M), 64.0f64.powi(3), "{alg}");
+        }
+    }
+
+    #[test]
+    fn compute_term_dominates_for_huge_n() {
+        // For n → ∞ at fixed p, T_p ≈ n³/p (speedup → p) for every
+        // algorithm except DNS, whose 2(t_s+t_w)n³/p term scales with W
+        // itself (that is exactly the §5.3 efficiency ceiling).
+        let p = 64.0;
+        for alg in Algorithm::ALL {
+            if alg == Algorithm::Dns {
+                continue;
+            }
+            let n = 1.0e5;
+            let t = parallel_time(alg, n, p, M);
+            let serial_share = n.powi(3) / p;
+            assert!(
+                (t - serial_share) / serial_share < 0.01,
+                "{alg}: overhead should be <1% at n=1e5, p=64"
+            );
+        }
+    }
+
+    #[test]
+    fn cannon_eq3_spot_value() {
+        // n=100, p=100: 1e4 + 2·150·10 + 2·3·10000/10 = 10000+3000+6000.
+        let t = cannon_time(100.0, 100.0, M);
+        assert!((t - 19_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simple_eq2_spot_value() {
+        // n=100, p=100: 1e4 + 2·150·log2(100) + 6000.
+        let t = simple_time(100.0, 100.0, M);
+        let expect = 10_000.0 + 300.0 * 100.0f64.log2() + 6000.0;
+        assert!((t - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gk_eq7_spot_value() {
+        let (n, p) = (64.0f64, 64.0f64);
+        let t = gk_time(n, p, M);
+        let expect = n.powi(3) / p + (5.0 / 3.0) * 6.0 * (150.0 + 3.0 * n * n / 16.0);
+        assert!((t - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn berntsen_beats_cannon_in_overheads_where_applicable() {
+        // §10: "the best algorithm in terms of communication overheads".
+        let (n, p) = (1024.0, 1024.0); // p = n^{3/2}? 1024 ≤ 1024^{1.5} ✓
+        let tb = berntsen_time(n, p, M) - n.powi(3) / p;
+        let tc = cannon_time(n, p, M) - n.powi(3) / p;
+        assert!(tb < tc);
+    }
+
+    #[test]
+    fn dns_efficiency_ceiling() {
+        let e_max = dns_max_efficiency(M);
+        assert!((e_max - 1.0 / 307.0).abs() < 1e-12);
+        // Even at enormous n the DNS efficiency stays below the ceiling
+        // (it attains it exactly only in the degenerate r = 1 case).
+        let (n, p) = (1.0e4f64, 2.0e8f64); // r = p/n² = 2
+        let e = n.powi(3) / (p * dns_time(n, p, M));
+        assert!(e < e_max);
+        let e_r1 = n.powi(3) / (1.0e8 * dns_time(n, 1.0e8, M));
+        assert!((e_r1 - e_max).abs() < 1e-12, "r = 1 attains the ceiling");
+    }
+
+    #[test]
+    fn fox_worse_than_cannon() {
+        // §4.3: Fox's pipelined time has t_s·p instead of 2·t_s·√p.
+        let (n, p) = (256.0f64, 1024.0f64);
+        assert!(fox_pipelined_time(n, p, M) > cannon_time(n, p, M));
+        assert!(fox_hypercube_time(n, p, M) > cannon_time(n, p, M));
+    }
+
+    #[test]
+    fn gk_improved_startup_term_smaller_than_naive_for_big_p() {
+        // The improved broadcast removes the (log p)-fold t_w blowup.
+        let m = MachineParams::new(10.0, 3.0);
+        let (n, p) = (512.0, 32768.0);
+        assert!(gk_improved_time(n, p, m) < gk_time(n, p, m));
+    }
+}

@@ -1,0 +1,199 @@
+//! Property-based tests of the analytic layer's invariants.
+
+use model::isoefficiency::{iso_n_numeric, k_of};
+use model::overhead::{efficiency, overhead, overhead_fig};
+use model::regions::{best_algorithm, region_letter};
+use model::time::{parallel_time, parallel_time_on, NetworkModel};
+use model::{Algorithm, MachineParams};
+use proptest::prelude::*;
+
+fn machine_strategy() -> impl Strategy<Value = MachineParams> {
+    (0.0f64..500.0, 0.01f64..10.0).prop_map(|(ts, tw)| MachineParams::new(ts, tw))
+}
+
+fn np_strategy() -> impl Strategy<Value = (f64, f64)> {
+    // log2 n in [2, 14], log2 p in [0, 3·log2 n].
+    (2.0f64..14.0).prop_flat_map(|ln| {
+        (Just(ln), 0.0f64..(3.0 * ln)).prop_map(|(ln, lp)| (2.0f64.powf(ln), 2.0f64.powf(lp)))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// T_p is at least the perfectly-parallel share n³/p, and at most
+    /// the serial time plus overheads, for every algorithm.
+    #[test]
+    fn time_bounds((n, p) in np_strategy(), m in machine_strategy()) {
+        for alg in Algorithm::ALL {
+            if !alg.applicable(n, p) {
+                continue;
+            }
+            let t = parallel_time(alg, n, p, m);
+            prop_assert!(t >= n.powi(3) / p - 1e-9, "{alg}: below serial share");
+            prop_assert!(t.is_finite());
+        }
+    }
+
+    /// Efficiency lies in (0, 1] and the overhead identity holds.
+    #[test]
+    fn efficiency_and_overhead_identity((n, p) in np_strategy(), m in machine_strategy()) {
+        for alg in Algorithm::ALL {
+            if !alg.applicable(n, p) {
+                continue;
+            }
+            let e = efficiency(alg, n, p, m);
+            prop_assert!(e > 0.0 && e <= 1.0 + 1e-12, "{alg}: E = {e}");
+            let to = overhead(alg, n, p, m);
+            prop_assert!(to >= -1e-6, "{alg}: negative overhead {to}");
+            let lhs = 1.0 / (1.0 + to / n.powi(3));
+            prop_assert!((lhs - e).abs() < 1e-9, "{alg}: E identity");
+        }
+    }
+
+    /// Efficiency is non-increasing in p (where applicable) and
+    /// non-decreasing in n.
+    #[test]
+    fn efficiency_monotonicity((n, p) in np_strategy(), m in machine_strategy()) {
+        for alg in [Algorithm::Cannon, Algorithm::Gk, Algorithm::Berntsen, Algorithm::Simple] {
+            if alg.applicable(n, p) && alg.applicable(n, 2.0 * p) {
+                prop_assert!(
+                    efficiency(alg, n, 2.0 * p, m) <= efficiency(alg, n, p, m) + 1e-12,
+                    "{alg}: E must not rise with p"
+                );
+            }
+            if alg.applicable(n, p) && alg.applicable(2.0 * n, p) {
+                prop_assert!(
+                    efficiency(alg, 2.0 * n, p, m) >= efficiency(alg, n, p, m) - 1e-12,
+                    "{alg}: E must not fall with n"
+                );
+            }
+        }
+    }
+
+    /// The region winner really does have the minimal figure-overhead
+    /// among applicable candidates.
+    #[test]
+    fn region_winner_is_argmin((n, p) in np_strategy(), m in machine_strategy()) {
+        if let Some(best) = best_algorithm(n, p, m) {
+            let best_to = overhead_fig(best, n, p, m);
+            for alg in Algorithm::COMPARED {
+                if alg.applicable(n, p) {
+                    prop_assert!(
+                        best_to <= overhead_fig(alg, n, p, m) + 1e-9,
+                        "{best} must beat {alg} at ({n}, {p})"
+                    );
+                }
+            }
+        } else {
+            prop_assert!(p > n * n * n, "no winner only above n³");
+        }
+        // Letter consistency.
+        let letter = region_letter(n, p, m);
+        match best_algorithm(n, p, m) {
+            Some(alg) => prop_assert_eq!(letter, alg.region_letter().unwrap()),
+            None => prop_assert_eq!(letter, 'x'),
+        }
+    }
+
+    /// The numeric isoefficiency achieves the requested efficiency and
+    /// is minimal (E just below the solution is insufficient).
+    #[test]
+    fn iso_solution_tight(
+        p_exp in 3u32..20,
+        e in 0.1f64..0.9,
+        m in machine_strategy(),
+    ) {
+        let p = 2.0f64.powi(p_exp as i32);
+        for alg in [Algorithm::Cannon, Algorithm::Gk, Algorithm::Berntsen] {
+            if let Some(n) = iso_n_numeric(alg, p, e, m) {
+                prop_assert!(efficiency(alg, n, p, m) >= e - 1e-6, "{alg}");
+                if alg.applicable(n * 0.99, p) {
+                    prop_assert!(
+                        efficiency(alg, n * 0.99, p, m) <= e + 1e-6,
+                        "{alg}: solution not minimal"
+                    );
+                }
+            }
+        }
+    }
+
+    /// k_of is the inverse of E = K/(1+K).
+    #[test]
+    fn k_of_roundtrip(e in 0.01f64..0.99) {
+        let k = k_of(e);
+        prop_assert!((k / (1.0 + k) - e).abs() < 1e-12);
+    }
+
+    /// The fully-connected GK time is never above the hypercube time
+    /// (one-hop routes can only help).
+    #[test]
+    fn network_model_ordering((n, p) in np_strategy(), m in machine_strategy()) {
+        prop_assume!(Algorithm::Gk.applicable(n, p));
+        prop_assume!(p >= 8.0);
+        let cube = parallel_time_on(Algorithm::Gk, n, p, m, NetworkModel::Hypercube);
+        let full = parallel_time_on(Algorithm::Gk, n, p, m, NetworkModel::FullyConnected);
+        prop_assert!(full <= cube + 1e-9, "full {full} vs cube {cube}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The least-squares fit recovers arbitrary machine constants from
+    /// noiseless samples of any affine algorithm's parallel times.
+    #[test]
+    fn fit_recovers_any_machine(
+        ts in 0.1f64..500.0,
+        tw in 0.1f64..10.0,
+    ) {
+        use model::fit::{fit_from_parallel_times, is_affine};
+        let truth = MachineParams::new(ts, tw);
+        for alg in Algorithm::ALL.into_iter().filter(|&a| is_affine(a)) {
+            let samples: Vec<(f64, f64, f64)> = [(32.0f64, 16.0f64), (64.0, 64.0), (128.0, 256.0)]
+                .iter()
+                .filter(|&&(n, p)| alg.applicable(n, p))
+                .map(|&(n, p)| (n, p, parallel_time(alg, n, p, truth)))
+                .collect();
+            if samples.len() < 2 {
+                continue;
+            }
+            if let Some(fit) = fit_from_parallel_times(alg, &samples) {
+                prop_assert!((fit.t_s - ts).abs() < 1e-3 * ts.max(1.0), "{alg}: t_s {}", fit.t_s);
+                prop_assert!((fit.t_w - tw).abs() < 1e-5 * tw.max(1.0), "{alg}: t_w {}", fit.t_w);
+            }
+        }
+    }
+
+    /// Memory accounting: total = per-processor × p, and the
+    /// memory-efficient algorithms have p-independent totals.
+    #[test]
+    fn memory_identities((n, p) in np_strategy()) {
+        use model::memory::{is_memory_efficient, words_per_processor, words_total};
+        for alg in Algorithm::ALL {
+            let per = words_per_processor(alg, n, p);
+            let total = words_total(alg, n, p);
+            prop_assert!((per * p - total).abs() <= 1e-9 * total.max(1.0), "{alg}");
+            if is_memory_efficient(alg) && alg.applicable(n, p) && alg.applicable(n, 4.0 * p) {
+                let t2 = words_total(alg, n, 4.0 * p);
+                prop_assert!((total - t2).abs() <= 1e-9 * total.max(1.0),
+                    "{alg}: memory-efficient totals must not grow with p");
+            }
+        }
+    }
+
+    /// Saturation: the optimum returned by optimal_p really is at least
+    /// as good as its power-of-two neighbours.
+    #[test]
+    fn optimal_p_is_locally_optimal(n_exp in 3u32..10, m in machine_strategy()) {
+        use model::saturation::optimal_p;
+        let n = 2.0f64.powi(n_exp as i32);
+        let (p_star, s_star) = optimal_p(Algorithm::Cannon, n, m);
+        for cand in [p_star / 2.0, p_star * 2.0] {
+            if cand >= 1.0 && Algorithm::Cannon.applicable(n, cand) {
+                let s = model::overhead::speedup(Algorithm::Cannon, n, cand, m);
+                prop_assert!(s <= s_star + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! The §10 "smart preprocessor": pick the best algorithm for a machine,
+//! problem size and processor count.
+//!
+//! "It may be unreasonable to expect a programmer to code different
+//! algorithms for different machines ... But all the algorithms can
+//! \[be\] stored in a library and the best algorithm can be pulled out by
+//! a smart preprocessor/compiler depending on the various parameters."
+//! — paper §10.  This module is that preprocessor.
+
+use algos::{AlgoError, SimOutcome};
+use dense::Matrix;
+use mmsim::Machine;
+use model::time::{parallel_time_on, NetworkModel};
+use model::{Algorithm, MachineParams};
+
+/// The advisor's verdict for one `(n, p)` query.
+#[derive(Debug, Clone)]
+pub struct Recommendation {
+    /// The winning algorithm.
+    pub algorithm: Algorithm,
+    /// Its predicted parallel time (units of one multiply–add).
+    pub predicted_time: f64,
+    /// Its predicted efficiency.
+    pub predicted_efficiency: f64,
+    /// Every candidate that was applicable, best first, with predicted
+    /// times.
+    pub ranking: Vec<(Algorithm, f64)>,
+}
+
+/// Algorithm selector for a fixed machine.
+///
+/// ```
+/// use parmm::Advisor;
+/// use model::{Algorithm, MachineParams};
+///
+/// let advisor = Advisor::new(MachineParams::ncube2());
+/// // Large matrix, few processors: Berntsen's algorithm (Figure 1's b region).
+/// assert_eq!(advisor.recommend(4096, 512).unwrap().algorithm, Algorithm::Berntsen);
+/// // Many processors relative to n: the GK algorithm (the a region).
+/// assert_eq!(advisor.recommend(64, 16_384).unwrap().algorithm, Algorithm::Gk);
+/// // Beyond n³ processors nothing applies.
+/// assert!(advisor.recommend(4, 128).is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Advisor {
+    machine: MachineParams,
+    candidates: Vec<Algorithm>,
+    network: NetworkModel,
+}
+
+impl Advisor {
+    /// An advisor over the paper's four head-to-head algorithms
+    /// (Berntsen, Cannon, GK, DNS).
+    #[must_use]
+    pub fn new(machine: MachineParams) -> Self {
+        Self {
+            machine,
+            candidates: Algorithm::COMPARED.to_vec(),
+            network: NetworkModel::Hypercube,
+        }
+    }
+
+    /// An advisor for the paper's §9 CM-5 setting: fully connected
+    /// network (GK follows Eq. 18) and the GK-vs-Cannon candidate pair
+    /// the experiments compare.
+    #[must_use]
+    pub fn for_cm5() -> Self {
+        Self {
+            machine: MachineParams::cm5(),
+            candidates: vec![Algorithm::Gk, Algorithm::Cannon],
+            network: NetworkModel::FullyConnected,
+        }
+    }
+
+    /// Builder-style: switch the network model (Eq. 7 vs Eq. 18 for the
+    /// GK spread).
+    #[must_use]
+    pub fn with_network(mut self, network: NetworkModel) -> Self {
+        self.network = network;
+        self
+    }
+
+    /// An advisor over a custom candidate set.
+    ///
+    /// # Panics
+    /// Panics if `candidates` is empty.
+    #[must_use]
+    pub fn with_candidates(machine: MachineParams, candidates: Vec<Algorithm>) -> Self {
+        assert!(
+            !candidates.is_empty(),
+            "advisor needs at least one candidate"
+        );
+        Self {
+            machine,
+            candidates,
+            network: NetworkModel::Hypercube,
+        }
+    }
+
+    /// The machine this advisor models.
+    #[must_use]
+    pub fn machine(&self) -> MachineParams {
+        self.machine
+    }
+
+    /// Rank all applicable candidates at `(n, p)` by predicted parallel
+    /// time; `None` if nothing is applicable (`p > n³`).
+    #[must_use]
+    pub fn recommend(&self, n: usize, p: usize) -> Option<Recommendation> {
+        let (nf, pf) = (n as f64, p as f64);
+        let mut ranking: Vec<(Algorithm, f64)> = self
+            .candidates
+            .iter()
+            .filter(|alg| alg.applicable(nf, pf))
+            .map(|&alg| {
+                (
+                    alg,
+                    parallel_time_on(alg, nf, pf, self.machine, self.network),
+                )
+            })
+            .collect();
+        ranking.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let &(algorithm, predicted_time) = ranking.first()?;
+        Some(Recommendation {
+            algorithm,
+            predicted_time,
+            predicted_efficiency: nf.powi(3) / (pf * predicted_time),
+            ranking,
+        })
+    }
+
+    /// Like [`Advisor::recommend`], but restricted to candidates whose
+    /// *executable* implementation accepts this exact `(n, p)`
+    /// (divisibility, power-of-two structure, …), so the result can be
+    /// run directly with [`Advisor::execute`].
+    #[must_use]
+    pub fn recommend_executable(&self, n: usize, p: usize) -> Option<Recommendation> {
+        let (nf, pf) = (n as f64, p as f64);
+        let mut ranking: Vec<(Algorithm, f64)> = self
+            .candidates
+            .iter()
+            .filter(|&&alg| executable_applicability(alg, n, p).is_ok())
+            .map(|&alg| {
+                (
+                    alg,
+                    parallel_time_on(alg, nf, pf, self.machine, self.network),
+                )
+            })
+            .collect();
+        ranking.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let &(algorithm, predicted_time) = ranking.first()?;
+        Some(Recommendation {
+            algorithm,
+            predicted_time,
+            predicted_efficiency: nf.powi(3) / (pf * predicted_time),
+            ranking,
+        })
+    }
+
+    /// Recommend and immediately run the winner on a simulated machine.
+    ///
+    /// # Errors
+    /// Returns an error if no candidate's executable form accepts
+    /// `(n, p)`, or if the simulation itself rejects the inputs.
+    pub fn execute(
+        &self,
+        machine: &Machine,
+        a: &Matrix,
+        b: &Matrix,
+    ) -> Result<(Recommendation, SimOutcome), AlgoError> {
+        let n = a.rows();
+        let rec =
+            self.recommend_executable(n, machine.p())
+                .ok_or(AlgoError::BadProcessorCount {
+                    p: machine.p(),
+                    requirement: "no candidate algorithm accepts this (n, p)".into(),
+                })?;
+        let out = run_algorithm(rec.algorithm, machine, a, b)?;
+        Ok((rec, out))
+    }
+}
+
+/// Exact-executability check for one algorithm (delegates to the
+/// `algos` crate's per-algorithm rules).
+///
+/// # Errors
+/// Returns the executable implementation's [`AlgoError`].
+pub fn executable_applicability(alg: Algorithm, n: usize, p: usize) -> Result<(), AlgoError> {
+    match alg {
+        Algorithm::Simple => algos::simple::applicability(n, p).map(|_| ()),
+        Algorithm::Cannon => algos::cannon::applicability(n, p).map(|_| ()),
+        Algorithm::FoxPipelined | Algorithm::FoxHypercube => {
+            algos::fox::applicability(n, p).map(|_| ())
+        }
+        Algorithm::Berntsen => algos::berntsen::applicability(n, p).map(|_| ()),
+        Algorithm::Dns => algos::dns::applicability(n, p).map(|_| ()),
+        Algorithm::Gk => algos::gk::applicability(n, p).map(|_| ()),
+        Algorithm::GkImproved => algos::gk::improved_applicability(n, p).map(|_| ()),
+    }
+}
+
+/// Run one algorithm's executable implementation.
+///
+/// # Errors
+/// Propagates the implementation's [`AlgoError`].
+pub fn run_algorithm(
+    alg: Algorithm,
+    machine: &Machine,
+    a: &Matrix,
+    b: &Matrix,
+) -> Result<SimOutcome, AlgoError> {
+    match alg {
+        Algorithm::Simple => algos::simple(machine, a, b),
+        Algorithm::Cannon => algos::cannon(machine, a, b),
+        Algorithm::FoxHypercube => algos::fox_tree(machine, a, b),
+        Algorithm::FoxPipelined => {
+            // A reasonable default packet count: √(block words).
+            let q = algos::fox::applicability(a.rows(), machine.p())?;
+            let block_words = (a.rows() / q) * (a.rows() / q);
+            let packets = ((block_words as f64).sqrt().round() as usize).clamp(1, block_words);
+            algos::fox_pipelined(machine, a, b, packets)
+        }
+        Algorithm::Berntsen => algos::berntsen(machine, a, b),
+        Algorithm::Dns => algos::dns_block(machine, a, b),
+        Algorithm::Gk => algos::gk(machine, a, b),
+        Algorithm::GkImproved => algos::gk_improved(machine, a, b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use mmsim::{CostModel, Topology};
+
+    use super::*;
+
+    #[test]
+    fn recommends_gk_for_small_matrices_on_cm5() {
+        // §9: below the crossover (n ≈ 83 at p = 64) GK wins over
+        // Cannon on the CM-5.
+        let advisor = Advisor::for_cm5();
+        let rec = advisor.recommend(48, 64).unwrap();
+        assert_eq!(rec.algorithm, Algorithm::Gk);
+        // Above the crossover Cannon takes over.
+        let rec = advisor.recommend(160, 64).unwrap();
+        assert_eq!(rec.algorithm, Algorithm::Cannon);
+    }
+
+    #[test]
+    fn recommends_berntsen_for_big_matrices_on_ncube2() {
+        // Figure 1's b region: p < n^{3/2} on the high-startup machine.
+        let advisor = Advisor::new(MachineParams::ncube2());
+        let rec = advisor.recommend(4096, 512).unwrap();
+        assert_eq!(rec.algorithm, Algorithm::Berntsen);
+    }
+
+    #[test]
+    fn nothing_applicable_beyond_n_cubed() {
+        let advisor = Advisor::new(MachineParams::ncube2());
+        assert!(advisor.recommend(4, 65).is_none());
+    }
+
+    #[test]
+    fn ranking_is_sorted_and_complete() {
+        let advisor = Advisor::new(MachineParams::future_mimd());
+        let rec = advisor.recommend(256, 4096).unwrap();
+        // p = n²·... check sortedness.
+        for w in rec.ranking.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert_eq!(rec.ranking[0].0, rec.algorithm);
+        assert_eq!(rec.predicted_time, rec.ranking[0].1);
+    }
+
+    #[test]
+    fn recommendation_matches_brute_force() {
+        let m = MachineParams::future_mimd();
+        let advisor = Advisor::new(m);
+        for n in [32usize, 128, 512, 2048] {
+            for p in [4usize, 64, 1024, 16384] {
+                let rec = advisor.recommend(n, p);
+                let brute = Algorithm::COMPARED
+                    .iter()
+                    .filter(|a| a.applicable(n as f64, p as f64))
+                    .map(|&a| {
+                        (
+                            a,
+                            parallel_time_on(a, n as f64, p as f64, m, NetworkModel::Hypercube),
+                        )
+                    })
+                    .min_by(|x, y| x.1.total_cmp(&y.1));
+                match (rec, brute) {
+                    (Some(r), Some((alg, t))) => {
+                        assert_eq!(r.algorithm, alg, "n={n} p={p}");
+                        assert!((r.predicted_time - t).abs() < 1e-9);
+                    }
+                    (None, None) => {}
+                    other => panic!("n={n} p={p}: mismatch {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn executable_recommendation_respects_divisibility() {
+        let advisor = Advisor::new(MachineParams::ncube2());
+        // p = 64 works for Cannon (8x8 mesh, 8|n), Berntsen (needs
+        // 16|n), GK (4|n).  With n = 20, only Cannon applies among the
+        // mesh algorithms... 20 % 8 != 0, so Cannon is out too; GK
+        // needs 4|20 ✓.
+        let rec = advisor.recommend_executable(20, 64).unwrap();
+        assert_eq!(rec.algorithm, Algorithm::Gk);
+    }
+
+    #[test]
+    fn execute_runs_the_winner_and_verifies() {
+        let advisor = Advisor::for_cm5();
+        let machine = Machine::new(Topology::fully_connected(64), CostModel::cm5());
+        let (a, b) = dense::gen::random_pair(32, 5);
+        let (rec, out) = advisor.execute(&machine, &a, &b).unwrap();
+        assert_eq!(rec.algorithm, Algorithm::Gk, "small matrix on CM-5 → GK");
+        let reference = &a * &b;
+        assert!(out.c.approx_eq(&reference, 1e-10));
+    }
+
+    #[test]
+    fn execute_with_no_candidate_errors() {
+        let advisor = Advisor::for_cm5();
+        let machine = Machine::new(Topology::fully_connected(63), CostModel::cm5());
+        let (a, b) = dense::gen::random_pair(8, 6);
+        // p = 63: not a square, not 2^{3q}, not n²r.
+        assert!(advisor.execute(&machine, &a, &b).is_err());
+    }
+
+    #[test]
+    fn custom_candidate_sets() {
+        let advisor = Advisor::with_candidates(
+            MachineParams::ncube2(),
+            vec![Algorithm::Cannon, Algorithm::Simple],
+        );
+        let rec = advisor.recommend(64, 16).unwrap();
+        assert!(matches!(
+            rec.algorithm,
+            Algorithm::Cannon | Algorithm::Simple
+        ));
+        assert_eq!(rec.ranking.len(), 2);
+    }
+
+    #[test]
+    fn predicted_efficiency_consistent() {
+        let advisor = Advisor::new(MachineParams::future_mimd());
+        let rec = advisor.recommend(512, 256).unwrap();
+        let e = 512.0f64.powi(3) / (256.0 * rec.predicted_time);
+        assert!((rec.predicted_efficiency - e).abs() < 1e-12);
+    }
+}

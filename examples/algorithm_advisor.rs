@@ -1,0 +1,65 @@
+//! The paper's §10 idea, working end-to-end: "all the algorithms can
+//! [be] stored in a library and the best algorithm can be pulled out by
+//! a smart preprocessor/compiler depending on the various parameters."
+//!
+//! This example asks the advisor for the best algorithm across three
+//! machine generations and a sweep of problem/processor combinations,
+//! then actually executes one recommendation on the simulator.
+//!
+//! ```sh
+//! cargo run --example algorithm_advisor
+//! ```
+
+use parmm::prelude::*;
+
+fn main() {
+    let machines = [
+        ("nCUBE2-class   (t_s=150, t_w=3)", MachineParams::ncube2()),
+        (
+            "future MIMD    (t_s=10,  t_w=3)",
+            MachineParams::future_mimd(),
+        ),
+        ("SIMD CM-2-like (t_s=0.5, t_w=3)", MachineParams::simd_cm2()),
+    ];
+
+    println!("best algorithm by machine and (n, p)  [paper Figures 1-3]\n");
+    print!("{:>10} {:>10} |", "n", "p");
+    for (name, _) in &machines {
+        print!(" {:^32} |", name.split("   ").next().unwrap());
+    }
+    println!();
+    for n in [64usize, 256, 1024, 4096] {
+        for p in [64usize, 1024, 16_384, 262_144] {
+            print!("{n:>10} {p:>10} |");
+            for (_, m) in &machines {
+                let advisor = Advisor::new(*m);
+                match advisor.recommend(n, p) {
+                    Some(rec) => print!(" {:^32} |", rec.algorithm.to_string()),
+                    None => print!(" {:^32} |", "- none (p > n³) -"),
+                }
+            }
+            println!();
+        }
+    }
+
+    // Execute a recommendation for real on the simulated machine.
+    println!("\nexecuting one recommendation (n = 32, p = 64, nCUBE2 hypercube):");
+    let advisor = Advisor::new(MachineParams::ncube2());
+    let machine = Machine::new(Topology::hypercube_for(64), CostModel::ncube2());
+    let (a, b) = dense::gen::random_pair(32, 7);
+    let (rec, out) = advisor.execute(&machine, &a, &b).expect("applicable");
+    println!("  advisor chose : {}", rec.algorithm);
+    println!("  predicted T_p : {:.1}", rec.predicted_time);
+    println!("  simulated T_p : {:.1}", out.t_parallel);
+    println!(
+        "  efficiency    : {:.3} (predicted {:.3})",
+        out.efficiency(),
+        rec.predicted_efficiency
+    );
+    println!("  ranking:");
+    for (alg, t) in &rec.ranking {
+        println!("    {:<28} predicted T_p = {:.1}", alg.to_string(), t);
+    }
+    assert!(out.c.approx_eq(&(&a * &b), 1e-10));
+    println!("  product verified ✓");
+}

@@ -1,0 +1,80 @@
+//! Scalability explorer: isoefficiency curves, equal-overhead
+//! crossovers, and the Figures 1–3 region maps rendered as ASCII.
+//!
+//! ```sh
+//! cargo run --example scalability_explorer
+//! ```
+
+use model::crossover;
+use model::isoefficiency::{asymptotic_class, iso_n_numeric};
+use model::regions::RegionMap;
+use model::table1;
+use parmm::prelude::*;
+
+fn main() {
+    // --- Table 1 ---
+    println!("{}", table1::render());
+
+    // --- Numeric isoefficiency curves (E = 0.5, nCUBE2 constants) ---
+    let m = MachineParams::ncube2();
+    println!("\nmatrix size n needed for efficiency 0.5 (t_s=150, t_w=3):\n");
+    println!(
+        "{:>10} | {:>12} {:>12} {:>12} {:>12}",
+        "p", "Berntsen", "Cannon", "GK", "DNS"
+    );
+    for log2p in [4u32, 6, 8, 10, 12, 14, 16] {
+        let p = f64::from(1u32 << log2p);
+        print!("{:>10} |", 1u64 << log2p);
+        for alg in Algorithm::COMPARED {
+            match iso_n_numeric(alg, p, 0.5, m) {
+                Some(n) => print!(" {n:>12.0}"),
+                None => print!(" {:>12}", "unreachable"),
+            }
+        }
+        println!();
+    }
+    println!(
+        "\n(DNS is 'unreachable': its efficiency ceiling 1/(1+2(t_s+t_w)) = {:.4} < 0.5)",
+        model::time::dns_max_efficiency(m)
+    );
+    println!("\nasymptotic isoefficiency classes:");
+    for alg in Algorithm::COMPARED {
+        println!(
+            "  {:<12} {}",
+            alg.to_string(),
+            asymptotic_class(alg).label()
+        );
+    }
+
+    // --- GK vs Cannon equal-overhead curve (Eq. 15) ---
+    println!("\nGK-vs-Cannon equal-overhead matrix size n*(p) [Eq. 15], t_s=150:");
+    for log2p in [6u32, 8, 10, 12, 14] {
+        let p = f64::from(1u32 << log2p);
+        match crossover::gk_vs_cannon_closed_form(p, m) {
+            Some(n) => println!("  p = {:>6}: GK better for n < {n:.0}", 1u64 << log2p),
+            None => println!("  p = {:>6}: GK better for every n", 1u64 << log2p),
+        }
+    }
+    println!(
+        "\nGK t_w-term crossover (GK wins regardless of n beyond this): p ≈ {:.2e}",
+        crossover::gk_tw_term_crossover_p()
+    );
+
+    // --- Region maps: Figures 1, 2, 3 ---
+    for (label, machine) in [
+        ("Figure 1", MachineParams::ncube2()),
+        ("Figure 2", MachineParams::future_mimd()),
+        ("Figure 3", MachineParams::simd_cm2()),
+    ] {
+        println!("\n=== {label} ===");
+        let map = RegionMap::compute_range(machine, (2.0, 16.0), (0.0, 26.0), 64, 24);
+        println!("{}", map.render());
+        print!("region shares: ");
+        for (letter, frac) in map.letter_fractions() {
+            if frac > 0.0 {
+                print!("{letter}: {:.0}%  ", frac * 100.0);
+            }
+        }
+        println!();
+    }
+}

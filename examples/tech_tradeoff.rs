@@ -1,0 +1,86 @@
+//! The §8 technology trade-off: is it better to buy k-fold more
+//! processors, or make each processor k-fold faster?
+//!
+//! The paper's counter-intuitive answer: because the isoefficiency
+//! function of matrix multiplication carries a `t_w³` multiplier,
+//! faster CPUs (which raise the *normalised* communication costs)
+//! demand a `k³`-fold larger problem to stay efficient, whereas more
+//! processors demand only the isoefficiency growth (`k^{1.5}` for
+//! Cannon).  On fixed problems the same effect decides the wall-clock
+//! winner.
+//!
+//! ```sh
+//! cargo run --example tech_tradeoff
+//! ```
+
+use model::technology;
+use parmm::prelude::*;
+
+fn main() {
+    let m = MachineParams::ncube2();
+    let e = 0.5;
+
+    println!("problem growth needed to hold E = {e} (Cannon, t_s=150, t_w=3):\n");
+    println!(
+        "  10x more processors  → W must grow {:.1}x  (paper: 31.6x = 10^1.5)",
+        technology::w_growth_for_more_processors(Algorithm::Cannon, 1.0e4, 10.0, e, m).unwrap()
+    );
+    let m_tw = MachineParams::new(0.0, 3.0);
+    println!(
+        "  10x faster CPUs      → W must grow {:.0}x  (paper: 1000x = 10³, small t_s)",
+        technology::w_growth_for_faster_processors(Algorithm::Cannon, 1.0e4, 10.0, e, m_tw)
+            .unwrap()
+    );
+
+    println!("\nwall-clock comparison on fixed problems (Cannon's algorithm):");
+    println!("(T in baseline flop units; lower is better)\n");
+    println!(
+        "{:>8} {:>10} {:>4} | {:>14} {:>14} | winner",
+        "n", "p", "k", "T(k·p procs)", "T(k-fast CPUs)"
+    );
+    for (n, p, k) in [
+        (512.0, 256.0, 4.0),
+        (1024.0, 256.0, 4.0),
+        (4096.0, 1024.0, 4.0),
+        (16384.0, 1024.0, 4.0),
+        (4096.0, 4096.0, 8.0),
+    ] {
+        let (t_many, t_fast) = technology::many_vs_fast(Algorithm::Cannon, n, p, k, m);
+        let winner = if t_many < t_fast {
+            "MORE processors"
+        } else {
+            "FASTER processors"
+        };
+        println!("{n:>8.0} {p:>10.0} {k:>4.0} | {t_many:>14.3e} {t_fast:>14.3e} | {winner}");
+    }
+
+    println!(
+        "\nAs the paper notes (§8), this \"should be contrasted with the\n\
+         conventional wisdom that suggests that better performance is always\n\
+         obtained using fewer faster processors\" — the communication-bound\n\
+         rows above are exactly the exception, and they appear at practical\n\
+         sizes."
+    );
+
+    // Cross-check one row with the executable simulator.
+    println!("\nsimulator cross-check (n = 64, p = 16 vs k = 4):");
+    let (a, b) = dense::gen::random_pair(64, 99);
+    let base_cost = CostModel::ncube2();
+    // k·p baseline processors:
+    let many = Machine::new(Topology::square_torus_for(64), base_cost);
+    let t_many = algos::cannon(&many, &a, &b).unwrap().t_parallel;
+    // p processors, 4x faster: normalised costs x4, result scaled by 1/4.
+    let fast_cost = CostModel::new(base_cost.t_s * 4.0, base_cost.t_w * 4.0);
+    let fast = Machine::new(Topology::square_torus_for(16), fast_cost);
+    let t_fast = algos::cannon(&fast, &a, &b).unwrap().t_parallel / 4.0;
+    println!("  64 baseline processors : T = {t_many:.0}");
+    println!("  16 processors, 4x fast : T = {t_fast:.0}");
+    println!(
+        "  → {}",
+        if t_many < t_fast {
+            "more processors win"
+        } else {
+            "faster processors win"
+        }
+    );
+}

@@ -1,0 +1,61 @@
+//! Gantt-style view of a simulated run: per-processor timelines of
+//! compute (#), send (>) and wait (w) from the engine's deterministic
+//! event traces.
+//!
+//! ```sh
+//! cargo run --example trace_gantt
+//! ```
+
+use mmsim::trace::render_strip;
+use parmm::prelude::*;
+
+fn main() {
+    // A deliberately communication-heavy configuration so the structure
+    // is visible: 2x2 mesh, large t_s.
+    let machine =
+        Machine::new(Topology::square_torus_for(4), CostModel::new(400.0, 2.0)).with_trace();
+    let n = 16;
+    let (a, b) = dense::gen::random_pair(n, 77);
+    let ga = dense::BlockGrid::split(&a, 2, 2);
+    let gb = dense::BlockGrid::split(&b, 2, 2);
+
+    // Drive a hand-rolled Cannon so we keep the raw RunReport (the
+    // algos crate wraps it into a SimOutcome without traces).
+    let report = machine.run(|proc| {
+        let rank = proc.rank();
+        let (i, j) = (rank / 2, rank % 2);
+        let coord = |r: i64, c: i64| (r.rem_euclid(2) * 2 + c.rem_euclid(2)) as usize;
+        let (i64i, i64j) = (i as i64, j as i64);
+
+        let mut ablk = ga.block(i, (j + i) % 2).clone();
+        let mut bblk = gb.block((i + j) % 2, j).clone();
+        let mut c = Matrix::zeros(n / 2, n / 2);
+        for s in 0..2u32 {
+            proc.compute(dense::kernel::work_units(n / 2, n / 2, n / 2));
+            dense::kernel::matmul_accumulate(&mut c, &ablk, &bblk);
+            let (ta, tb) = (u64::from(2 * s), u64::from(2 * s + 1));
+            proc.send(coord(i64i, i64j - 1), ta, ablk.into_vec());
+            proc.send(coord(i64i - 1, i64j), tb, bblk.into_vec());
+            ablk = Matrix::from_vec(n / 2, n / 2, proc.recv_payload(coord(i64i, i64j + 1), ta));
+            bblk = Matrix::from_vec(n / 2, n / 2, proc.recv_payload(coord(i64i + 1, i64j), tb));
+        }
+        c
+    });
+
+    println!(
+        "Cannon-style run on a 2x2 mesh, n = {n}, t_s = 400, t_w = 2 — T_p = {}\n",
+        report.t_parallel
+    );
+    println!("legend: # compute   > send   w wait   . idle-at-end\n");
+    for (rank, tl) in report.traces.iter().enumerate() {
+        let strip = render_strip(tl, report.t_parallel, 100);
+        println!("rank {rank} |{strip}|");
+    }
+    println!();
+    for (rank, s) in report.stats.iter().enumerate() {
+        println!(
+            "rank {rank}: compute {:6.0}  comm {:6.0}  wait {:6.0}  (clock {:6.0})",
+            s.compute, s.comm, s.idle, s.clock
+        );
+    }
+}
