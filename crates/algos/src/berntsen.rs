@@ -106,7 +106,7 @@ pub fn berntsen(machine: &Machine, a: &Matrix, b: &Matrix) -> Result<SimOutcome,
         let mesh = MeshView::contiguous(proc, l * s * s, s);
         let a0 = a_grids[l].block(u, v).clone();
         let b0 = b_grids[l].block(u, v).clone();
-        let c_partial = cannon_core(proc, &mesh, a0, b0, 0);
+        let c_partial = cannon_core(proc, &mesh, a0, b0, 0, false);
 
         // Sum across subcubes: group of the s corresponding processors.
         let group = Group::new(proc, (0..s).map(|m| m * s * s + local).collect());

@@ -100,12 +100,21 @@ impl MeshView {
 /// `w_a×h`-compatible per block column; shapes are carried by the
 /// matrices themselves.  Tag phases `phase0` (alignment) and
 /// `phase0 + 1` (rolling) are consumed.
+///
+/// With `reliable = true` every hop goes through the engine's
+/// checksummed retransmitting transport instead of the plain channels,
+/// so the phases complete correctly under any recoverable
+/// [`mmsim::FaultPlan`].  Reliable sends are issued sequentially (no
+/// `send_multi` batching), so the all-port overlap benefit is forfeited
+/// — each completed shift is the implicit checkpoint the next round
+/// restarts from.
 pub(crate) fn cannon_core(
     proc: &mut Proc,
     mesh: &MeshView,
     a0: Matrix,
     b0: Matrix,
     phase0: u32,
+    reliable: bool,
 ) -> Matrix {
     let q = mesh.q;
     let (i, j) = (mesh.my_row as isize, mesh.my_col as isize);
@@ -127,31 +136,41 @@ pub(crate) fn cannon_core(
     let a_src = mesh.rank_at(i, j + i);
     let b_dst = mesh.rank_at(i - j, j);
     let b_src = mesh.rank_at(i + j, j);
-    let mut batch = Vec::new();
     let a_moves = a_dst != proc.rank();
     let b_moves = b_dst != proc.rank();
-    if a_moves {
-        batch.push((a_dst, tag(phase0, 0), a0.as_slice().to_vec()));
+    if reliable {
+        if a_moves {
+            proc.send_reliable(a_dst, tag(phase0, 0), a0.as_slice().to_vec());
+        }
+        if b_moves {
+            proc.send_reliable(b_dst, tag(phase0, 1), b0.as_slice().to_vec());
+        }
+    } else {
+        let mut batch = Vec::new();
+        if a_moves {
+            batch.push((a_dst, tag(phase0, 0), a0.as_slice().to_vec()));
+        }
+        if b_moves {
+            batch.push((b_dst, tag(phase0, 1), b0.as_slice().to_vec()));
+        }
+        proc.send_multi(batch);
     }
-    if b_moves {
-        batch.push((b_dst, tag(phase0, 1), b0.as_slice().to_vec()));
-    }
-    proc.send_multi(batch);
+    let pull = |proc: &mut Proc, src: usize, t| {
+        if reliable {
+            proc.recv_reliable(src, t)
+        } else {
+            proc.recv_payload(src, t)
+        }
+    };
     let mut a = if a_moves {
-        Matrix::from_vec(
-            a_shape.0,
-            a_shape.1,
-            proc.recv_payload(a_src, tag(phase0, 0)),
-        )
+        let words = pull(proc, a_src, tag(phase0, 0));
+        Matrix::from_vec(a_shape.0, a_shape.1, words)
     } else {
         a0
     };
     let mut b = if b_moves {
-        Matrix::from_vec(
-            b_shape.0,
-            b_shape.1,
-            proc.recv_payload(b_src, tag(phase0, 1)),
-        )
+        let words = pull(proc, b_src, tag(phase0, 1));
+        Matrix::from_vec(b_shape.0, b_shape.1, words)
     } else {
         b0
     };
@@ -167,10 +186,17 @@ pub(crate) fn cannon_core(
 
         let ta = tag(phase0 + 1, 2 * s);
         let tb = tag(phase0 + 1, 2 * s + 1);
-        // West and north are distinct processors for q >= 2: one batch.
-        proc.send_multi(vec![(west, ta, a.into_vec()), (north, tb, b.into_vec())]);
-        a = Matrix::from_vec(a_shape.0, a_shape.1, proc.recv_payload(east, ta));
-        b = Matrix::from_vec(b_shape.0, b_shape.1, proc.recv_payload(south, tb));
+        if reliable {
+            proc.send_reliable(west, ta, a.into_vec());
+            proc.send_reliable(north, tb, b.into_vec());
+        } else {
+            // West and north are distinct processors for q >= 2: one batch.
+            proc.send_multi(vec![(west, ta, a.into_vec()), (north, tb, b.into_vec())]);
+        }
+        let a_words = pull(proc, east, ta);
+        a = Matrix::from_vec(a_shape.0, a_shape.1, a_words);
+        let b_words = pull(proc, south, tb);
+        b = Matrix::from_vec(b_shape.0, b_shape.1, b_words);
     }
     c
 }
@@ -219,7 +245,7 @@ pub fn cannon(machine: &Machine, a: &Matrix, b: &Matrix) -> Result<SimOutcome, A
         let mesh = MeshView::contiguous(proc, 0, q);
         let a0 = ga.block_by_rank(proc.rank()).clone();
         let b0 = gb.block_by_rank(proc.rank()).clone();
-        cannon_core(proc, &mesh, a0, b0, 0)
+        cannon_core(proc, &mesh, a0, b0, 0, false)
     });
     let c = BlockGrid::assemble_from(&report.results, q, q);
     Ok(SimOutcome::from_report(&report, c, n))
@@ -251,7 +277,7 @@ pub fn cannon_gray(machine: &Machine, a: &Matrix, b: &Matrix) -> Result<SimOutco
         let (i, j) = (mesh.my_row, mesh.my_col);
         let a0 = ga.block(i, j).clone();
         let b0 = gb.block(i, j).clone();
-        let c = cannon_core(proc, &mesh, a0, b0, 0);
+        let c = cannon_core(proc, &mesh, a0, b0, 0, false);
         (i, j, c)
     });
     // Results arrive in rank order; place each block by its mesh coords.

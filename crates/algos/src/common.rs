@@ -4,8 +4,9 @@
 use dense::{kernel, Matrix};
 use mmsim::{ProcStats, RunReport};
 
-/// Why an algorithm cannot run on a given `(n, p)` combination.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Why an algorithm cannot run on a given `(n, p)` combination, or —
+/// for the fault-tolerant variants — why a simulation did not complete.
+#[derive(Debug, Clone, PartialEq)]
 pub enum AlgoError {
     /// `p` violates the algorithm's structural requirement
     /// (perfect square, power-of-eight cube, `n²·r`, …).
@@ -37,6 +38,12 @@ pub enum AlgoError {
         /// Description of the offending shapes.
         detail: String,
     },
+    /// The simulated execution itself failed — a fail-stop death, an
+    /// undetected-corruption abort, or a diagnosed deadlock under an
+    /// injected [`mmsim::FaultPlan`].  Only the `*_resilient` entry
+    /// points (which run under [`mmsim::Machine::try_run`]) produce
+    /// this variant.
+    Sim(mmsim::SimError),
 }
 
 impl std::fmt::Display for AlgoError {
@@ -55,11 +62,18 @@ impl std::fmt::Display for AlgoError {
                 )
             }
             AlgoError::ShapeMismatch { detail } => write!(f, "shape mismatch: {detail}"),
+            AlgoError::Sim(e) => write!(f, "simulation failed: {e}"),
         }
     }
 }
 
 impl std::error::Error for AlgoError {}
+
+impl From<mmsim::SimError> for AlgoError {
+    fn from(e: mmsim::SimError) -> Self {
+        AlgoError::Sim(e)
+    }
+}
 
 /// The result of one simulated parallel multiplication.
 #[derive(Debug, Clone)]

@@ -91,9 +91,9 @@ pub fn dns_block(machine: &Machine, a: &Matrix, b: &Matrix) -> Result<SimOutcome
         // --- Stage 1: element-wise spread (same pattern as GK; the
         // route relays on hypercubes and is direct elsewhere). ---
         let a_src = (i == 0).then(|| vec![ga.block(j, k)[(u, v)]]);
-        let a_routed = gk::route_along_i(proc, |ii| rank_at(ii, j, k), i, k, 0, a_src);
+        let a_routed = gk::route_along_i(proc, |ii| rank_at(ii, j, k), i, k, 0, a_src, false);
         let b_src = (i == 0).then(|| vec![gb.block(j, k)[(u, v)]]);
-        let b_routed = gk::route_along_i(proc, |ii| rank_at(ii, j, k), i, j, 1, b_src);
+        let b_routed = gk::route_along_i(proc, |ii| rank_at(ii, j, k), i, j, 1, b_src, false);
 
         let a_group = Group::new(proc, (0..r).map(|l| rank_at(i, j, l)).collect());
         let a_elem = broadcast(
@@ -120,6 +120,7 @@ pub fn dns_block(machine: &Machine, a: &Matrix, b: &Matrix) -> Result<SimOutcome
             Matrix::from_vec(1, 1, vec![a_elem]),
             Matrix::from_vec(1, 1, vec![b_elem]),
             4,
+            false,
         );
 
         // --- Stage 3: element-wise reduction along the first axis. ---

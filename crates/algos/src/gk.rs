@@ -71,6 +71,10 @@ pub fn applicability(n: usize, p: usize) -> Result<usize, AlgoError> {
 /// any other topology it is a single direct message.  Every processor
 /// on the line calls this; the return value is `Some` exactly at the
 /// destination.
+///
+/// With `reliable = true` every hop uses the engine's checksummed
+/// retransmitting transport, so the route survives recoverable link
+/// faults (drops, corruption, duplication).
 pub(crate) fn route_along_i(
     proc: &mut Proc,
     rank_of_i: impl Fn(usize) -> usize,
@@ -78,14 +82,30 @@ pub(crate) fn route_along_i(
     dest: usize,
     phase: u32,
     payload: Option<Vec<Word>>,
+    reliable: bool,
 ) -> Option<Vec<Word>> {
+    let push = |proc: &mut Proc, dst: usize, t, words: Vec<Word>| {
+        if reliable {
+            proc.send_reliable(dst, t, words);
+        } else {
+            proc.send(dst, t, words);
+        }
+    };
+    let pull = |proc: &mut Proc, src: usize, t| {
+        if reliable {
+            proc.recv_reliable(src, t)
+        } else {
+            proc.recv_payload(src, t)
+        }
+    };
     if dest == 0 {
         return payload.filter(|_| my_i == 0);
     }
     let relay = proc.topology().kind() == TopologyKind::Hypercube;
     if !relay {
         if my_i == 0 {
-            proc.send(
+            push(
+                proc,
                 rank_of_i(dest),
                 tag(phase, 0),
                 payload.expect("route source holds the payload"),
@@ -93,7 +113,7 @@ pub(crate) fn route_along_i(
             return None;
         }
         if my_i == dest {
-            return Some(proc.recv_payload(rank_of_i(0), tag(phase, 0)));
+            return Some(pull(proc, rank_of_i(0), tag(phase, 0)));
         }
         return None;
     }
@@ -107,13 +127,14 @@ pub(crate) fn route_along_i(
         if dest & bit != 0 {
             let next = cur | bit;
             if my_i == cur {
-                proc.send(
+                push(
+                    proc,
                     rank_of_i(next),
                     tag(phase, t),
                     holding.take().expect("relay holder has the payload"),
                 );
             } else if my_i == next {
-                holding = Some(proc.recv_payload(rank_of_i(cur), tag(phase, t)));
+                holding = Some(pull(proc, rank_of_i(cur), tag(phase, t)));
             }
             cur = next;
         }
@@ -155,11 +176,11 @@ pub fn gk(machine: &Machine, a: &Matrix, b: &Matrix) -> Result<SimOutcome, AlgoE
         // Every processor participates in the route on its own line
         // (·, j, k), whose destination is i = k.
         let a_src = (i == 0).then(|| ga.block(j, k).clone().into_vec());
-        let a_routed = route_along_i(proc, |ii| rank_at(ii, j, k), i, k, 0, a_src);
+        let a_routed = route_along_i(proc, |ii| rank_at(ii, j, k), i, k, 0, a_src, false);
 
         // --- Stage 1b: route B^{jk} from (0,j,k) to (j,j,k). ---
         let b_src = (i == 0).then(|| gb.block(j, k).clone().into_vec());
-        let b_routed = route_along_i(proc, |ii| rank_at(ii, j, k), i, j, 1, b_src);
+        let b_routed = route_along_i(proc, |ii| rank_at(ii, j, k), i, j, 1, b_src, false);
 
         // --- Stage 1c: broadcast A along the third axis. ---
         // Group (i, j, ·); the root is l = i, which now holds A^{ji}.
@@ -258,9 +279,9 @@ pub fn gk_improved(machine: &Machine, a: &Matrix, b: &Matrix) -> Result<SimOutco
         let rank_at = |i: usize, j: usize, k: usize| (i * s + j) * s + k;
 
         let a_src = (i == 0).then(|| ga.block(j, k).clone().into_vec());
-        let a_routed = route_along_i(proc, |ii| rank_at(ii, j, k), i, k, 0, a_src);
+        let a_routed = route_along_i(proc, |ii| rank_at(ii, j, k), i, k, 0, a_src, false);
         let b_src = (i == 0).then(|| gb.block(j, k).clone().into_vec());
-        let b_routed = route_along_i(proc, |ii| rank_at(ii, j, k), i, j, 1, b_src);
+        let b_routed = route_along_i(proc, |ii| rank_at(ii, j, k), i, j, 1, b_src, false);
 
         let a_group = Group::new(proc, (0..s).map(|l| rank_at(i, j, l)).collect());
         let a_flat = collectives::broadcast_scatter_allgather(

@@ -32,6 +32,7 @@ pub mod common;
 pub mod dns;
 pub mod fox;
 pub mod gk;
+pub mod resilient;
 pub mod simple;
 pub mod verify;
 
@@ -41,5 +42,6 @@ pub use common::{AlgoError, SimOutcome};
 pub use dns::{dns_block, dns_one_element};
 pub use fox::{fox_async, fox_pipelined, fox_tree};
 pub use gk::{gk, gk_improved};
+pub use resilient::{cannon_resilient, gk_resilient};
 pub use simple::simple;
 pub use verify::{verify_outcome, verify_product, Verification};

@@ -1,0 +1,287 @@
+//! Fault-tolerant variants of Cannon's and the GK algorithm.
+//!
+//! These run the *same schedules* as [`crate::cannon`] and [`crate::gk`]
+//! but move every message through the engine's reliable transport
+//! ([`mmsim::Proc::send_reliable`] / [`mmsim::Proc::recv_reliable`]) and
+//! the reliable collectives ([`collectives::broadcast_reliable`],
+//! [`collectives::reduce_sum_reliable`]), so they complete — with the
+//! bit-identical product — under any *recoverable*
+//! [`mmsim::FaultPlan`]: message drops, payload corruption, duplication,
+//! and per-link bandwidth degradation.
+//!
+//! ## Checkpoint/restart semantics
+//!
+//! Both algorithms proceed in lock-step phases (Cannon: alignment then
+//! `√p` shift rounds; GK: route, two broadcasts, multiply, reduce).
+//! Recovery is **step-granular**: the reliable transport retries each
+//! hop until it is delivered intact, so a faulted transfer is re-driven
+//! from the *last completed step* — completed shifts or broadcast
+//! levels are never re-executed, and no processor state is rolled back.
+//! The recovery cost (retransmissions, acknowledgements, exponential
+//! backoff) is charged in virtual time, so resilience overhead is
+//! directly visible in `T_p` and in the per-processor
+//! [`mmsim::ProcStats::backoff_idle`] / `retransmissions` counters.
+//!
+//! ## Unrecoverable faults
+//!
+//! Fail-stop deaths are *not* masked: a scheduled death surfaces as
+//! [`AlgoError::Sim`] wrapping the structured
+//! [`mmsim::SimError::RankDied`] (or the deadlock it provokes in
+//! peers), never as a hang or an unannotated panic — the entry points
+//! run under [`mmsim::Machine::try_run`].
+
+use std::sync::Arc;
+
+use dense::{kernel, BlockGrid, Matrix};
+use mmsim::Machine;
+
+use crate::cannon::{self, cannon_core, MeshView};
+use crate::common::{check_square_operands, AlgoError, SimOutcome};
+use crate::gk::{self, route_along_i};
+use collectives::{broadcast_reliable, reduce_sum_reliable, Group};
+
+/// Cannon's algorithm over the reliable transport.  Applicability is
+/// identical to [`crate::cannon()`]; the product is bit-identical to
+/// the fault-free run for every recoverable fault plan.
+///
+/// # Errors
+/// Returns the structural [`AlgoError`] variants exactly like
+/// [`crate::cannon()`], plus [`AlgoError::Sim`] when the simulated
+/// execution fails on an unrecoverable fault (fail-stop death).
+pub fn cannon_resilient(
+    machine: &Machine,
+    a: &Matrix,
+    b: &Matrix,
+) -> Result<SimOutcome, AlgoError> {
+    let n = check_square_operands(a, b)?;
+    let p = machine.p();
+    let q = cannon::applicability(n, p)?;
+
+    let ga = Arc::new(BlockGrid::split(a, q, q));
+    let gb = Arc::new(BlockGrid::split(b, q, q));
+    let report = machine.try_run(|proc| {
+        let mesh = MeshView::contiguous(proc, 0, q);
+        let a0 = ga.block_by_rank(proc.rank()).clone();
+        let b0 = gb.block_by_rank(proc.rank()).clone();
+        cannon_core(proc, &mesh, a0, b0, 0, true)
+    })?;
+    let c = BlockGrid::assemble_from(&report.results, q, q);
+    Ok(SimOutcome::from_report(&report, c, n))
+}
+
+/// The GK algorithm over the reliable transport: reliable route along
+/// the first cube axis, reliable binomial-tree broadcasts and
+/// reduction.  Applicability is identical to [`crate::gk()`].
+///
+/// # Errors
+/// As [`crate::gk()`], plus [`AlgoError::Sim`] when the simulated
+/// execution fails on an unrecoverable fault.
+pub fn gk_resilient(machine: &Machine, a: &Matrix, b: &Matrix) -> Result<SimOutcome, AlgoError> {
+    let n = check_square_operands(a, b)?;
+    let p = machine.p();
+    let s = gk::applicability(n, p)?;
+    if s == 1 {
+        let report = machine.try_run(|proc| {
+            proc.compute(kernel::work_units(n, n, n));
+        })?;
+        let c = kernel::matmul(a, b);
+        return Ok(SimOutcome::from_report(&report, c, n));
+    }
+    let bs = n / s;
+
+    let ga = Arc::new(BlockGrid::split(a, s, s));
+    let gb = Arc::new(BlockGrid::split(b, s, s));
+    let report = machine.try_run(|proc| {
+        let rank = proc.rank();
+        let (i, jk) = (rank / (s * s), rank % (s * s));
+        let (j, k) = (jk / s, jk % s);
+        let rank_at = |i: usize, j: usize, k: usize| (i * s + j) * s + k;
+
+        // Stage 1a/1b: reliable routes of A^{jk} to (k,j,k) and B^{jk}
+        // to (j,j,k) along the first axis.
+        let a_src = (i == 0).then(|| ga.block(j, k).clone().into_vec());
+        let a_routed = route_along_i(proc, |ii| rank_at(ii, j, k), i, k, 0, a_src, true);
+        let b_src = (i == 0).then(|| gb.block(j, k).clone().into_vec());
+        let b_routed = route_along_i(proc, |ii| rank_at(ii, j, k), i, j, 1, b_src, true);
+
+        // Stage 1c/1d: reliable broadcasts along the third and second
+        // axes (same trees and roots as the plain variant).
+        let a_group = Group::new(proc, (0..s).map(|l| rank_at(i, j, l)).collect());
+        let a_flat = broadcast_reliable(
+            proc,
+            &a_group,
+            2,
+            i,
+            (k == i).then(|| a_routed.expect("A routed to (i,j,i)")),
+        );
+        let a_blk = Matrix::from_vec(bs, bs, a_flat);
+
+        let b_group = Group::new(proc, (0..s).map(|l| rank_at(i, l, k)).collect());
+        let b_flat = broadcast_reliable(
+            proc,
+            &b_group,
+            3,
+            i,
+            (j == i).then(|| b_routed.expect("B routed to (i,i,k)")),
+        );
+        let b_blk = Matrix::from_vec(bs, bs, b_flat);
+
+        // Stage 2: local block product.
+        let mut c = Matrix::zeros(bs, bs);
+        proc.compute(kernel::work_units(bs, bs, bs));
+        kernel::matmul_accumulate(&mut c, &a_blk, &b_blk);
+
+        // Stage 3: reliable reduction onto the front plane.
+        let r_group = Group::new(proc, (0..s).map(|l| rank_at(l, j, k)).collect());
+        reduce_sum_reliable(proc, &r_group, 4, 0, c.into_vec())
+    })?;
+
+    let blocks: Vec<Matrix> = report.results[..s * s]
+        .iter()
+        .map(|r| Matrix::from_vec(bs, bs, r.clone().expect("front plane holds C")))
+        .collect();
+    let c = BlockGrid::assemble_from(&blocks, s, s);
+    Ok(SimOutcome::from_report(&report, c, n))
+}
+
+#[cfg(test)]
+mod tests {
+    use dense::gen;
+    use mmsim::{CostModel, FaultPlan, Machine, SimError, Topology};
+
+    use super::*;
+
+    fn lossy_plan(seed: u64) -> FaultPlan {
+        FaultPlan::new(seed)
+            .with_drop_rate(0.25)
+            .with_corrupt_rate(0.1)
+            .with_duplicate_rate(0.1)
+    }
+
+    fn total_retransmissions(out: &SimOutcome) -> u64 {
+        out.stats.iter().map(|s| s.retransmissions).sum()
+    }
+
+    fn total_backoff(out: &SimOutcome) -> f64 {
+        out.stats.iter().map(|s| s.backoff_idle).sum()
+    }
+
+    #[test]
+    fn cannon_resilient_healthy_matches_plain_product() {
+        let (a, b) = gen::random_pair(8, 31);
+        let machine = Machine::new(Topology::square_torus_for(16), CostModel::new(5.0, 0.5));
+        let plain = cannon::cannon(&machine, &a, &b).unwrap();
+        let resilient = cannon_resilient(&machine, &a, &b).unwrap();
+        assert_eq!(
+            plain.c, resilient.c,
+            "healthy transport must not perturb the product"
+        );
+        assert_eq!(total_retransmissions(&resilient), 0);
+        assert_eq!(total_backoff(&resilient), 0.0);
+        // Framing + acks make resilience strictly more expensive.
+        assert!(resilient.t_parallel > plain.t_parallel);
+    }
+
+    #[test]
+    fn cannon_resilient_is_exact_under_lossy_links() {
+        let (a, b) = gen::random_pair(12, 33);
+        let healthy = Machine::new(Topology::square_torus_for(9), CostModel::new(5.0, 0.5));
+        let faulty = Machine::new(Topology::square_torus_for(9), CostModel::new(5.0, 0.5))
+            .with_fault_plan(lossy_plan(7));
+        let reference = cannon::cannon(&healthy, &a, &b).unwrap();
+        let out = cannon_resilient(&faulty, &a, &b).unwrap();
+        // Retransmitted payloads are bit-identical, so the product is
+        // exactly the fault-free one — not merely approximately equal.
+        assert_eq!(out.c, reference.c);
+        // The recovery overhead must be visible in the accounting.
+        assert!(
+            total_retransmissions(&out) > 0,
+            "lossy plan must force retries"
+        );
+        assert!(total_backoff(&out) > 0.0);
+        let clean = cannon_resilient(&healthy, &a, &b).unwrap();
+        assert!(
+            out.t_parallel > clean.t_parallel,
+            "faults must cost virtual time"
+        );
+        for s in &out.stats {
+            assert!(s.backoff_idle <= s.idle, "backoff is a subset of idle");
+        }
+    }
+
+    #[test]
+    fn gk_resilient_is_exact_under_lossy_links() {
+        let (a, b) = gen::random_pair(8, 35);
+        for topo in [Topology::hypercube_for(64), Topology::fully_connected(64)] {
+            let healthy = Machine::new(topo.clone(), CostModel::new(5.0, 0.5));
+            let faulty =
+                Machine::new(topo, CostModel::new(5.0, 0.5)).with_fault_plan(lossy_plan(13));
+            let reference = gk::gk(&healthy, &a, &b).unwrap();
+            let out = gk_resilient(&faulty, &a, &b).unwrap();
+            assert_eq!(out.c, reference.c);
+            assert!(total_retransmissions(&out) > 0);
+        }
+    }
+
+    #[test]
+    fn gk_resilient_healthy_matches_plain_product() {
+        let (a, b) = gen::random_pair(8, 37);
+        let machine = Machine::new(Topology::hypercube_for(8), CostModel::unit());
+        let plain = gk::gk(&machine, &a, &b).unwrap();
+        let resilient = gk_resilient(&machine, &a, &b).unwrap();
+        assert_eq!(plain.c, resilient.c);
+        assert!(resilient.t_parallel > plain.t_parallel);
+    }
+
+    #[test]
+    fn fail_stop_death_surfaces_as_structured_error() {
+        let (a, b) = gen::random_pair(8, 39);
+        let machine = Machine::new(Topology::square_torus_for(4), CostModel::unit())
+            .with_fault_plan(FaultPlan::new(1).with_death(2, 50.0));
+        match cannon_resilient(&machine, &a, &b) {
+            Err(AlgoError::Sim(SimError::RankDied { rank, t })) => {
+                assert_eq!(rank, 2);
+                assert_eq!(t, 50.0);
+            }
+            other => panic!("expected RankDied, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn death_in_gk_surfaces_as_structured_error() {
+        let (a, b) = gen::random_pair(4, 41);
+        let machine = Machine::new(Topology::hypercube_for(8), CostModel::unit())
+            .with_fault_plan(FaultPlan::new(2).with_death(3, 10.0));
+        let err = gk_resilient(&machine, &a, &b).unwrap_err();
+        assert!(matches!(
+            err,
+            AlgoError::Sim(SimError::RankDied { rank: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn structural_errors_still_checked_first() {
+        let (a, b) = gen::random_pair(8, 43);
+        let machine = Machine::new(Topology::fully_connected(5), CostModel::unit());
+        assert!(matches!(
+            cannon_resilient(&machine, &a, &b),
+            Err(AlgoError::BadProcessorCount { .. })
+        ));
+        assert!(matches!(
+            gk_resilient(&machine, &a, &b),
+            Err(AlgoError::BadProcessorCount { .. })
+        ));
+    }
+
+    #[test]
+    fn link_slowdown_is_survivable_and_costs_time() {
+        let (a, b) = gen::random_pair(8, 45);
+        let base = Machine::new(Topology::square_torus_for(4), CostModel::new(5.0, 0.5));
+        let slowed = Machine::new(Topology::square_torus_for(4), CostModel::new(5.0, 0.5))
+            .with_fault_plan(FaultPlan::new(3).with_link_slowdown(0, 1, 8.0));
+        let fast = cannon_resilient(&base, &a, &b).unwrap();
+        let slow = cannon_resilient(&slowed, &a, &b).unwrap();
+        assert_eq!(fast.c, slow.c);
+        assert!(slow.t_parallel > fast.t_parallel);
+    }
+}

@@ -48,7 +48,10 @@ fn fox_variants_overhead_fully_accounted() {
     let (a, b) = gen::random_pair(16, 3);
     let machine = Machine::new(Topology::square_torus_for(16), CostModel::new(40.0, 1.0));
     check(&algos::fox_tree(&machine, &a, &b).unwrap(), "fox_tree");
-    check(&algos::fox_pipelined(&machine, &a, &b, 4).unwrap(), "fox_pipelined");
+    check(
+        &algos::fox_pipelined(&machine, &a, &b, 4).unwrap(),
+        "fox_pipelined",
+    );
     check(&algos::fox_async(&machine, &a, &b).unwrap(), "fox_async");
 }
 
@@ -67,7 +70,10 @@ fn gk_variants_overhead_fully_accounted() {
     let (a, b) = gen::random_pair(16, 5);
     let machine = Machine::new(Topology::hypercube_for(64), CostModel::ncube2());
     check(&algos::gk(&machine, &a, &b).unwrap(), "gk");
-    check(&algos::gk_improved(&machine, &a, &b).unwrap(), "gk_improved");
+    check(
+        &algos::gk_improved(&machine, &a, &b).unwrap(),
+        "gk_improved",
+    );
 }
 
 #[test]

@@ -11,7 +11,6 @@ use model::MachineParams;
 
 /// Machine-readable dump of the reproduced evaluation, for downstream
 /// tooling (written to `results/report.json`).
-#[derive(serde::Serialize)]
 struct Report {
     paper: &'static str,
     cm5_constants: model::MachineParams,
@@ -20,6 +19,77 @@ struct Report {
     crossover_p64: Option<f64>,
     crossover_p512: Option<f64>,
     tw_term_crossover_p: f64,
+}
+
+/// JSON-format an `f64` (finite values only reach this path).
+fn json_f64(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{x:.1}")
+    } else {
+        format!("{x}")
+    }
+}
+
+fn json_opt_f64(x: Option<f64>) -> String {
+    x.map_or_else(|| "null".to_string(), json_f64)
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_points(points: &[bench::cm5_common::Cm5Point], indent: &str) -> String {
+    if points.is_empty() {
+        return "[]".to_string();
+    }
+    let inner: Vec<String> = points
+        .iter()
+        .map(|pt| {
+            format!(
+                "{indent}  {{ \"n\": {}, \"cannon_sim\": {}, \"cannon_model\": {}, \
+                 \"gk_sim\": {}, \"gk_model\": {} }}",
+                pt.n,
+                json_opt_f64(pt.cannon_sim),
+                json_f64(pt.cannon_model),
+                json_opt_f64(pt.gk_sim),
+                json_f64(pt.gk_model),
+            )
+        })
+        .collect();
+    format!("[\n{}\n{indent}]", inner.join(",\n"))
+}
+
+impl Report {
+    /// Pretty-printed JSON rendering (the build is offline, so this is
+    /// hand-rolled rather than derived via serde).
+    fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"paper\": {},\n  \"cm5_constants\": {{ \"t_s\": {}, \"t_w\": {} }},\n  \
+             \"figure4\": {},\n  \"figure5\": {},\n  \"crossover_p64\": {},\n  \
+             \"crossover_p512\": {},\n  \"tw_term_crossover_p\": {}\n}}\n",
+            json_string(self.paper),
+            json_f64(self.cm5_constants.t_s),
+            json_f64(self.cm5_constants.t_w),
+            json_points(&self.figure4, "  "),
+            json_points(&self.figure5, "  "),
+            json_opt_f64(self.crossover_p64),
+            json_opt_f64(self.crossover_p512),
+            json_f64(self.tw_term_crossover_p),
+        )
+    }
 }
 
 fn main() {
@@ -56,7 +126,7 @@ fn main() {
         crossover_p512: model::cm5::crossover_n(512.0, m),
         tw_term_crossover_p: model::crossover::gk_tw_term_crossover_p(),
     };
-    let json = serde_json::to_string_pretty(&report).expect("serializable");
+    let json = report.to_json();
     let path = bench::results_dir().join("report.json");
     std::fs::create_dir_all(bench::results_dir()).expect("results dir");
     std::fs::write(&path, json).expect("write report.json");

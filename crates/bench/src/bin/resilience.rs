@@ -1,0 +1,167 @@
+//! Resilience sweep: efficiency degradation of the fault-tolerant
+//! Cannon and GK variants as link fault rates rise.
+//!
+//! For each algorithm × processor count × fault level the same
+//! multiplication runs under a seeded [`mmsim::FaultPlan`] whose drop
+//! and corruption rates scale with the level; the table reports the
+//! simulated parallel time, the efficiency, the degradation relative
+//! to the fault-free reliable run, and the recovery effort
+//! (retransmissions, backoff idle time).
+//!
+//! ```sh
+//! cargo run -p bench --release --bin resilience [-- --n 24 --seed 7]
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use algos::{cannon_resilient, gk_resilient, SimOutcome};
+use bench::{parallel_sweep, ResultTable};
+use dense::gen;
+use mmsim::{CostModel, FaultPlan, Machine, Topology};
+
+/// Fault levels swept: the drop rate per transmission attempt; the
+/// corruption rate rides along at half of it.
+const DROP_RATES: [f64; 5] = [0.0, 0.05, 0.1, 0.2, 0.3];
+
+fn parse_args() -> Result<(usize, u64), String> {
+    let mut flags: HashMap<String, String> = HashMap::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            let value = args
+                .next()
+                .ok_or_else(|| format!("missing value for --{name}"))?;
+            flags.insert(name.to_string(), value);
+        } else {
+            return Err(format!("unexpected argument {arg:?}"));
+        }
+    }
+    let n: usize = flags
+        .get("n")
+        .map_or("24", String::as_str)
+        .parse()
+        .map_err(|e| format!("--n: {e}"))?;
+    let seed: u64 = flags
+        .get("seed")
+        .map_or("7", String::as_str)
+        .parse()
+        .map_err(|e| format!("--seed: {e}"))?;
+    Ok((n, seed))
+}
+
+/// One sweep point: algorithm name, processor count, drop rate.
+struct Point {
+    alg: &'static str,
+    p: usize,
+    drop: f64,
+}
+
+fn run_point(point: &Point, n: usize, seed: u64) -> Result<SimOutcome, String> {
+    let (a, b) = gen::random_pair(n, 17);
+    let cost = CostModel::new(150.0, 3.0); // the paper's nCUBE2 constants
+    let mut machine = Machine::new(Topology::hypercube_for(point.p), cost);
+    if point.drop > 0.0 {
+        machine = machine.with_fault_plan(
+            FaultPlan::new(seed)
+                .with_drop_rate(point.drop)
+                .with_corrupt_rate(point.drop / 2.0),
+        );
+    }
+    let out = match point.alg {
+        "cannon" => cannon_resilient(&machine, &a, &b),
+        "gk" => gk_resilient(&machine, &a, &b),
+        other => return Err(format!("unknown algorithm {other:?}")),
+    };
+    out.map_err(|e| format!("{} p={} drop={}: {e}", point.alg, point.p, point.drop))
+}
+
+fn main() -> ExitCode {
+    let (n, seed) = match parse_args() {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: resilience [--n <size>] [--seed <plan seed>]");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Cannon needs a perfect square side dividing n; GK a power-of-eight
+    // cube whose side divides n.  The defaults (n = 24) admit both sets.
+    let mut points = Vec::new();
+    for p in [4usize, 16, 64] {
+        if n % (p as f64).sqrt().round() as usize == 0 {
+            for drop in DROP_RATES {
+                points.push(Point {
+                    alg: "cannon",
+                    p,
+                    drop,
+                });
+            }
+        }
+    }
+    for p in [8usize, 64] {
+        let s = (p as f64).cbrt().round() as usize;
+        if n % s == 0 {
+            for drop in DROP_RATES {
+                points.push(Point { alg: "gk", p, drop });
+            }
+        }
+    }
+
+    let outcomes = parallel_sweep(points, |point| {
+        run_point(point, n, seed).map(|out| (point.alg, point.p, point.drop, out))
+    });
+
+    let mut table = ResultTable::new(
+        format!("efficiency degradation under link faults (n = {n}, t_s = 150, t_w = 3, plan seed {seed})"),
+        &[
+            "algorithm",
+            "p",
+            "drop_rate",
+            "corrupt_rate",
+            "t_parallel",
+            "efficiency",
+            "degradation",
+            "retransmissions",
+            "backoff_idle",
+        ],
+    );
+    // Fault-free efficiency per (alg, p) anchors the degradation column.
+    let mut baseline: HashMap<(&str, usize), f64> = HashMap::new();
+    for (alg, p, drop, out) in outcomes.iter().flatten() {
+        if *drop == 0.0 {
+            baseline.insert((alg, *p), out.efficiency());
+        }
+    }
+    for outcome in outcomes {
+        match outcome {
+            Ok((alg, p, drop, out)) => {
+                let eff = out.efficiency();
+                let base = baseline.get(&(alg, p)).copied().unwrap_or(eff);
+                let retrans: u64 = out.stats.iter().map(|s| s.retransmissions).sum();
+                let backoff: f64 = out.stats.iter().map(|s| s.backoff_idle).sum();
+                table.push_row(vec![
+                    alg.to_string(),
+                    p.to_string(),
+                    format!("{drop:.2}"),
+                    format!("{:.2}", drop / 2.0),
+                    format!("{:.1}", out.t_parallel),
+                    format!("{eff:.4}"),
+                    format!("{:.4}", eff / base),
+                    retrans.to_string(),
+                    format!("{backoff:.1}"),
+                ]);
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    println!("{}", table.render());
+    let path = table.save_csv("resilience");
+    println!("CSV written to {}", path.display());
+    ExitCode::SUCCESS
+}

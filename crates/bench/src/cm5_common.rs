@@ -6,7 +6,7 @@ use mmsim::{CostModel, Machine, Topology};
 use model::{cm5, MachineParams};
 
 /// One sampled point of a Figure 4/5 series.
-#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Cm5Point {
     /// Matrix size.
     pub n: usize,

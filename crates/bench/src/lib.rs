@@ -15,8 +15,6 @@ use std::fmt::Write as _;
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use rayon::prelude::*;
-
 /// A rectangular results table that renders as aligned text and CSV.
 #[derive(Debug, Clone)]
 pub struct ResultTable {
@@ -135,10 +133,38 @@ where
     O: Send,
     F: Fn(&I) -> O + Sync,
 {
-    // The closure wrapper is what lets `f` be Sync-but-not-Send (rayon
-    // shares one &f across workers).
-    #[allow(clippy::redundant_closure)]
-    inputs.par_iter().map(|i| f(i)).collect()
+    let workers = std::thread::available_parallelism()
+        .map_or(1, std::num::NonZeroUsize::get)
+        .min(inputs.len().max(1));
+    if workers <= 1 {
+        return inputs.iter().map(&f).collect();
+    }
+    // Interleaved work-split over scoped threads: worker w takes inputs
+    // w, w + workers, w + 2·workers, …, so long and short simulations
+    // spread evenly without a work-stealing queue.
+    let mut out: Vec<Option<O>> = Vec::with_capacity(inputs.len());
+    out.resize_with(inputs.len(), || None);
+    let slots: Vec<(usize, std::sync::Mutex<&mut Option<O>>)> = out
+        .iter_mut()
+        .enumerate()
+        .map(|(i, slot)| (i, std::sync::Mutex::new(slot)))
+        .collect();
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let f = &f;
+            let inputs = &inputs;
+            let slots = &slots;
+            scope.spawn(move || {
+                for (i, slot) in slots.iter().skip(w).step_by(workers) {
+                    let value = f(&inputs[*i]);
+                    **slot.lock().expect("sweep slot lock") = Some(value);
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|v| v.expect("every sweep slot filled"))
+        .collect()
 }
 
 #[cfg(test)]

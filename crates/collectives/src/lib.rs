@@ -26,6 +26,7 @@
 pub mod analytic;
 pub mod group;
 pub mod ops;
+pub mod reliable;
 
 pub use group::Group;
 pub use ops::{
@@ -33,3 +34,4 @@ pub use ops::{
     broadcast, broadcast_scatter_allgather, gather, reduce_scatter_sum, reduce_sum, scan_sum,
     scatter,
 };
+pub use reliable::{broadcast_reliable, exchange_reliable, reduce_sum_reliable};

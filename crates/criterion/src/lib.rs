@@ -1,0 +1,370 @@
+//! # criterion (in-repo shim) — a tiny wall-clock bench harness
+//!
+//! The workspace builds offline, so this crate provides the subset of
+//! the [criterion](https://crates.io/crates/criterion) API the `bench`
+//! crate's benchmarks use, implemented as a straightforward wall-clock
+//! timer.  The bench files are source-compatible with upstream
+//! criterion; swap the path dependency to get statistical analysis,
+//! HTML reports, and regression detection back.
+//!
+//! Semantics: each benchmark warms up once, then runs batches until
+//! ~`sample_size` iterations (min 10 ms) have elapsed, and prints the
+//! mean time per iteration.  `--test` (passed by `cargo test`) runs
+//! every benchmark exactly once to check it executes.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How measured iterations relate to work done, for derived
+/// throughput lines.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many abstract elements each.
+    Elements(u64),
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+}
+
+/// Hint for how expensive batched setup is (accepted for source
+/// compatibility; the shim drains batches eagerly either way).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// A benchmark identifier: function name plus a parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, like upstream.
+    #[must_use]
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// Anything `bench_function`/`bench_with_input` accepts as an id.
+pub trait IntoBenchmarkId {
+    /// The rendered identifier.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// The timing driver handed to benchmark closures.
+pub struct Bencher<'a> {
+    mode: Mode,
+    result: &'a mut Option<Sample>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    /// Run once, verify it executes (under `cargo test`).
+    Test,
+    /// Measure roughly this many iterations.
+    Measure { target_iters: u64 },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher<'_> {
+    /// Time `routine`, repeatedly.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        match self.mode {
+            Mode::Test => {
+                let _ = std::hint::black_box(routine());
+                *self.result = Some(Sample {
+                    iters: 1,
+                    elapsed: Duration::ZERO,
+                });
+            }
+            Mode::Measure { target_iters } => {
+                let _ = std::hint::black_box(routine()); // warm-up
+                let mut iters = 0u64;
+                let start = Instant::now();
+                let budget = Duration::from_millis(200);
+                while iters < target_iters && start.elapsed() < budget {
+                    let _ = std::hint::black_box(routine());
+                    iters += 1;
+                }
+                *self.result = Some(Sample {
+                    iters: iters.max(1),
+                    elapsed: start.elapsed(),
+                });
+            }
+        }
+    }
+
+    /// Time `routine` on inputs produced by `setup`; setup time is not
+    /// measured.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        match self.mode {
+            Mode::Test => {
+                let _ = std::hint::black_box(routine(setup()));
+                *self.result = Some(Sample {
+                    iters: 1,
+                    elapsed: Duration::ZERO,
+                });
+            }
+            Mode::Measure { target_iters } => {
+                let _ = std::hint::black_box(routine(setup())); // warm-up
+                let mut iters = 0u64;
+                let mut measured = Duration::ZERO;
+                let wall = Instant::now();
+                let budget = Duration::from_millis(200);
+                while iters < target_iters && wall.elapsed() < budget {
+                    let input = setup();
+                    let start = Instant::now();
+                    let _ = std::hint::black_box(routine(input));
+                    measured += start.elapsed();
+                    iters += 1;
+                }
+                *self.result = Some(Sample {
+                    iters: iters.max(1),
+                    elapsed: measured,
+                });
+            }
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Target number of measured iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Attach a throughput to subsequent benchmarks in this group.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmark `f`.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_id());
+        let (test_mode, sample_size, throughput) =
+            (self.criterion.test_mode, self.sample_size, self.throughput);
+        run_one(full, test_mode, sample_size, throughput, f);
+        self
+    }
+
+    /// Benchmark `f` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (upstream flushes reports here; the shim prints as
+    /// it goes).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs bench binaries with `--test`; `cargo bench`
+        // passes `--bench`.  Anything unrecognised is ignored, like
+        // upstream does for its own flags.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Benchmark `f` outside any group.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(id.into_id(), self.test_mode, 20, None, f);
+        self
+    }
+}
+
+fn run_one(
+    id: String,
+    test_mode: bool,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mode = if test_mode {
+        Mode::Test
+    } else {
+        Mode::Measure {
+            target_iters: sample_size.max(1),
+        }
+    };
+    let mut result = None;
+    let mut bencher = Bencher {
+        mode,
+        result: &mut result,
+    };
+    f(&mut bencher);
+    let Some(sample) = result else {
+        println!("{id}: no measurement (closure never called iter)");
+        return;
+    };
+    if test_mode {
+        println!("{id}: ok (test mode)");
+        return;
+    }
+    let per_iter = sample.elapsed.as_secs_f64() / sample.iters as f64;
+    let mut line = format!(
+        "{id}: {} /iter ({} iters)",
+        fmt_time(per_iter),
+        sample.iters
+    );
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / per_iter;
+            line.push_str(&format!(", {rate:.3e} elem/s"));
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 / per_iter / (1024.0 * 1024.0);
+            line.push_str(&format!(", {rate:.1} MiB/s"));
+        }
+        None => {}
+    }
+    println!("{line}");
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Group benchmark functions under one runner, like upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = <$crate::Criterion as ::std::default::Default>::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_records() {
+        let mut result = None;
+        let mut b = Bencher {
+            mode: Mode::Measure { target_iters: 3 },
+            result: &mut result,
+        };
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert!(count >= 3, "warm-up + 3 measured iterations");
+        assert!(result.is_some());
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = Criterion { test_mode: true };
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(5)
+            .throughput(Throughput::Elements(10))
+            .bench_with_input(BenchmarkId::new("double", 2), &2u64, |b, &x| {
+                b.iter(|| x * 2);
+            });
+        g.bench_function("plain", |b| {
+            b.iter_batched(|| 41u64, |x| x + 1, BatchSize::SmallInput);
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn id_rendering() {
+        assert_eq!(BenchmarkId::new("name", 64).into_id(), "name/64");
+        assert_eq!("raw".into_id(), "raw");
+    }
+}

@@ -1,7 +1,6 @@
 //! Deterministic workload generation for tests, examples and benches.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use detrng::SplitMix64;
 
 use crate::matrix::Matrix;
 
@@ -9,8 +8,8 @@ use crate::matrix::Matrix;
 /// from `seed`.
 #[must_use]
 pub fn random(rows: usize, cols: usize, seed: u64) -> Matrix {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..1.0))
+    let mut rng = SplitMix64::new(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.next_range_f64(-1.0, 1.0))
 }
 
 /// A matrix whose `(i, j)` entry is `i*cols + j` — handy for eyeballing

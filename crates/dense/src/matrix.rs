@@ -3,13 +3,11 @@
 use std::fmt;
 use std::ops::{Add, Index, IndexMut, Mul, Sub};
 
-use serde::{Deserialize, Serialize};
-
 /// A dense row-major `rows × cols` matrix of `f64`.
 ///
 /// Deliberately minimal: exactly what the parallel algorithms and their
 /// verification need, with no linear-algebra kitchen sink.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,

@@ -34,6 +34,11 @@ pub struct Message {
     pub arrival: f64,
     /// Hop count charged for this message (from the topology).
     pub hops: usize,
+    /// Whether a fault plan flipped a bit of this payload in flight.
+    /// The unprotected [`crate::Proc::recv`] path surfaces corrupted
+    /// messages as [`crate::SimError::DataCorruption`]; the reliable
+    /// protocol detects and retransmits them.
+    pub corrupted: bool,
 }
 
 impl Message {
@@ -66,6 +71,16 @@ pub(crate) enum Envelope {
         /// Rank of the processor that panicked.
         from: usize,
     },
+    /// The sending processor fail-stopped (injected fault).  Unlike
+    /// `Poison` this does *not* abort receivers: surviving ranks keep
+    /// running on whatever messages were sent before the death, and a
+    /// receive that can only be satisfied by the dead rank becomes a
+    /// deterministic deadlock diagnosis.  Each sender's channel is FIFO,
+    /// so `Died` arriving proves no further message from `from` exists.
+    Died {
+        /// Rank of the processor that died.
+        from: usize,
+    },
 }
 
 #[cfg(test)]
@@ -90,6 +105,7 @@ mod tests {
             sent_at: 10.0,
             arrival: 25.0,
             hops: 1,
+            corrupted: false,
         };
         assert_eq!(m.words(), 3);
         assert_eq!(m.latency(), 15.0);

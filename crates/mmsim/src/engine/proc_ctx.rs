@@ -1,9 +1,12 @@
 //! The per-processor execution context handed to algorithm closures.
 
-use crossbeam::channel::{Receiver, Sender};
+use std::collections::BTreeSet;
+use std::sync::mpsc::{Receiver, Sender};
 
 use crate::cost::{CostModel, Ports};
+use crate::engine::error::{CorruptionPayload, DeadlockPayload, DiedPayload};
 use crate::engine::message::{Envelope, Message, Tag};
+use crate::fault::{Fate, FaultPlan, TrafficClass};
 use crate::stats::ProcStats;
 use crate::topology::Topology;
 use crate::trace::{Timeline, TraceEvent};
@@ -20,6 +23,12 @@ use crate::Word;
 /// without deadlocking.  Receives block the host thread until a matching
 /// message exists, but *virtual* waiting is determined purely by message
 /// timestamps.
+///
+/// When the machine carries a [`FaultPlan`], every clock advance first
+/// checks the rank's fail-stop deadline, plain sends are subject to the
+/// plan's drop/corruption fates, and [`Proc::send_reliable`] /
+/// [`Proc::recv_reliable`] run a checksummed retransmission protocol
+/// whose retries and backoff are charged in virtual time.
 pub struct Proc {
     rank: usize,
     clock: f64,
@@ -30,20 +39,49 @@ pub struct Proc {
     inbox: Receiver<Envelope>,
     /// Messages received from the channel but not yet matched by a recv.
     pending: Vec<Message>,
-    /// Peers that have finished their closure (sent [`Envelope::Done`]).
+    /// Peers that have finished their closure (sent [`Envelope::Done`])
+    /// or fail-stopped (sent [`Envelope::Died`]).
     done_peers: usize,
+    /// Peers known to have fail-stopped.
+    dead_peers: BTreeSet<usize>,
     /// Host-time budget for a single blocked receive before the engine
     /// declares a live deadlock (cyclic mutual wait).
     recv_timeout: std::time::Duration,
     /// Event timeline, populated only when tracing is enabled.
     timeline: Option<Timeline>,
+    /// Fault schedule shared by the whole machine, if any.
+    fault: Option<std::sync::Arc<FaultPlan>>,
+    /// This rank's fail-stop instant (cached from the plan).
+    death_at: Option<f64>,
+    /// Per-destination sequence numbers for plain sends (fate oracle key).
+    plain_seq: Vec<u64>,
+    /// Per-destination sequence numbers for outgoing reliable messages.
+    rel_seq_out: Vec<u64>,
+    /// Per-source sequence numbers for incoming reliable messages.
+    rel_seq_in: Vec<u64>,
 }
 
 /// Panic payload used when a processor aborts because a peer panicked;
 /// the engine recognises it and re-raises the *original* panic instead.
 pub(crate) const ABORT_MSG: &str = "aborted because a peer virtual processor panicked";
 
+/// Words a reliable frame adds to its payload: one attempt counter and
+/// one checksum word.
+pub const RELIABLE_FRAME_OVERHEAD: usize = 2;
+
+/// XOR-fold of the word bit patterns: any single bit flip in the summed
+/// words flips the same bit of the checksum, so one-bit corruption is
+/// always detected.  Compared via `to_bits` (the fold may be NaN).
+fn frame_checksum(words: &[Word]) -> Word {
+    let mut acc = 0u64;
+    for w in words {
+        acc ^= w.to_bits();
+    }
+    f64::from_bits(acc)
+}
+
 impl Proc {
+    #[allow(clippy::too_many_arguments)] // crate-internal constructor, one call site
     pub(crate) fn new(
         rank: usize,
         topology: Topology,
@@ -52,7 +90,10 @@ impl Proc {
         inbox: Receiver<Envelope>,
         trace: bool,
         recv_timeout: std::time::Duration,
+        fault: Option<std::sync::Arc<FaultPlan>>,
     ) -> Self {
+        let p = topology.p();
+        let death_at = fault.as_ref().and_then(|plan| plan.death_time(rank));
         Self {
             rank,
             clock: 0.0,
@@ -63,8 +104,14 @@ impl Proc {
             inbox,
             pending: Vec::new(),
             done_peers: 0,
+            dead_peers: BTreeSet::new(),
             recv_timeout,
             timeline: trace.then(Vec::new),
+            fault,
+            death_at,
+            plain_seq: vec![0; p],
+            rel_seq_out: vec![0; p],
+            rel_seq_in: vec![0; p],
         }
     }
 
@@ -83,6 +130,17 @@ impl Proc {
         for (dst, sender) in self.senders.iter().enumerate() {
             if dst != self.rank {
                 let _ = sender.send(Envelope::Poison { from: self.rank });
+            }
+        }
+    }
+
+    /// Announce a fail-stop to every peer (engine-internal).  Channels
+    /// are FIFO per sender, so `Died` arriving after this rank's last
+    /// application message proves nothing further is coming.
+    pub(crate) fn notify_died(&self) {
+        for (dst, sender) in self.senders.iter().enumerate() {
+            if dst != self.rank {
+                let _ = sender.send(Envelope::Died { from: self.rank });
             }
         }
     }
@@ -117,6 +175,34 @@ impl Proc {
         self.clock
     }
 
+    /// Fail-stop if advancing the clock to `new_clock` crosses this
+    /// rank's death instant.  Called before every clock advance, so a
+    /// death during an injection, a wait or a compute phase all stop the
+    /// rank at exactly its configured time.
+    fn check_death(&mut self, new_clock: f64) {
+        if let Some(t) = self.death_at {
+            if new_clock >= t {
+                self.clock = self.clock.max(t.min(new_clock));
+                let message = format!(
+                    "fail-stop fault injected: rank {} died at virtual time {t}",
+                    self.rank
+                );
+                std::panic::panic_any(DiedPayload {
+                    rank: self.rank,
+                    t,
+                    message,
+                });
+            }
+        }
+    }
+
+    /// `t_w` degradation factor of the directed link `self.rank → dst`.
+    fn link_tw(&self, dst: usize) -> f64 {
+        self.fault
+            .as_ref()
+            .map_or(1.0, |plan| plan.link(self.rank, dst).tw_factor)
+    }
+
     /// Advance the clock by `units` of useful work
     /// (1 unit = one multiply–add pair, the paper's normalisation).
     ///
@@ -127,6 +213,7 @@ impl Proc {
             units >= 0.0 && units.is_finite(),
             "compute units must be finite and non-negative, got {units}"
         );
+        self.check_death(self.clock + units);
         if let Some(tl) = &mut self.timeline {
             tl.push(TraceEvent::Compute {
                 start: self.clock,
@@ -141,6 +228,7 @@ impl Proc {
     /// work) at the model's `t_add` each.
     pub fn compute_adds(&mut self, count: usize) {
         let t = self.cost.t_add * count as f64;
+        self.check_death(self.clock + t);
         if let Some(tl) = &mut self.timeline {
             tl.push(TraceEvent::Compute {
                 start: self.clock,
@@ -159,11 +247,21 @@ impl Proc {
     /// `send start + message latency` as given by the cost model and the
     /// topology hop count.
     ///
+    /// Under a fault plan this path is **unprotected**: a dropped
+    /// message silently never arrives (the receive becomes a diagnosed
+    /// deadlock) and a corrupted one is detected at the receiver and
+    /// surfaces as [`crate::SimError::DataCorruption`].  Use
+    /// [`Proc::send_reliable`] for transport that survives both.
+    ///
     /// # Panics
     /// Panics on out-of-range `dst` or on sending to oneself.
     pub fn send(&mut self, dst: usize, tag: Tag, payload: Vec<Word>) {
+        self.validate_dst(dst);
         let start = self.clock;
-        let occupancy = self.cost.sender_occupancy(payload.len());
+        let occupancy = self
+            .cost
+            .sender_occupancy_scaled(payload.len(), self.link_tw(dst));
+        self.check_death(start + occupancy);
         if let Some(tl) = &mut self.timeline {
             tl.push(TraceEvent::Send {
                 start,
@@ -202,9 +300,19 @@ impl Proc {
                 }
                 let start = self.clock;
                 let mut max_occ = 0.0f64;
+                for (dst, _, payload) in &msgs {
+                    max_occ = max_occ.max(
+                        self.cost
+                            .sender_occupancy_scaled(payload.len(), self.link_tw(*dst)),
+                    );
+                }
+                // A death during the batch loses the whole batch: check
+                // before any message is handed to the network.
+                self.check_death(start + max_occ);
                 for (dst, tag, payload) in msgs {
-                    let occ = self.cost.sender_occupancy(payload.len());
-                    max_occ = max_occ.max(occ);
+                    let occ = self
+                        .cost
+                        .sender_occupancy_scaled(payload.len(), self.link_tw(dst));
                     if let Some(tl) = &mut self.timeline {
                         tl.push(TraceEvent::Send {
                             start,
@@ -222,7 +330,7 @@ impl Proc {
         }
     }
 
-    fn dispatch(&mut self, dst: usize, tag: Tag, payload: Vec<Word>, start: f64) {
+    fn validate_dst(&self, dst: usize) {
         assert!(
             dst < self.p(),
             "rank {}: send destination {dst} out of range (p = {})",
@@ -230,11 +338,62 @@ impl Proc {
             self.p()
         );
         assert_ne!(dst, self.rank, "rank {}: cannot send to self", self.rank);
-        let hops = self.topology.distance(self.rank, dst);
-        let arrival = start + self.cost.message_latency(payload.len(), hops);
+    }
+
+    /// Hand a plain (unprotected) message to the network, applying the
+    /// fault plan's drop/corruption fate for this link.
+    fn dispatch(&mut self, dst: usize, tag: Tag, payload: Vec<Word>, start: f64) {
+        let (payload, corrupted) = if let Some(plan) = self.fault.clone() {
+            let seq = self.plain_seq[dst];
+            self.plain_seq[dst] += 1;
+            match plan.fate(TrafficClass::Plain, self.rank, dst, seq, 0) {
+                Fate::Dropped => {
+                    // The sender paid the injection cost and the traffic
+                    // counters see the message leave; the network loses it.
+                    self.count_sent(dst, payload.len());
+                    return;
+                }
+                Fate::Corrupted => {
+                    let mut payload = payload;
+                    if !payload.is_empty() {
+                        let (w, b) = plan.corrupt_position(self.rank, dst, seq, 0, payload.len());
+                        payload[w] = f64::from_bits(payload[w].to_bits() ^ (1u64 << b));
+                    }
+                    // An empty payload still carries corrupt framing.
+                    (payload, true)
+                }
+                Fate::Delivered => (payload, false),
+            }
+        } else {
+            (payload, false)
+        };
+        self.dispatch_raw(dst, tag, payload, start, corrupted);
+    }
+
+    /// Traffic accounting for one outgoing message.
+    fn count_sent(&mut self, dst: usize, words: usize) {
         self.stats.msgs_sent += 1;
-        self.stats.words_sent += payload.len() as u64;
-        self.stats.hops_traversed += hops as u64;
+        self.stats.words_sent += words as u64;
+        self.stats.hops_traversed += self.topology.distance(self.rank, dst) as u64;
+    }
+
+    /// Hand a message to the network verbatim (no fate applied — the
+    /// reliable protocol decides fates itself).
+    fn dispatch_raw(
+        &mut self,
+        dst: usize,
+        tag: Tag,
+        payload: Vec<Word>,
+        start: f64,
+        corrupted: bool,
+    ) {
+        self.validate_dst(dst);
+        let hops = self.topology.distance(self.rank, dst);
+        let arrival = start
+            + self
+                .cost
+                .message_latency_scaled(payload.len(), hops, self.link_tw(dst));
+        self.count_sent(dst, payload.len());
         let msg = Message {
             src: self.rank,
             dst,
@@ -243,6 +402,7 @@ impl Proc {
             sent_at: start,
             arrival,
             hops,
+            corrupted,
         };
         self.senders[dst]
             .send(Envelope::App(msg))
@@ -256,10 +416,31 @@ impl Proc {
     /// Messages with the same `(src, tag)` are matched in send order.
     ///
     /// # Panics
-    /// Panics if `src` is out of range, equals this rank, or if the
-    /// sending side hung up without ever sending a matching message
-    /// (which indicates a deadlocked/incorrect algorithm).
+    /// Panics if `src` is out of range, equals this rank, if the sending
+    /// side terminated without ever sending a matching message (which
+    /// indicates a deadlocked/incorrect algorithm or a fail-stopped
+    /// peer), or if the message was corrupted in flight by a fault plan.
     pub fn recv(&mut self, src: usize, tag: Tag) -> Message {
+        let msg = self.recv_frame(src, tag);
+        if msg.corrupted {
+            let message = format!(
+                "rank {}: received corrupted message from rank {src} (tag {tag:#x}) — \
+                 payload integrity check failed",
+                self.rank
+            );
+            std::panic::panic_any(CorruptionPayload {
+                rank: self.rank,
+                src,
+                tag,
+                message,
+            });
+        }
+        msg
+    }
+
+    /// [`Proc::recv`] without the corruption trap — the reliable
+    /// protocol receives corrupted frames on purpose and handles them.
+    fn recv_frame(&mut self, src: usize, tag: Tag) -> Message {
         assert!(
             src < self.p(),
             "rank {}: recv source {src} out of range",
@@ -269,6 +450,7 @@ impl Proc {
         let msg = self.take_matching(src, tag);
         let start = self.clock;
         if msg.arrival > self.clock {
+            self.check_death(msg.arrival);
             self.stats.idle += msg.arrival - self.clock;
             self.clock = msg.arrival;
         }
@@ -298,15 +480,24 @@ impl Proc {
         {
             return self.pending.remove(pos);
         }
+        if self.dead_peers.contains(&src) {
+            self.panic_waiting_on_dead(src, tag);
+        }
         loop {
             let envelope = match self.inbox.recv_timeout(self.recv_timeout) {
                 Ok(envelope) => envelope,
-                Err(crossbeam::channel::RecvTimeoutError::Timeout) => panic!(
-                    "rank {}: no message for {:?} while waiting for (src {src}, tag {tag:#x}) — \
-                     live deadlock (cyclic mutual wait) in the simulated algorithm",
-                    self.rank, self.recv_timeout
-                ),
-                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                    let message = format!(
+                        "rank {}: no message for {:?} while waiting for (src {src}, tag {tag:#x}) — \
+                         live deadlock (cyclic mutual wait) in the simulated algorithm",
+                        self.rank, self.recv_timeout
+                    );
+                    std::panic::panic_any(DeadlockPayload {
+                        rank: self.rank,
+                        message,
+                    });
+                }
+                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
                     unreachable!("engine channels cannot close while processors hold senders")
                 }
             };
@@ -315,18 +506,51 @@ impl Proc {
                 Envelope::App(msg) => self.pending.push(msg),
                 Envelope::Done => {
                     self.done_peers += 1;
-                    if self.done_peers == self.p() - 1 {
-                        panic!(
-                            "rank {}: deadlock — waiting for a message (src {src}, tag {tag:#x}) \
-                             but every peer has terminated without sending it",
-                            self.rank
-                        );
+                    self.check_all_terminated(src, tag);
+                }
+                Envelope::Died { from } => {
+                    self.done_peers += 1;
+                    self.dead_peers.insert(from);
+                    if from == src {
+                        // FIFO per sender: the awaited message can no
+                        // longer arrive.  Diagnose deterministically.
+                        self.panic_waiting_on_dead(src, tag);
                     }
+                    self.check_all_terminated(src, tag);
                 }
                 Envelope::Poison { from } => {
                     panic!("{ABORT_MSG} (rank {from})");
                 }
             }
+        }
+    }
+
+    fn panic_waiting_on_dead(&self, src: usize, tag: Tag) -> ! {
+        let message = format!(
+            "rank {}: deadlock — peer {src} fail-stopped before sending the awaited \
+             message (src {src}, tag {tag:#x})",
+            self.rank
+        );
+        std::panic::panic_any(DeadlockPayload {
+            rank: self.rank,
+            message,
+        });
+    }
+
+    fn check_all_terminated(&self, src: usize, tag: Tag) {
+        if self.done_peers == self.p() - 1 {
+            let mut message = format!(
+                "rank {}: deadlock — waiting for a message (src {src}, tag {tag:#x}) \
+                 but every peer has terminated without sending it",
+                self.rank
+            );
+            if !self.dead_peers.is_empty() {
+                message.push_str(&format!(" (fail-stopped peers: {:?})", self.dead_peers));
+            }
+            std::panic::panic_any(DeadlockPayload {
+                rank: self.rank,
+                message,
+            });
         }
     }
 
@@ -339,6 +563,246 @@ impl Proc {
         self.recv_payload(partner, tag)
     }
 
+    // -----------------------------------------------------------------
+    // Reliable transport
+    // -----------------------------------------------------------------
+
+    /// Send `payload` to `dst` with checksum framing, acknowledgement
+    /// and retransmission, surviving the fault plan's drops and
+    /// corruption.  Every reliable send must be matched by exactly one
+    /// [`Proc::recv_reliable`] with the same `(src, tag)`, issued in the
+    /// same per-link order.
+    ///
+    /// **Cost model.**  Each attempt injects an `(m + 2)`-word frame
+    /// (payload + attempt counter + checksum).  A *delivered* frame is
+    /// fire-and-forget, mirroring a windowed protocol in the common
+    /// case: cost `t_s + t_w·(m+2)` and done.  A *corrupted* frame costs
+    /// its injection plus an idle wait for the receiver's NACK (one
+    /// frame latency out, one 1-word control latency back).  A *dropped*
+    /// frame costs its injection plus a retransmission timeout with
+    /// exponential backoff: `rto · 2^attempt`, where `rto` is the
+    /// round-trip estimate (frame latency + 1-word control latency).
+    /// All waits are charged as idle time and separately totalled in
+    /// [`ProcStats::backoff_idle`]; retries increment
+    /// [`ProcStats::retransmissions`].
+    ///
+    /// With no fault plan (or a zero plan) the first attempt always
+    /// succeeds: the only cost over [`Proc::send`] is the two framing
+    /// words.
+    ///
+    /// # Panics
+    /// Panics if the plan's `max_attempts` transmissions all fail, and
+    /// on the usual invalid-destination conditions.
+    pub fn send_reliable(&mut self, dst: usize, tag: Tag, payload: Vec<Word>) {
+        self.validate_dst(dst);
+        let plan = self.fault.clone();
+        let seq = self.rel_seq_out[dst];
+        self.rel_seq_out[dst] += 1;
+        let hops = self.topology.distance(self.rank, dst);
+        let tw_fwd = self.link_tw(dst);
+        let tw_rev = plan
+            .as_ref()
+            .map_or(1.0, |p| p.link(dst, self.rank).tw_factor);
+        let frame_words = payload.len() + RELIABLE_FRAME_OVERHEAD;
+        let max_attempts = plan.as_ref().map_or(1, |p| p.max_attempts());
+        let mut attempt: u32 = 0;
+        loop {
+            let fate = plan.as_ref().map_or(Fate::Delivered, |p| {
+                p.fate(TrafficClass::Reliable, self.rank, dst, seq, attempt)
+            });
+            let start = self.clock;
+            let occupancy = self.cost.sender_occupancy_scaled(frame_words, tw_fwd);
+            self.check_death(start + occupancy);
+            if let Some(tl) = &mut self.timeline {
+                tl.push(TraceEvent::Send {
+                    start,
+                    duration: occupancy,
+                    dst,
+                    words: frame_words,
+                    tag,
+                });
+            }
+            self.clock += occupancy;
+            self.stats.comm += occupancy;
+
+            let frame_latency = self.cost.message_latency_scaled(frame_words, hops, tw_fwd);
+            let control_latency = self.cost.message_latency_scaled(1, hops, tw_rev);
+            match fate {
+                Fate::Delivered | Fate::Corrupted => {
+                    let mut frame = Vec::with_capacity(frame_words);
+                    frame.extend_from_slice(&payload);
+                    frame.push(f64::from(attempt));
+                    frame.push(frame_checksum(&frame));
+                    let corrupted = fate == Fate::Corrupted;
+                    if corrupted {
+                        let plan = plan.as_ref().expect("corruption requires a plan");
+                        let (w, b) =
+                            plan.corrupt_position(self.rank, dst, seq, attempt, frame_words);
+                        frame[w] = f64::from_bits(frame[w].to_bits() ^ (1u64 << b));
+                    }
+                    let duplicated = plan.as_ref().is_some_and(|p| {
+                        p.duplicated(TrafficClass::Reliable, self.rank, dst, seq, attempt)
+                    });
+                    if duplicated {
+                        self.dispatch_raw(dst, tag, frame.clone(), start, corrupted);
+                    }
+                    self.dispatch_raw(dst, tag, frame, start, corrupted);
+                    if !corrupted {
+                        // Windowed-ACK assumption: the sender does not
+                        // stall for the positive acknowledgement.
+                        return;
+                    }
+                    // Idle until the receiver's modelled NACK arrives.
+                    self.backoff_until(start + frame_latency + control_latency, dst, attempt);
+                }
+                Fate::Dropped => {
+                    // Nothing arrives; wait out the retransmission
+                    // timeout with exponential backoff.
+                    let rto = frame_latency + control_latency;
+                    let deadline = self.clock + rto * f64::from(1u32 << attempt.min(30));
+                    self.backoff_until(deadline, dst, attempt);
+                }
+            }
+            self.stats.retransmissions += 1;
+            attempt += 1;
+            assert!(
+                attempt < max_attempts,
+                "rank {}: reliable send to {dst} (tag {tag:#x}, seq {seq}) exhausted \
+                 {max_attempts} attempts",
+                self.rank
+            );
+        }
+    }
+
+    /// Idle (as protocol backoff) until virtual time `t`.
+    fn backoff_until(&mut self, t: f64, dst: usize, attempt: u32) {
+        if t > self.clock {
+            self.check_death(t);
+            let gap = t - self.clock;
+            if let Some(tl) = &mut self.timeline {
+                tl.push(TraceEvent::Backoff {
+                    start: self.clock,
+                    duration: gap,
+                    dst,
+                    attempt,
+                });
+            }
+            self.stats.idle += gap;
+            self.stats.backoff_idle += gap;
+            self.clock = t;
+        }
+    }
+
+    /// Receive the payload of a matching [`Proc::send_reliable`],
+    /// verifying the checksum of every frame, discarding duplicates,
+    /// and charging the modelled ACK/NACK control traffic (1 word per
+    /// verdict) to this processor's communication time.
+    ///
+    /// # Panics
+    /// Panics on exhausted attempts, or with a corruption diagnosis if
+    /// a frame the fault oracle calls intact fails its checksum (an
+    /// engine bug).
+    pub fn recv_reliable(&mut self, src: usize, tag: Tag) -> Vec<Word> {
+        let plan = self.fault.clone();
+        let seq = self.rel_seq_in[src];
+        self.rel_seq_in[src] += 1;
+        let tw_rev = plan
+            .as_ref()
+            .map_or(1.0, |p| p.link(self.rank, src).tw_factor);
+        let max_attempts = plan.as_ref().map_or(1, |p| p.max_attempts());
+        let mut attempt: u32 = 0;
+        loop {
+            let fate = plan.as_ref().map_or(Fate::Delivered, |p| {
+                p.fate(TrafficClass::Reliable, src, self.rank, seq, attempt)
+            });
+            if fate == Fate::Dropped {
+                // The sender never handed this attempt to the network;
+                // there is nothing to consume.
+                attempt += 1;
+                assert!(
+                    attempt < max_attempts,
+                    "rank {}: reliable recv from {src} (tag {tag:#x}, seq {seq}) exhausted \
+                     {max_attempts} attempts",
+                    self.rank
+                );
+                continue;
+            }
+            let frame = self.recv_frame(src, tag).payload;
+            let duplicated = plan.as_ref().is_some_and(|p| {
+                p.duplicated(TrafficClass::Reliable, src, self.rank, seq, attempt)
+            });
+            if duplicated {
+                // Same attempt, sent twice: consume and discard the copy.
+                let _ = self.recv_frame(src, tag);
+            }
+            assert!(
+                frame.len() >= RELIABLE_FRAME_OVERHEAD,
+                "rank {}: reliable frame from {src} too short ({} words)",
+                self.rank,
+                frame.len()
+            );
+            let (body, check) = frame.split_at(frame.len() - 1);
+            let intact = frame_checksum(body).to_bits() == check[0].to_bits();
+            // Modelled 1-word ACK/NACK injection back to the sender.
+            let verdict_occ = self.cost.sender_occupancy_scaled(1, tw_rev);
+            let start = self.clock;
+            self.check_death(start + verdict_occ);
+            if let Some(tl) = &mut self.timeline {
+                tl.push(TraceEvent::Send {
+                    start,
+                    duration: verdict_occ,
+                    dst: src,
+                    words: 1,
+                    tag,
+                });
+            }
+            self.clock += verdict_occ;
+            self.stats.comm += verdict_occ;
+
+            match fate {
+                Fate::Corrupted => {
+                    assert!(
+                        !intact,
+                        "rank {}: a one-bit flip must always break the XOR checksum",
+                        self.rank
+                    );
+                    attempt += 1;
+                    assert!(
+                        attempt < max_attempts,
+                        "rank {}: reliable recv from {src} (tag {tag:#x}, seq {seq}) exhausted \
+                         {max_attempts} attempts",
+                        self.rank
+                    );
+                }
+                Fate::Delivered => {
+                    if !intact {
+                        let message = format!(
+                            "rank {}: reliable frame from rank {src} (tag {tag:#x}) failed its \
+                             integrity check despite an intact transmission fate",
+                            self.rank
+                        );
+                        std::panic::panic_any(CorruptionPayload {
+                            rank: self.rank,
+                            src,
+                            tag,
+                            message,
+                        });
+                    }
+                    let (payload, attempt_word) = body.split_at(body.len() - 1);
+                    assert!(
+                        attempt_word[0].to_bits() == f64::from(attempt).to_bits(),
+                        "rank {}: reliable protocol desync with rank {src}: frame attempt {} \
+                         vs oracle attempt {attempt}",
+                        self.rank,
+                        attempt_word[0]
+                    );
+                    return payload.to_vec();
+                }
+                Fate::Dropped => unreachable!("dropped attempts are skipped above"),
+            }
+        }
+    }
+
     /// Snapshot of this processor's accounting so far.
     #[must_use]
     pub fn stats(&self) -> &ProcStats {
@@ -349,7 +813,7 @@ impl Proc {
         self.stats.clock = self.clock;
         let mut unreceived = self.pending.len() as u64;
         // Drain leftover envelopes, counting only application messages
-        // (Done/Poison control signals are the engine's business).
+        // (Done/Poison/Died control signals are the engine's business).
         while let Ok(envelope) = self.inbox.try_recv() {
             if matches!(envelope, Envelope::App(_)) {
                 unreceived += 1;

@@ -1,0 +1,496 @@
+//! Seeded, fully deterministic fault injection.
+//!
+//! A [`FaultPlan`] describes everything that can go wrong in a run:
+//!
+//! * **fail-stop processor death** — a rank halts forever once its
+//!   virtual clock crosses a configured instant;
+//! * **per-link message faults** — drop, corruption (bit flip) and
+//!   duplication, each an independent probability per link;
+//! * **link degradation** — a per-link multiplier on the `t_w`
+//!   bandwidth term of the cost model.
+//!
+//! Every per-message decision is a *pure function* of the plan seed and
+//! the message coordinates `(src, dst, seq, attempt)` via
+//! [`detrng::mix`].  There is no generator state to share or
+//! synchronise: the sender and the receiver of a link evaluate the same
+//! oracle independently and always agree, which is what keeps the
+//! simulation deterministic (and replayable) under any host
+//! interleaving.  Two runs with the same plan produce byte-identical
+//! reports; a plan with all rates zero is observationally identical to
+//! no plan at all (the tests pin both properties).
+//!
+//! The oracle style also lets the engine model acknowledgement traffic
+//! in *virtual* time without host-level blocking: a sender knows the
+//! fate of an attempt the moment it sends it, so a retransmission
+//! timeout becomes a deterministic idle charge instead of a host-level
+//! wait.  See `docs/fault_model.md` for the full protocol.
+
+use std::collections::BTreeMap;
+
+use detrng::{mix, mix_unit_f64};
+
+/// Traffic class of a message, part of the fate oracle key so that
+/// plain sends and reliable-protocol frames draw independent fates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficClass {
+    /// An unprotected [`crate::Proc::send`].
+    Plain,
+    /// A framed [`crate::Proc::send_reliable`] data frame.
+    Reliable,
+}
+
+impl TrafficClass {
+    fn key(self) -> u64 {
+        match self {
+            TrafficClass::Plain => 1,
+            TrafficClass::Reliable => 2,
+        }
+    }
+}
+
+/// What the network does to one transmission attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fate {
+    /// The message arrives intact.
+    Delivered,
+    /// The message arrives with one bit flipped in its payload.
+    Corrupted,
+    /// The message vanishes.
+    Dropped,
+}
+
+/// Fault behaviour of one directed link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFaults {
+    /// Probability a transmission attempt is dropped.
+    pub drop: f64,
+    /// Probability a transmission attempt arrives corrupted.
+    pub corrupt: f64,
+    /// Probability a (non-dropped) attempt is duplicated in flight.
+    pub duplicate: f64,
+    /// Multiplier on the cost model's `t_w` for this link (degradation;
+    /// `1.0` = healthy).
+    pub tw_factor: f64,
+}
+
+impl Default for LinkFaults {
+    fn default() -> Self {
+        Self {
+            drop: 0.0,
+            corrupt: 0.0,
+            duplicate: 0.0,
+            tw_factor: 1.0,
+        }
+    }
+}
+
+impl LinkFaults {
+    fn validate(&self) {
+        for (name, v) in [
+            ("drop", self.drop),
+            ("corrupt", self.corrupt),
+            ("duplicate", self.duplicate),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&v),
+                "{name} probability must lie in [0, 1], got {v}"
+            );
+        }
+        assert!(
+            self.drop + self.corrupt <= 1.0,
+            "drop + corrupt must not exceed 1 (they are disjoint outcomes)"
+        );
+        assert!(
+            self.tw_factor >= 1.0 && self.tw_factor.is_finite(),
+            "tw_factor must be a finite degradation factor >= 1, got {}",
+            self.tw_factor
+        );
+    }
+
+    /// Whether this link is fault-free and at full bandwidth.
+    #[must_use]
+    pub fn is_healthy(&self) -> bool {
+        self.drop == 0.0 && self.corrupt == 0.0 && self.duplicate == 0.0 && self.tw_factor == 1.0
+    }
+}
+
+// Salt constants keep the fate / duplication / bit-position draws
+// statistically independent of each other under the same seed.
+const SALT_FATE: u64 = 0xFA7E;
+const SALT_DUP: u64 = 0xD0B1;
+const SALT_BIT: u64 = 0xB17F;
+
+/// A complete, seeded description of the faults injected into one run.
+///
+/// Attach with [`crate::Machine::with_fault_plan`].  The plan is
+/// immutable once attached; build it with the `with_*` methods.
+///
+/// ```
+/// use mmsim::fault::FaultPlan;
+///
+/// let plan = FaultPlan::new(42)
+///     .with_drop_rate(0.05)
+///     .with_corrupt_rate(0.01)
+///     .with_link_slowdown(0, 1, 4.0)
+///     .with_death(3, 1_000.0);
+/// assert_eq!(plan.death_time(3), Some(1_000.0));
+/// assert!(plan.link(0, 1).tw_factor == 4.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    default_link: LinkFaults,
+    links: BTreeMap<(usize, usize), LinkFaults>,
+    deaths: BTreeMap<usize, f64>,
+    max_attempts: u32,
+}
+
+impl FaultPlan {
+    /// A fault-free plan under the given seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            default_link: LinkFaults::default(),
+            links: BTreeMap::new(),
+            deaths: BTreeMap::new(),
+            max_attempts: 16,
+        }
+    }
+
+    /// The plan's seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Builder: fail-stop `rank` once its virtual clock reaches `t`.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite `t`.
+    #[must_use]
+    pub fn with_death(mut self, rank: usize, t: f64) -> Self {
+        assert!(
+            t >= 0.0 && t.is_finite(),
+            "death time must be finite and non-negative, got {t}"
+        );
+        self.deaths.insert(rank, t);
+        self
+    }
+
+    /// Builder: set the drop probability on **every** link.
+    #[must_use]
+    pub fn with_drop_rate(mut self, p: f64) -> Self {
+        self.default_link.drop = p;
+        self.default_link.validate();
+        self
+    }
+
+    /// Builder: set the corruption probability on **every** link.
+    #[must_use]
+    pub fn with_corrupt_rate(mut self, p: f64) -> Self {
+        self.default_link.corrupt = p;
+        self.default_link.validate();
+        self
+    }
+
+    /// Builder: set the duplication probability on **every** link.
+    #[must_use]
+    pub fn with_duplicate_rate(mut self, p: f64) -> Self {
+        self.default_link.duplicate = p;
+        self.default_link.validate();
+        self
+    }
+
+    /// Builder: override the fault behaviour of the directed link
+    /// `src → dst`.
+    #[must_use]
+    pub fn with_link(mut self, src: usize, dst: usize, faults: LinkFaults) -> Self {
+        faults.validate();
+        self.links.insert((src, dst), faults);
+        self
+    }
+
+    /// Builder: degrade the directed link `src → dst` to pay
+    /// `factor × t_w` per word (keeping the link's other fault rates).
+    #[must_use]
+    pub fn with_link_slowdown(mut self, src: usize, dst: usize, factor: f64) -> Self {
+        let mut faults = self.link(src, dst);
+        faults.tw_factor = factor;
+        faults.validate();
+        self.links.insert((src, dst), faults);
+        self
+    }
+
+    /// Builder: cap the reliable protocol's retransmission attempts
+    /// per message (default 16); exceeding the cap is a rank panic.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn with_max_attempts(mut self, n: u32) -> Self {
+        assert!(n > 0, "at least one transmission attempt is required");
+        self.max_attempts = n;
+        self
+    }
+
+    /// The virtual time at which `rank` fail-stops, if any.
+    #[must_use]
+    pub fn death_time(&self, rank: usize) -> Option<f64> {
+        self.deaths.get(&rank).copied()
+    }
+
+    /// Effective fault behaviour of the directed link `src → dst`.
+    #[must_use]
+    pub fn link(&self, src: usize, dst: usize) -> LinkFaults {
+        self.links
+            .get(&(src, dst))
+            .copied()
+            .unwrap_or(self.default_link)
+    }
+
+    /// Retransmission-attempt cap of the reliable protocol.
+    #[must_use]
+    pub fn max_attempts(&self) -> u32 {
+        self.max_attempts
+    }
+
+    /// Whether the plan injects nothing at all (no deaths, every link
+    /// healthy).  A zero plan is observationally identical to running
+    /// without a plan.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.deaths.is_empty()
+            && self.default_link.is_healthy()
+            && self.links.values().all(LinkFaults::is_healthy)
+    }
+
+    /// The fate of transmission `attempt` of message `seq` on link
+    /// `src → dst` — a pure function of the plan, so sender and
+    /// receiver agree without communicating.
+    #[must_use]
+    pub fn fate(
+        &self,
+        class: TrafficClass,
+        src: usize,
+        dst: usize,
+        seq: u64,
+        attempt: u32,
+    ) -> Fate {
+        let link = self.link(src, dst);
+        if link.drop == 0.0 && link.corrupt == 0.0 {
+            return Fate::Delivered;
+        }
+        let r = mix_unit_f64(&[
+            self.seed,
+            SALT_FATE,
+            class.key(),
+            src as u64,
+            dst as u64,
+            seq,
+            u64::from(attempt),
+        ]);
+        if r < link.drop {
+            Fate::Dropped
+        } else if r < link.drop + link.corrupt {
+            Fate::Corrupted
+        } else {
+            Fate::Delivered
+        }
+    }
+
+    /// Whether transmission `attempt` of message `seq` is duplicated in
+    /// flight (independent of its [`Self::fate`]; dropped attempts are
+    /// never duplicated).
+    #[must_use]
+    pub fn duplicated(
+        &self,
+        class: TrafficClass,
+        src: usize,
+        dst: usize,
+        seq: u64,
+        attempt: u32,
+    ) -> bool {
+        let link = self.link(src, dst);
+        if link.duplicate == 0.0 {
+            return false;
+        }
+        mix_unit_f64(&[
+            self.seed,
+            SALT_DUP,
+            class.key(),
+            src as u64,
+            dst as u64,
+            seq,
+            u64::from(attempt),
+        ]) < link.duplicate
+    }
+
+    /// Which `(word index, bit index)` of a `words`-long payload a
+    /// corrupted attempt flips.  Deterministic per message coordinates.
+    ///
+    /// # Panics
+    /// Panics if `words` is zero (there is nothing to corrupt).
+    #[must_use]
+    pub fn corrupt_position(
+        &self,
+        src: usize,
+        dst: usize,
+        seq: u64,
+        attempt: u32,
+        words: usize,
+    ) -> (usize, u32) {
+        assert!(words > 0, "cannot corrupt an empty payload");
+        let h = mix(&[
+            self.seed,
+            SALT_BIT,
+            src as u64,
+            dst as u64,
+            seq,
+            u64::from(attempt),
+        ]);
+        ((h % words as u64) as usize, ((h >> 32) % 64) as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_plan_detected() {
+        assert!(FaultPlan::new(1).is_zero());
+        assert!(!FaultPlan::new(1).with_drop_rate(0.1).is_zero());
+        assert!(!FaultPlan::new(1).with_death(0, 5.0).is_zero());
+        assert!(!FaultPlan::new(1).with_link_slowdown(0, 1, 2.0).is_zero());
+    }
+
+    #[test]
+    fn zero_rates_always_deliver() {
+        let plan = FaultPlan::new(7);
+        for seq in 0..50u64 {
+            assert_eq!(
+                plan.fate(TrafficClass::Plain, 0, 1, seq, 0),
+                Fate::Delivered
+            );
+            assert!(!plan.duplicated(TrafficClass::Plain, 0, 1, seq, 0));
+        }
+    }
+
+    #[test]
+    fn certain_drop_always_drops() {
+        let plan = FaultPlan::new(7).with_drop_rate(1.0);
+        for seq in 0..50u64 {
+            for attempt in 0..4 {
+                assert_eq!(
+                    plan.fate(TrafficClass::Reliable, 2, 3, seq, attempt),
+                    Fate::Dropped
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fate_is_deterministic_and_attempt_sensitive() {
+        let plan = FaultPlan::new(99).with_drop_rate(0.5);
+        let a = plan.fate(TrafficClass::Reliable, 0, 1, 3, 0);
+        assert_eq!(a, plan.fate(TrafficClass::Reliable, 0, 1, 3, 0));
+        // Over many attempts a 0.5-drop link must eventually deliver.
+        assert!((0..64).any(|k| plan.fate(TrafficClass::Reliable, 0, 1, 3, k) == Fate::Delivered));
+    }
+
+    #[test]
+    fn fate_rates_are_roughly_honoured() {
+        let plan = FaultPlan::new(5).with_drop_rate(0.3).with_corrupt_rate(0.2);
+        let n = 10_000;
+        let mut dropped = 0;
+        let mut corrupted = 0;
+        for seq in 0..n {
+            match plan.fate(TrafficClass::Plain, 1, 2, seq, 0) {
+                Fate::Dropped => dropped += 1,
+                Fate::Corrupted => corrupted += 1,
+                Fate::Delivered => {}
+            }
+        }
+        let (d, c) = (
+            f64::from(dropped) / n as f64,
+            f64::from(corrupted) / n as f64,
+        );
+        assert!((d - 0.3).abs() < 0.02, "drop rate {d}");
+        assert!((c - 0.2).abs() < 0.02, "corrupt rate {c}");
+    }
+
+    #[test]
+    fn per_link_overrides_win_over_default() {
+        let plan = FaultPlan::new(1).with_drop_rate(0.5).with_link(
+            4,
+            5,
+            LinkFaults {
+                drop: 0.0,
+                ..LinkFaults::default()
+            },
+        );
+        assert_eq!(plan.link(4, 5).drop, 0.0);
+        assert_eq!(plan.link(5, 4).drop, 0.5);
+        for seq in 0..100 {
+            assert_eq!(
+                plan.fate(TrafficClass::Plain, 4, 5, seq, 0),
+                Fate::Delivered
+            );
+        }
+    }
+
+    #[test]
+    fn plain_and_reliable_classes_draw_independent_fates() {
+        let plan = FaultPlan::new(11).with_drop_rate(0.5);
+        let differs = (0..200u64).any(|seq| {
+            plan.fate(TrafficClass::Plain, 0, 1, seq, 0)
+                != plan.fate(TrafficClass::Reliable, 0, 1, seq, 0)
+        });
+        assert!(differs, "traffic classes must not share a fate stream");
+    }
+
+    #[test]
+    fn corrupt_position_in_range() {
+        let plan = FaultPlan::new(3);
+        for seq in 0..100 {
+            let (w, b) = plan.corrupt_position(0, 1, seq, 2, 17);
+            assert!(w < 17);
+            assert!(b < 64);
+        }
+    }
+
+    #[test]
+    fn slowdown_preserves_other_rates() {
+        let plan = FaultPlan::new(1)
+            .with_corrupt_rate(0.25)
+            .with_link_slowdown(2, 3, 8.0);
+        let l = plan.link(2, 3);
+        assert_eq!(l.tw_factor, 8.0);
+        assert_eq!(l.corrupt, 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in [0, 1]")]
+    fn out_of_range_rate_rejected() {
+        let _ = FaultPlan::new(0).with_drop_rate(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "drop + corrupt")]
+    fn overlapping_rates_rejected() {
+        let _ = FaultPlan::new(0).with_drop_rate(0.7).with_corrupt_rate(0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "tw_factor")]
+    fn speedup_factor_rejected() {
+        let _ = FaultPlan::new(0).with_link_slowdown(0, 1, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "death time")]
+    fn negative_death_time_rejected() {
+        let _ = FaultPlan::new(0).with_death(0, -1.0);
+    }
+}

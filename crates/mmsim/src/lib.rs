@@ -72,14 +72,17 @@
 
 pub mod cost;
 pub mod engine;
+pub mod fault;
 pub mod stats;
 pub mod topology;
 pub mod trace;
 
 pub use cost::{CostModel, Ports, Routing};
+pub use engine::error::SimError;
 pub use engine::message::{tag, Message, Tag};
-pub use engine::proc_ctx::Proc;
+pub use engine::proc_ctx::{Proc, RELIABLE_FRAME_OVERHEAD};
 pub use engine::{Machine, RunReport};
+pub use fault::{Fate, FaultPlan, LinkFaults, TrafficClass};
 pub use stats::ProcStats;
 pub use topology::{Topology, TopologyKind};
 pub use trace::{Timeline, TraceEvent};

@@ -1,13 +1,11 @@
 //! Per-processor and per-run accounting.
 
-use serde::{Deserialize, Serialize};
-
 /// Virtual-time and traffic accounting for one virtual processor.
 ///
 /// Invariant: `clock = compute + comm + idle` (up to floating-point
 /// rounding), i.e. every advance of the clock is attributed to exactly
 /// one bucket.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ProcStats {
     /// Final virtual clock value.
     pub clock: f64,
@@ -29,6 +27,14 @@ pub struct ProcStats {
     /// Messages that were still undelivered/unmatched when the processor
     /// finished — nonzero values indicate a sloppy algorithm.
     pub unreceived: u64,
+    /// Reliable-protocol retransmission attempts (dropped or corrupted
+    /// frames that had to be resent).  Zero on fault-free runs.
+    pub retransmissions: u64,
+    /// Idle time spent in reliable-protocol retransmission timeouts and
+    /// exponential backoff.  A *subset* of [`ProcStats::idle`] (the
+    /// `clock = compute + comm + idle` invariant is unchanged); it
+    /// isolates the resilience share of the synchronisation overhead.
+    pub backoff_idle: f64,
 }
 
 impl ProcStats {
@@ -62,6 +68,21 @@ mod tests {
         };
         assert_eq!(s.overhead(), 6.0);
         assert!(s.is_consistent(1e-12));
+    }
+
+    #[test]
+    fn backoff_idle_is_part_of_idle_not_extra() {
+        let s = ProcStats {
+            clock: 10.0,
+            compute: 4.0,
+            comm: 3.0,
+            idle: 3.0,
+            backoff_idle: 2.0, // 2 of the 3 idle units were backoff
+            retransmissions: 1,
+            ..Default::default()
+        };
+        assert!(s.is_consistent(1e-12));
+        assert!(s.backoff_idle <= s.idle);
     }
 
     #[test]

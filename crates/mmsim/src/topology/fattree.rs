@@ -11,14 +11,12 @@
 //! [`super::FullTopo`], which the tests assert — making the paper's
 //! modelling assumption itself checkable.
 
-use serde::{Deserialize, Serialize};
-
 /// An `arity`-ary fat tree with `arity^height` leaf processors.
 ///
 /// Leaves have no direct leaf-to-leaf links (all traffic goes through
 /// switches), so [`FatTreeTopo::neighbors`] is empty and the minimum
 /// distance between distinct leaves is 2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FatTreeTopo {
     arity: usize,
     height: u32,

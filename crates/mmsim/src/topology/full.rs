@@ -4,11 +4,9 @@
 //! simultaneous paths for communication between all pairs of processors.
 //! Hence the CM-5 can be viewed as a fully connected architecture."
 
-use serde::{Deserialize, Serialize};
-
 /// A fully connected network: every pair of distinct processors is one
 /// hop apart.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FullTopo {
     p: usize,
 }

@@ -1,10 +1,8 @@
 //! Binary hypercube topology and Gray-code embedding utilities.
 
-use serde::{Deserialize, Serialize};
-
 /// A binary `d`-cube: `2^d` processors, ranks are bit strings, two ranks
 /// are neighbours iff they differ in exactly one bit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HypercubeTopo {
     dim: u32,
 }

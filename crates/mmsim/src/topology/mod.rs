@@ -25,10 +25,8 @@ pub use hypercube::{gray, gray_inverse, HypercubeTopo};
 pub use ring::RingTopo;
 pub use torus::TorusTopo;
 
-use serde::{Deserialize, Serialize};
-
 /// Identifies a topology family without its parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TopologyKind {
     /// Binary d-cube with `2^d` processors.
     Hypercube,
@@ -57,7 +55,7 @@ impl std::fmt::Display for TopologyKind {
 }
 
 /// A concrete interconnection network over ranks `0..p`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Topology {
     /// Binary d-cube.
     Hypercube(HypercubeTopo),

@@ -1,12 +1,10 @@
 //! 1-D wraparound array (ring) topology.
 
-use serde::{Deserialize, Serialize};
-
 /// A ring of `p` processors; rank `i` is adjacent to `i±1 (mod p)`.
 ///
 /// Rings embed into hypercubes via Gray codes (see
 /// [`crate::topology::gray`]); several collectives use ring phases.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RingTopo {
     p: usize,
 }

@@ -1,12 +1,10 @@
 //! 2-D wraparound mesh (torus) topology.
 
-use serde::{Deserialize, Serialize};
-
 /// A `rows × cols` wraparound mesh.  Ranks are row-major:
 /// `rank = row * cols + col`.  Each processor has north/south/east/west
 /// links with wraparound, which is the "wrap-around mesh" the paper's
 /// Cannon and Fox algorithms run on (§4.2–§4.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TorusTopo {
     rows: usize,
     cols: usize,

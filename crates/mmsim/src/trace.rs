@@ -6,10 +6,8 @@
 //! used by the examples for Gantt-style inspection and by tests as an
 //! independent witness of the accounting invariants.
 
-use serde::{Deserialize, Serialize};
-
 /// One event on a virtual processor's timeline.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum TraceEvent {
     /// Useful computation.
     Compute {
@@ -45,6 +43,18 @@ pub enum TraceEvent {
         /// Application tag.
         tag: u64,
     },
+    /// Reliable-protocol retransmission wait (timeout or NACK round
+    /// trip) before re-sending a frame to `dst`.
+    Backoff {
+        /// Virtual time at which the wait began.
+        start: f64,
+        /// Length of the wait.
+        duration: f64,
+        /// Destination of the frame being retried.
+        dst: usize,
+        /// The attempt number that failed (0-based).
+        attempt: u32,
+    },
 }
 
 impl TraceEvent {
@@ -54,7 +64,8 @@ impl TraceEvent {
         match self {
             TraceEvent::Compute { start, .. }
             | TraceEvent::Send { start, .. }
-            | TraceEvent::Recv { start, .. } => *start,
+            | TraceEvent::Recv { start, .. }
+            | TraceEvent::Backoff { start, .. } => *start,
         }
     }
 
@@ -63,7 +74,9 @@ impl TraceEvent {
     #[must_use]
     pub fn occupancy(&self) -> f64 {
         match self {
-            TraceEvent::Compute { duration, .. } | TraceEvent::Send { duration, .. } => *duration,
+            TraceEvent::Compute { duration, .. }
+            | TraceEvent::Send { duration, .. }
+            | TraceEvent::Backoff { duration, .. } => *duration,
             TraceEvent::Recv { waited, .. } => *waited,
         }
     }
@@ -83,6 +96,7 @@ pub fn render_strip(timeline: &[TraceEvent], horizon: f64, width: usize) -> Stri
             TraceEvent::Compute { .. } => '#',
             TraceEvent::Send { .. } => '>',
             TraceEvent::Recv { .. } => 'w',
+            TraceEvent::Backoff { .. } => 'b',
         };
         let from = ((ev.start() / horizon) * width as f64) as usize;
         let to = (((ev.start() + ev.occupancy()) / horizon) * width as f64).ceil() as usize;
@@ -118,6 +132,25 @@ mod tests {
         };
         assert_eq!(r.start(), 5.0);
         assert_eq!(r.occupancy(), 3.0);
+        let b = TraceEvent::Backoff {
+            start: 8.0,
+            duration: 4.0,
+            dst: 2,
+            attempt: 1,
+        };
+        assert_eq!(b.start(), 8.0);
+        assert_eq!(b.occupancy(), 4.0);
+    }
+
+    #[test]
+    fn strip_renders_backoff_glyph() {
+        let tl = vec![TraceEvent::Backoff {
+            start: 0.0,
+            duration: 10.0,
+            dst: 1,
+            attempt: 0,
+        }];
+        assert_eq!(render_strip(&tl, 10.0, 5), "bbbbb");
     }
 
     #[test]

@@ -1,9 +1,7 @@
 //! The algorithms compared in the paper and their applicability ranges.
 
-use serde::{Deserialize, Serialize};
-
 /// A parallel matrix-multiplication formulation analysed by the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Algorithm {
     /// The all-to-all-broadcast algorithm of §4.1.
     Simple,

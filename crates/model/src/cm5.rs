@@ -13,8 +13,6 @@
 //! yields the crossover matrix sizes the paper verifies experimentally:
 //! `n ≈ 83` for `p = 64` (measured 96) and `n ≈ 295` for `p = 512`.
 
-use serde::{Deserialize, Serialize};
-
 use crate::crossover;
 use crate::machine::MachineParams;
 use crate::time::cannon_time;
@@ -75,7 +73,7 @@ pub fn crossover_n(p: f64, m: MachineParams) -> Option<f64> {
 }
 
 /// One point of a Figure 4/5-style efficiency curve.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct EfficiencyPoint {
     /// Matrix size.
     pub n: usize,

@@ -6,8 +6,6 @@
 //! balancing `W` against each overhead term separately; the fastest-
 //! growing term — or the concurrency bound `h⁻¹(p)` — wins (§5).
 
-use serde::{Deserialize, Serialize};
-
 use crate::algorithm::Algorithm;
 use crate::machine::MachineParams;
 use crate::overhead::efficiency;
@@ -27,7 +25,7 @@ pub fn k_of(e: f64) -> f64 {
 }
 
 /// Asymptotic isoefficiency classes of Table 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AsymptoticClass {
     /// `O(p log p)` — the lower bound for the conventional algorithm on
     /// any architecture (§5.3).
@@ -77,7 +75,7 @@ impl std::fmt::Display for AsymptoticClass {
 
 /// One isoefficiency term: a named lower bound on `W(p)` for a fixed
 /// efficiency.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct IsoTerm {
     /// Which overhead source produces the term.
     pub source: &'static str,

@@ -1,10 +1,8 @@
 //! Machine parameters of the analytic models.
 
-use serde::{Deserialize, Serialize};
-
 /// Communication constants of a machine, normalised to its unit
 /// computation time (one multiply–add), exactly as in §2 of the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MachineParams {
     /// Message startup time.
     pub t_s: f64,

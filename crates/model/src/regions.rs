@@ -7,8 +7,6 @@
 //! figures mark the regions `a` (GK), `b` (Berntsen), `c` (Cannon),
 //! `d` (DNS) and `x` (`p > n³`, nothing applicable).
 
-use serde::{Deserialize, Serialize};
-
 use crate::algorithm::Algorithm;
 use crate::machine::MachineParams;
 use crate::overhead::overhead_fig;
@@ -52,7 +50,7 @@ pub fn region_letter(n: f64, p: f64, m: MachineParams) -> char {
 }
 
 /// A sampled region map over log-spaced `n` and `p` axes.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RegionMap {
     /// Machine the map was computed for.
     pub machine: MachineParams,

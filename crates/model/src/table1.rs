@@ -1,13 +1,11 @@
 //! Table 1 of the paper: overhead functions, asymptotic isoefficiency
 //! and ranges of applicability of the compared algorithms.
 
-use serde::{Deserialize, Serialize};
-
 use crate::algorithm::Algorithm;
 use crate::isoefficiency::{asymptotic_class, AsymptoticClass};
 
 /// One row of Table 1.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table1Row {
     /// Algorithm of this row.
     pub algorithm: Algorithm,

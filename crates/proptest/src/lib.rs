@@ -1,0 +1,444 @@
+//! # proptest (in-repo shim) — deterministic property-based testing
+//!
+//! The workspace builds in an offline environment, so this crate
+//! re-implements the *subset* of the [proptest](https://crates.io/crates/proptest)
+//! API that the test suites use, over the workspace's own deterministic
+//! generator ([`detrng`]).  The test files are source-compatible with
+//! upstream proptest; swap the path dependency for the real crate and
+//! they compile unchanged.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.**  Failures print the generated inputs; the seed is
+//!   fixed per test (derived from the test name), so a failure
+//!   reproduces exactly on re-run.
+//! * **Fixed seeds.**  Runs are fully deterministic — there is no
+//!   `PROPTEST_CASES`/env-var machinery and no persistence files.  This
+//!   is a feature here: CI and local runs see byte-identical inputs.
+//! * **Rejection budget.**  `prop_assume!`/`prop_filter_map` rejections
+//!   retry with fresh inputs, up to 20× the case count, then the test
+//!   fails loudly (upstream behaves the same way with different
+//!   constants).
+//!
+//! Supported surface: range strategies over the numeric types the suite
+//! uses, tuples up to arity 6, [`Just`], `prop_map`, `prop_filter_map`,
+//! `prop_flat_map`, [`collection::vec`], the [`proptest!`] macro with an
+//! optional `#![proptest_config(...)]` header, and the
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`/`prop_assume!`
+//! macros.
+
+use std::ops::{Range, RangeInclusive};
+
+pub use detrng::SplitMix64 as TestRng;
+
+/// Runtime configuration for a `proptest!` block.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases each test must run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the offline CI quick while
+        // still exercising a meaningful input spread.
+        Self { cases: 64 }
+    }
+}
+
+/// A generator of values of type `Value`.
+///
+/// `generate` returns `None` when the underlying generation was
+/// rejected (`prop_filter_map`); the runner retries with fresh
+/// randomness.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value, or `None` on rejection.
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Map generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Map generated values through `f`, rejecting when it returns
+    /// `None`.  `reason` documents the filter (unused at runtime, kept
+    /// for upstream source compatibility).
+    fn prop_filter_map<U, F: Fn(Self::Value) -> Option<U>>(
+        self,
+        reason: &'static str,
+        f: F,
+    ) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+    {
+        let _ = reason;
+        FilterMap { inner: self, f }
+    }
+
+    /// Generate an intermediate value, then generate from the strategy
+    /// `f` builds out of it.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> Option<U> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> Option<U>> Strategy for FilterMap<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> Option<U> {
+        self.inner.generate(rng).and_then(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> Option<S2::Value> {
+        let mid = self.inner.generate(rng)?;
+        (self.f)(mid).generate(rng)
+    }
+}
+
+/// Strategy that always yields a clone of the given value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = u64::from(self.end.abs_diff(self.start));
+                Some(self.start + (rng.next_u64() % span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = u64::from(hi.abs_diff(lo)) + 1;
+                Some(lo + (rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u32, u64, i32);
+
+// usize ranges: abs_diff gives usize, convert via u64 explicitly.
+impl Strategy for Range<usize> {
+    type Value = usize;
+    fn generate(&self, rng: &mut TestRng) -> Option<usize> {
+        assert!(self.start < self.end, "empty range strategy");
+        let span = (self.end - self.start) as u64;
+        Some(self.start + (rng.next_u64() % span) as usize)
+    }
+}
+
+impl Strategy for RangeInclusive<usize> {
+    type Value = usize;
+    fn generate(&self, rng: &mut TestRng) -> Option<usize> {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        let span = (hi - lo) as u64 + 1;
+        Some(lo + (rng.next_u64() % span) as usize)
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> Option<f64> {
+        Some(rng.next_range_f64(self.start, self.end))
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                let ($($name,)+) = self;
+                Some(($($name.generate(rng)?,)+))
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s whose length is drawn from `len` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let n = self.len.generate(rng)?;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Outcome of one generated case: continue counting it, or reject it
+/// (`prop_assume!` failed) and retry with fresh inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaseResult {
+    /// The case ran to completion.
+    Ran,
+    /// The case was rejected by `prop_assume!`.
+    Rejected,
+}
+
+/// Test-runner core used by the generated tests: repeatedly samples
+/// `strategy` and feeds values to `case` until `config.cases` cases ran.
+///
+/// # Panics
+/// Panics (failing the test) if the rejection budget is exhausted, and
+/// re-raises any panic from `case` after printing the offending inputs.
+pub fn run_cases<S, F>(test_name: &str, config: &ProptestConfig, strategy: &S, case: F)
+where
+    S: Strategy,
+    S::Value: std::fmt::Debug + Clone,
+    F: Fn(S::Value) -> CaseResult,
+{
+    // Per-test deterministic seed: hash of the test name.
+    let seed = detrng::mix(&[0x70726F70u64, test_name.len() as u64])
+        ^ test_name
+            .bytes()
+            .fold(0u64, |acc, b| detrng::mix(&[acc, u64::from(b)]));
+    let mut rng = TestRng::new(seed);
+    let mut ran = 0u32;
+    let mut attempts = 0u32;
+    let budget = config.cases.saturating_mul(100).max(1000);
+    while ran < config.cases {
+        attempts += 1;
+        assert!(
+            attempts <= budget,
+            "{test_name}: too many rejected inputs ({ran}/{} cases after {attempts} attempts)",
+            config.cases
+        );
+        let Some(value) = strategy.generate(&mut rng) else {
+            continue;
+        };
+        let shown = value.clone();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(value)));
+        match outcome {
+            Ok(CaseResult::Ran) => ran += 1,
+            Ok(CaseResult::Rejected) => {}
+            Err(payload) => {
+                eprintln!("{test_name}: failing input (case {ran}, seed {seed:#x}): {shown:?}");
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+/// The proptest entry macro: a block of `#[test]` functions whose
+/// arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { (<$crate::ProptestConfig as ::std::default::Default>::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); ) => {};
+    (($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let strategy = ($($strat,)+);
+            $crate::run_cases(
+                ::std::stringify!($name),
+                &config,
+                &strategy,
+                |($($arg,)+)| { $body $crate::CaseResult::Ran },
+            );
+        }
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+}
+
+/// `assert!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { ::std::assert!($($t)*) };
+}
+
+/// `assert_eq!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { ::std::assert_eq!($($t)*) };
+}
+
+/// `assert_ne!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { ::std::assert_ne!($($t)*) };
+}
+
+/// Reject the current case (retry with fresh inputs) when `cond` is
+/// false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return $crate::CaseResult::Rejected;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..200 {
+            let x = (3usize..10).generate(&mut rng).unwrap();
+            assert!((3..10).contains(&x));
+            let y = (0.5f64..2.5).generate(&mut rng).unwrap();
+            assert!((0.5..2.5).contains(&y));
+            let z = (1usize..=4).generate(&mut rng).unwrap();
+            assert!((1..=4).contains(&z));
+        }
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let mut rng = TestRng::new(2);
+        let s = (1usize..5).prop_map(|x| x * 10);
+        for _ in 0..50 {
+            let v = s.generate(&mut rng).unwrap();
+            assert!(v % 10 == 0 && (10..50).contains(&v));
+        }
+        let fm = (1usize..4).prop_flat_map(|n| (0usize..n).prop_map(move |k| (n, k)));
+        for _ in 0..50 {
+            let (n, k) = fm.generate(&mut rng).unwrap();
+            assert!(k < n);
+        }
+    }
+
+    #[test]
+    fn filter_map_rejects() {
+        let mut rng = TestRng::new(3);
+        let s = (0usize..10).prop_filter_map("even only", |x| (x % 2 == 0).then_some(x));
+        let mut saw_none = false;
+        for _ in 0..100 {
+            match s.generate(&mut rng) {
+                Some(x) => assert_eq!(x % 2, 0),
+                None => saw_none = true,
+            }
+        }
+        assert!(saw_none, "odd draws must reject");
+    }
+
+    #[test]
+    fn vec_strategy_respects_length() {
+        let mut rng = TestRng::new(4);
+        let s = collection::vec(0.0f64..1.0, 2..6);
+        for _ in 0..50 {
+            let v = s.generate(&mut rng).unwrap();
+            assert!((2..6).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: arguments bind, assume rejects, asserts run.
+        #[test]
+        fn macro_smoke(a in 1usize..20, b in 0.0f64..1.0) {
+            prop_assume!(a != 13);
+            prop_assert!((1..20).contains(&a));
+            prop_assert!((0.0..1.0).contains(&b));
+            prop_assert_ne!(a, 13);
+        }
+    }
+}

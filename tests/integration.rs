@@ -316,7 +316,10 @@ fn weak_scaling_holds_simulated_efficiency() {
         // model exactly...
         let w = (n * n * n) as f64;
         let expected = w / (p as f64 * algos::cannon::predicted_time(n, p, cost.t_s, cost.t_w));
-        assert!((e - expected).abs() < 1e-9, "p={p}, n={n}: {e} vs {expected}");
+        assert!(
+            (e - expected).abs() < 1e-9,
+            "p={p}, n={n}: {e} vs {expected}"
+        );
         // ...and stays near the target (the executed alignment step the
         // model omits costs a few points at small p; rounding n up adds
         // a few back).
