@@ -35,8 +35,11 @@ use std::sync::Arc;
 use dense::{kernel, BlockGrid, Matrix};
 use mmsim::Machine;
 
+use mmsim::engine::message::tag;
+
 use crate::cannon::{self, cannon_core, MeshView};
 use crate::common::{check_square_operands, AlgoError, SimOutcome};
+use crate::fox;
 use crate::gk::{self, route_along_i};
 use collectives::{broadcast_reliable, reduce_sum_reliable, Group};
 
@@ -64,6 +67,57 @@ pub fn cannon_resilient(
         let a0 = ga.block_by_rank(proc.rank()).clone();
         let b0 = gb.block_by_rank(proc.rank()).clone();
         cannon_core(proc, &mesh, a0, b0, 0, true)
+    })?;
+    let c = BlockGrid::assemble_from(&report.results, q, q);
+    Ok(SimOutcome::from_report(&report, c, n))
+}
+
+/// Fox's algorithm (the synchronous/tree variant of
+/// [`crate::fox_tree`]) over the reliable transport: every per-row
+/// binomial broadcast runs through [`collectives::broadcast_reliable`]
+/// and the northward B roll through [`mmsim::Proc::send_reliable`] /
+/// [`mmsim::Proc::recv_reliable`].  Recovery is step-granular exactly
+/// as for [`cannon_resilient`]: each of the `√p` iterations fences on
+/// its own delivered-intact transfers, so a faulted broadcast level or
+/// roll is re-driven in place and completed iterations never repeat.
+/// Applicability is identical to [`crate::fox_tree`]; the product is
+/// bit-identical to the fault-free run under every recoverable fault
+/// plan.
+///
+/// # Errors
+/// As [`crate::fox_tree`], plus [`AlgoError::Sim`] when the simulated
+/// execution fails on an unrecoverable fault (fail-stop death).
+pub fn fox_resilient(machine: &Machine, a: &Matrix, b: &Matrix) -> Result<SimOutcome, AlgoError> {
+    let n = check_square_operands(a, b)?;
+    let q = fox::applicability(n, machine.p())?;
+    let bs = n / q;
+
+    let ga = Arc::new(BlockGrid::split(a, q, q));
+    let gb = Arc::new(BlockGrid::split(b, q, q));
+    let report = machine.try_run(|proc| {
+        let rank = proc.rank();
+        let (i, j) = (rank / q, rank % q);
+        let row_group = Group::new(proc, (0..q).map(|c| i * q + c).collect());
+        let north = ((i + q - 1) % q) * q + j;
+        let south = ((i + 1) % q) * q + j;
+
+        let mut bcur = gb.block_by_rank(rank).clone();
+        let mut c = Matrix::zeros(bs, bs);
+        for t in 0..q {
+            let owner_col = (i + t) % q;
+            let data = (owner_col == j).then(|| ga.block_by_rank(rank).clone().into_vec());
+            let a_flat = broadcast_reliable(proc, &row_group, t as u32, owner_col, data);
+            let ablk = Matrix::from_vec(bs, bs, a_flat);
+            proc.compute(kernel::work_units(bs, bs, bs));
+            kernel::matmul_accumulate(&mut c, &ablk, &bcur);
+
+            let tb = tag(u32::MAX, t as u32);
+            if q > 1 {
+                proc.send_reliable(north, tb, bcur.into_vec());
+                bcur = Matrix::from_vec(bs, bs, proc.recv_reliable(south, tb));
+            }
+        }
+        c
     })?;
     let c = BlockGrid::assemble_from(&report.results, q, q);
     Ok(SimOutcome::from_report(&report, c, n))
@@ -207,6 +261,62 @@ mod tests {
         for s in &out.stats {
             assert!(s.backoff_idle <= s.idle, "backoff is a subset of idle");
         }
+    }
+
+    #[test]
+    fn fox_resilient_healthy_matches_plain_product() {
+        let (a, b) = gen::random_pair(8, 61);
+        let machine = Machine::new(Topology::square_torus_for(16), CostModel::new(5.0, 0.5));
+        let plain = fox::fox_tree(&machine, &a, &b).unwrap();
+        let resilient = fox_resilient(&machine, &a, &b).unwrap();
+        assert_eq!(plain.c, resilient.c);
+        assert_eq!(total_retransmissions(&resilient), 0);
+        assert_eq!(total_backoff(&resilient), 0.0);
+        assert!(resilient.t_parallel > plain.t_parallel);
+    }
+
+    #[test]
+    fn fox_resilient_is_exact_under_lossy_links() {
+        let (a, b) = gen::random_pair(12, 63);
+        let healthy = Machine::new(Topology::square_torus_for(9), CostModel::new(5.0, 0.5));
+        let faulty = Machine::new(Topology::square_torus_for(9), CostModel::new(5.0, 0.5))
+            .with_fault_plan(lossy_plan(17));
+        let reference = fox::fox_tree(&healthy, &a, &b).unwrap();
+        let out = fox_resilient(&faulty, &a, &b).unwrap();
+        // Retransmitted payloads are bit-identical, so the product is
+        // exactly the fault-free one — not merely approximately equal.
+        assert_eq!(out.c, reference.c);
+        assert!(
+            total_retransmissions(&out) > 0,
+            "lossy plan must force retries"
+        );
+        assert!(total_backoff(&out) > 0.0);
+        let clean = fox_resilient(&healthy, &a, &b).unwrap();
+        assert!(out.t_parallel > clean.t_parallel);
+        for s in &out.stats {
+            assert!(s.backoff_idle <= s.idle, "backoff is a subset of idle");
+        }
+    }
+
+    #[test]
+    fn fox_resilient_single_processor_degenerates() {
+        let (a, b) = gen::random_pair(4, 65);
+        let machine = Machine::new(Topology::square_torus_for(1), CostModel::unit());
+        let out = fox_resilient(&machine, &a, &b).unwrap();
+        assert_eq!(out.c, kernel::matmul(&a, &b));
+    }
+
+    #[test]
+    fn death_in_fox_surfaces_as_structured_error() {
+        let (a, b) = gen::random_pair(8, 67);
+        let machine = Machine::new(Topology::square_torus_for(4), CostModel::unit())
+            .with_fault_plan(FaultPlan::new(4).with_death(1, 40.0));
+        let err = fox_resilient(&machine, &a, &b).unwrap_err();
+        assert!(matches!(
+            err,
+            AlgoError::Sim(SimError::RankDied { rank: 1, .. })
+                | AlgoError::Sim(SimError::Deadlock { .. })
+        ));
     }
 
     #[test]

@@ -115,6 +115,15 @@ fn main() {
     sizes5.sort_unstable();
     run_cm5_figure("Figure 5", 484, 512, &sizes5);
 
+    println!("\n################ gemmd workload ################\n");
+    let sweep = bench::workload_common::WorkloadSweep::full(24, 9);
+    let workload = bench::workload_common::run_workload_sweep(&sweep);
+    println!("{}", workload.render());
+    if let Err(e) = bench::workload_common::check_workload_table(&workload) {
+        panic!("workload acceptance check failed: {e}");
+    }
+    workload.save_csv("workload");
+
     // Machine-readable summary.
     let m = MachineParams::cm5();
     let report = Report {

@@ -10,6 +10,7 @@ pub mod cm5_common;
 pub mod plot;
 pub mod regions_common;
 pub mod svg;
+pub mod workload_common;
 
 use std::fmt::Write as _;
 use std::fs;

@@ -34,4 +34,4 @@ pub use ops::{
     broadcast, broadcast_scatter_allgather, gather, reduce_scatter_sum, reduce_sum, scan_sum,
     scatter,
 };
-pub use reliable::{broadcast_reliable, exchange_reliable, reduce_sum_reliable};
+pub use reliable::{barrier_reliable, broadcast_reliable, exchange_reliable, reduce_sum_reliable};

@@ -80,6 +80,27 @@ pub fn broadcast_reliable(
     payload.expect("every member holds the payload after the tree completes")
 }
 
+/// Dissemination barrier with reliable hops; same schedule as
+/// [`crate::barrier`] (`ceil(log g)` rounds of zero-word exchanges), so
+/// it synchronises a group even when links drop or corrupt control
+/// messages.  Used by partitioned multi-tenant runs to fence algorithm
+/// phases on lossy machines.
+pub fn barrier_reliable(proc: &mut Proc, group: &Group, phase: u32) {
+    let g = group.size();
+    let me = group.my_idx();
+    let mut step = 1usize;
+    let mut round = 0u32;
+    while step < g {
+        let dst = (me + step) % g;
+        let src = (me + g - step) % g;
+        let t = tag(phase, round);
+        proc.send_reliable(group.rank_of(dst), t, Vec::new());
+        proc.recv_reliable(group.rank_of(src), t);
+        step <<= 1;
+        round += 1;
+    }
+}
+
 /// All-to-one elementwise sum over a binomial tree with reliable hops;
 /// same schedule and contract as [`crate::reduce_sum`] (returns `Some`
 /// only at the root).
@@ -189,6 +210,38 @@ mod tests {
         // what the fault-free tree produces.
         assert_eq!(r.results[0], Some(vec![28.0, 8.0]));
         assert!(r.results[1..].iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn barrier_reliable_synchronises_under_faults() {
+        let machine = Machine::new(Topology::hypercube_for(8), CostModel::unit())
+            .with_fault_plan(lossy_plan(13));
+        let r = machine
+            .try_run(|proc| {
+                let group = Group::world(proc);
+                // Stagger the ranks; after the barrier everyone must have
+                // passed everyone else's pre-barrier point.
+                proc.compute(proc.rank() as f64 * 3.0);
+                let before = proc.now();
+                barrier_reliable(proc, &group, 0);
+                (before, proc.now())
+            })
+            .expect("reliable barrier under recoverable faults");
+        let slowest_entry = r
+            .results
+            .iter()
+            .map(|&(before, _)| before)
+            .fold(0.0, f64::max);
+        for &(_, after) in &r.results {
+            assert!(
+                after >= slowest_entry,
+                "barrier exit {after} precedes the slowest entry {slowest_entry}"
+            );
+        }
+        assert!(
+            r.total_retransmissions() > 0,
+            "lossy plan must force retries"
+        );
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! Job descriptions and per-job service records.
+
+use model::Algorithm;
+
+/// One GEMM request as submitted to the service.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Matrix order: the job computes an `n × n` product.
+    pub n: usize,
+    /// Arrival time on the service's virtual clock (multiply–add
+    /// units, same unit as the simulator's `T_p`).
+    pub arrival: f64,
+    /// Scheduling priority (larger = more urgent) for policies that
+    /// look at it.
+    pub priority: u8,
+    /// Seed for the job's operand matrices
+    /// (`dense::gen::random_pair(n, seed)`).
+    pub seed: u64,
+    /// Optional completion deadline on the virtual clock.
+    pub deadline: Option<f64>,
+}
+
+impl JobSpec {
+    /// A job with default priority, derived seed and no deadline.
+    #[must_use]
+    pub fn new(n: usize, arrival: f64) -> Self {
+        Self {
+            n,
+            arrival,
+            priority: 0,
+            seed: n as u64,
+            deadline: None,
+        }
+    }
+
+    /// Serial work `W = n³` in unit operations.
+    #[must_use]
+    pub fn work(&self) -> f64 {
+        (self.n as f64).powi(3)
+    }
+}
+
+/// The service's record of one completed job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    /// Position in the submitted workload (ties in every policy break
+    /// towards the lower id, so ids also pin the schedule).
+    pub id: usize,
+    /// The job as submitted.
+    pub spec: JobSpec,
+    /// Partition size the right-sizer chose.
+    pub p: usize,
+    /// First rank of the partition the job ran on.
+    pub base: usize,
+    /// The algorithm the advisor picked for `(n, p)`.
+    pub algorithm: Algorithm,
+    /// Whether the reliable-transport variant ran (lossy machine).
+    pub resilient: bool,
+    /// The advisor's predicted `T_p` for the chosen `(n, p)`.
+    pub predicted_time: f64,
+    /// The simulator's actual `T_p`.
+    pub actual_time: f64,
+    /// When the job left the queue and its partition was carved out.
+    pub start: f64,
+    /// When the job's partition was released (`start + actual_time`).
+    pub finish: f64,
+}
+
+impl JobRecord {
+    /// Time spent queued: `start − arrival`.
+    #[must_use]
+    pub fn wait(&self) -> f64 {
+        self.start - self.spec.arrival
+    }
+
+    /// Whether the job met its deadline (`None` when it had none).
+    #[must_use]
+    pub fn met_deadline(&self) -> Option<bool> {
+        self.spec.deadline.map(|d| self.finish <= d)
+    }
+
+    /// Prediction error `(actual − predicted) / actual`.
+    #[must_use]
+    pub fn prediction_error(&self) -> f64 {
+        (self.actual_time - self.predicted_time) / self.actual_time
+    }
+
+    /// Realised efficiency `W / (p · T_p)` on the partition.
+    #[must_use]
+    pub fn efficiency(&self) -> f64 {
+        self.spec.work() / (self.p as f64 * self.actual_time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> JobRecord {
+        JobRecord {
+            id: 0,
+            spec: JobSpec {
+                deadline: Some(1_000.0),
+                ..JobSpec::new(16, 100.0)
+            },
+            p: 4,
+            base: 0,
+            algorithm: Algorithm::Cannon,
+            resilient: false,
+            predicted_time: 1_100.0,
+            actual_time: 1_024.0,
+            start: 150.0,
+            finish: 1_174.0,
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = record();
+        assert_eq!(r.wait(), 50.0);
+        assert_eq!(r.met_deadline(), Some(false));
+        assert!((r.efficiency() - 1.0).abs() < 1e-12); // 16³ = 4·1024
+        assert!(r.prediction_error() < 0.0, "overprediction is negative");
+        assert_eq!(JobSpec::new(8, 0.0).work(), 512.0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Buddy-style manager for disjoint rank partitions of one machine.
+//!
+//! Partitions are aligned power-of-two blocks `[b·2^k, (b+1)·2^k)` of
+//! the rank space.  On a hypercube every such block is a `k`-subcube
+//! (the XOR rebasing preserves Hamming distances), so a job running on
+//! the partition is bit-identical to the same job on a standalone
+//! `2^k`-processor hypercube — the property the service's right-sizing
+//! argument rests on, and which `tests/gemmd.rs` asserts.  On a fully
+//! connected machine every subset is distance-regular, so alignment
+//! costs nothing there either.
+//!
+//! Allocation is the classic buddy scheme: take the lowest-base free
+//! block of the requested order, splitting larger blocks as needed;
+//! release merges freed buddies back together.  "Lowest base first"
+//! keeps the allocator — and therefore the whole service — fully
+//! deterministic.
+
+use crate::GemmdError;
+
+/// One allocated partition: the aligned rank block `[base, base + size)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    base: usize,
+    size: usize,
+}
+
+impl Partition {
+    /// First (physical) rank of the block.
+    #[must_use]
+    pub fn base(&self) -> usize {
+        self.base
+    }
+
+    /// Number of ranks (a power of two).
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The member ranks, ascending.
+    #[must_use]
+    pub fn ranks(&self) -> Vec<usize> {
+        (self.base..self.base + self.size).collect()
+    }
+}
+
+/// Buddy allocator over the rank space `0..p` (`p` a power of two).
+#[derive(Debug, Clone)]
+pub struct PartitionManager {
+    p: usize,
+    /// `free[k]` holds the bases of free blocks of size `2^k`, sorted
+    /// ascending.
+    free: Vec<Vec<usize>>,
+    allocated: usize,
+}
+
+impl PartitionManager {
+    /// A manager covering `p` ranks.
+    ///
+    /// # Errors
+    /// Rejects `p` that is zero or not a power of two — the buddy
+    /// scheme needs a power-of-two universe.
+    pub fn new(p: usize) -> Result<Self, GemmdError> {
+        if p == 0 || !p.is_power_of_two() {
+            return Err(GemmdError::UnsupportedMachine { p });
+        }
+        let orders = p.trailing_zeros() as usize + 1;
+        let mut free = vec![Vec::new(); orders];
+        free[orders - 1].push(0);
+        Ok(Self {
+            p,
+            free,
+            allocated: 0,
+        })
+    }
+
+    /// Total ranks under management.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.p
+    }
+
+    /// Ranks currently allocated.
+    #[must_use]
+    pub fn in_use(&self) -> usize {
+        self.allocated
+    }
+
+    /// Size of the largest block an [`PartitionManager::alloc`] call
+    /// could currently satisfy (0 when everything is allocated).
+    #[must_use]
+    pub fn largest_free(&self) -> usize {
+        self.free
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, blocks)| !blocks.is_empty())
+            .map_or(0, |(k, _)| 1 << k)
+    }
+
+    /// Allocate an aligned block of `size` ranks (a power of two),
+    /// lowest base first; `None` when no block of that order is free.
+    ///
+    /// # Panics
+    /// Panics if `size` is zero, not a power of two, or exceeds the
+    /// machine — callers size jobs with [`crate::sizing::right_size`],
+    /// which never produces such a request.
+    pub fn alloc(&mut self, size: usize) -> Option<Partition> {
+        assert!(
+            size > 0 && size.is_power_of_two() && size <= self.p,
+            "partition size {size} invalid for a {}-rank machine",
+            self.p
+        );
+        let want = size.trailing_zeros() as usize;
+        // The smallest free order ≥ want that has a block.
+        let from = (want..self.free.len()).find(|&k| !self.free[k].is_empty())?;
+        // Split down to the wanted order, always keeping the lower
+        // half and freeing the upper (deterministic, lowest-base-first).
+        let base = self.free[from].remove(0);
+        for k in (want..from).rev() {
+            let buddy = base + (1 << k);
+            let pos = self.free[k].partition_point(|&b| b < buddy);
+            self.free[k].insert(pos, buddy);
+        }
+        self.allocated += size;
+        Some(Partition { base, size })
+    }
+
+    /// Return a partition to the free pool, merging buddies greedily.
+    ///
+    /// # Panics
+    /// Panics if the block (or part of it) is already free — a
+    /// double-release is always a scheduler bug.
+    pub fn release(&mut self, part: Partition) {
+        let Partition { mut base, size } = part;
+        let mut k = size.trailing_zeros() as usize;
+        self.allocated -= size;
+        loop {
+            let buddy = base ^ (1 << k);
+            if k + 1 < self.free.len() {
+                if let Ok(pos) = self.free[k].binary_search(&buddy) {
+                    self.free[k].remove(pos);
+                    base = base.min(buddy);
+                    k += 1;
+                    continue;
+                }
+            }
+            let pos = self.free[k].partition_point(|&b| b < base);
+            assert!(
+                self.free[k].get(pos) != Some(&base),
+                "double release of block at base {base}"
+            );
+            self.free[k].insert(pos, base);
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_non_power_of_two_machines() {
+        assert!(matches!(
+            PartitionManager::new(12),
+            Err(GemmdError::UnsupportedMachine { p: 12 })
+        ));
+        assert!(PartitionManager::new(0).is_err());
+        assert!(PartitionManager::new(16).is_ok());
+    }
+
+    #[test]
+    fn allocates_lowest_base_first_and_splits() {
+        let mut pm = PartitionManager::new(16).unwrap();
+        let a = pm.alloc(4).unwrap();
+        assert_eq!((a.base(), a.size()), (0, 4));
+        let b = pm.alloc(4).unwrap();
+        assert_eq!(b.base(), 4);
+        let c = pm.alloc(8).unwrap();
+        assert_eq!(c.base(), 8);
+        assert_eq!(pm.in_use(), 16);
+        assert_eq!(pm.largest_free(), 0);
+        assert!(pm.alloc(1).is_none());
+    }
+
+    #[test]
+    fn release_merges_buddies_back_to_full_machine() {
+        let mut pm = PartitionManager::new(16).unwrap();
+        let parts: Vec<_> = (0..4).map(|_| pm.alloc(4).unwrap()).collect();
+        assert_eq!(pm.largest_free(), 0);
+        for part in parts {
+            pm.release(part);
+        }
+        assert_eq!(pm.largest_free(), 16);
+        assert_eq!(pm.in_use(), 0);
+        // And the whole machine allocates again in one piece.
+        let all = pm.alloc(16).unwrap();
+        assert_eq!((all.base(), all.size()), (0, 16));
+    }
+
+    #[test]
+    fn fragmentation_blocks_large_requests_until_release() {
+        let mut pm = PartitionManager::new(8).unwrap();
+        let a = pm.alloc(2).unwrap(); // [0, 2)
+        let b = pm.alloc(2).unwrap(); // [2, 4)
+        pm.release(a);
+        // [0,2) free and [4,8) free, but no aligned 8-block.
+        assert_eq!(pm.largest_free(), 4);
+        assert!(pm.alloc(8).is_none());
+        pm.release(b);
+        assert!(pm.alloc(8).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "double release")]
+    fn double_release_is_a_bug() {
+        let mut pm = PartitionManager::new(4).unwrap();
+        let a = pm.alloc(2).unwrap();
+        let _b = pm.alloc(2).unwrap(); // keep a's buddy allocated: no merge
+        pm.release(a.clone());
+        pm.release(a);
+    }
+
+    #[test]
+    fn partition_ranks_are_the_aligned_block() {
+        let mut pm = PartitionManager::new(8).unwrap();
+        pm.alloc(2).unwrap();
+        let part = pm.alloc(2).unwrap();
+        assert_eq!(part.ranks(), vec![2, 3]);
+    }
+}

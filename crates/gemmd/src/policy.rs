@@ -1,0 +1,135 @@
+//! Pluggable queue-ordering policies.
+//!
+//! A policy only *orders* the queue: it picks which waiting job the
+//! scheduler should try to place next.  Placement itself (is a block
+//! of that size free?) stays in the scheduler, and the selected job
+//! blocks the queue until its partition frees up — deterministic
+//! head-of-line semantics for every policy, so two runs of the same
+//! trace schedule identically.
+
+use crate::job::JobSpec;
+use crate::sizing::Sizing;
+
+/// A job waiting in the queue, with its (fixed) sizing decision.
+#[derive(Debug, Clone)]
+pub struct QueuedJob {
+    /// Workload index of the job.
+    pub id: usize,
+    /// The job as submitted.
+    pub spec: JobSpec,
+    /// The right-sizer's verdict, made at admission and never revised.
+    pub sizing: Sizing,
+}
+
+/// Queue-ordering policy: pick the index of the next job to place.
+pub trait Policy {
+    /// Stable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Index into `queue` of the job to place next; `None` on an empty
+    /// queue.  Implementations must be deterministic and must break
+    /// ties towards the lowest job id.
+    fn select(&self, queue: &[QueuedJob]) -> Option<usize>;
+}
+
+/// First come, first served (queue order = arrival order).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fifo;
+
+impl Policy for Fifo {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn select(&self, queue: &[QueuedJob]) -> Option<usize> {
+        (!queue.is_empty()).then_some(0)
+    }
+}
+
+/// Shortest predicted time first: the advisor's `T_p` estimate orders
+/// the queue, so small jobs overtake large ones.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShortestPredictedTime;
+
+impl Policy for ShortestPredictedTime {
+    fn name(&self) -> &'static str {
+        "spt"
+    }
+
+    fn select(&self, queue: &[QueuedJob]) -> Option<usize> {
+        queue
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                a.sizing
+                    .rec
+                    .predicted_time
+                    .total_cmp(&b.sizing.rec.predicted_time)
+                    .then(a.id.cmp(&b.id))
+            })
+            .map(|(i, _)| i)
+    }
+}
+
+/// Highest priority first; ties fall back to arrival order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PriorityFirst;
+
+impl Policy for PriorityFirst {
+    fn name(&self) -> &'static str {
+        "priority"
+    }
+
+    fn select(&self, queue: &[QueuedJob]) -> Option<usize> {
+        queue
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| b.spec.priority.cmp(&a.spec.priority).then(a.id.cmp(&b.id)))
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use model::MachineParams;
+    use parmm::Advisor;
+
+    fn queued(id: usize, n: usize, priority: u8, p: usize) -> QueuedJob {
+        let advisor = Advisor::new(MachineParams::ncube2());
+        let rec = advisor.recommend_executable(n, p).unwrap();
+        QueuedJob {
+            id,
+            spec: JobSpec {
+                priority,
+                ..JobSpec::new(n, 0.0)
+            },
+            sizing: Sizing { p, rec },
+        }
+    }
+
+    #[test]
+    fn fifo_takes_the_head() {
+        let q = vec![queued(0, 32, 0, 16), queued(1, 8, 9, 4)];
+        assert_eq!(Fifo.select(&q), Some(0));
+        assert_eq!(Fifo.select(&[]), None);
+    }
+
+    #[test]
+    fn spt_prefers_the_quick_job() {
+        let q = vec![queued(0, 64, 0, 16), queued(1, 8, 0, 4)];
+        assert_eq!(ShortestPredictedTime.select(&q), Some(1));
+    }
+
+    #[test]
+    fn spt_breaks_ties_by_id() {
+        let q = vec![queued(0, 16, 0, 4), queued(1, 16, 0, 4)];
+        assert_eq!(ShortestPredictedTime.select(&q), Some(0));
+    }
+
+    #[test]
+    fn priority_first_prefers_urgent_then_oldest() {
+        let q = vec![queued(0, 32, 1, 16), queued(1, 8, 3, 4), queued(2, 8, 3, 4)];
+        assert_eq!(PriorityFirst.select(&q), Some(1));
+    }
+}

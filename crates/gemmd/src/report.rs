@@ -1,0 +1,201 @@
+//! Service metrics: per-job records, aggregates, deterministic CSV.
+
+use std::fmt::Write as _;
+
+use crate::job::{JobRecord, JobSpec};
+
+/// Everything the service measured over one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceReport {
+    /// Policy name (see [`crate::policy::Policy::name`]).
+    pub policy: String,
+    /// Sizing-mode label (see [`crate::sizing::SizingMode::label`]).
+    pub sizing: String,
+    /// Machine size the service ran on.
+    pub machine_p: usize,
+    /// Completed jobs in completion order.
+    pub records: Vec<JobRecord>,
+    /// Jobs refused at admission (queue full), in arrival order.
+    pub rejected: Vec<JobSpec>,
+    /// Time the last job finished (0 for an empty run).
+    pub makespan: f64,
+}
+
+impl ServiceReport {
+    /// Completed jobs per unit of virtual time.
+    #[must_use]
+    pub fn throughput_jobs(&self) -> f64 {
+        if self.makespan == 0.0 {
+            return 0.0;
+        }
+        self.records.len() as f64 / self.makespan
+    }
+
+    /// Useful operations (`Σ n³`) per unit of virtual time — the
+    /// service-level figure of merit the sizing policies compete on.
+    #[must_use]
+    pub fn throughput_flops(&self) -> f64 {
+        if self.makespan == 0.0 {
+            return 0.0;
+        }
+        self.records.iter().map(|r| r.spec.work()).sum::<f64>() / self.makespan
+    }
+
+    /// Fraction of the machine's rank-time actually allocated to jobs:
+    /// `Σ p_job · T_job / (P · makespan)`.  Bounded by 1 because
+    /// partitions are disjoint.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        if self.makespan == 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = self
+            .records
+            .iter()
+            .map(|r| r.p as f64 * r.actual_time)
+            .sum();
+        busy / (self.machine_p as f64 * self.makespan)
+    }
+
+    /// Mean queue wait over completed jobs.
+    #[must_use]
+    pub fn mean_wait(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(JobRecord::wait).sum::<f64>() / self.records.len() as f64
+    }
+
+    /// Mean relative prediction error `(actual − predicted) / actual`.
+    #[must_use]
+    pub fn mean_prediction_error(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records
+            .iter()
+            .map(JobRecord::prediction_error)
+            .sum::<f64>()
+            / self.records.len() as f64
+    }
+
+    /// Of the jobs that carried deadlines, the count that met them and
+    /// the total count.
+    #[must_use]
+    pub fn deadlines(&self) -> (usize, usize) {
+        let with: Vec<bool> = self
+            .records
+            .iter()
+            .filter_map(JobRecord::met_deadline)
+            .collect();
+        (with.iter().filter(|&&m| m).count(), with.len())
+    }
+
+    /// Deterministic per-job CSV (one header, one row per completed
+    /// job in completion order).  Two runs over the same trace produce
+    /// byte-identical output — the property tests compare these bytes.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "id,n,arrival,priority,p,base,algorithm,resilient,predicted,actual,start,finish,wait,efficiency\n",
+        );
+        for r in &self.records {
+            let _ = writeln!(
+                out,
+                "{},{},{:.3},{},{},{},{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.4}",
+                r.id,
+                r.spec.n,
+                r.spec.arrival,
+                r.spec.priority,
+                r.p,
+                r.base,
+                r.algorithm,
+                r.resilient,
+                r.predicted_time,
+                r.actual_time,
+                r.start,
+                r.finish,
+                r.wait(),
+                r.efficiency(),
+            );
+        }
+        out
+    }
+
+    /// One-line human summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "{}/{}: {} jobs ({} rejected), makespan {:.0}, util {:.2}, {:.1} ops/unit, mean wait {:.0}",
+            self.policy,
+            self.sizing,
+            self.records.len(),
+            self.rejected.len(),
+            self.makespan,
+            self.utilization(),
+            self.throughput_flops(),
+            self.mean_wait(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use model::Algorithm;
+
+    fn report() -> ServiceReport {
+        let rec = |id: usize, p: usize, start: f64, dur: f64| JobRecord {
+            id,
+            spec: JobSpec::new(16, 0.0),
+            p,
+            base: 0,
+            algorithm: Algorithm::Cannon,
+            resilient: false,
+            predicted_time: dur,
+            actual_time: dur,
+            start,
+            finish: start + dur,
+        };
+        ServiceReport {
+            policy: "fifo".into(),
+            sizing: "whole".into(),
+            machine_p: 8,
+            records: vec![rec(0, 4, 0.0, 100.0), rec(1, 4, 0.0, 100.0)],
+            rejected: vec![],
+            makespan: 100.0,
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let r = report();
+        assert_eq!(r.throughput_jobs(), 0.02);
+        assert_eq!(r.throughput_flops(), 2.0 * 4096.0 / 100.0);
+        assert_eq!(r.utilization(), 1.0);
+        assert_eq!(r.mean_wait(), 0.0);
+        assert_eq!(r.mean_prediction_error(), 0.0);
+        assert_eq!(r.deadlines(), (0, 0));
+    }
+
+    #[test]
+    fn empty_report_is_all_zeros() {
+        let r = ServiceReport {
+            records: vec![],
+            makespan: 0.0,
+            ..report()
+        };
+        assert_eq!(r.throughput_jobs(), 0.0);
+        assert_eq!(r.utilization(), 0.0);
+        assert_eq!(r.mean_wait(), 0.0);
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_job() {
+        let csv = report().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("id,n,arrival"));
+        assert!(lines[1].starts_with("0,16,"));
+    }
+}

@@ -1,0 +1,418 @@
+//! The deterministic event-driven service loop.
+//!
+//! Virtual time advances from event to event: job arrivals (from the
+//! workload trace) and job completions (at `start + T_p`, with `T_p`
+//! taken from the simulator's run of the job on its partition).  At
+//! every event the scheduler first retires due completions — released
+//! partitions merge back in the buddy pool — then admits due arrivals
+//! (subject to the queue cap), then repeatedly asks the policy for the
+//! next job and places it if a block of its size is free.  A selected
+//! job that does not fit blocks the queue (head-of-line semantics), so
+//! the schedule is a pure function of the trace.
+//!
+//! Completions are processed before arrivals at equal times, and equal
+//! completion times break towards the lower job id — the tie rules
+//! that make two runs of one trace byte-identical.
+
+use mmsim::{Machine, TopologyKind};
+use model::time::NetworkModel;
+use model::MachineParams;
+use parmm::{fault_rates_of, run_recommendation, Advisor};
+
+use crate::job::{JobRecord, JobSpec};
+use crate::partition::{Partition, PartitionManager};
+use crate::policy::{Policy, QueuedJob};
+use crate::report::ServiceReport;
+use crate::sizing::{right_size, SizingMode};
+use crate::GemmdError;
+
+/// Service configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Config {
+    /// How partitions are sized (default: isoefficiency at `E ≥ 0.5`).
+    pub sizing: SizingMode,
+    /// Admission control: arrivals that find this many jobs already
+    /// queued are rejected (backpressure), not enqueued.
+    pub queue_cap: usize,
+    /// Verify every product against the serial kernel (costs an
+    /// `O(n³)` host-side multiply per job; meant for tests).
+    pub verify: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            sizing: SizingMode::default_iso(),
+            queue_cap: 64,
+            verify: false,
+        }
+    }
+}
+
+/// The GEMM service: a machine, an advisor modelling it, and a config.
+#[derive(Debug, Clone)]
+pub struct Scheduler<'m> {
+    machine: &'m Machine,
+    advisor: Advisor,
+    config: Config,
+}
+
+struct Running {
+    record: JobRecord,
+    partition: Partition,
+}
+
+impl<'m> Scheduler<'m> {
+    /// A service over `machine`, with the advisor derived from the
+    /// machine's own cost model, network kind and fault plan (exactly
+    /// like [`parmm::multiply`]).
+    #[must_use]
+    pub fn new(machine: &'m Machine, config: Config) -> Self {
+        let cm = machine.cost_model();
+        let network = match machine.topology().kind() {
+            TopologyKind::FullyConnected | TopologyKind::FatTree => NetworkModel::FullyConnected,
+            _ => NetworkModel::Hypercube,
+        };
+        let params = MachineParams::new(cm.t_s, cm.t_w).with_faults(fault_rates_of(machine));
+        let advisor = Advisor::new(params).with_network(network);
+        Self {
+            machine,
+            advisor,
+            config,
+        }
+    }
+
+    /// Same service with a custom advisor (candidate set, machine
+    /// constants, network model).
+    #[must_use]
+    pub fn with_advisor(mut self, advisor: Advisor) -> Self {
+        self.advisor = advisor;
+        self
+    }
+
+    /// The advisor the right-sizer consults.
+    #[must_use]
+    pub fn advisor(&self) -> &Advisor {
+        &self.advisor
+    }
+
+    /// Run a workload trace (sorted by arrival) to completion under
+    /// `policy` and report.
+    ///
+    /// # Errors
+    /// * [`GemmdError::UnsupportedMachine`] — machine size is not a
+    ///   power of two;
+    /// * [`GemmdError::UnsortedWorkload`] — arrivals out of order;
+    /// * [`GemmdError::Unschedulable`] — a job no algorithm accepts at
+    ///   any partition size;
+    /// * [`GemmdError::Execution`] — a placed job failed in simulation.
+    pub fn run(&self, jobs: &[JobSpec], policy: &dyn Policy) -> Result<ServiceReport, GemmdError> {
+        for (i, w) in jobs.windows(2).enumerate() {
+            if w[1].arrival < w[0].arrival {
+                return Err(GemmdError::UnsortedWorkload { index: i + 1 });
+            }
+        }
+        let mut pm = PartitionManager::new(self.machine.p())?;
+        let mut queue: Vec<QueuedJob> = Vec::new();
+        let mut running: Vec<Running> = Vec::new();
+        let mut records: Vec<JobRecord> = Vec::new();
+        let mut rejected: Vec<JobSpec> = Vec::new();
+        let mut next_arrival = 0usize;
+        let mut now = 0.0f64;
+        let mut makespan = 0.0f64;
+
+        loop {
+            // Place as many queued jobs as the policy and the free
+            // blocks allow, head of line first.
+            while let Some(i) = policy.select(&queue) {
+                let Some(partition) = pm.alloc(queue[i].sizing.p) else {
+                    break; // selected job blocks until space frees up
+                };
+                let job = queue.remove(i);
+                let record = self.start_job(&job, &partition, now)?;
+                makespan = makespan.max(record.finish);
+                running.push(Running { record, partition });
+            }
+
+            // Next event: earliest completion (ties → lowest id) vs
+            // earliest arrival; completions win exact ties.
+            let next_done = running
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    a.record
+                        .finish
+                        .total_cmp(&b.record.finish)
+                        .then(a.record.id.cmp(&b.record.id))
+                })
+                .map(|(i, r)| (i, r.record.finish));
+            let arrival = jobs.get(next_arrival).map(|j| j.arrival);
+
+            match (next_done, arrival) {
+                (Some((i, t)), a) if a.map_or(true, |ta| t <= ta) => {
+                    now = t;
+                    let done = running.swap_remove(i);
+                    pm.release(done.partition);
+                    records.push(done.record);
+                }
+                (_, Some(t)) => {
+                    now = t;
+                    let id = next_arrival;
+                    let spec = jobs[id].clone();
+                    next_arrival += 1;
+                    if queue.len() >= self.config.queue_cap {
+                        rejected.push(spec);
+                        continue;
+                    }
+                    let sizing =
+                        right_size(&self.advisor, spec.n, self.machine.p(), self.config.sizing)
+                            .ok_or(GemmdError::Unschedulable { n: spec.n })?;
+                    queue.push(QueuedJob { id, spec, sizing });
+                }
+                _ => break,
+            }
+        }
+        debug_assert!(queue.is_empty() && running.is_empty());
+
+        Ok(ServiceReport {
+            policy: policy.name().into(),
+            sizing: self.config.sizing.label(),
+            machine_p: self.machine.p(),
+            records,
+            rejected,
+            makespan,
+        })
+    }
+
+    /// Execute one job on its partition and build its record.
+    fn start_job(
+        &self,
+        job: &QueuedJob,
+        partition: &Partition,
+        now: f64,
+    ) -> Result<JobRecord, GemmdError> {
+        let sub = self.machine.partition(&partition.ranks());
+        let (a, b) = dense::gen::random_pair(job.spec.n, job.spec.seed);
+        let out = run_recommendation(&job.sizing.rec, &sub, &a, &b).map_err(|e| {
+            GemmdError::Execution {
+                id: job.id,
+                detail: e.to_string(),
+            }
+        })?;
+        if self.config.verify {
+            let reference = &a * &b;
+            assert!(
+                out.c.approx_eq(&reference, 1e-8),
+                "job {} produced a wrong product",
+                job.id
+            );
+        }
+        Ok(JobRecord {
+            id: job.id,
+            spec: job.spec.clone(),
+            p: partition.size(),
+            base: partition.base(),
+            algorithm: job.sizing.rec.algorithm,
+            resilient: job.sizing.rec.resilient,
+            predicted_time: job.sizing.rec.predicted_time,
+            actual_time: out.t_parallel,
+            start: now,
+            finish: now + out.t_parallel,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{Fifo, PriorityFirst, ShortestPredictedTime};
+    use crate::workload::Workload;
+    use mmsim::{CostModel, Topology};
+
+    fn machine() -> Machine {
+        Machine::new(Topology::hypercube(4), CostModel::ncube2())
+    }
+
+    fn config() -> Config {
+        Config {
+            verify: true,
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn empty_workload_yields_empty_report() {
+        let m = machine();
+        let report = Scheduler::new(&m, config()).run(&[], &Fifo).unwrap();
+        assert!(report.records.is_empty());
+        assert_eq!(report.makespan, 0.0);
+        assert_eq!(report.utilization(), 0.0);
+    }
+
+    #[test]
+    fn single_job_runs_immediately_and_matches_prediction_roughly() {
+        let m = machine();
+        let jobs = vec![JobSpec::new(16, 50.0)];
+        let report = Scheduler::new(&m, config()).run(&jobs, &Fifo).unwrap();
+        assert_eq!(report.records.len(), 1);
+        let r = &report.records[0];
+        assert_eq!(r.start, 50.0);
+        assert!(r.wait() == 0.0);
+        assert!(r.p >= 1 && r.p <= 16);
+        assert!(
+            r.prediction_error().abs() < 0.5,
+            "model and simulator diverge: predicted {} actual {}",
+            r.predicted_time,
+            r.actual_time
+        );
+    }
+
+    #[test]
+    fn disjoint_partitions_overlap_in_time() {
+        // Two small jobs arriving together must run concurrently on
+        // disjoint blocks under isoefficiency sizing.
+        let m = machine();
+        let jobs = vec![JobSpec::new(16, 0.0), JobSpec::new(16, 0.0)];
+        let report = Scheduler::new(&m, config()).run(&jobs, &Fifo).unwrap();
+        assert_eq!(report.records.len(), 2);
+        let (a, b) = (&report.records[0], &report.records[1]);
+        assert!(a.p + b.p <= 16, "partitions must be disjoint");
+        assert!(
+            a.start < b.finish && b.start < a.finish,
+            "jobs should overlap"
+        );
+        assert_ne!(a.base, b.base);
+    }
+
+    #[test]
+    fn whole_machine_serialises_everything() {
+        let m = machine();
+        let cfg = Config {
+            sizing: SizingMode::WholeMachine,
+            ..config()
+        };
+        let jobs = vec![JobSpec::new(16, 0.0), JobSpec::new(16, 0.0)];
+        let report = Scheduler::new(&m, cfg).run(&jobs, &Fifo).unwrap();
+        let (a, b) = (&report.records[0], &report.records[1]);
+        assert_eq!(a.p, 16);
+        assert_eq!(b.p, 16);
+        assert!(b.start >= a.finish, "whole-machine jobs cannot overlap");
+    }
+
+    #[test]
+    fn completions_free_space_for_waiting_jobs() {
+        let m = machine();
+        let cfg = Config {
+            sizing: SizingMode::WholeMachine,
+            ..config()
+        };
+        // Three whole-machine jobs at t = 0: strict FIFO convoy.
+        let jobs = vec![
+            JobSpec::new(16, 0.0),
+            JobSpec::new(16, 0.0),
+            JobSpec::new(16, 0.0),
+        ];
+        let report = Scheduler::new(&m, cfg).run(&jobs, &Fifo).unwrap();
+        let finishes: Vec<f64> = report.records.iter().map(|r| r.finish).collect();
+        assert!(finishes.windows(2).all(|w| w[0] <= w[1]));
+        assert!(report.records[2].wait() > 0.0);
+        assert!((report.utilization() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn queue_cap_rejects_excess_arrivals() {
+        let m = machine();
+        let cfg = Config {
+            sizing: SizingMode::WholeMachine,
+            queue_cap: 1,
+            ..config()
+        };
+        let jobs: Vec<JobSpec> = (0..4).map(|_| JobSpec::new(16, 0.0)).collect();
+        let report = Scheduler::new(&m, cfg).run(&jobs, &Fifo).unwrap();
+        // One runs at t=0, one queues, two bounce.
+        assert_eq!(report.records.len(), 2);
+        assert_eq!(report.rejected.len(), 2);
+    }
+
+    #[test]
+    fn unsorted_workloads_are_refused() {
+        let m = machine();
+        let jobs = vec![JobSpec::new(16, 10.0), JobSpec::new(16, 5.0)];
+        assert!(matches!(
+            Scheduler::new(&m, config()).run(&jobs, &Fifo),
+            Err(GemmdError::UnsortedWorkload { index: 1 })
+        ));
+    }
+
+    #[test]
+    fn spt_overtakes_fifo_on_mean_wait() {
+        let m = machine();
+        let cfg = Config {
+            sizing: SizingMode::WholeMachine,
+            ..config()
+        };
+        // One job holds the machine; a second long job and three short
+        // ones queue behind it, so SPT can reorder the queue.
+        let mut jobs = vec![JobSpec::new(32, 0.0)];
+        jobs.push(JobSpec {
+            seed: 77,
+            ..JobSpec::new(32, 1.0)
+        });
+        jobs.extend((0..3).map(|i| JobSpec {
+            seed: i,
+            ..JobSpec::new(8, 1.0)
+        }));
+        let sched = Scheduler::new(&m, cfg);
+        let fifo = sched.run(&jobs, &Fifo).unwrap();
+        let spt = sched.run(&jobs, &ShortestPredictedTime).unwrap();
+        assert!(spt.mean_wait() < fifo.mean_wait());
+        // Same jobs completed either way.
+        assert_eq!(fifo.records.len(), spt.records.len());
+    }
+
+    #[test]
+    fn priority_first_runs_urgent_jobs_earlier() {
+        let m = machine();
+        let cfg = Config {
+            sizing: SizingMode::WholeMachine,
+            ..config()
+        };
+        let jobs = vec![
+            JobSpec::new(16, 0.0), // runs first regardless
+            JobSpec {
+                priority: 0,
+                seed: 1,
+                ..JobSpec::new(16, 1.0)
+            },
+            JobSpec {
+                priority: 5,
+                seed: 2,
+                ..JobSpec::new(16, 1.0)
+            },
+        ];
+        let report = Scheduler::new(&m, cfg).run(&jobs, &PriorityFirst).unwrap();
+        let order: Vec<usize> = report.records.iter().map(|r| r.id).collect();
+        assert_eq!(order, vec![0, 2, 1], "priority 5 overtakes priority 0");
+    }
+
+    #[test]
+    fn deadlines_are_scored() {
+        let m = machine();
+        let jobs = vec![JobSpec {
+            deadline: Some(1.0), // hopeless
+            ..JobSpec::new(16, 0.0)
+        }];
+        let report = Scheduler::new(&m, config()).run(&jobs, &Fifo).unwrap();
+        assert_eq!(report.deadlines(), (0, 1));
+    }
+
+    #[test]
+    fn generated_workload_runs_clean_end_to_end() {
+        let m = machine();
+        let jobs = Workload::poisson(12, 1.0e5, &[(8, 2.0), (16, 1.0), (32, 1.0)], 99).generate();
+        let report = Scheduler::new(&m, config()).run(&jobs, &Fifo).unwrap();
+        assert_eq!(report.records.len(), 12);
+        assert!(report.utilization() > 0.0 && report.utilization() <= 1.0 + 1e-12);
+        assert!(report.makespan > 0.0);
+    }
+}

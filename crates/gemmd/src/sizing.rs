@@ -1,0 +1,192 @@
+//! Isoefficiency-driven partition right-sizing.
+//!
+//! For a fixed job size `n`, efficiency `E = n³ / (p · T_p)` falls as
+//! `p` grows; the isoefficiency relation (§5 of the paper,
+//! `model::isoefficiency`) says how big a problem must be to hold a
+//! target efficiency at a given `p`.  Read in the other direction it
+//! is a *right-sizing rule*: the largest `p` whose isoefficiency
+//! requirement the job still meets — i.e. the biggest partition the
+//! job can keep busy at the target — and that is the partition the
+//! service carves out.  Any bigger and the extra ranks are mostly
+//! waiting on communication; any smaller leaves turnaround time on the
+//! table.  The predicted `E` comes from the same advisor model that
+//! ranks the algorithms, so one prediction drives both decisions.
+
+use parmm::{Advisor, Recommendation};
+
+/// How the service sizes a job's partition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SizingMode {
+    /// Every job gets the whole machine (the baseline the paper's
+    /// single-job experiments implicitly assume).
+    WholeMachine,
+    /// Largest power-of-two `p` whose predicted efficiency stays at or
+    /// above `target` — the isoefficiency rule.
+    Isoefficiency {
+        /// Efficiency floor in `(0, 1]`; the service default is 0.5.
+        target: f64,
+    },
+}
+
+impl SizingMode {
+    /// The service's default: isoefficiency sizing at `E ≥ 0.5`.
+    #[must_use]
+    pub fn default_iso() -> Self {
+        SizingMode::Isoefficiency { target: 0.5 }
+    }
+
+    /// Short stable label for reports ("whole", "iso0.50").
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            SizingMode::WholeMachine => "whole".into(),
+            SizingMode::Isoefficiency { target } => format!("iso{target:.2}"),
+        }
+    }
+}
+
+/// A sized job: the chosen partition size and the advisor's verdict at
+/// that size.
+#[derive(Debug, Clone)]
+pub struct Sizing {
+    /// Chosen partition size (a power of two).
+    pub p: usize,
+    /// The advisor's recommendation at `(n, p)` — algorithm, predicted
+    /// time and efficiency, resilience.
+    pub rec: Recommendation,
+}
+
+/// Size one job: walk partition sizes `p_max, p_max/2, …, 1` and return
+/// the first (largest) one the mode accepts and some algorithm's
+/// executable form supports.  `None` only when no candidate algorithm
+/// accepts `(n, p)` at *any* power-of-two `p ≤ p_max` — such a job can
+/// never be placed.
+///
+/// Under [`SizingMode::WholeMachine`] the efficiency floor is waived:
+/// the job takes the largest supported `p` (normally `p_max` itself).
+#[must_use]
+pub fn right_size(advisor: &Advisor, n: usize, p_max: usize, mode: SizingMode) -> Option<Sizing> {
+    debug_assert!(p_max.is_power_of_two());
+    let mut p = p_max;
+    let mut fallback: Option<Sizing> = None;
+    loop {
+        if let Some(rec) = advisor.recommend_executable(n, p) {
+            let accept = match mode {
+                SizingMode::WholeMachine => true,
+                SizingMode::Isoefficiency { target } => rec.predicted_efficiency >= target,
+            };
+            if accept {
+                return Some(Sizing { p, rec });
+            }
+            // Remember the largest executable size in case even p = 1
+            // misses the target (then the floor, not the job, yields).
+            if fallback.is_none() {
+                fallback = Some(Sizing { p, rec });
+            }
+        }
+        if p == 1 {
+            // p = 1 runs at E = 1 whenever anything is executable, so
+            // reaching the fallback means the target exceeded 1.0.
+            return fallback;
+        }
+        p /= 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use model::{Algorithm, MachineParams};
+
+    fn advisor() -> Advisor {
+        Advisor::new(MachineParams::ncube2())
+    }
+
+    #[test]
+    fn whole_machine_takes_everything() {
+        let s = right_size(&advisor(), 32, 64, SizingMode::WholeMachine).unwrap();
+        assert_eq!(s.p, 64);
+    }
+
+    #[test]
+    fn iso_sizing_meets_the_floor_and_is_maximal() {
+        let a = advisor();
+        let target = 0.5;
+        let s = right_size(&a, 32, 64, SizingMode::Isoefficiency { target }).unwrap();
+        assert!(s.rec.predicted_efficiency >= target);
+        // Maximality: every larger executable power of two dips below.
+        let mut p = s.p * 2;
+        while p <= 64 {
+            if let Some(rec) = a.recommend_executable(32, p) {
+                assert!(
+                    rec.predicted_efficiency < target,
+                    "p = {p} also meets the floor"
+                );
+            }
+            p *= 2;
+        }
+    }
+
+    #[test]
+    fn bigger_jobs_get_bigger_partitions() {
+        let a = advisor();
+        let mode = SizingMode::default_iso();
+        let mut last = 0;
+        for n in [8, 16, 32, 64, 128] {
+            let s = right_size(&a, n, 1 << 14, mode).unwrap();
+            assert!(s.p >= last, "n = {n} shrank the partition");
+            last = s.p;
+        }
+        assert!(last > 1, "large jobs must spread out");
+    }
+
+    #[test]
+    fn tiny_jobs_fall_back_to_one_rank() {
+        // n = 2 on a high-startup machine: communication swamps the
+        // n³ = 8 operations at any p > 1.
+        let s = right_size(&advisor(), 2, 64, SizingMode::default_iso()).unwrap();
+        assert_eq!(s.p, 1);
+        assert!((s.rec.predicted_efficiency - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unreachable_targets_fall_back_to_largest_executable() {
+        let s = right_size(
+            &advisor(),
+            16,
+            64,
+            SizingMode::Isoefficiency { target: 2.0 },
+        );
+        let s = s.expect("fallback must fire");
+        assert_eq!(s.p, 64, "falls back to the largest executable size");
+    }
+
+    #[test]
+    fn sizing_agrees_with_the_numeric_isoefficiency_solver() {
+        // The rule "largest p with E(n, p) ≥ e" inverts the solver's
+        // "smallest n with E(n, p) ≥ e" — cross-check them on the
+        // advisor's winning algorithm.
+        let a = advisor();
+        let e = 0.5;
+        let s = right_size(&a, 64, 1 << 12, SizingMode::Isoefficiency { target: e }).unwrap();
+        let iso_n = model::isoefficiency::iso_n_numeric(
+            s.rec.algorithm,
+            s.p as f64,
+            e,
+            MachineParams::ncube2(),
+        )
+        .expect("solver converges");
+        assert!(
+            iso_n <= 64.0,
+            "chosen p needs n ≥ {iso_n:.1}, but the job is only 64"
+        );
+    }
+
+    #[test]
+    fn impossible_jobs_are_unschedulable() {
+        // n = 3 admits only p = 1 (Cannon q = 1); restrict candidates
+        // to DNS and nothing fits at any p.
+        let a = Advisor::with_candidates(MachineParams::ncube2(), vec![Algorithm::Dns]);
+        assert!(right_size(&a, 3, 64, SizingMode::WholeMachine).is_none());
+    }
+}

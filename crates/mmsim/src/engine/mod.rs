@@ -60,6 +60,10 @@ pub struct Machine {
     trace: bool,
     recv_timeout: std::time::Duration,
     fault: Option<Arc<FaultPlan>>,
+    /// When set, the machine is a *partition view*: only these physical
+    /// ranks take part in a run, and closures see local ranks
+    /// `0..part.len()`.  `part[local]` is the physical (global) rank.
+    part: Option<Arc<Vec<usize>>>,
 }
 
 impl Machine {
@@ -72,7 +76,65 @@ impl Machine {
             trace: false,
             recv_timeout: default_deadlock_timeout(),
             fault: None,
+            part: None,
         }
+    }
+
+    /// A view of this machine restricted to `ranks`: runs spawn only the
+    /// listed processors, and the algorithm closure sees **local** ranks
+    /// `0..ranks.len()` (so unmodified algorithms execute on the
+    /// partition as if it were a whole machine of that size).
+    ///
+    /// Message *timing* still follows the physical machine: hop counts,
+    /// per-link degradation factors and fail-stop schedules are looked
+    /// up under the member's physical rank.  On distance-regular
+    /// embeddings — an aligned power-of-two block `[b·2^k, (b+1)·2^k)`
+    /// of a hypercube (a `k`-subcube), or any subset of a fully
+    /// connected machine — pairwise distances match a standalone machine
+    /// of the partition's size, so a partitioned run is bit-identical to
+    /// a solo run (see `tests/partition.rs`).
+    ///
+    /// Partitioning a partition composes: `ranks` are then local indices
+    /// of the outer view.  Disjoint partitions share no channels and no
+    /// mutable state, so jobs placed on them are independent: the
+    /// engine's no-contention cost model makes sequential per-partition
+    /// runs observationally identical to concurrent execution.
+    ///
+    /// # Panics
+    /// Panics if `ranks` is empty, contains duplicates, or names a rank
+    /// outside the machine.
+    #[must_use]
+    pub fn partition(&self, ranks: &[usize]) -> Machine {
+        assert!(
+            !ranks.is_empty(),
+            "partition must contain at least one rank"
+        );
+        let outer = self.p();
+        let mut seen = vec![false; outer];
+        let global: Vec<usize> = ranks
+            .iter()
+            .map(|&r| {
+                assert!(r < outer, "partition rank {r} out of range (p = {outer})");
+                assert!(!seen[r], "partition lists rank {r} twice");
+                seen[r] = true;
+                self.part.as_ref().map_or(r, |m| m[r])
+            })
+            .collect();
+        Machine {
+            topology: self.topology.clone(),
+            cost: self.cost,
+            trace: self.trace,
+            recv_timeout: self.recv_timeout,
+            fault: self.fault.clone(),
+            part: Some(Arc::new(global)),
+        }
+    }
+
+    /// The physical ranks backing this view, in local-rank order;
+    /// `None` when the machine is not a partition view.
+    #[must_use]
+    pub fn partition_ranks(&self) -> Option<&[usize]> {
+        self.part.as_deref().map(Vec::as_slice)
     }
 
     /// Builder-style: host-time budget a blocked receive may wait before
@@ -109,10 +171,11 @@ impl Machine {
         self.fault.as_deref()
     }
 
-    /// Number of processors.
+    /// Number of processors taking part in a run: the partition size
+    /// for a partition view, the full topology size otherwise.
     #[must_use]
     pub fn p(&self) -> usize {
-        self.topology.p()
+        self.part.as_ref().map_or(self.topology.p(), |m| m.len())
     }
 
     /// The machine's topology.
@@ -150,6 +213,7 @@ impl Machine {
                 let trace = self.trace;
                 let recv_timeout = self.recv_timeout;
                 let fault = self.fault.clone();
+                let part = self.part.clone();
                 let f = &f;
                 let handle = std::thread::Builder::new()
                     .name(format!("vproc-{rank}"))
@@ -164,6 +228,7 @@ impl Machine {
                             trace,
                             recv_timeout,
                             fault,
+                            part,
                         );
                         let outcome =
                             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut proc)));

@@ -59,6 +59,9 @@ pub struct Proc {
     rel_seq_out: Vec<u64>,
     /// Per-source sequence numbers for incoming reliable messages.
     rel_seq_in: Vec<u64>,
+    /// Partition map `local rank → physical rank` when this run is a
+    /// [`crate::Machine::partition`] view; `None` for whole-machine runs.
+    part: Option<std::sync::Arc<Vec<usize>>>,
 }
 
 /// Panic payload used when a processor aborts because a peer panicked;
@@ -91,9 +94,11 @@ impl Proc {
         trace: bool,
         recv_timeout: std::time::Duration,
         fault: Option<std::sync::Arc<FaultPlan>>,
+        part: Option<std::sync::Arc<Vec<usize>>>,
     ) -> Self {
-        let p = topology.p();
-        let death_at = fault.as_ref().and_then(|plan| plan.death_time(rank));
+        let p = part.as_ref().map_or(topology.p(), |m| m.len());
+        let physical = part.as_ref().map_or(rank, |m| m[rank]);
+        let death_at = fault.as_ref().and_then(|plan| plan.death_time(physical));
         Self {
             rank,
             clock: 0.0,
@@ -112,6 +117,7 @@ impl Proc {
             plain_seq: vec![0; p],
             rel_seq_out: vec![0; p],
             rel_seq_in: vec![0; p],
+            part,
         }
     }
 
@@ -145,16 +151,28 @@ impl Proc {
         }
     }
 
-    /// This processor's rank, `0 <= rank < p`.
+    /// This processor's rank, `0 <= rank < p`.  On a partition run this
+    /// is the *local* rank within the partition.
     #[must_use]
     pub fn rank(&self) -> usize {
         self.rank
     }
 
-    /// Total number of processors.
+    /// Number of processors taking part in this run (the partition size
+    /// on a partition run).
     #[must_use]
     pub fn p(&self) -> usize {
-        self.topology.p()
+        self.part
+            .as_ref()
+            .map_or_else(|| self.topology.p(), |m| m.len())
+    }
+
+    /// The physical rank of a participant (identity on whole-machine
+    /// runs).  Hop counts and fault-plan lookups are keyed by physical
+    /// ranks, so partition timing reflects the physical links used.
+    #[must_use]
+    pub fn physical_rank(&self, local: usize) -> usize {
+        self.part.as_ref().map_or(local, |m| m[local])
     }
 
     /// The machine's topology.
@@ -196,11 +214,19 @@ impl Proc {
         }
     }
 
-    /// `t_w` degradation factor of the directed link `self.rank → dst`.
+    /// `t_w` degradation factor of the directed link `self.rank → dst`
+    /// (physical ranks on partition runs).
     fn link_tw(&self, dst: usize) -> f64 {
-        self.fault
-            .as_ref()
-            .map_or(1.0, |plan| plan.link(self.rank, dst).tw_factor)
+        self.fault.as_ref().map_or(1.0, |plan| {
+            plan.link(self.physical_rank(self.rank), self.physical_rank(dst))
+                .tw_factor
+        })
+    }
+
+    /// Topology hop count of the physical link behind local `dst`.
+    fn hops_to(&self, dst: usize) -> usize {
+        self.topology
+            .distance(self.physical_rank(self.rank), self.physical_rank(dst))
     }
 
     /// Advance the clock by `units` of useful work
@@ -343,10 +369,11 @@ impl Proc {
     /// Hand a plain (unprotected) message to the network, applying the
     /// fault plan's drop/corruption fate for this link.
     fn dispatch(&mut self, dst: usize, tag: Tag, payload: Vec<Word>, start: f64) {
+        let (src_ph, dst_ph) = (self.physical_rank(self.rank), self.physical_rank(dst));
         let (payload, corrupted) = if let Some(plan) = self.fault.clone() {
             let seq = self.plain_seq[dst];
             self.plain_seq[dst] += 1;
-            match plan.fate(TrafficClass::Plain, self.rank, dst, seq, 0) {
+            match plan.fate(TrafficClass::Plain, src_ph, dst_ph, seq, 0) {
                 Fate::Dropped => {
                     // The sender paid the injection cost and the traffic
                     // counters see the message leave; the network loses it.
@@ -356,7 +383,7 @@ impl Proc {
                 Fate::Corrupted => {
                     let mut payload = payload;
                     if !payload.is_empty() {
-                        let (w, b) = plan.corrupt_position(self.rank, dst, seq, 0, payload.len());
+                        let (w, b) = plan.corrupt_position(src_ph, dst_ph, seq, 0, payload.len());
                         payload[w] = f64::from_bits(payload[w].to_bits() ^ (1u64 << b));
                     }
                     // An empty payload still carries corrupt framing.
@@ -374,7 +401,7 @@ impl Proc {
     fn count_sent(&mut self, dst: usize, words: usize) {
         self.stats.msgs_sent += 1;
         self.stats.words_sent += words as u64;
-        self.stats.hops_traversed += self.topology.distance(self.rank, dst) as u64;
+        self.stats.hops_traversed += self.hops_to(dst) as u64;
     }
 
     /// Hand a message to the network verbatim (no fate applied — the
@@ -388,7 +415,7 @@ impl Proc {
         corrupted: bool,
     ) {
         self.validate_dst(dst);
-        let hops = self.topology.distance(self.rank, dst);
+        let hops = self.hops_to(dst);
         let arrival = start
             + self
                 .cost
@@ -598,17 +625,18 @@ impl Proc {
         let plan = self.fault.clone();
         let seq = self.rel_seq_out[dst];
         self.rel_seq_out[dst] += 1;
-        let hops = self.topology.distance(self.rank, dst);
+        let (src_ph, dst_ph) = (self.physical_rank(self.rank), self.physical_rank(dst));
+        let hops = self.hops_to(dst);
         let tw_fwd = self.link_tw(dst);
         let tw_rev = plan
             .as_ref()
-            .map_or(1.0, |p| p.link(dst, self.rank).tw_factor);
+            .map_or(1.0, |p| p.link(dst_ph, src_ph).tw_factor);
         let frame_words = payload.len() + RELIABLE_FRAME_OVERHEAD;
         let max_attempts = plan.as_ref().map_or(1, |p| p.max_attempts());
         let mut attempt: u32 = 0;
         loop {
             let fate = plan.as_ref().map_or(Fate::Delivered, |p| {
-                p.fate(TrafficClass::Reliable, self.rank, dst, seq, attempt)
+                p.fate(TrafficClass::Reliable, src_ph, dst_ph, seq, attempt)
             });
             let start = self.clock;
             let occupancy = self.cost.sender_occupancy_scaled(frame_words, tw_fwd);
@@ -637,11 +665,11 @@ impl Proc {
                     if corrupted {
                         let plan = plan.as_ref().expect("corruption requires a plan");
                         let (w, b) =
-                            plan.corrupt_position(self.rank, dst, seq, attempt, frame_words);
+                            plan.corrupt_position(src_ph, dst_ph, seq, attempt, frame_words);
                         frame[w] = f64::from_bits(frame[w].to_bits() ^ (1u64 << b));
                     }
                     let duplicated = plan.as_ref().is_some_and(|p| {
-                        p.duplicated(TrafficClass::Reliable, self.rank, dst, seq, attempt)
+                        p.duplicated(TrafficClass::Reliable, src_ph, dst_ph, seq, attempt)
                     });
                     if duplicated {
                         self.dispatch_raw(dst, tag, frame.clone(), start, corrupted);
@@ -706,14 +734,15 @@ impl Proc {
         let plan = self.fault.clone();
         let seq = self.rel_seq_in[src];
         self.rel_seq_in[src] += 1;
+        let (me_ph, src_ph) = (self.physical_rank(self.rank), self.physical_rank(src));
         let tw_rev = plan
             .as_ref()
-            .map_or(1.0, |p| p.link(self.rank, src).tw_factor);
+            .map_or(1.0, |p| p.link(me_ph, src_ph).tw_factor);
         let max_attempts = plan.as_ref().map_or(1, |p| p.max_attempts());
         let mut attempt: u32 = 0;
         loop {
             let fate = plan.as_ref().map_or(Fate::Delivered, |p| {
-                p.fate(TrafficClass::Reliable, src, self.rank, seq, attempt)
+                p.fate(TrafficClass::Reliable, src_ph, me_ph, seq, attempt)
             });
             if fate == Fate::Dropped {
                 // The sender never handed this attempt to the network;
@@ -728,9 +757,9 @@ impl Proc {
                 continue;
             }
             let frame = self.recv_frame(src, tag).payload;
-            let duplicated = plan.as_ref().is_some_and(|p| {
-                p.duplicated(TrafficClass::Reliable, src, self.rank, seq, attempt)
-            });
+            let duplicated = plan
+                .as_ref()
+                .is_some_and(|p| p.duplicated(TrafficClass::Reliable, src_ph, me_ph, seq, attempt));
             if duplicated {
                 // Same attempt, sent twice: consume and discard the copy.
                 let _ = self.recv_frame(src, tag);

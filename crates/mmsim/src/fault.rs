@@ -240,6 +240,13 @@ impl FaultPlan {
         self.deaths.get(&rank).copied()
     }
 
+    /// The plan's default per-link fault behaviour (the rates every link
+    /// without a [`FaultPlan::with_link`] override runs under).
+    #[must_use]
+    pub fn default_link(&self) -> LinkFaults {
+        self.default_link
+    }
+
     /// Effective fault behaviour of the directed link `src → dst`.
     #[must_use]
     pub fn link(&self, src: usize, dst: usize) -> LinkFaults {

@@ -82,10 +82,14 @@ proptest! {
         death_pick in 0usize..100,
         death_t in 1.0f64..200.0,
     ) {
-        // A short diagnosis timeout keeps the worst case fast; the env
-        // var is process-global, which is fine — every test in this
-        // binary tolerates early deadlock diagnosis.
-        std::env::set_var("MMSIM_DEADLOCK_TIMEOUT_MS", "300");
+        // A short diagnosis timeout keeps the worst case fast, but it is
+        // wall-clock: too short and a host-starved (not deadlocked) rank
+        // gets misdiagnosed, which breaks the reproducibility assertion
+        // below when the whole workspace's tests run in parallel.  1.5 s
+        // is far beyond any scheduling hiccup while keeping genuinely
+        // deadlocked cases quick.  The env var is process-global, which
+        // is fine — every test in this binary tolerates early diagnosis.
+        std::env::set_var("MMSIM_DEADLOCK_TIMEOUT_MS", "1500");
         let mut plan = FaultPlan::new(seed)
             .with_drop_rate(drop)
             .with_corrupt_rate(corrupt);

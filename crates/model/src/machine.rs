@@ -1,13 +1,87 @@
 //! Machine parameters of the analytic models.
 
+/// Per-message fault rates of a lossy interconnect, as probabilities in
+/// `[0, 1)` per transmission attempt.  These mirror the default-link
+/// rates of an `mmsim` fault plan; the analytic layer uses them to
+/// price the reliable-transport protocol into predicted times (see
+/// [`MachineParams::reliable_effective`]).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultRates {
+    /// Probability a transmission attempt is silently lost.
+    pub drop: f64,
+    /// Probability a transmission attempt arrives corrupted (detected by
+    /// the reliable protocol's checksum and retransmitted).
+    pub corrupt: f64,
+    /// Probability a delivered attempt is duplicated (the receiver
+    /// consumes and discards the copy; no sender-side cost).
+    pub duplicate: f64,
+}
+
+impl FaultRates {
+    /// A fault-free link.
+    pub const ZERO: Self = Self {
+        drop: 0.0,
+        corrupt: 0.0,
+        duplicate: 0.0,
+    };
+
+    /// Fault rates with the given drop/corrupt/duplicate probabilities.
+    ///
+    /// # Panics
+    /// Panics unless every rate lies in `[0, 1)` and `drop + corrupt < 1`
+    /// (otherwise no attempt can ever succeed).
+    #[must_use]
+    pub fn new(drop: f64, corrupt: f64, duplicate: f64) -> Self {
+        for (name, r) in [
+            ("drop", drop),
+            ("corrupt", corrupt),
+            ("duplicate", duplicate),
+        ] {
+            assert!(
+                (0.0..1.0).contains(&r) && r.is_finite(),
+                "{name} rate must lie in [0, 1), got {r}"
+            );
+        }
+        assert!(
+            drop + corrupt < 1.0,
+            "drop + corrupt must stay below 1 (got {})",
+            drop + corrupt
+        );
+        Self {
+            drop,
+            corrupt,
+            duplicate,
+        }
+    }
+
+    /// Whether any transmission can fail — i.e. whether the reliable
+    /// protocol's retransmissions come into play at all.
+    #[must_use]
+    pub fn is_lossy(self) -> bool {
+        self.drop > 0.0 || self.corrupt > 0.0
+    }
+
+    /// Expected transmissions per delivered message: attempts fail
+    /// independently with probability `drop + corrupt`, so the count is
+    /// geometric with mean `1 / (1 − drop − corrupt)`.
+    #[must_use]
+    pub fn expected_attempts(self) -> f64 {
+        1.0 / (1.0 - self.drop - self.corrupt)
+    }
+}
+
 /// Communication constants of a machine, normalised to its unit
-/// computation time (one multiply–add), exactly as in §2 of the paper.
+/// computation time (one multiply–add), exactly as in §2 of the paper,
+/// plus optional per-attempt fault rates for lossy-machine analyses.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MachineParams {
     /// Message startup time.
     pub t_s: f64,
     /// Per-word transfer time.
     pub t_w: f64,
+    /// Per-attempt fault rates of the interconnect ([`FaultRates::ZERO`]
+    /// for the paper's fault-free machines).
+    pub faults: FaultRates,
 }
 
 impl MachineParams {
@@ -25,7 +99,11 @@ impl MachineParams {
             t_w >= 0.0 && t_w.is_finite(),
             "t_w must be finite and non-negative"
         );
-        Self { t_s, t_w }
+        Self {
+            t_s,
+            t_w,
+            faults: FaultRates::ZERO,
+        }
     }
 
     /// Figure 1's machine: `t_w = 3`, `t_s = 150` (nCUBE2-class).
@@ -59,7 +137,48 @@ impl MachineParams {
     #[must_use]
     pub fn with_cpu_speedup(self, k: f64) -> Self {
         assert!(k > 0.0, "speedup factor must be positive");
-        Self::new(self.t_s * k, self.t_w * k)
+        Self {
+            faults: self.faults,
+            ..Self::new(self.t_s * k, self.t_w * k)
+        }
+    }
+
+    /// Builder-style: the same machine with lossy links.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultRates) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Effective communication constants when every message rides the
+    /// engine's reliable transport (checksummed frames, per-hop
+    /// acknowledgements, retransmission on drop or corruption).
+    ///
+    /// With per-attempt failure probability `q = drop + corrupt` the
+    /// transmission count is geometric with mean `A = 1/(1−q)`, and the
+    /// protocol charges per *message* (not per payload word):
+    ///
+    /// * `A` startups and `A` times the two framing words,
+    /// * one 1-word acknowledgement injection per delivered message,
+    ///
+    /// so `t_s' = A·(t_s + 2·t_w) + (t_s + t_w)` while the payload term
+    /// scales as `t_w' = A·t_w`.  Backoff idle between attempts is
+    /// deliberately *not* priced: it overlaps other ranks' progress in
+    /// the simulator, and the geometric mean already captures the
+    /// first-order cost.  Duplicates cost the sender nothing.  On a
+    /// fault-free machine this still charges the framing and
+    /// acknowledgement overhead — exactly what the engine does.
+    ///
+    /// The returned params keep the fault rates, so `is_lossy` remains
+    /// visible to callers; the analytic time formulas ignore the field.
+    #[must_use]
+    pub fn reliable_effective(self) -> Self {
+        let a = self.faults.expected_attempts();
+        Self {
+            t_s: a * (self.t_s + 2.0 * self.t_w) + (self.t_s + self.t_w),
+            t_w: a * self.t_w,
+            faults: self.faults,
+        }
     }
 }
 
@@ -73,6 +192,7 @@ mod tests {
         assert_eq!(MachineParams::future_mimd().t_s, 10.0);
         assert_eq!(MachineParams::simd_cm2().t_s, 0.5);
         assert!((MachineParams::cm5().t_w - 1.17647).abs() < 1e-4);
+        assert!(!MachineParams::cm5().faults.is_lossy());
     }
 
     #[test]
@@ -86,5 +206,43 @@ mod tests {
     #[should_panic(expected = "must be positive")]
     fn zero_speedup_rejected() {
         let _ = MachineParams::ncube2().with_cpu_speedup(0.0);
+    }
+
+    #[test]
+    fn fault_rates_validate() {
+        let r = FaultRates::new(0.2, 0.1, 0.05);
+        assert!(r.is_lossy());
+        assert!((r.expected_attempts() - 1.0 / 0.7).abs() < 1e-12);
+        assert!(!FaultRates::ZERO.is_lossy());
+        assert_eq!(FaultRates::ZERO.expected_attempts(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "below 1")]
+    fn saturated_loss_rejected() {
+        let _ = FaultRates::new(0.6, 0.5, 0.0);
+    }
+
+    #[test]
+    fn reliable_effective_on_healthy_machine_charges_framing_and_ack() {
+        let m = MachineParams::new(10.0, 2.0).reliable_effective();
+        // A = 1: t_s' = (10 + 4) + (10 + 2) = 26, t_w' = 2.
+        assert_eq!(m.t_s, 26.0);
+        assert_eq!(m.t_w, 2.0);
+    }
+
+    #[test]
+    fn reliable_effective_inflates_with_loss() {
+        let healthy = MachineParams::cm5().reliable_effective();
+        let lossy = MachineParams::cm5()
+            .with_faults(FaultRates::new(0.3, 0.1, 0.0))
+            .reliable_effective();
+        assert!(lossy.t_s > healthy.t_s);
+        assert!(lossy.t_w > healthy.t_w);
+        // Startup inflates by a larger *factor* than bandwidth: the ack
+        // and framing overheads are per message.
+        let base = MachineParams::cm5();
+        assert!(lossy.t_s / base.t_s > lossy.t_w / base.t_w);
+        assert!(lossy.faults.is_lossy(), "rates survive the transform");
     }
 }

@@ -52,6 +52,7 @@ mod tests {
     const M: MachineParams = MachineParams {
         t_s: 150.0,
         t_w: 3.0,
+        faults: crate::machine::FaultRates::ZERO,
     };
 
     #[test]

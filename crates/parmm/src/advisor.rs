@@ -11,7 +11,7 @@ use algos::{AlgoError, SimOutcome};
 use dense::Matrix;
 use mmsim::Machine;
 use model::time::{parallel_time_on, NetworkModel};
-use model::{Algorithm, MachineParams};
+use model::{Algorithm, FaultRates, MachineParams};
 
 /// The advisor's verdict for one `(n, p)` query.
 #[derive(Debug, Clone)]
@@ -25,6 +25,10 @@ pub struct Recommendation {
     /// Every candidate that was applicable, best first, with predicted
     /// times.
     pub ranking: Vec<(Algorithm, f64)>,
+    /// Whether the advisor priced (and [`run_recommendation`] will run)
+    /// the reliable-transport variant: set when the machine's fault
+    /// rates make plain sends unsafe.
+    pub resilient: bool,
 }
 
 /// Algorithm selector for a fixed machine.
@@ -80,6 +84,15 @@ impl Advisor {
         self
     }
 
+    /// Builder-style: swap the analytic machine (e.g. to attach fault
+    /// rates via [`MachineParams::with_faults`]) while keeping the
+    /// candidate set and network model.
+    #[must_use]
+    pub fn with_machine(mut self, machine: MachineParams) -> Self {
+        self.machine = machine;
+        self
+    }
+
     /// An advisor over a custom candidate set.
     ///
     /// # Panics
@@ -103,21 +116,34 @@ impl Advisor {
         self.machine
     }
 
-    /// Rank all applicable candidates at `(n, p)` by predicted parallel
-    /// time; `None` if nothing is applicable (`p > n³`).
-    #[must_use]
-    pub fn recommend(&self, n: usize, p: usize) -> Option<Recommendation> {
+    /// The parameters the rankings are computed with, and whether they
+    /// are the reliable-transport effective constants: on a lossy
+    /// machine every message must ride the reliable protocol, so the
+    /// advisor prices framing, acknowledgements and expected
+    /// retransmissions via [`MachineParams::reliable_effective`].
+    fn pricing(&self) -> (MachineParams, bool) {
+        if self.machine.faults.is_lossy() {
+            (self.machine.reliable_effective(), true)
+        } else {
+            (self.machine, false)
+        }
+    }
+
+    fn rank(&self, n: usize, p: usize, executable_only: bool) -> Option<Recommendation> {
+        let (params, resilient) = self.pricing();
         let (nf, pf) = (n as f64, p as f64);
         let mut ranking: Vec<(Algorithm, f64)> = self
             .candidates
             .iter()
-            .filter(|alg| alg.applicable(nf, pf))
-            .map(|&alg| {
-                (
-                    alg,
-                    parallel_time_on(alg, nf, pf, self.machine, self.network),
-                )
+            .filter(|&&alg| !resilient || has_resilient_variant(alg))
+            .filter(|&&alg| {
+                if executable_only {
+                    executable_applicability(alg, n, p).is_ok()
+                } else {
+                    alg.applicable(nf, pf)
+                }
             })
+            .map(|&alg| (alg, parallel_time_on(alg, nf, pf, params, self.network)))
             .collect();
         ranking.sort_by(|a, b| a.1.total_cmp(&b.1));
         let &(algorithm, predicted_time) = ranking.first()?;
@@ -126,7 +152,20 @@ impl Advisor {
             predicted_time,
             predicted_efficiency: nf.powi(3) / (pf * predicted_time),
             ranking,
+            resilient,
         })
+    }
+
+    /// Rank all applicable candidates at `(n, p)` by predicted parallel
+    /// time; `None` if nothing is applicable (`p > n³`).
+    ///
+    /// On a lossy machine (nonzero [`MachineParams::faults`]) the
+    /// predictions use the reliable-transport effective constants and
+    /// the candidate set is restricted to algorithms with a resilient
+    /// implementation, so the verdict stays actionable.
+    #[must_use]
+    pub fn recommend(&self, n: usize, p: usize) -> Option<Recommendation> {
+        self.rank(n, p, false)
     }
 
     /// Like [`Advisor::recommend`], but restricted to candidates whose
@@ -135,26 +174,7 @@ impl Advisor {
     /// run directly with [`Advisor::execute`].
     #[must_use]
     pub fn recommend_executable(&self, n: usize, p: usize) -> Option<Recommendation> {
-        let (nf, pf) = (n as f64, p as f64);
-        let mut ranking: Vec<(Algorithm, f64)> = self
-            .candidates
-            .iter()
-            .filter(|&&alg| executable_applicability(alg, n, p).is_ok())
-            .map(|&alg| {
-                (
-                    alg,
-                    parallel_time_on(alg, nf, pf, self.machine, self.network),
-                )
-            })
-            .collect();
-        ranking.sort_by(|a, b| a.1.total_cmp(&b.1));
-        let &(algorithm, predicted_time) = ranking.first()?;
-        Some(Recommendation {
-            algorithm,
-            predicted_time,
-            predicted_efficiency: nf.powi(3) / (pf * predicted_time),
-            ranking,
-        })
+        self.rank(n, p, true)
     }
 
     /// Recommend and immediately run the winner on a simulated machine.
@@ -175,9 +195,32 @@ impl Advisor {
                     p: machine.p(),
                     requirement: "no candidate algorithm accepts this (n, p)".into(),
                 })?;
-        let out = run_algorithm(rec.algorithm, machine, a, b)?;
+        let out = run_recommendation(&rec, machine, a, b)?;
         Ok((rec, out))
     }
+}
+
+/// Whether the `algos` crate ships a reliable-transport variant of this
+/// algorithm (see `algos::resilient`).
+#[must_use]
+pub fn has_resilient_variant(alg: Algorithm) -> bool {
+    matches!(
+        alg,
+        Algorithm::Cannon | Algorithm::Gk | Algorithm::FoxHypercube
+    )
+}
+
+/// The analytic fault rates implied by a simulated machine's fault
+/// plan: the default-link drop/corrupt/duplicate probabilities, or
+/// [`FaultRates::ZERO`] when the machine carries no plan.  Per-link
+/// overrides are deliberately ignored — the analytic layer models one
+/// homogeneous interconnect.
+#[must_use]
+pub fn fault_rates_of(machine: &Machine) -> FaultRates {
+    machine.fault_plan().map_or(FaultRates::ZERO, |plan| {
+        let link = plan.default_link();
+        FaultRates::new(link.drop, link.corrupt, link.duplicate)
+    })
 }
 
 /// Exact-executability check for one algorithm (delegates to the
@@ -224,6 +267,32 @@ pub fn run_algorithm(
         Algorithm::Dns => algos::dns_block(machine, a, b),
         Algorithm::Gk => algos::gk(machine, a, b),
         Algorithm::GkImproved => algos::gk_improved(machine, a, b),
+    }
+}
+
+/// Run a recommendation the way the advisor priced it: the resilient
+/// (reliable-transport) implementation when the verdict was computed
+/// for a lossy machine, the plain implementation otherwise.
+///
+/// # Errors
+/// Propagates the implementation's [`AlgoError`].
+pub fn run_recommendation(
+    rec: &Recommendation,
+    machine: &Machine,
+    a: &Matrix,
+    b: &Matrix,
+) -> Result<SimOutcome, AlgoError> {
+    if !rec.resilient {
+        return run_algorithm(rec.algorithm, machine, a, b);
+    }
+    match rec.algorithm {
+        Algorithm::Cannon => algos::cannon_resilient(machine, a, b),
+        Algorithm::FoxHypercube => algos::fox_resilient(machine, a, b),
+        Algorithm::Gk => algos::gk_resilient(machine, a, b),
+        other => Err(AlgoError::BadProcessorCount {
+            p: machine.p(),
+            requirement: format!("no resilient implementation of {other}"),
+        }),
     }
 }
 
@@ -351,5 +420,87 @@ mod tests {
         let rec = advisor.recommend(512, 256).unwrap();
         let e = 512.0f64.powi(3) / (256.0 * rec.predicted_time);
         assert!((rec.predicted_efficiency - e).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lossy_machine_flips_the_recommendation() {
+        // On the healthy CM-5, n = 96 at p = 64 sits above the §9
+        // crossover (n ≈ 83): Cannon wins.
+        let healthy = Advisor::for_cm5();
+        let rec = healthy.recommend(96, 64).unwrap();
+        assert_eq!(rec.algorithm, Algorithm::Cannon);
+        assert!(!rec.resilient);
+
+        // The same query on a lossy machine prices the reliable
+        // protocol in: startup inflates by a larger factor than
+        // bandwidth (acks and framing are per message), the crossover
+        // moves up past 96, and GK takes over.
+        let lossy = Advisor::for_cm5()
+            .with_machine(MachineParams::cm5().with_faults(FaultRates::new(0.3, 0.1, 0.0)));
+        let rec = lossy.recommend(96, 64).unwrap();
+        assert_eq!(rec.algorithm, Algorithm::Gk, "loss flips Cannon → GK");
+        assert!(rec.resilient);
+        // Far above the (shifted) crossover Cannon still wins, so the
+        // flip is a crossover shift, not a blanket preference.
+        assert_eq!(
+            lossy.recommend(512, 64).unwrap().algorithm,
+            Algorithm::Cannon
+        );
+    }
+
+    #[test]
+    fn lossy_rankings_only_contain_resilient_algorithms() {
+        let advisor =
+            Advisor::new(MachineParams::ncube2().with_faults(FaultRates::new(0.1, 0.0, 0.0)));
+        // Healthy ncube2 at (4096, 512) picks Berntsen, which has no
+        // resilient variant; under loss the ranking must exclude it.
+        let rec = advisor.recommend(4096, 512).unwrap();
+        assert!(rec.resilient);
+        for (alg, _) in &rec.ranking {
+            assert!(has_resilient_variant(*alg), "{alg} lacks a resilient form");
+        }
+    }
+
+    #[test]
+    fn execute_on_lossy_machine_runs_the_resilient_variant() {
+        use mmsim::FaultPlan;
+        let machine = Machine::new(Topology::fully_connected(64), CostModel::cm5())
+            .with_fault_plan(
+                FaultPlan::new(7)
+                    .with_drop_rate(0.2)
+                    .with_corrupt_rate(0.05),
+            );
+        let advisor = Advisor::for_cm5()
+            .with_machine(MachineParams::cm5().with_faults(fault_rates_of(&machine)));
+        let (a, b) = dense::gen::random_pair(32, 11);
+        let (rec, out) = advisor.execute(&machine, &a, &b).unwrap();
+        assert!(rec.resilient);
+        assert!(out.c.approx_eq(&(&a * &b), 1e-10));
+        let retrans: u64 = out.stats.iter().map(|s| s.retransmissions).sum();
+        assert!(retrans > 0, "lossy links must force retransmissions");
+    }
+
+    #[test]
+    fn fault_rates_of_mirrors_the_plan_default_link() {
+        use mmsim::FaultPlan;
+        let clean = Machine::new(Topology::ring(4), CostModel::unit());
+        assert_eq!(fault_rates_of(&clean), FaultRates::ZERO);
+        let lossy = clean.with_fault_plan(FaultPlan::new(3).with_drop_rate(0.25));
+        let rates = fault_rates_of(&lossy);
+        assert_eq!(rates.drop, 0.25);
+        assert!(rates.is_lossy());
+    }
+
+    #[test]
+    fn run_recommendation_routes_plain_verdicts_to_plain_impls() {
+        let advisor = Advisor::for_cm5();
+        let machine = Machine::new(Topology::fully_connected(16), CostModel::cm5());
+        let (a, b) = dense::gen::random_pair(16, 3);
+        let rec = advisor.recommend_executable(16, 16).unwrap();
+        assert!(!rec.resilient);
+        let out = run_recommendation(&rec, &machine, &a, &b).unwrap();
+        assert!(out.c.approx_eq(&(&a * &b), 1e-10));
+        let retrans: u64 = out.stats.iter().map(|s| s.retransmissions).sum();
+        assert_eq!(retrans, 0, "plain verdicts must not ride the reliable path");
     }
 }

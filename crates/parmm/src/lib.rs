@@ -39,7 +39,10 @@
 
 pub mod advisor;
 
-pub use advisor::{Advisor, Recommendation};
+pub use advisor::{
+    executable_applicability, fault_rates_of, has_resilient_variant, run_algorithm,
+    run_recommendation, Advisor, Recommendation,
+};
 
 use algos::{AlgoError, SimOutcome};
 use dense::Matrix;
@@ -50,8 +53,10 @@ use model::MachineParams;
 /// executable algorithm for this machine and run it.
 ///
 /// The analytic machine parameters are taken from the simulated
-/// machine's own cost model, so the advisor reasons about exactly the
-/// hardware the run will use.
+/// machine's own cost model — including any fault plan's default-link
+/// loss rates, so a lossy machine automatically gets the resilient
+/// variants — and the advisor reasons about exactly the hardware the
+/// run will use.
 ///
 /// ```
 /// use mmsim::{CostModel, Machine, Topology};
@@ -81,7 +86,8 @@ pub fn multiply(
         TopologyKind::FullyConnected | TopologyKind::FatTree => NetworkModel::FullyConnected,
         _ => NetworkModel::Hypercube,
     };
-    let advisor = Advisor::new(MachineParams::new(cm.t_s, cm.t_w)).with_network(network);
+    let params = MachineParams::new(cm.t_s, cm.t_w).with_faults(fault_rates_of(machine));
+    let advisor = Advisor::new(params).with_network(network);
     advisor.execute(machine, a, b)
 }
 

@@ -1,0 +1,158 @@
+//! End-to-end tests of the `gemmd` service: the ISSUE's two property
+//! suites (byte-identical runs, partition-vs-solo bit-identity) plus
+//! the throughput claim the workload experiment rests on.
+
+use gemmd::prelude::*;
+use mmsim::{CostModel, Machine, Topology};
+use proptest::prelude::*;
+
+fn machine(dim: u32) -> Machine {
+    Machine::new(Topology::hypercube(dim), CostModel::ncube2())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The whole service is a pure function of its inputs: the same
+    /// machine, workload seed and policy give byte-identical CSV
+    /// output — not just equal aggregates, identical bytes.
+    #[test]
+    fn service_runs_are_byte_identical(
+        seed in 0u64..1_000_000,
+        jobs in 1usize..10,
+        mean_gap in 1.0e4f64..5.0e5,
+    ) {
+        let m = machine(4);
+        let trace = Workload::poisson(jobs, mean_gap, &[(8, 1.0), (16, 1.0), (32, 1.0)], seed)
+            .generate();
+        let sched = Scheduler::new(&m, Config::default());
+        let one = sched.run(&trace, &Fifo).unwrap();
+        let two = sched.run(&trace, &Fifo).unwrap();
+        prop_assert_eq!(one.to_csv(), two.to_csv());
+        prop_assert_eq!(one, two);
+    }
+
+    /// A job executed on an aligned partition of a big hypercube is
+    /// bit-identical — product bits *and* virtual time — to the same
+    /// job run solo on a standalone machine of the partition's size.
+    /// This is the property that lets the service quote single-machine
+    /// predictions for partitioned jobs.
+    #[test]
+    fn partition_job_is_bit_identical_to_solo_run(
+        seed in 0u64..1_000_000,
+        block in 0usize..4,
+        n in (1usize..5).prop_map(|k| 8 * k),
+    ) {
+        // Partition: ranks [block·4, block·4 + 4) of a 16-rank cube.
+        let big = machine(4);
+        let ranks: Vec<usize> = (block * 4..block * 4 + 4).collect();
+        let part = big.partition(&ranks);
+        let solo = machine(2);
+        let (a, b) = dense::gen::random_pair(n, seed);
+        let on_part = algos::cannon(&part, &a, &b).unwrap();
+        let on_solo = algos::cannon(&solo, &a, &b).unwrap();
+        prop_assert_eq!(on_part.c, on_solo.c);
+        prop_assert_eq!(on_part.t_parallel, on_solo.t_parallel);
+    }
+}
+
+/// The scheduler's own records reproduce the solo-machine run of every
+/// job: scheduling adds queueing, never perturbs the computation.
+#[test]
+fn scheduled_jobs_match_solo_runs_exactly() {
+    let m = machine(4);
+    let trace = Workload::poisson(6, 2.0e5, &[(8, 1.0), (16, 1.0)], 4242).generate();
+    let sched = Scheduler::new(&m, Config::default());
+    let report = sched.run(&trace, &Fifo).unwrap();
+    assert_eq!(report.records.len(), 6);
+    for r in &report.records {
+        let solo = Machine::new(Topology::hypercube_for(r.p), CostModel::ncube2());
+        let (a, b) = dense::gen::random_pair(r.spec.n, r.spec.seed);
+        let out = parmm::run_algorithm(r.algorithm, &solo, &a, &b).unwrap();
+        assert_eq!(
+            out.t_parallel, r.actual_time,
+            "job {} timing drifted on its partition",
+            r.id
+        );
+    }
+}
+
+/// The acceptance claim behind `bench --bin workload`: on a mixed-size
+/// stream, isoefficiency right-sizing beats whole-machine FIFO on
+/// aggregate throughput (it runs small jobs side by side instead of
+/// spreading each across ranks it cannot keep busy).
+#[test]
+fn right_sizing_outthroughputs_whole_machine_fifo() {
+    let m = machine(4);
+    // Tight arrivals: the machine is contended, so the sizing policy —
+    // not the arrival process — decides the makespan.
+    let trace = Workload::poisson(12, 1.0e3, &[(8, 2.0), (16, 1.0), (32, 1.0)], 7).generate();
+    let whole = Scheduler::new(
+        &m,
+        Config {
+            sizing: SizingMode::WholeMachine,
+            ..Config::default()
+        },
+    )
+    .run(&trace, &Fifo)
+    .unwrap();
+    let iso = Scheduler::new(&m, Config::default())
+        .run(&trace, &Fifo)
+        .unwrap();
+    assert_eq!(whole.records.len(), iso.records.len());
+    assert!(
+        iso.throughput_flops() > whole.throughput_flops(),
+        "iso {} ≤ whole {}",
+        iso.throughput_flops(),
+        whole.throughput_flops()
+    );
+    assert!(iso.makespan < whole.makespan);
+}
+
+/// Jobs running concurrently on disjoint partitions never overlap in
+/// rank space, and utilization stays within physical bounds.
+#[test]
+fn concurrent_partitions_are_disjoint() {
+    let m = machine(4);
+    let trace = Workload::poisson(14, 2.0e4, &[(8, 1.0), (16, 1.0)], 31).generate();
+    let report = Scheduler::new(&m, Config::default())
+        .run(&trace, &Fifo)
+        .unwrap();
+    for x in &report.records {
+        for y in &report.records {
+            if x.id == y.id {
+                continue;
+            }
+            let time_overlap = x.start < y.finish && y.start < x.finish;
+            let rank_overlap = x.base < y.base + y.p && y.base < x.base + x.p;
+            assert!(
+                !(time_overlap && rank_overlap),
+                "jobs {} and {} shared ranks in flight",
+                x.id,
+                y.id
+            );
+        }
+    }
+    assert!(report.utilization() <= 1.0 + 1e-12);
+}
+
+/// A lossy service machine prices and runs the resilient variants, and
+/// still produces correct products.
+#[test]
+fn lossy_service_machine_runs_resilient_variants() {
+    use mmsim::FaultPlan;
+    let m = Machine::new(Topology::hypercube(4), CostModel::ncube2())
+        .with_fault_plan(FaultPlan::new(5).with_drop_rate(0.15));
+    let trace = Workload::poisson(4, 1.0e5, &[(16, 1.0)], 11).generate();
+    let report = Scheduler::new(
+        &m,
+        Config {
+            verify: true,
+            ..Config::default()
+        },
+    )
+    .run(&trace, &Fifo)
+    .unwrap();
+    assert_eq!(report.records.len(), 4);
+    assert!(report.records.iter().all(|r| r.resilient));
+}
