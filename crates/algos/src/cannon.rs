@@ -163,14 +163,16 @@ pub(crate) fn cannon_core(
         }
     };
     let mut a = if a_moves {
+        // The sender moved its buffer into the network, so the handle is
+        // unique here and `into_vec` is a free move, not a copy.
         let words = pull(proc, a_src, tag(phase0, 0));
-        Matrix::from_vec(a_shape.0, a_shape.1, words)
+        Matrix::from_vec(a_shape.0, a_shape.1, words.into_vec())
     } else {
         a0
     };
     let mut b = if b_moves {
         let words = pull(proc, b_src, tag(phase0, 1));
-        Matrix::from_vec(b_shape.0, b_shape.1, words)
+        Matrix::from_vec(b_shape.0, b_shape.1, words.into_vec())
     } else {
         b0
     };
@@ -194,9 +196,9 @@ pub(crate) fn cannon_core(
             proc.send_multi(vec![(west, ta, a.into_vec()), (north, tb, b.into_vec())]);
         }
         let a_words = pull(proc, east, ta);
-        a = Matrix::from_vec(a_shape.0, a_shape.1, a_words);
+        a = Matrix::from_vec(a_shape.0, a_shape.1, a_words.into_vec());
         let b_words = pull(proc, south, tb);
-        b = Matrix::from_vec(b_shape.0, b_shape.1, b_words);
+        b = Matrix::from_vec(b_shape.0, b_shape.1, b_words.into_vec());
     }
     c
 }

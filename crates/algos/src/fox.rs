@@ -73,14 +73,14 @@ pub fn fox_tree(machine: &Machine, a: &Matrix, b: &Matrix) -> Result<SimOutcome,
             let owner_col = (i + t) % q;
             let data = (owner_col == j).then(|| ga.block_by_rank(rank).clone().into_vec());
             let a_flat = broadcast(proc, &row_group, t as u32, owner_col, data);
-            let ablk = Matrix::from_vec(bs, bs, a_flat);
+            let ablk = Matrix::from_vec(bs, bs, a_flat.into_vec());
             proc.compute(kernel::work_units(bs, bs, bs));
             kernel::matmul_accumulate(&mut c, &ablk, &bcur);
 
             let tb = tag(u32::MAX, t as u32);
             if q > 1 {
                 proc.send(north, tb, bcur.into_vec());
-                bcur = Matrix::from_vec(bs, bs, proc.recv_payload(south, tb));
+                bcur = Matrix::from_vec(bs, bs, proc.recv_payload(south, tb).into_vec());
             }
         }
         c
@@ -175,7 +175,7 @@ pub fn fox_pipelined(
             let tb = tag(u32::MAX, t as u32);
             if q > 1 {
                 proc.send(north, tb, bcur.into_vec());
-                bcur = Matrix::from_vec(bs, bs, proc.recv_payload(south, tb));
+                bcur = Matrix::from_vec(bs, bs, proc.recv_payload(south, tb).into_vec());
             }
         }
         c

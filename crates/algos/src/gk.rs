@@ -35,7 +35,7 @@ use std::sync::Arc;
 
 use dense::{kernel, BlockGrid, Matrix};
 use mmsim::engine::message::tag;
-use mmsim::{Machine, Proc, TopologyKind, Word};
+use mmsim::{Machine, Payload, Proc, TopologyKind};
 
 use crate::common::{check_square_operands, exact_cbrt_pow2, AlgoError, SimOutcome};
 use collectives::{broadcast, reduce_sum, Group};
@@ -75,16 +75,17 @@ pub fn applicability(n: usize, p: usize) -> Result<usize, AlgoError> {
 /// With `reliable = true` every hop uses the engine's checksummed
 /// retransmitting transport, so the route survives recoverable link
 /// faults (drops, corruption, duplication).
-pub(crate) fn route_along_i(
+pub(crate) fn route_along_i<P: Into<Payload>>(
     proc: &mut Proc,
     rank_of_i: impl Fn(usize) -> usize,
     my_i: usize,
     dest: usize,
     phase: u32,
-    payload: Option<Vec<Word>>,
+    payload: Option<P>,
     reliable: bool,
-) -> Option<Vec<Word>> {
-    let push = |proc: &mut Proc, dst: usize, t, words: Vec<Word>| {
+) -> Option<Payload> {
+    let payload: Option<Payload> = payload.map(Into::into);
+    let push = |proc: &mut Proc, dst: usize, t, words: Payload| {
         if reliable {
             proc.send_reliable(dst, t, words);
         } else {
@@ -193,7 +194,8 @@ pub fn gk(machine: &Machine, a: &Matrix, b: &Matrix) -> Result<SimOutcome, AlgoE
             i,
             (k == i).then(|| a_routed.expect("A routed to (i,j,i)")),
         );
-        let a_blk = Matrix::from_vec(bs, bs, a_flat);
+        // Unique handle after the broadcast tree completes: a free move.
+        let a_blk = Matrix::from_vec(bs, bs, a_flat.into_vec());
 
         // --- Stage 1d: broadcast B along the second axis. ---
         // Group (i, ·, k); the root is l = i, which now holds B^{ik}.
@@ -206,7 +208,7 @@ pub fn gk(machine: &Machine, a: &Matrix, b: &Matrix) -> Result<SimOutcome, AlgoE
             i,
             (j == i).then(|| b_routed.expect("B routed to (i,i,k)")),
         );
-        let b_blk = Matrix::from_vec(bs, bs, b_flat);
+        let b_blk = Matrix::from_vec(bs, bs, b_flat.into_vec());
 
         // --- Stage 2: local block product A^{ji}·B^{ik}. ---
         let mut c = Matrix::zeros(bs, bs);
@@ -289,7 +291,7 @@ pub fn gk_improved(machine: &Machine, a: &Matrix, b: &Matrix) -> Result<SimOutco
             &a_group,
             2,
             i,
-            (k == i).then(|| a_routed.expect("A routed to (i,j,i)")),
+            (k == i).then(|| a_routed.expect("A routed to (i,j,i)").into_vec()),
         );
         let a_blk = Matrix::from_vec(bs, bs, a_flat);
 
@@ -299,7 +301,7 @@ pub fn gk_improved(machine: &Machine, a: &Matrix, b: &Matrix) -> Result<SimOutco
             &b_group,
             4,
             i,
-            (j == i).then(|| b_routed.expect("B routed to (i,i,k)")),
+            (j == i).then(|| b_routed.expect("B routed to (i,i,k)").into_vec()),
         );
         let b_blk = Matrix::from_vec(bs, bs, b_flat);
 

@@ -107,14 +107,14 @@ pub fn fox_resilient(machine: &Machine, a: &Matrix, b: &Matrix) -> Result<SimOut
             let owner_col = (i + t) % q;
             let data = (owner_col == j).then(|| ga.block_by_rank(rank).clone().into_vec());
             let a_flat = broadcast_reliable(proc, &row_group, t as u32, owner_col, data);
-            let ablk = Matrix::from_vec(bs, bs, a_flat);
+            let ablk = Matrix::from_vec(bs, bs, a_flat.into_vec());
             proc.compute(kernel::work_units(bs, bs, bs));
             kernel::matmul_accumulate(&mut c, &ablk, &bcur);
 
             let tb = tag(u32::MAX, t as u32);
             if q > 1 {
                 proc.send_reliable(north, tb, bcur.into_vec());
-                bcur = Matrix::from_vec(bs, bs, proc.recv_reliable(south, tb));
+                bcur = Matrix::from_vec(bs, bs, proc.recv_reliable(south, tb).into_vec());
             }
         }
         c
@@ -168,7 +168,7 @@ pub fn gk_resilient(machine: &Machine, a: &Matrix, b: &Matrix) -> Result<SimOutc
             i,
             (k == i).then(|| a_routed.expect("A routed to (i,j,i)")),
         );
-        let a_blk = Matrix::from_vec(bs, bs, a_flat);
+        let a_blk = Matrix::from_vec(bs, bs, a_flat.into_vec());
 
         let b_group = Group::new(proc, (0..s).map(|l| rank_at(i, l, k)).collect());
         let b_flat = broadcast_reliable(
@@ -178,7 +178,7 @@ pub fn gk_resilient(machine: &Machine, a: &Matrix, b: &Matrix) -> Result<SimOutc
             i,
             (j == i).then(|| b_routed.expect("B routed to (i,i,k)")),
         );
-        let b_blk = Matrix::from_vec(bs, bs, b_flat);
+        let b_blk = Matrix::from_vec(bs, bs, b_flat.into_vec());
 
         // Stage 2: local block product.
         let mut c = Matrix::zeros(bs, bs);

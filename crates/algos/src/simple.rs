@@ -52,6 +52,9 @@ fn allgather(proc: &mut Proc, group: &Group, phase: u32, mine: Vec<f64>) -> Vec<
         allgather_hypercube(proc, group, phase, mine)
     } else {
         allgather_ring(proc, group, phase, mine)
+            .into_iter()
+            .map(mmsim::Payload::into_vec)
+            .collect()
     }
 }
 

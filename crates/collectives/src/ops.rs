@@ -11,7 +11,7 @@
 //! the subcube structure the paper's algorithms use.
 
 use mmsim::engine::message::tag;
-use mmsim::{Proc, Word};
+use mmsim::{Payload, Proc, Word};
 
 use crate::group::Group;
 
@@ -20,7 +20,9 @@ use crate::group::Group;
 /// message).
 ///
 /// `data` must be `Some` exactly at the member with group index
-/// `root_idx`; every member returns the broadcast payload.
+/// `root_idx`; every member returns the broadcast payload as a shared
+/// [`Payload`] handle — the tree forwards one buffer by reference
+/// count, so no step copies the message.
 ///
 /// ```
 /// use collectives::{broadcast, Group};
@@ -39,16 +41,17 @@ use crate::group::Group;
 ///
 /// # Panics
 /// Panics if the root/non-root `data` contract is violated.
-pub fn broadcast(
+pub fn broadcast<P: Into<Payload>>(
     proc: &mut Proc,
     group: &Group,
     phase: u32,
     root_idx: usize,
-    data: Option<Vec<Word>>,
-) -> Vec<Word> {
+    data: Option<P>,
+) -> Payload {
     let g = group.size();
     assert!(root_idx < g, "root index {root_idx} out of group of {g}");
     let me = group.my_idx();
+    let data: Option<Payload> = data.map(Into::into);
     if me == root_idx {
         assert!(data.is_some(), "broadcast root must supply the payload");
     } else {
@@ -70,7 +73,8 @@ pub fn broadcast(
         if vidx < half {
             let peer = vidx + half;
             if peer < g {
-                let msg = payload.as_ref().expect("holder has the payload").clone();
+                // Reference-count bump, not an O(m) copy.
+                let msg = payload.clone().expect("holder has the payload");
                 proc.send(to_rank(peer), tag(phase, t), msg);
             }
         } else if vidx < 2 * half {
@@ -177,20 +181,24 @@ pub fn allgather_hypercube(
 
 /// All-to-all broadcast (allgather) around a ring: `g - 1` neighbour
 /// steps.  Works for any group size and heterogeneous block lengths.
-pub fn allgather_ring(
+///
+/// Blocks circulate as shared [`Payload`] handles: each relay step
+/// forwards (and each member retains) the same buffer by reference
+/// count, so one revolution moves every block without copying it.
+pub fn allgather_ring<P: Into<Payload>>(
     proc: &mut Proc,
     group: &Group,
     phase: u32,
-    mine: Vec<Word>,
-) -> Vec<Vec<Word>> {
+    mine: P,
+) -> Vec<Payload> {
     let g = group.size();
     let me = group.my_idx();
-    let mut have: Vec<Option<Vec<Word>>> = vec![None; g];
+    let mut have: Vec<Option<Payload>> = vec![None; g];
     let right = group.rank_of((me + 1) % g);
     let left_idx = (me + g - 1) % g;
     let left = group.rank_of(left_idx);
-    let mut carry = mine.clone();
-    have[me] = Some(mine);
+    let mut carry: Payload = mine.into();
+    have[me] = Some(carry.clone());
     for s in 0..g.saturating_sub(1) {
         let t = tag(phase, s as u32);
         proc.send(right, t, carry);
@@ -343,12 +351,12 @@ pub fn all_reduce_sum(
 ///
 /// # Panics
 /// Panics unless exactly `g` blocks are supplied.
-pub fn all_to_all_personalized(
+pub fn all_to_all_personalized<P: Into<Payload>>(
     proc: &mut Proc,
     group: &Group,
     phase: u32,
-    blocks: Vec<Vec<Word>>,
-) -> Vec<Vec<Word>> {
+    blocks: Vec<P>,
+) -> Vec<Payload> {
     let g = group.size();
     assert_eq!(
         blocks.len(),
@@ -357,8 +365,8 @@ pub fn all_to_all_personalized(
         blocks.len()
     );
     let me = group.my_idx();
-    let mut out: Vec<Option<Vec<Word>>> = vec![None; g];
-    let mut blocks: Vec<Option<Vec<Word>>> = blocks.into_iter().map(Some).collect();
+    let mut out: Vec<Option<Payload>> = vec![None; g];
+    let mut blocks: Vec<Option<Payload>> = blocks.into_iter().map(|b| Some(b.into())).collect();
     out[me] = blocks[me].take();
     for r in 1..g {
         let dst = (me + r) % g;
@@ -388,7 +396,7 @@ pub fn barrier(proc: &mut Proc, group: &Group, phase: u32) {
         let dst = (me + step) % g;
         let src = (me + g - step) % g;
         let t = tag(phase, round);
-        proc.send(group.rank_of(dst), t, Vec::new());
+        proc.send(group.rank_of(dst), t, Payload::new());
         proc.recv(group.rank_of(src), t);
         step <<= 1;
         round += 1;
@@ -492,7 +500,11 @@ pub fn scatter(
             proc.send(to_rank(vidx + half), tag(phase, t), sent);
             extent = keep_pieces;
         } else if bundle.is_none() && vidx % (2 * half) == half {
-            let flat = proc.recv_payload(to_rank(vidx - half), tag(phase, t));
+            // The sender moved its buffer into the network, so this
+            // handle is unique and `into_vec` is a free move.
+            let flat = proc
+                .recv_payload(to_rank(vidx - half), tag(phase, t))
+                .into_vec();
             extent = (g - vidx).min(half);
             assert_eq!(flat.len() % extent, 0, "scatter bundle not divisible");
             piece_len = flat.len() / extent;
@@ -592,7 +604,7 @@ mod tests {
             }
         });
         for rank in [0usize, 2, 4, 6] {
-            assert_eq!(r.results[rank], Some(vec![9.0]));
+            assert_eq!(r.results[rank].as_deref(), Some(&[9.0][..]));
         }
     }
 

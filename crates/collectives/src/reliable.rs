@@ -17,19 +17,19 @@
 //! and acknowledgement charges.
 
 use mmsim::engine::message::tag;
-use mmsim::{Proc, Word};
+use mmsim::{Payload, Proc, Word};
 
 use crate::group::Group;
 
 /// Reliable exchange with a partner: send ours, receive theirs, same
 /// tag.  Reliable sends are eager like plain sends, so the symmetric
 /// pattern cannot deadlock.
-pub fn exchange_reliable(
+pub fn exchange_reliable<P: Into<Payload>>(
     proc: &mut Proc,
     partner: usize,
     t: mmsim::Tag,
-    payload: Vec<Word>,
-) -> Vec<Word> {
+    payload: P,
+) -> Payload {
     proc.send_reliable(partner, t, payload);
     proc.recv_reliable(partner, t)
 }
@@ -39,16 +39,17 @@ pub fn exchange_reliable(
 ///
 /// # Panics
 /// Panics if the root/non-root `data` contract is violated.
-pub fn broadcast_reliable(
+pub fn broadcast_reliable<P: Into<Payload>>(
     proc: &mut Proc,
     group: &Group,
     phase: u32,
     root_idx: usize,
-    data: Option<Vec<Word>>,
-) -> Vec<Word> {
+    data: Option<P>,
+) -> Payload {
     let g = group.size();
     assert!(root_idx < g, "root index {root_idx} out of group of {g}");
     let me = group.my_idx();
+    let data: Option<Payload> = data.map(Into::into);
     if me == root_idx {
         assert!(data.is_some(), "broadcast root must supply the payload");
     } else {
@@ -69,7 +70,8 @@ pub fn broadcast_reliable(
         if vidx < half {
             let peer = vidx + half;
             if peer < g {
-                let msg = payload.as_ref().expect("holder has the payload").clone();
+                // Reference-count bump, not an O(m) copy.
+                let msg = payload.clone().expect("holder has the payload");
                 proc.send_reliable(to_rank(peer), tag(phase, t), msg);
             }
         } else if vidx < 2 * half {
@@ -94,7 +96,7 @@ pub fn barrier_reliable(proc: &mut Proc, group: &Group, phase: u32) {
         let dst = (me + step) % g;
         let src = (me + g - step) % g;
         let t = tag(phase, round);
-        proc.send_reliable(group.rank_of(dst), t, Vec::new());
+        proc.send_reliable(group.rank_of(dst), t, Payload::new());
         proc.recv_reliable(group.rank_of(src), t);
         step <<= 1;
         round += 1;

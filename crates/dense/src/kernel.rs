@@ -79,14 +79,45 @@ pub fn matmul_accumulate(c: &mut Matrix, a: &Matrix, b: &Matrix) {
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
     let (av, bv) = (a.as_slice(), b.as_slice());
     let cv = c.as_mut_slice();
-    for i in 0..m {
+
+    // Register-blocked over pairs of C rows: each row of B is streamed
+    // once per row *pair* instead of once per row, halving B traffic and
+    // giving the vectoriser two independent accumulator streams.  Every
+    // C element still receives exactly the same additions in the same
+    // ascending-k order (with the same per-row `aval == 0` skip) as the
+    // plain i-k-j loop, so results are bit-identical.
+    let mut i = 0;
+    while i + 1 < m {
+        let (crow0, crow1) = cv[i * n..(i + 2) * n].split_at_mut(n);
+        for l in 0..k {
+            let a0 = av[i * k + l];
+            let a1 = av[(i + 1) * k + l];
+            let brow = &bv[l * n..(l + 1) * n];
+            if a0 != 0.0 && a1 != 0.0 {
+                for ((c0, c1), bx) in crow0.iter_mut().zip(crow1.iter_mut()).zip(brow) {
+                    *c0 += a0 * bx;
+                    *c1 += a1 * bx;
+                }
+            } else if a0 != 0.0 {
+                for (c0, bx) in crow0.iter_mut().zip(brow) {
+                    *c0 += a0 * bx;
+                }
+            } else if a1 != 0.0 {
+                for (c1, bx) in crow1.iter_mut().zip(brow) {
+                    *c1 += a1 * bx;
+                }
+            }
+        }
+        i += 2;
+    }
+    if i < m {
+        let crow = &mut cv[i * n..(i + 1) * n];
         for l in 0..k {
             let aval = av[i * k + l];
             if aval == 0.0 {
                 continue;
             }
             let brow = &bv[l * n..(l + 1) * n];
-            let crow = &mut cv[i * n..(i + 1) * n];
             for (cx, bx) in crow.iter_mut().zip(brow) {
                 *cx += aval * bx;
             }
@@ -208,6 +239,44 @@ mod tests {
         let a = gen::random(5, 5, 3);
         let b = gen::random(5, 5, 4);
         assert!(matmul_blocked(&a, &b, 64).approx_eq(&matmul(&a, &b), 1e-12));
+    }
+
+    #[test]
+    fn accumulate_is_bit_identical_to_plain_ikj() {
+        // The register-blocked kernel must reproduce the plain i-k-j
+        // reference bit for bit — virtual-time golden files depend on
+        // local results being deterministic across kernel revisions.
+        fn reference(c: &mut Matrix, a: &Matrix, b: &Matrix) {
+            let (m, k, n) = (a.rows(), a.cols(), b.cols());
+            for i in 0..m {
+                for l in 0..k {
+                    let aval = a.as_slice()[i * k + l];
+                    if aval == 0.0 {
+                        continue;
+                    }
+                    for j in 0..n {
+                        c.as_mut_slice()[i * n + j] += aval * b.as_slice()[l * n + j];
+                    }
+                }
+            }
+        }
+        for (m, k, n, seed) in [(5, 7, 9, 1u64), (8, 8, 8, 2), (1, 4, 3, 3), (6, 1, 5, 4)] {
+            let mut a = gen::random(m, k, seed);
+            let b = gen::random(k, n, seed + 100);
+            // Exercise the zero-skip path too.
+            if k > 1 {
+                for i in 0..m {
+                    a[(i, i % k)] = 0.0;
+                }
+            }
+            let mut fast = gen::random(m, n, seed + 200);
+            let mut slow = fast.clone();
+            matmul_accumulate(&mut fast, &a, &b);
+            reference(&mut slow, &a, &b);
+            for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
     }
 
     #[test]

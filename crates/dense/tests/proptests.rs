@@ -52,7 +52,7 @@ proptest! {
         let m = dense::gen::random(gr * bh, gc * bw, seed);
         let grid = BlockGrid::split(&m, gr, gc);
         prop_assert_eq!(grid.block_shape(), (bh, bw));
-        prop_assert_eq!(grid.assemble(), m.clone());
+        prop_assert_eq!(&grid.assemble(), &m);
         let blocks = grid.into_blocks();
         prop_assert_eq!(BlockGrid::assemble_from(&blocks, gr, gc), m);
     }

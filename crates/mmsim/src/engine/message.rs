@@ -1,6 +1,6 @@
 //! Messages exchanged between virtual processors.
 
-use crate::Word;
+use crate::engine::payload::Payload;
 
 /// Message tag.  Tags disambiguate messages from the same sender across
 /// algorithm phases and iterations; a receive only matches a message with
@@ -26,8 +26,9 @@ pub struct Message {
     pub dst: usize,
     /// Application tag; receives match on `(src, tag)`.
     pub tag: Tag,
-    /// Payload words (matrix elements).
-    pub payload: Vec<Word>,
+    /// Payload words (matrix elements), shared zero-copy with every
+    /// other holder of the same buffer (see [`Payload`]).
+    pub payload: Payload,
     /// Virtual time at which the sender issued the message.
     pub sent_at: f64,
     /// Virtual time at which the message is available at the receiver.
@@ -56,31 +57,23 @@ impl Message {
 }
 
 /// What actually travels through the engine channels: application
-/// messages plus the control signals that make the engine deadlock-free
-/// when a virtual processor terminates or panics.
+/// messages plus the one control signal that keeps blocked receivers
+/// responsive to terminations.
+///
+/// Termination facts themselves (done / panicked / fail-stopped) live
+/// on the run's shared status board, not in the channels: publishing a
+/// termination is O(1) plus one `Wake` per *currently blocked* peer,
+/// instead of the O(p²) per-run control storm that per-peer `Done`
+/// envelopes cost.  A receiver acts only on the board's monotonic,
+/// order-independent facts, so failure diagnoses stay deterministic.
 #[derive(Debug)]
 pub(crate) enum Envelope {
     /// An application message.
     App(Message),
-    /// The sending processor finished its closure; it will send nothing
-    /// further.  Once all peers are done, a blocked receive is a proven
-    /// deadlock and panics with a diagnosis instead of hanging.
-    Done,
-    /// The sending processor panicked; receivers must abort.
-    Poison {
-        /// Rank of the processor that panicked.
-        from: usize,
-    },
-    /// The sending processor fail-stopped (injected fault).  Unlike
-    /// `Poison` this does *not* abort receivers: surviving ranks keep
-    /// running on whatever messages were sent before the death, and a
-    /// receive that can only be satisfied by the dead rank becomes a
-    /// deterministic deadlock diagnosis.  Each sender's channel is FIFO,
-    /// so `Died` arriving proves no further message from `from` exists.
-    Died {
-        /// Rank of the processor that died.
-        from: usize,
-    },
+    /// A peer changed its terminal status on the board; a blocked
+    /// receiver should re-read the board.  Carries no information
+    /// itself and is safe to deliver (or drain) spuriously.
+    Wake,
 }
 
 #[cfg(test)]
@@ -101,7 +94,7 @@ mod tests {
             src: 0,
             dst: 1,
             tag: 0,
-            payload: vec![1.0, 2.0, 3.0],
+            payload: vec![1.0, 2.0, 3.0].into(),
             sent_at: 10.0,
             arrival: 25.0,
             hops: 1,

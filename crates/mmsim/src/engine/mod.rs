@@ -1,43 +1,37 @@
-//! The simulation engine: spawns one host thread per virtual processor
-//! and collects the deterministic virtual-time report.
+//! The simulation engine: leases one pooled host thread per virtual
+//! processor and collects the deterministic virtual-time report.
 
 pub mod error;
 pub mod message;
+pub mod payload;
+pub(crate) mod pool;
 pub mod proc_ctx;
 
-use std::sync::Arc;
-
-use std::sync::mpsc::channel;
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::cost::CostModel;
 use crate::engine::error::{CorruptionPayload, DeadlockPayload, DiedPayload, SimError};
 use crate::engine::message::Envelope;
-use crate::engine::proc_ctx::{Proc, ABORT_MSG};
+use crate::engine::proc_ctx::{Proc, RankStatus, RunShared, StatusBoard, ABORT_MSG};
 use crate::fault::FaultPlan;
 use crate::stats::ProcStats;
 use crate::topology::Topology;
 use crate::trace::Timeline;
 
-/// Stack size for virtual-processor threads.  Algorithm closures keep
-/// their matrix blocks on the heap, so a small stack suffices even for
-/// 512-processor simulations.
-const PROC_STACK_BYTES: usize = 1 << 20;
-
-/// What one engine thread reports back: the closure's value plus
+/// What one engine worker reports back: the closure's value plus
 /// accounting on success, or the panic payload on failure.
 type ThreadOutcome<T> = Result<(T, ProcStats, Timeline), Box<dyn std::any::Any + Send>>;
 
-/// Default host-time budget for a single blocked receive, taken from the
-/// `MMSIM_DEADLOCK_TIMEOUT_MS` environment variable when set (so CI under
-/// load can raise it instead of mis-diagnosing slow runs as deadlocks),
-/// otherwise 10 s.
+/// Parse an `MMSIM_DEADLOCK_TIMEOUT_MS` value (`None` = variable unset)
+/// into the blocked-receive host-time budget.  Pure, so tests can cover
+/// the parsing without racing on process-global environment state.
 ///
 /// # Panics
-/// Panics if the variable is set to anything but a positive integer
-/// millisecond count.
-fn default_deadlock_timeout() -> std::time::Duration {
-    match std::env::var("MMSIM_DEADLOCK_TIMEOUT_MS") {
-        Ok(raw) => {
+/// Panics unless the value is a positive integer millisecond count.
+fn parse_deadlock_timeout(raw: Option<&str>) -> std::time::Duration {
+    match raw {
+        Some(raw) => {
             let ms: u64 = raw.trim().parse().unwrap_or_else(|_| {
                 panic!(
                     "MMSIM_DEADLOCK_TIMEOUT_MS must be a positive integer number of \
@@ -47,7 +41,54 @@ fn default_deadlock_timeout() -> std::time::Duration {
             assert!(ms > 0, "MMSIM_DEADLOCK_TIMEOUT_MS must be positive, got 0");
             std::time::Duration::from_millis(ms)
         }
-        Err(_) => std::time::Duration::from_secs(10),
+        None => std::time::Duration::from_secs(10),
+    }
+}
+
+/// Default host-time budget for a single blocked receive, taken from the
+/// `MMSIM_DEADLOCK_TIMEOUT_MS` environment variable when set (so CI under
+/// load can raise it instead of mis-diagnosing slow runs as deadlocks),
+/// otherwise 10 s.
+///
+/// The variable is read **once per process** and cached: machines built
+/// later in the process all see the value from that first read, and the
+/// engine never races a test (or a harness) mutating the environment
+/// mid-run.  Override per machine with
+/// [`Machine::with_deadlock_timeout`].
+///
+/// # Panics
+/// Panics (on the first read) if the variable is set to anything but a
+/// positive integer millisecond count.
+fn default_deadlock_timeout() -> std::time::Duration {
+    static CACHED: OnceLock<std::time::Duration> = OnceLock::new();
+    *CACHED.get_or_init(|| {
+        parse_deadlock_timeout(std::env::var("MMSIM_DEADLOCK_TIMEOUT_MS").ok().as_deref())
+    })
+}
+
+/// Per-run rank translation and fail-stop schedule, computed once when a
+/// [`Machine`] is built or partitioned instead of per rank per run.
+///
+/// `physical[local]` is the physical (global) rank behind local rank
+/// `local` (the identity on a whole-machine view); `death_at[local]` is
+/// that rank's fail-stop instant under the machine's fault plan, if any.
+#[derive(Debug)]
+pub(crate) struct RankTable {
+    pub(crate) physical: Vec<usize>,
+    pub(crate) death_at: Vec<Option<f64>>,
+}
+
+impl RankTable {
+    fn build(p: usize, part: Option<&[usize]>, fault: Option<&FaultPlan>) -> Self {
+        let physical: Vec<usize> = match part {
+            Some(ranks) => ranks.to_vec(),
+            None => (0..p).collect(),
+        };
+        let death_at = physical
+            .iter()
+            .map(|&ph| fault.and_then(|plan| plan.death_time(ph)))
+            .collect();
+        Self { physical, death_at }
     }
 }
 
@@ -64,12 +105,16 @@ pub struct Machine {
     /// ranks take part in a run, and closures see local ranks
     /// `0..part.len()`.  `part[local]` is the physical (global) rank.
     part: Option<Arc<Vec<usize>>>,
+    /// Rank translation + death schedule derived from `part` and
+    /// `fault`, hoisted here so runs and ranks don't recompute it.
+    table: Arc<RankTable>,
 }
 
 impl Machine {
     /// Assemble a machine from a topology and a cost model.
     #[must_use]
     pub fn new(topology: Topology, cost: CostModel) -> Self {
+        let table = Arc::new(RankTable::build(topology.p(), None, None));
         Self {
             topology,
             cost,
@@ -77,6 +122,7 @@ impl Machine {
             recv_timeout: default_deadlock_timeout(),
             fault: None,
             part: None,
+            table,
         }
     }
 
@@ -120,6 +166,11 @@ impl Machine {
                 self.part.as_ref().map_or(r, |m| m[r])
             })
             .collect();
+        let table = Arc::new(RankTable::build(
+            self.topology.p(),
+            Some(&global),
+            self.fault.as_deref(),
+        ));
         Machine {
             topology: self.topology.clone(),
             cost: self.cost,
@@ -127,6 +178,7 @@ impl Machine {
             recv_timeout: self.recv_timeout,
             fault: self.fault.clone(),
             part: Some(Arc::new(global)),
+            table,
         }
     }
 
@@ -162,6 +214,11 @@ impl Machine {
     #[must_use]
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault = Some(Arc::new(plan));
+        self.table = Arc::new(RankTable::build(
+            self.topology.p(),
+            self.part.as_deref().map(Vec::as_slice),
+            self.fault.as_deref(),
+        ));
         self
     }
 
@@ -190,8 +247,9 @@ impl Machine {
         &self.cost
     }
 
-    /// Spawn the virtual processors, run `f` on each, and collect every
-    /// rank's outcome (value or panic payload) in rank order.
+    /// Lease pool workers for the virtual processors, run `f` on each,
+    /// and collect every rank's outcome (value or panic payload) in
+    /// rank order.
     fn execute<T, F>(&self, f: F) -> Vec<ThreadOutcome<T>>
     where
         T: Send,
@@ -199,85 +257,75 @@ impl Machine {
     {
         let p = self.p();
         let (senders, receivers): (Vec<_>, Vec<_>) = (0..p).map(|_| channel::<Envelope>()).unzip();
-        let senders = Arc::new(senders);
-
-        let mut results: Vec<Option<ThreadOutcome<T>>> = Vec::with_capacity(p);
-        results.resize_with(p, || None);
-
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(p);
-            for (rank, inbox) in receivers.into_iter().enumerate() {
-                let senders = Arc::clone(&senders);
-                let topology = self.topology.clone();
-                let cost = self.cost;
-                let trace = self.trace;
-                let recv_timeout = self.recv_timeout;
-                let fault = self.fault.clone();
-                let part = self.part.clone();
-                let f = &f;
-                let handle = std::thread::Builder::new()
-                    .name(format!("vproc-{rank}"))
-                    .stack_size(PROC_STACK_BYTES)
-                    .spawn_scoped(scope, move || -> ThreadOutcome<T> {
-                        let mut proc = Proc::new(
-                            rank,
-                            topology,
-                            cost,
-                            senders,
-                            inbox,
-                            trace,
-                            recv_timeout,
-                            fault,
-                            part,
-                        );
-                        let outcome =
-                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut proc)));
-                        match outcome {
-                            Ok(out) => {
-                                // Tell peers nothing more is coming so a
-                                // blocked receive becomes a diagnosed
-                                // deadlock instead of a hang.
-                                proc.notify_done();
-                                let (stats, timeline) = proc.into_final_parts();
-                                Ok((out, stats, timeline))
-                            }
-                            Err(payload) => {
-                                if payload.downcast_ref::<DiedPayload>().is_some() {
-                                    // A fail-stop is not an abort: peers
-                                    // keep running on the messages already
-                                    // sent and diagnose their own blocked
-                                    // receives deterministically.
-                                    proc.notify_died();
-                                } else if payload.downcast_ref::<DeadlockPayload>().is_some() {
-                                    // A deadlocked rank will never send
-                                    // again — from its peers' view that is
-                                    // a termination, so other blocked
-                                    // ranks self-diagnose instead of being
-                                    // racily aborted (keeps the waiter
-                                    // list deterministic).
-                                    proc.notify_done();
-                                } else {
-                                    // Abort the rest of the machine.
-                                    proc.notify_poison();
-                                }
-                                Err(payload)
-                            }
-                        }
-                    })
-                    .expect("failed to spawn virtual-processor thread");
-                handles.push(handle);
-            }
-            for (rank, handle) in handles.into_iter().enumerate() {
-                let outcome = handle
-                    .join()
-                    .expect("virtual-processor thread itself cannot panic (closure is caught)");
-                results[rank] = Some(outcome);
-            }
+        // Everything run-wide lives behind one Arc built once, instead
+        // of per-rank clones of the topology and friends.
+        let shared = Arc::new(RunShared {
+            topology: self.topology.clone(),
+            cost: self.cost,
+            senders,
+            recv_timeout: self.recv_timeout,
+            fault: self.fault.clone(),
+            table: Arc::clone(&self.table),
+            trace: self.trace,
+            board: StatusBoard::new(p),
         });
+        // Receivers are `Send` but not `Sync`, so each rank's worker
+        // takes its inbox out of a mutexed slot; outcomes travel back
+        // the same way.
+        let inboxes: Vec<Mutex<Option<Receiver<Envelope>>>> =
+            receivers.into_iter().map(|r| Mutex::new(Some(r))).collect();
+        let outcomes: Vec<Mutex<Option<ThreadOutcome<T>>>> =
+            (0..p).map(|_| Mutex::new(None)).collect();
 
-        results
+        let job = |rank: usize| {
+            let inbox = inboxes[rank]
+                .lock()
+                .expect("inbox slot poisoned")
+                .take()
+                .expect("each rank runs exactly once");
+            let mut proc = Proc::new(rank, Arc::clone(&shared), inbox);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut proc)));
+            let outcome = match outcome {
+                Ok(out) => {
+                    // Publish the termination so a blocked receive
+                    // becomes a diagnosed deadlock instead of a hang.
+                    shared.announce_termination(rank, RankStatus::Done);
+                    let (stats, timeline) = proc.into_final_parts();
+                    Ok((out, stats, timeline))
+                }
+                Err(payload) => {
+                    let status = if payload.downcast_ref::<DiedPayload>().is_some() {
+                        // A fail-stop is not an abort: peers keep
+                        // running on the messages already sent and
+                        // diagnose their own blocked receives
+                        // deterministically.
+                        RankStatus::Died
+                    } else if payload.downcast_ref::<DeadlockPayload>().is_some() {
+                        // A deadlocked rank will never send again — from
+                        // its peers' view that is a termination, so
+                        // other blocked ranks self-diagnose instead of
+                        // being racily aborted (keeps the waiter list
+                        // deterministic).
+                        RankStatus::Done
+                    } else {
+                        // Abort the rest of the machine.
+                        RankStatus::Poisoned
+                    };
+                    shared.announce_termination(rank, status);
+                    Err(payload)
+                }
+            };
+            *outcomes[rank].lock().expect("outcome slot poisoned") = Some(outcome);
+        };
+        pool::run_on_pool(p, &job);
+
+        outcomes
             .into_iter()
-            .map(|o| o.expect("every rank reports exactly once"))
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("outcome slot poisoned")
+                    .expect("every rank reports exactly once")
+            })
             .collect()
     }
 
@@ -1086,15 +1134,54 @@ mod tests {
     }
 
     #[test]
-    fn env_var_overrides_default_deadlock_timeout() {
-        // Serialised within this test: the variable is only read inside
-        // Machine::new, and no other test asserts the default value.
-        std::env::set_var("MMSIM_DEADLOCK_TIMEOUT_MS", "1234");
-        let m = unit_machine(2);
-        std::env::remove_var("MMSIM_DEADLOCK_TIMEOUT_MS");
-        assert_eq!(m.recv_timeout, std::time::Duration::from_millis(1234));
-        let m2 = unit_machine(2);
-        assert_eq!(m2.recv_timeout, std::time::Duration::from_secs(10));
+    fn deadlock_timeout_parsing() {
+        // The pure parser carries the env-var semantics; the cached
+        // process-global read in `default_deadlock_timeout` only feeds
+        // it, so no test needs to mutate (and race on) the environment.
+        assert_eq!(
+            parse_deadlock_timeout(Some("1234")),
+            std::time::Duration::from_millis(1234)
+        );
+        assert_eq!(
+            parse_deadlock_timeout(Some(" 250 ")),
+            std::time::Duration::from_millis(250)
+        );
+        assert_eq!(
+            parse_deadlock_timeout(None),
+            std::time::Duration::from_secs(10)
+        );
+        for junk in ["abc", "-5", "1.5", "", "0"] {
+            let result = std::panic::catch_unwind(|| parse_deadlock_timeout(Some(junk)));
+            assert!(result.is_err(), "{junk:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn deadlock_timeout_is_read_once_and_injectable() {
+        // The process-global default is stable across machines (cached
+        // first read) and per-machine injection still overrides it.
+        let d1 = default_deadlock_timeout();
+        let d2 = default_deadlock_timeout();
+        assert_eq!(d1, d2);
+        assert_eq!(unit_machine(2).recv_timeout, d1);
+        let m = unit_machine(2).with_deadlock_timeout(std::time::Duration::from_millis(77));
+        assert_eq!(m.recv_timeout, std::time::Duration::from_millis(77));
+    }
+
+    #[test]
+    fn partitioned_stats_match_standalone_bit_for_bit() {
+        // Satellite check for the hoisted rank table: a partition of a
+        // fully connected machine must reproduce a standalone machine of
+        // the partition's size exactly, including per-rank accounting.
+        let whole = Machine::new(Topology::fully_connected(8), CostModel::new(5.0, 2.0));
+        let part = whole.partition(&[2, 3, 4, 5]);
+        assert_eq!(part.partition_ranks(), Some(&[2usize, 3, 4, 5][..]));
+        let solo = Machine::new(Topology::fully_connected(4), CostModel::new(5.0, 2.0));
+        let rp = part.run(ring_workload);
+        let rs = solo.run(ring_workload);
+        assert_eq!(rp.t_parallel.to_bits(), rs.t_parallel.to_bits());
+        assert_eq!(rp.results, rs.results);
+        assert_eq!(rp.stats, rs.stats);
     }
 
     #[test]

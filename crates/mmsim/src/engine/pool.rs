@@ -1,0 +1,246 @@
+//! The engine worker pool: long-lived host threads that virtual
+//! processors are leased onto, amortising thread spawn/join across the
+//! thousands of `Machine::run` calls a sweep performs.
+//!
+//! ## Why leasing, not multiplexing
+//!
+//! A virtual processor's `recv` blocks its host thread (the algorithm
+//! closure is plain straight-line code, not a resumable coroutine), so
+//! a run of `p` ranks needs `p` host threads for the duration of the
+//! run — fewer would host-deadlock on any cyclic communication
+//! pattern.  What *can* be shared is the threads' lifetime: workers
+//! are created once, parked on a job channel between runs, and leased
+//! in disjoint sets to whichever runs are active.  Virtual time never
+//! depends on host scheduling, so reuse cannot perturb results (the
+//! determinism tests pin this).
+//!
+//! ## Soundness of the lifetime erasure
+//!
+//! [`run_on_pool`] sends workers a raw pointer to the caller's
+//! rank-closure and blocks on a completion latch until every worker
+//! has *returned from* the call (the latch is decremented strictly
+//! after the closure finishes, panic or not).  The pointee and
+//! everything it borrows therefore outlive all uses — the same
+//! argument scoped threads make, with the wait moved from `join` to
+//! the latch.
+
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Stack size for pool workers.  Algorithm closures keep their matrix
+/// blocks on the heap, so a small stack suffices even for
+/// 512-processor simulations.
+const WORKER_STACK_BYTES: usize = 1 << 20;
+
+/// A countdown latch: `wait` returns once `count_down` has been called
+/// `n` times.
+struct Latch {
+    remaining: Mutex<usize>,
+    all_done: Condvar,
+}
+
+impl Latch {
+    fn new(n: usize) -> Self {
+        Self {
+            remaining: Mutex::new(n),
+            all_done: Condvar::new(),
+        }
+    }
+
+    fn count_down(&self) {
+        let mut left = self.remaining.lock().expect("latch poisoned");
+        *left -= 1;
+        if *left == 0 {
+            self.all_done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut left = self.remaining.lock().expect("latch poisoned");
+        while *left > 0 {
+            left = self.all_done.wait(left).expect("latch poisoned");
+        }
+    }
+}
+
+/// Decrements the latch when dropped, so a panic unwinding out of the
+/// job still releases the waiting caller.
+struct CountDownOnDrop(Arc<Latch>);
+
+impl Drop for CountDownOnDrop {
+    fn drop(&mut self) {
+        self.0.count_down();
+    }
+}
+
+/// One unit of leased work: call `*f` with `rank`, then count down.
+struct Job {
+    /// Lifetime-erased pointer to the caller's rank closure; valid
+    /// until the caller's latch releases (see module docs).
+    f: *const (dyn Fn(usize) + Sync),
+    rank: usize,
+    latch: Arc<Latch>,
+}
+
+// SAFETY: the pointee is `Sync` (shared calls from several threads are
+// fine) and outlives the job per the latch protocol above.
+unsafe impl Send for Job {}
+
+/// An idle worker parked on its job channel.
+struct Worker {
+    jobs: Sender<Job>,
+}
+
+/// Process-wide pool of idle workers.  Leases are exclusive: a worker
+/// is either parked here or owned by exactly one in-flight run, so
+/// concurrent `Machine::run` calls (parallel sweeps, parallel tests)
+/// never share a worker.
+static IDLE: OnceLock<Mutex<Vec<Worker>>> = OnceLock::new();
+
+fn idle_pool() -> &'static Mutex<Vec<Worker>> {
+    IDLE.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn spawn_worker(seq: usize) -> Worker {
+    let (jobs, inbox) = channel::<Job>();
+    std::thread::Builder::new()
+        .name(format!("mmsim-worker-{seq}"))
+        .stack_size(WORKER_STACK_BYTES)
+        .spawn(move || {
+            // Parked between leases; exits when the pool (and thus the
+            // sender) is dropped at process teardown.
+            while let Ok(job) = inbox.recv() {
+                let _guard = CountDownOnDrop(Arc::clone(&job.latch));
+                // SAFETY: valid per the latch protocol (module docs).
+                let f = unsafe { &*job.f };
+                // Closure panics are caught *inside* `f` by the engine;
+                // a panic escaping here would poison no engine state but
+                // must not kill the worker for later leases.
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(job.rank)));
+            }
+        })
+        .expect("failed to spawn engine pool worker");
+    Worker { jobs }
+}
+
+/// Monotonic worker id, for thread names only.
+static SPAWNED: Mutex<usize> = Mutex::new(0);
+
+/// Run `f(0), f(1), …, f(p-1)` concurrently on leased pool workers and
+/// return when all calls have finished.  `p == 1` runs inline on the
+/// caller's thread — no pool traffic for the degenerate case.
+pub(crate) fn run_on_pool(p: usize, f: &(dyn Fn(usize) + Sync)) {
+    if p <= 1 {
+        if p == 1 {
+            f(0);
+        }
+        return;
+    }
+
+    let mut leased: Vec<Worker> = {
+        let mut idle = idle_pool().lock().expect("pool poisoned");
+        let start = idle.len() - p.min(idle.len());
+        idle.drain(start..).collect()
+    };
+    while leased.len() < p {
+        let seq = {
+            let mut n = SPAWNED.lock().expect("pool counter poisoned");
+            *n += 1;
+            *n - 1
+        };
+        leased.push(spawn_worker(seq));
+    }
+
+    let latch = Arc::new(Latch::new(p));
+    // SAFETY: erase the borrow lifetime; `latch.wait()` below keeps the
+    // pointee alive until every worker is done with it.
+    let f_ptr: *const (dyn Fn(usize) + Sync) =
+        unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(f) };
+    for (rank, worker) in leased.iter().enumerate() {
+        worker
+            .jobs
+            .send(Job {
+                f: f_ptr,
+                rank,
+                latch: Arc::clone(&latch),
+            })
+            .expect("pool worker died while leased");
+    }
+    latch.wait();
+
+    idle_pool()
+        .lock()
+        .expect("pool poisoned")
+        .append(&mut leased);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_rank_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..37).map(|_| AtomicUsize::new(0)).collect();
+        run_on_pool(37, &|rank| {
+            hits[rank].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn single_rank_runs_inline() {
+        let caller = std::thread::current().id();
+        let mut seen = None;
+        let seen_ref = Mutex::new(&mut seen);
+        run_on_pool(1, &|_| {
+            **seen_ref.lock().unwrap() = Some(std::thread::current().id());
+        });
+        assert_eq!(seen, Some(caller));
+    }
+
+    #[test]
+    fn workers_are_reused_across_runs() {
+        let count = AtomicUsize::new(0);
+        run_on_pool(8, &|_| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        let idle_after_first = idle_pool().lock().unwrap().len();
+        run_on_pool(8, &|_| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 16);
+        // The second lease drew from the idle pool rather than spawning
+        // eight more workers on top of it.
+        assert!(idle_pool().lock().unwrap().len() <= idle_after_first + 8);
+        assert!(idle_after_first >= 8);
+    }
+
+    #[test]
+    fn borrowed_state_survives_until_return() {
+        // The closure borrows a stack vector; the latch must keep it
+        // alive until every worker finished writing.
+        let slots: Vec<Mutex<usize>> = (0..16).map(|_| Mutex::new(0)).collect();
+        run_on_pool(16, &|rank| {
+            *slots[rank].lock().unwrap() = rank + 1;
+        });
+        for (i, s) in slots.iter().enumerate() {
+            assert_eq!(*s.lock().unwrap(), i + 1);
+        }
+    }
+
+    #[test]
+    fn panicking_job_releases_the_latch_and_keeps_workers() {
+        run_on_pool(4, &|rank| {
+            if rank == 2 {
+                panic!("escaped engine panic");
+            }
+        });
+        // The pool survives and the panicked worker is reusable.
+        let hits = AtomicUsize::new(0);
+        run_on_pool(4, &|_| {
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 4);
+    }
+}

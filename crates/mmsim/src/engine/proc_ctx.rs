@@ -1,21 +1,130 @@
 //! The per-processor execution context handed to algorithm closures.
 
-use std::collections::BTreeSet;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
 
 use crate::cost::{CostModel, Ports};
 use crate::engine::error::{CorruptionPayload, DeadlockPayload, DiedPayload};
 use crate::engine::message::{Envelope, Message, Tag};
+use crate::engine::payload::Payload;
+use crate::engine::RankTable;
 use crate::fault::{Fate, FaultPlan, TrafficClass};
 use crate::stats::ProcStats;
 use crate::topology::Topology;
 use crate::trace::{Timeline, TraceEvent};
 use crate::Word;
 
+/// Run-wide immutable state shared by every virtual processor of one
+/// `Machine::run`: built once per run instead of cloned per rank, so a
+/// 512-rank run performs one topology clone, not 512, and no O(p)
+/// per-rank setup.
+pub(crate) struct RunShared {
+    pub(crate) topology: Topology,
+    pub(crate) cost: CostModel,
+    pub(crate) senders: Vec<Sender<Envelope>>,
+    pub(crate) recv_timeout: std::time::Duration,
+    pub(crate) fault: Option<Arc<FaultPlan>>,
+    /// Local-rank → physical-rank translation and fail-stop schedule,
+    /// hoisted into the [`crate::Machine`] at construction/partition
+    /// time.
+    pub(crate) table: Arc<RankTable>,
+    pub(crate) trace: bool,
+    /// Per-rank terminal statuses and blocked flags (see [`StatusBoard`]).
+    pub(crate) board: StatusBoard,
+}
+
+/// A virtual processor's terminal state, as published on the board.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RankStatus {
+    /// Still executing its closure.
+    Running = 0,
+    /// Finished normally (or self-diagnosed a deadlock — either way it
+    /// will never send again).
+    Done = 1,
+    /// Panicked; blocked peers that provably cannot proceed abort.
+    Poisoned = 2,
+    /// Fail-stopped by an injected fault; survivors keep running and
+    /// self-diagnose receives the dead rank can no longer satisfy.
+    Died = 3,
+}
+
+/// Shared termination board for one run.
+///
+/// Statuses are monotonic (written once, `Running → terminal`), so a
+/// receiver's failure diagnosis is a pure function of *which* peers have
+/// terminated and *how* — never of the host-scheduling order in which
+/// the news arrives.  Publishing costs O(1) plus one [`Envelope::Wake`]
+/// per peer currently parked in a receive, replacing the per-peer
+/// `Done`/`Poison`/`Died` envelope storm that cost O(p) sends per rank
+/// (O(p²) per run — the dominant host cost of large fan-out runs).
+pub(crate) struct StatusBoard {
+    status: Vec<AtomicU8>,
+    /// Ranks currently parked inside a blocking receive.  Advisory: a
+    /// stale `true` only costs a spurious wake, and the publish/park
+    /// ordering protocol below makes a missed wake impossible.
+    blocked: Vec<AtomicBool>,
+    /// Number of terminal statuses published so far.
+    terminated: AtomicUsize,
+}
+
+impl StatusBoard {
+    pub(crate) fn new(p: usize) -> Self {
+        Self {
+            status: (0..p)
+                .map(|_| AtomicU8::new(RankStatus::Running as u8))
+                .collect(),
+            blocked: (0..p).map(|_| AtomicBool::new(false)).collect(),
+            terminated: AtomicUsize::new(0),
+        }
+    }
+
+    fn status_of(&self, rank: usize) -> RankStatus {
+        match self.status[rank].load(Ordering::SeqCst) {
+            0 => RankStatus::Running,
+            1 => RankStatus::Done,
+            2 => RankStatus::Poisoned,
+            _ => RankStatus::Died,
+        }
+    }
+
+    /// Lowest-ranked peer with the given terminal status, if any —
+    /// used to attribute aborts and list fail-stopped peers without
+    /// depending on arrival order.
+    fn ranks_with(&self, wanted: RankStatus) -> Vec<usize> {
+        (0..self.status.len())
+            .filter(|&r| self.status_of(r) == wanted)
+            .collect()
+    }
+}
+
+impl RunShared {
+    /// Publish `rank`'s terminal status and wake every peer currently
+    /// parked in a receive so it re-reads the board.
+    ///
+    /// The publish order (status first, then read the blocked flags)
+    /// mirrors the receiver's park order (set blocked first, then read
+    /// statuses): sequential consistency guarantees at least one side
+    /// sees the other, so a receiver can never park after missing a
+    /// termination it needed to observe.
+    pub(crate) fn announce_termination(&self, rank: usize, status: RankStatus) {
+        self.board.status[rank].store(status as u8, Ordering::SeqCst);
+        self.board.terminated.fetch_add(1, Ordering::SeqCst);
+        for (peer, sender) in self.senders.iter().enumerate() {
+            if peer != rank && self.board.blocked[peer].load(Ordering::SeqCst) {
+                // Peer may have unparked since — a spurious wake is
+                // drained and ignored.
+                let _ = sender.send(Envelope::Wake);
+            }
+        }
+    }
+}
+
 /// Handle through which a virtual processor computes and communicates.
 ///
-/// One `Proc` lives on each engine thread.  All methods advance the
-/// processor's **virtual clock** according to the machine's
+/// One `Proc` lives on each leased engine worker.  All methods advance
+/// the processor's **virtual clock** according to the machine's
 /// [`CostModel`]; see the crate docs for the accounting rules.
 ///
 /// Sends are *eager* (buffered, non-blocking), like small-message MPI
@@ -23,6 +132,10 @@ use crate::Word;
 /// without deadlocking.  Receives block the host thread until a matching
 /// message exists, but *virtual* waiting is determined purely by message
 /// timestamps.
+///
+/// Payloads are shared buffers ([`Payload`]): senders hand out
+/// reference-counted handles and every mutation is copy-on-write, so
+/// forwarding a block is O(1) in its size.
 ///
 /// When the machine carries a [`FaultPlan`], every clock advance first
 /// checks the rank's fail-stop deadline, plain sends are subject to the
@@ -33,35 +146,25 @@ pub struct Proc {
     rank: usize,
     clock: f64,
     stats: ProcStats,
-    topology: Topology,
+    /// Copy of the run's cost model (hot path; `CostModel` is `Copy`).
     cost: CostModel,
-    senders: std::sync::Arc<Vec<Sender<Envelope>>>,
+    shared: Arc<RunShared>,
     inbox: Receiver<Envelope>,
     /// Messages received from the channel but not yet matched by a recv.
     pending: Vec<Message>,
-    /// Peers that have finished their closure (sent [`Envelope::Done`])
-    /// or fail-stopped (sent [`Envelope::Died`]).
-    done_peers: usize,
-    /// Peers known to have fail-stopped.
-    dead_peers: BTreeSet<usize>,
-    /// Host-time budget for a single blocked receive before the engine
-    /// declares a live deadlock (cyclic mutual wait).
-    recv_timeout: std::time::Duration,
     /// Event timeline, populated only when tracing is enabled.
     timeline: Option<Timeline>,
-    /// Fault schedule shared by the whole machine, if any.
-    fault: Option<std::sync::Arc<FaultPlan>>,
-    /// This rank's fail-stop instant (cached from the plan).
+    /// This rank's fail-stop instant (from the machine's rank table).
     death_at: Option<f64>,
-    /// Per-destination sequence numbers for plain sends (fate oracle key).
-    plain_seq: Vec<u64>,
+    /// Per-destination sequence numbers for plain sends (fate oracle
+    /// key).  Sparse: a rank typically talks to O(log p) peers, so a
+    /// map avoids the O(p) per-rank zeroed vectors (O(p²) per run) the
+    /// eager layout cost.
+    plain_seq: HashMap<usize, u64>,
     /// Per-destination sequence numbers for outgoing reliable messages.
-    rel_seq_out: Vec<u64>,
+    rel_seq_out: HashMap<usize, u64>,
     /// Per-source sequence numbers for incoming reliable messages.
-    rel_seq_in: Vec<u64>,
-    /// Partition map `local rank → physical rank` when this run is a
-    /// [`crate::Machine::partition`] view; `None` for whole-machine runs.
-    part: Option<std::sync::Arc<Vec<usize>>>,
+    rel_seq_in: HashMap<usize, u64>,
 }
 
 /// Panic payload used when a processor aborts because a peer panicked;
@@ -83,71 +186,29 @@ fn frame_checksum(words: &[Word]) -> Word {
     f64::from_bits(acc)
 }
 
+/// Take-and-increment of a sparse per-peer sequence counter.
+fn next_seq(seqs: &mut HashMap<usize, u64>, peer: usize) -> u64 {
+    let slot = seqs.entry(peer).or_insert(0);
+    let seq = *slot;
+    *slot += 1;
+    seq
+}
+
 impl Proc {
-    #[allow(clippy::too_many_arguments)] // crate-internal constructor, one call site
-    pub(crate) fn new(
-        rank: usize,
-        topology: Topology,
-        cost: CostModel,
-        senders: std::sync::Arc<Vec<Sender<Envelope>>>,
-        inbox: Receiver<Envelope>,
-        trace: bool,
-        recv_timeout: std::time::Duration,
-        fault: Option<std::sync::Arc<FaultPlan>>,
-        part: Option<std::sync::Arc<Vec<usize>>>,
-    ) -> Self {
-        let p = part.as_ref().map_or(topology.p(), |m| m.len());
-        let physical = part.as_ref().map_or(rank, |m| m[rank]);
-        let death_at = fault.as_ref().and_then(|plan| plan.death_time(physical));
+    pub(crate) fn new(rank: usize, shared: Arc<RunShared>, inbox: Receiver<Envelope>) -> Self {
         Self {
             rank,
             clock: 0.0,
             stats: ProcStats::default(),
-            topology,
-            cost,
-            senders,
+            cost: shared.cost,
             inbox,
             pending: Vec::new(),
-            done_peers: 0,
-            dead_peers: BTreeSet::new(),
-            recv_timeout,
-            timeline: trace.then(Vec::new),
-            fault,
-            death_at,
-            plain_seq: vec![0; p],
-            rel_seq_out: vec![0; p],
-            rel_seq_in: vec![0; p],
-            part,
-        }
-    }
-
-    /// Announce normal completion to every peer (engine-internal).
-    pub(crate) fn notify_done(&self) {
-        for (dst, sender) in self.senders.iter().enumerate() {
-            if dst != self.rank {
-                let _ = sender.send(Envelope::Done);
-            }
-        }
-    }
-
-    /// Announce a panic to every peer so blocked receivers abort
-    /// instead of hanging (engine-internal).
-    pub(crate) fn notify_poison(&self) {
-        for (dst, sender) in self.senders.iter().enumerate() {
-            if dst != self.rank {
-                let _ = sender.send(Envelope::Poison { from: self.rank });
-            }
-        }
-    }
-
-    /// Announce a fail-stop to every peer (engine-internal).  Channels
-    /// are FIFO per sender, so `Died` arriving after this rank's last
-    /// application message proves nothing further is coming.
-    pub(crate) fn notify_died(&self) {
-        for (dst, sender) in self.senders.iter().enumerate() {
-            if dst != self.rank {
-                let _ = sender.send(Envelope::Died { from: self.rank });
-            }
+            timeline: shared.trace.then(Vec::new),
+            death_at: shared.table.death_at[rank],
+            plain_seq: HashMap::new(),
+            rel_seq_out: HashMap::new(),
+            rel_seq_in: HashMap::new(),
+            shared,
         }
     }
 
@@ -162,9 +223,7 @@ impl Proc {
     /// on a partition run).
     #[must_use]
     pub fn p(&self) -> usize {
-        self.part
-            .as_ref()
-            .map_or_else(|| self.topology.p(), |m| m.len())
+        self.shared.table.physical.len()
     }
 
     /// The physical rank of a participant (identity on whole-machine
@@ -172,13 +231,13 @@ impl Proc {
     /// ranks, so partition timing reflects the physical links used.
     #[must_use]
     pub fn physical_rank(&self, local: usize) -> usize {
-        self.part.as_ref().map_or(local, |m| m[local])
+        self.shared.table.physical[local]
     }
 
     /// The machine's topology.
     #[must_use]
     pub fn topology(&self) -> &Topology {
-        &self.topology
+        &self.shared.topology
     }
 
     /// The machine's cost model.
@@ -217,7 +276,7 @@ impl Proc {
     /// `t_w` degradation factor of the directed link `self.rank → dst`
     /// (physical ranks on partition runs).
     fn link_tw(&self, dst: usize) -> f64 {
-        self.fault.as_ref().map_or(1.0, |plan| {
+        self.shared.fault.as_ref().map_or(1.0, |plan| {
             plan.link(self.physical_rank(self.rank), self.physical_rank(dst))
                 .tw_factor
         })
@@ -225,7 +284,8 @@ impl Proc {
 
     /// Topology hop count of the physical link behind local `dst`.
     fn hops_to(&self, dst: usize) -> usize {
-        self.topology
+        self.shared
+            .topology
             .distance(self.physical_rank(self.rank), self.physical_rank(dst))
     }
 
@@ -267,6 +327,10 @@ impl Proc {
 
     /// Send `payload` to `dst` with the given `tag`.
     ///
+    /// Accepts anything convertible into a shared [`Payload`] — an
+    /// owned `Vec<Word>`, a `&[Word]`, or an existing `Payload` handle
+    /// (which transfers zero-copy).
+    ///
     /// Advances this processor's clock by the sender occupancy
     /// `t_s + t_w·m` (single-port serialisation: consecutive sends do not
     /// overlap).  The message is stamped to arrive at
@@ -281,7 +345,8 @@ impl Proc {
     ///
     /// # Panics
     /// Panics on out-of-range `dst` or on sending to oneself.
-    pub fn send(&mut self, dst: usize, tag: Tag, payload: Vec<Word>) {
+    pub fn send(&mut self, dst: usize, tag: Tag, payload: impl Into<Payload>) {
+        let payload = payload.into();
         self.validate_dst(dst);
         let start = self.clock;
         let occupancy = self
@@ -311,7 +376,9 @@ impl Proc {
     /// # Panics
     /// Panics if two messages in the batch share a destination (they
     /// would need the same port), or on invalid destinations.
-    pub fn send_multi(&mut self, msgs: Vec<(usize, Tag, Vec<Word>)>) {
+    pub fn send_multi<P: Into<Payload>>(&mut self, msgs: Vec<(usize, Tag, P)>) {
+        let msgs: Vec<(usize, Tag, Payload)> =
+            msgs.into_iter().map(|(d, t, p)| (d, t, p.into())).collect();
         match self.cost.ports {
             Ports::Single => {
                 for (dst, tag, payload) in msgs {
@@ -368,11 +435,10 @@ impl Proc {
 
     /// Hand a plain (unprotected) message to the network, applying the
     /// fault plan's drop/corruption fate for this link.
-    fn dispatch(&mut self, dst: usize, tag: Tag, payload: Vec<Word>, start: f64) {
+    fn dispatch(&mut self, dst: usize, tag: Tag, payload: Payload, start: f64) {
         let (src_ph, dst_ph) = (self.physical_rank(self.rank), self.physical_rank(dst));
-        let (payload, corrupted) = if let Some(plan) = self.fault.clone() {
-            let seq = self.plain_seq[dst];
-            self.plain_seq[dst] += 1;
+        let (payload, corrupted) = if let Some(plan) = self.shared.fault.clone() {
+            let seq = next_seq(&mut self.plain_seq, dst);
             match plan.fate(TrafficClass::Plain, src_ph, dst_ph, seq, 0) {
                 Fate::Dropped => {
                     // The sender paid the injection cost and the traffic
@@ -384,7 +450,11 @@ impl Proc {
                     let mut payload = payload;
                     if !payload.is_empty() {
                         let (w, b) = plan.corrupt_position(src_ph, dst_ph, seq, 0, payload.len());
-                        payload[w] = f64::from_bits(payload[w].to_bits() ^ (1u64 << b));
+                        // Copy-on-write: the flip must not reach other
+                        // handles of this buffer (a sender-retained copy,
+                        // sibling broadcast carries).
+                        let words = payload.to_mut();
+                        words[w] = f64::from_bits(words[w].to_bits() ^ (1u64 << b));
                     }
                     // An empty payload still carries corrupt framing.
                     (payload, true)
@@ -410,7 +480,7 @@ impl Proc {
         &mut self,
         dst: usize,
         tag: Tag,
-        payload: Vec<Word>,
+        payload: Payload,
         start: f64,
         corrupted: bool,
     ) {
@@ -431,7 +501,7 @@ impl Proc {
             hops,
             corrupted,
         };
-        self.senders[dst]
+        self.shared.senders[dst]
             .send(Envelope::App(msg))
             .expect("engine channel closed while simulation running");
     }
@@ -494,8 +564,10 @@ impl Proc {
         msg
     }
 
-    /// Receive and return just the payload (common case).
-    pub fn recv_payload(&mut self, src: usize, tag: Tag) -> Vec<Word> {
+    /// Receive and return just the payload (common case).  The returned
+    /// [`Payload`] is a shared handle: forwarding it onward (or cloning
+    /// it) costs O(1); call [`Payload::into_vec`] for an owned vector.
+    pub fn recv_payload(&mut self, src: usize, tag: Tag) -> Payload {
         self.recv(src, tag).payload
     }
 
@@ -507,17 +579,69 @@ impl Proc {
         {
             return self.pending.remove(pos);
         }
-        if self.dead_peers.contains(&src) {
-            self.panic_waiting_on_dead(src, tag);
-        }
+        let board = &self.shared.board;
+        // On an oversubscribed host a few yields often let the awaited
+        // sender run and enqueue, turning a futex park + wake pair
+        // (two syscalls and a forced reschedule of the sender) into a
+        // plain queue pop.  Bounded, so a genuinely idle wait still
+        // parks almost immediately.
+        const SPIN_YIELDS: u32 = 3;
+        let mut spins = 0;
         loop {
-            let envelope = match self.inbox.recv_timeout(self.recv_timeout) {
-                Ok(envelope) => envelope,
+            // Publish intent to park *before* the final drain: a peer
+            // that terminates after our drain sees the flag and sends a
+            // wake, and one that terminated before is already visible on
+            // the board below — so the park can never miss a terminal
+            // transition (same argument as announce_termination).
+            board.blocked[self.rank].store(true, Ordering::SeqCst);
+            let mut matched = None;
+            while let Ok(envelope) = self.inbox.try_recv() {
+                match envelope {
+                    Envelope::App(msg) if matched.is_none() && msg.src == src && msg.tag == tag => {
+                        matched = Some(msg);
+                    }
+                    Envelope::App(msg) => self.pending.push(msg),
+                    Envelope::Wake => {}
+                }
+            }
+            if let Some(msg) = matched {
+                board.blocked[self.rank].store(false, Ordering::SeqCst);
+                return msg;
+            }
+            // Channel fully drained with no match: act on the board's
+            // monotonic facts.  Per-sender channels are FIFO, so a
+            // terminal status for `src` observed *after* a full drain
+            // proves the awaited message can never arrive; which peer's
+            // news lands first in the channel no longer matters, keeping
+            // every diagnosis order-independent.
+            match board.status_of(src) {
+                RankStatus::Died => self.panic_waiting_on_dead(src, tag),
+                RankStatus::Poisoned => panic!("{ABORT_MSG} (rank {src})"),
+                RankStatus::Running | RankStatus::Done => {}
+            }
+            if board.terminated.load(Ordering::SeqCst) >= self.p() - 1 {
+                self.panic_all_terminated(src, tag);
+            }
+            if spins < SPIN_YIELDS {
+                spins += 1;
+                std::thread::yield_now();
+                continue;
+            }
+            match self.inbox.recv_timeout(self.shared.recv_timeout) {
+                Ok(envelope) => {
+                    board.blocked[self.rank].store(false, Ordering::SeqCst);
+                    spins = 0;
+                    match envelope {
+                        Envelope::App(msg) if msg.src == src && msg.tag == tag => return msg,
+                        Envelope::App(msg) => self.pending.push(msg),
+                        Envelope::Wake => {}
+                    }
+                }
                 Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
                     let message = format!(
                         "rank {}: no message for {:?} while waiting for (src {src}, tag {tag:#x}) — \
                          live deadlock (cyclic mutual wait) in the simulated algorithm",
-                        self.rank, self.recv_timeout
+                        self.rank, self.shared.recv_timeout
                     );
                     std::panic::panic_any(DeadlockPayload {
                         rank: self.rank,
@@ -526,27 +650,6 @@ impl Proc {
                 }
                 Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
                     unreachable!("engine channels cannot close while processors hold senders")
-                }
-            };
-            match envelope {
-                Envelope::App(msg) if msg.src == src && msg.tag == tag => return msg,
-                Envelope::App(msg) => self.pending.push(msg),
-                Envelope::Done => {
-                    self.done_peers += 1;
-                    self.check_all_terminated(src, tag);
-                }
-                Envelope::Died { from } => {
-                    self.done_peers += 1;
-                    self.dead_peers.insert(from);
-                    if from == src {
-                        // FIFO per sender: the awaited message can no
-                        // longer arrive.  Diagnose deterministically.
-                        self.panic_waiting_on_dead(src, tag);
-                    }
-                    self.check_all_terminated(src, tag);
-                }
-                Envelope::Poison { from } => {
-                    panic!("{ABORT_MSG} (rank {from})");
                 }
             }
         }
@@ -564,28 +667,36 @@ impl Proc {
         });
     }
 
-    fn check_all_terminated(&self, src: usize, tag: Tag) {
-        if self.done_peers == self.p() - 1 {
-            let mut message = format!(
-                "rank {}: deadlock — waiting for a message (src {src}, tag {tag:#x}) \
-                 but every peer has terminated without sending it",
-                self.rank
-            );
-            if !self.dead_peers.is_empty() {
-                message.push_str(&format!(" (fail-stopped peers: {:?})", self.dead_peers));
-            }
-            std::panic::panic_any(DeadlockPayload {
-                rank: self.rank,
-                message,
-            });
+    /// Every peer has terminated and the drained channel holds no match:
+    /// nothing can unblock this receive.  Abort if any peer panicked
+    /// (attributed to the lowest-ranked poisoner — a board fact, not an
+    /// arrival order), else diagnose the deadlock.
+    fn panic_all_terminated(&self, src: usize, tag: Tag) -> ! {
+        let poisoners = self.shared.board.ranks_with(RankStatus::Poisoned);
+        if let Some(&poisoner) = poisoners.first() {
+            panic!("{ABORT_MSG} (rank {poisoner})");
         }
+        let mut message = format!(
+            "rank {}: deadlock — waiting for a message (src {src}, tag {tag:#x}) \
+             but every peer has terminated without sending it",
+            self.rank
+        );
+        let dead = self.shared.board.ranks_with(RankStatus::Died);
+        if !dead.is_empty() {
+            let dead: std::collections::BTreeSet<usize> = dead.into_iter().collect();
+            message.push_str(&format!(" (fail-stopped peers: {dead:?})"));
+        }
+        std::panic::panic_any(DeadlockPayload {
+            rank: self.rank,
+            message,
+        });
     }
 
     /// Exchange with a partner: send ours, receive theirs, same tag.
     ///
     /// Equivalent to an MPI sendrecv; the send is issued first so a
     /// symmetric pairwise exchange cannot deadlock.
-    pub fn exchange(&mut self, partner: usize, tag: Tag, payload: Vec<Word>) -> Vec<Word> {
+    pub fn exchange(&mut self, partner: usize, tag: Tag, payload: impl Into<Payload>) -> Payload {
         self.send(partner, tag, payload);
         self.recv_payload(partner, tag)
     }
@@ -613,6 +724,11 @@ impl Proc {
     /// [`ProcStats::backoff_idle`]; retries increment
     /// [`ProcStats::retransmissions`].
     ///
+    /// The frame is assembled once and retained as a shared [`Payload`]
+    /// across retries: a retransmission patches the attempt counter and
+    /// checksum copy-on-write instead of rebuilding the buffer, and a
+    /// network duplicate is a reference-count bump.
+    ///
     /// With no fault plan (or a zero plan) the first attempt always
     /// succeeds: the only cost over [`Proc::send`] is the two framing
     /// words.
@@ -620,11 +736,11 @@ impl Proc {
     /// # Panics
     /// Panics if the plan's `max_attempts` transmissions all fail, and
     /// on the usual invalid-destination conditions.
-    pub fn send_reliable(&mut self, dst: usize, tag: Tag, payload: Vec<Word>) {
+    pub fn send_reliable(&mut self, dst: usize, tag: Tag, payload: impl Into<Payload>) {
+        let payload = payload.into();
         self.validate_dst(dst);
-        let plan = self.fault.clone();
-        let seq = self.rel_seq_out[dst];
-        self.rel_seq_out[dst] += 1;
+        let plan = self.shared.fault.clone();
+        let seq = next_seq(&mut self.rel_seq_out, dst);
         let (src_ph, dst_ph) = (self.physical_rank(self.rank), self.physical_rank(dst));
         let hops = self.hops_to(dst);
         let tw_fwd = self.link_tw(dst);
@@ -633,6 +749,15 @@ impl Proc {
             .map_or(1.0, |p| p.link(dst_ph, src_ph).tw_factor);
         let frame_words = payload.len() + RELIABLE_FRAME_OVERHEAD;
         let max_attempts = plan.as_ref().map_or(1, |p| p.max_attempts());
+        // Retained retry frame: body = payload + attempt word, then the
+        // checksum over the body.  Patched per attempt below.
+        let mut frame = {
+            let mut words = Vec::with_capacity(frame_words);
+            words.extend_from_slice(&payload);
+            words.push(0.0);
+            words.push(0.0);
+            Payload::from(words)
+        };
         let mut attempt: u32 = 0;
         loop {
             let fate = plan.as_ref().map_or(Fate::Delivered, |p| {
@@ -657,24 +782,30 @@ impl Proc {
             let control_latency = self.cost.message_latency_scaled(1, hops, tw_rev);
             match fate {
                 Fate::Delivered | Fate::Corrupted => {
-                    let mut frame = Vec::with_capacity(frame_words);
-                    frame.extend_from_slice(&payload);
-                    frame.push(f64::from(attempt));
-                    frame.push(frame_checksum(&frame));
+                    {
+                        // Patch the attempt counter and checksum in the
+                        // retained frame (in place on the first attempt,
+                        // copy-on-write once a receiver shares it).
+                        let words = frame.to_mut();
+                        words[frame_words - 2] = f64::from(attempt);
+                        words[frame_words - 1] = frame_checksum(&words[..frame_words - 1]);
+                    }
                     let corrupted = fate == Fate::Corrupted;
+                    let mut wire = frame.clone();
                     if corrupted {
                         let plan = plan.as_ref().expect("corruption requires a plan");
                         let (w, b) =
                             plan.corrupt_position(src_ph, dst_ph, seq, attempt, frame_words);
-                        frame[w] = f64::from_bits(frame[w].to_bits() ^ (1u64 << b));
+                        let words = wire.to_mut();
+                        words[w] = f64::from_bits(words[w].to_bits() ^ (1u64 << b));
                     }
                     let duplicated = plan.as_ref().is_some_and(|p| {
                         p.duplicated(TrafficClass::Reliable, src_ph, dst_ph, seq, attempt)
                     });
                     if duplicated {
-                        self.dispatch_raw(dst, tag, frame.clone(), start, corrupted);
+                        self.dispatch_raw(dst, tag, wire.clone(), start, corrupted);
                     }
-                    self.dispatch_raw(dst, tag, frame, start, corrupted);
+                    self.dispatch_raw(dst, tag, wire, start, corrupted);
                     if !corrupted {
                         // Windowed-ACK assumption: the sender does not
                         // stall for the positive acknowledgement.
@@ -730,10 +861,9 @@ impl Proc {
     /// Panics on exhausted attempts, or with a corruption diagnosis if
     /// a frame the fault oracle calls intact fails its checksum (an
     /// engine bug).
-    pub fn recv_reliable(&mut self, src: usize, tag: Tag) -> Vec<Word> {
-        let plan = self.fault.clone();
-        let seq = self.rel_seq_in[src];
-        self.rel_seq_in[src] += 1;
+    pub fn recv_reliable(&mut self, src: usize, tag: Tag) -> Payload {
+        let plan = self.shared.fault.clone();
+        let seq = next_seq(&mut self.rel_seq_in, src);
         let (me_ph, src_ph) = (self.physical_rank(self.rank), self.physical_rank(src));
         let tw_rev = plan
             .as_ref()
@@ -756,7 +886,7 @@ impl Proc {
                 );
                 continue;
             }
-            let frame = self.recv_frame(src, tag).payload;
+            let mut frame = self.recv_frame(src, tag).payload;
             let duplicated = plan
                 .as_ref()
                 .is_some_and(|p| p.duplicated(TrafficClass::Reliable, src_ph, me_ph, seq, attempt));
@@ -817,15 +947,20 @@ impl Proc {
                             message,
                         });
                     }
-                    let (payload, attempt_word) = body.split_at(body.len() - 1);
+                    let attempt_word = frame[frame.len() - 2];
                     assert!(
-                        attempt_word[0].to_bits() == f64::from(attempt).to_bits(),
+                        attempt_word.to_bits() == f64::from(attempt).to_bits(),
                         "rank {}: reliable protocol desync with rank {src}: frame attempt {} \
                          vs oracle attempt {attempt}",
                         self.rank,
-                        attempt_word[0]
+                        attempt_word
                     );
-                    return payload.to_vec();
+                    // Unframe in place when the buffer is no longer
+                    // shared (the sender usually dropped its retained
+                    // handle by now); copy-on-write otherwise.
+                    let len = frame.len();
+                    frame.to_mut().truncate(len - RELIABLE_FRAME_OVERHEAD);
+                    return frame;
                 }
                 Fate::Dropped => unreachable!("dropped attempts are skipped above"),
             }
@@ -842,7 +977,7 @@ impl Proc {
         self.stats.clock = self.clock;
         let mut unreceived = self.pending.len() as u64;
         // Drain leftover envelopes, counting only application messages
-        // (Done/Poison/Died control signals are the engine's business).
+        // (spurious Wake control signals are the engine's business).
         while let Ok(envelope) = self.inbox.try_recv() {
             if matches!(envelope, Envelope::App(_)) {
                 unreceived += 1;

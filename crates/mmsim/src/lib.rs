@@ -80,6 +80,7 @@ pub mod trace;
 pub use cost::{CostModel, Ports, Routing};
 pub use engine::error::SimError;
 pub use engine::message::{tag, Message, Tag};
+pub use engine::payload::Payload;
 pub use engine::proc_ctx::{Proc, RELIABLE_FRAME_OVERHEAD};
 pub use engine::{Machine, RunReport};
 pub use fault::{Fate, FaultPlan, LinkFaults, TrafficClass};

@@ -86,7 +86,7 @@ fn all_port_empty_and_single_batches() {
     );
     let r = machine.run(|proc| {
         if proc.rank() == 0 {
-            proc.send_multi(Vec::new()); // no-op
+            proc.send_multi(Vec::<(usize, mmsim::Tag, Vec<f64>)>::new()); // no-op
             proc.send_multi(vec![(1, 0, vec![1.0])]);
             proc.send_multi(vec![(1, 1, vec![1.0]), (2, 1, vec![1.0; 5])]);
         } else if proc.rank() == 1 {

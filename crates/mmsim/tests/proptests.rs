@@ -47,10 +47,9 @@ proptest! {
         cost in cost_strategy(),
     ) {
         let machine = Machine::new(Topology::fully_connected(p), cost);
-        let ops2 = ops.clone();
         let r = machine.run(move |proc| {
             let partner = proc.rank() ^ 1;
-            for (step, &(work, words)) in ops2.iter().enumerate() {
+            for (step, &(work, words)) in ops.iter().enumerate() {
                 proc.compute(work);
                 if partner < proc.p() {
                     proc.exchange(partner, step as u64, vec![0.0; words]);

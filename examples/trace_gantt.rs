@@ -36,8 +36,16 @@ fn main() {
             let (ta, tb) = (u64::from(2 * s), u64::from(2 * s + 1));
             proc.send(coord(i64i, i64j - 1), ta, ablk.into_vec());
             proc.send(coord(i64i - 1, i64j), tb, bblk.into_vec());
-            ablk = Matrix::from_vec(n / 2, n / 2, proc.recv_payload(coord(i64i, i64j + 1), ta));
-            bblk = Matrix::from_vec(n / 2, n / 2, proc.recv_payload(coord(i64i + 1, i64j), tb));
+            ablk = Matrix::from_vec(
+                n / 2,
+                n / 2,
+                proc.recv_payload(coord(i64i, i64j + 1), ta).into_vec(),
+            );
+            bblk = Matrix::from_vec(
+                n / 2,
+                n / 2,
+                proc.recv_payload(coord(i64i + 1, i64j), tb).into_vec(),
+            );
         }
         c
     });
