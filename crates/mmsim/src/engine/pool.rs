@@ -9,10 +9,12 @@
 //! a run of `p` ranks needs `p` host threads for the duration of the
 //! run — fewer would host-deadlock on any cyclic communication
 //! pattern.  What *can* be shared is the threads' lifetime: workers
-//! are created once, parked on a job channel between runs, and leased
-//! in disjoint sets to whichever runs are active.  Virtual time never
-//! depends on host scheduling, so reuse cannot perturb results (the
-//! determinism tests pin this).
+//! are created on demand, parked on a job channel between runs, and
+//! leased in disjoint sets to whichever runs are active.  Workers that
+//! sit idle past [`IDLE_REAP_AFTER`] retire, so the pool tracks recent
+//! demand rather than pinning its all-time high-water mark of threads.
+//! Virtual time never depends on host scheduling, so reuse cannot
+//! perturb results (the determinism tests pin this).
 //!
 //! ## Soundness of the lifetime erasure
 //!
@@ -24,13 +26,20 @@
 //! argument scoped threads make, with the wait moved from `join` to
 //! the latch.
 
-use std::sync::mpsc::{channel, Sender};
+use std::sync::mpsc::{channel, RecvTimeoutError, Sender};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
 
 /// Stack size for pool workers.  Algorithm closures keep their matrix
 /// blocks on the heap, so a small stack suffices even for
 /// 512-processor simulations.
 const WORKER_STACK_BYTES: usize = 1 << 20;
+
+/// Idle workers retire after this long without a lease, so a single
+/// large-`p` run does not pin its high-water mark of parked threads
+/// (1 MiB stack reservation each) for the rest of the process.  Long
+/// enough that back-to-back sweep runs never pay a respawn.
+const IDLE_REAP_AFTER: Duration = Duration::from_secs(30);
 
 /// A countdown latch: `wait` returns once `count_down` has been called
 /// `n` times.
@@ -88,6 +97,9 @@ unsafe impl Send for Job {}
 
 /// An idle worker parked on its job channel.
 struct Worker {
+    /// Unique id; lets the worker thread find (and reap) its own entry
+    /// in the idle list.
+    id: usize,
     jobs: Sender<Job>,
 }
 
@@ -102,25 +114,48 @@ fn idle_pool() -> &'static Mutex<Vec<Worker>> {
 }
 
 fn spawn_worker(seq: usize) -> Worker {
+    spawn_worker_with_reap(seq, IDLE_REAP_AFTER)
+}
+
+fn spawn_worker_with_reap(seq: usize, reap_after: Duration) -> Worker {
     let (jobs, inbox) = channel::<Job>();
     std::thread::Builder::new()
         .name(format!("mmsim-worker-{seq}"))
         .stack_size(WORKER_STACK_BYTES)
-        .spawn(move || {
-            // Parked between leases; exits when the pool (and thus the
-            // sender) is dropped at process teardown.
-            while let Ok(job) = inbox.recv() {
-                let _guard = CountDownOnDrop(Arc::clone(&job.latch));
-                // SAFETY: valid per the latch protocol (module docs).
-                let f = unsafe { &*job.f };
-                // Closure panics are caught *inside* `f` by the engine;
-                // a panic escaping here would poison no engine state but
-                // must not kill the worker for later leases.
-                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(job.rank)));
+        .spawn(move || loop {
+            // Parked between leases; retires after sitting idle for
+            // `reap_after`, and exits immediately if the sender is gone.
+            match inbox.recv_timeout(reap_after) {
+                Ok(job) => {
+                    let _guard = CountDownOnDrop(Arc::clone(&job.latch));
+                    // SAFETY: valid per the latch protocol (module docs).
+                    let f = unsafe { &*job.f };
+                    // Closure panics are caught *inside* `f` by the
+                    // engine; a panic escaping here would poison no
+                    // engine state but must not kill the worker for
+                    // later leases.
+                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(job.rank)));
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    // Retire — but only if we are actually parked in the
+                    // idle list.  Removing our own entry under the pool
+                    // lock makes retirement atomic with leasing: a lease
+                    // drains workers from the list under the same lock
+                    // before sending jobs, so once we're out of the list
+                    // no job can be in flight.  Not finding ourselves
+                    // means a lease holds us right now (its job may
+                    // already be in the channel) — keep waiting.
+                    let mut idle = idle_pool().lock().expect("pool poisoned");
+                    if let Some(pos) = idle.iter().position(|w| w.id == seq) {
+                        idle.remove(pos);
+                        return;
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => return,
             }
         })
         .expect("failed to spawn engine pool worker");
-    Worker { jobs }
+    Worker { id: seq, jobs }
 }
 
 /// Monotonic worker id, for thread names only.
@@ -226,6 +261,24 @@ mod tests {
         });
         for (i, s) in slots.iter().enumerate() {
             assert_eq!(*s.lock().unwrap(), i + 1);
+        }
+    }
+
+    #[test]
+    fn idle_workers_retire_after_reap_timeout() {
+        // Plant a worker with a tiny reap window directly in the idle
+        // pool and watch it remove itself.  A huge id keeps it out of
+        // the way of ids minted by concurrently running tests.
+        let worker = spawn_worker_with_reap(usize::MAX, Duration::from_millis(20));
+        let id = worker.id;
+        idle_pool().lock().unwrap().push(worker);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while idle_pool().lock().unwrap().iter().any(|w| w.id == id) {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "idle worker was never reaped"
+            );
+            std::thread::sleep(Duration::from_millis(5));
         }
     }
 

@@ -587,6 +587,17 @@ impl Proc {
         // parks almost immediately.
         const SPIN_YIELDS: u32 = 3;
         let mut spins = 0;
+        // Set when a board read observes a terminal condition (awaited
+        // peer Died/Poisoned, or every peer terminated).  Diagnosis is
+        // deferred by one iteration: a peer's sends all happen-before
+        // its terminal-status store, so only a drain performed *after*
+        // the observation proves the awaited message can never arrive.
+        // Panicking straight off the observation would race — the peer
+        // can enqueue the match after our drain yet publish its status
+        // before our board read, and the message would sit undelivered
+        // while we misdiagnose a deadlock.  Statuses are monotonic, so
+        // a condition observed once still holds on the next iteration.
+        let mut terminal_seen = false;
         loop {
             // Publish intent to park *before* the final drain: a peer
             // that terminates after our drain sees the flag and sends a
@@ -608,19 +619,32 @@ impl Proc {
                 board.blocked[self.rank].store(false, Ordering::SeqCst);
                 return msg;
             }
-            // Channel fully drained with no match: act on the board's
-            // monotonic facts.  Per-sender channels are FIFO, so a
-            // terminal status for `src` observed *after* a full drain
-            // proves the awaited message can never arrive; which peer's
-            // news lands first in the channel no longer matters, keeping
-            // every diagnosis order-independent.
-            match board.status_of(src) {
-                RankStatus::Died => self.panic_waiting_on_dead(src, tag),
-                RankStatus::Poisoned => panic!("{ABORT_MSG} (rank {src})"),
-                RankStatus::Running | RankStatus::Done => {}
-            }
-            if board.terminated.load(Ordering::SeqCst) >= self.p() - 1 {
-                self.panic_all_terminated(src, tag);
+            // Channel fully drained with no match: read the board's
+            // monotonic facts.  A terminal condition seen for the first
+            // time triggers one more drain-and-recheck round instead of
+            // an immediate panic (see `terminal_seen` above); a drain
+            // that still finds no match after a prior observation is
+            // proof, and which peer's status landed first no longer
+            // matters — every diagnosis stays order-independent.
+            let src_status = board.status_of(src);
+            let all_terminated = board.terminated.load(Ordering::SeqCst) >= self.p() - 1;
+            if matches!(src_status, RankStatus::Died | RankStatus::Poisoned) || all_terminated {
+                if terminal_seen {
+                    // This drain started strictly after the previous
+                    // iteration observed the condition, so it contained
+                    // every message the terminated peers ever sent.
+                    match src_status {
+                        RankStatus::Died => self.panic_waiting_on_dead(src, tag),
+                        RankStatus::Poisoned => panic!("{ABORT_MSG} (rank {src})"),
+                        // `src` alive or cleanly Done, so the flag came
+                        // from (still-monotonic) full termination.
+                        RankStatus::Running | RankStatus::Done => {
+                            self.panic_all_terminated(src, tag)
+                        }
+                    }
+                }
+                terminal_seen = true;
+                continue;
             }
             if spins < SPIN_YIELDS {
                 spins += 1;

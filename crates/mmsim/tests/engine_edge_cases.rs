@@ -115,6 +115,35 @@ fn now_reflects_virtual_not_host_time() {
 }
 
 #[test]
+fn terminal_status_never_outraces_the_final_message() {
+    // Regression for a TOCTOU in the receive path: a peer that sends
+    // its last message and immediately terminates could publish its
+    // terminal status between the receiver's (empty) inbox drain and
+    // the receiver's status-board read, tricking the receiver into a
+    // spurious deadlock/dead-peer diagnosis while the message sat
+    // undelivered in its inbox.  Diagnosis is now deferred until a
+    // drain performed *after* the observation still finds no match.
+    // Stress the window: the sender's send→terminate gap is a few
+    // instructions, and the stagger varies which part of the
+    // receiver's drain/park cycle it lands in.
+    let machine = Machine::new(Topology::fully_connected(2), CostModel::unit());
+    for round in 0..300u32 {
+        let r = machine.run(move |proc| {
+            if proc.rank() == 1 {
+                if round % 3 == 0 {
+                    std::thread::sleep(std::time::Duration::from_micros(u64::from(round) % 97));
+                }
+                proc.send(0, 9, vec![f64::from(round)]);
+                0.0
+            } else {
+                proc.recv_payload(1, 9)[0]
+            }
+        });
+        assert_eq!(r.results[0], f64::from(round));
+    }
+}
+
+#[test]
 fn large_payload_roundtrip_is_intact() {
     let machine = Machine::new(Topology::fully_connected(2), CostModel::unit());
     let payload: Vec<f64> = (0..100_000).map(|i| f64::from(i % 9973)).collect();
