@@ -32,7 +32,7 @@ use std::sync::Arc;
 
 use dense::{kernel, BlockGrid, Matrix};
 use mmsim::engine::message::tag;
-use mmsim::{Machine, Proc};
+use mmsim::{Checkpoint, Machine, Proc};
 
 use crate::common::{check_square_operands, exact_sqrt, AlgoError, SimOutcome};
 
@@ -99,7 +99,8 @@ impl MeshView {
 /// Blocks may be rectangular (Berntsen's usage): `a` is `h×w_a`, `b` is
 /// `w_a×h`-compatible per block column; shapes are carried by the
 /// matrices themselves.  Tag phases `phase0` (alignment) and
-/// `phase0 + 1` (rolling) are consumed.
+/// `phase0 + 1` (rolling) are consumed; the reliable variant also
+/// consumes `phase0 + 2` for checkpoint frames.
 ///
 /// With `reliable = true` every hop goes through the engine's
 /// checksummed retransmitting transport instead of the plain channels,
@@ -107,7 +108,12 @@ impl MeshView {
 /// [`mmsim::FaultPlan`].  Reliable sends are issued sequentially (no
 /// `send_multi` batching), so the all-port overlap benefit is forfeited
 /// — each completed shift is the implicit checkpoint the next round
-/// restarts from.
+/// restarts from.  The reliable variant additionally registers a
+/// [`Checkpoint`] after alignment and after every completed round
+/// (state: the live `a`/`b` blocks plus the accumulated `c`), so that
+/// on a machine with spares a fail-stop death replays from the last
+/// finished round instead of from scratch.  Without spares the hooks
+/// are free.
 pub(crate) fn cannon_core(
     proc: &mut Proc,
     mesh: &MeshView,
@@ -177,6 +183,22 @@ pub(crate) fn cannon_core(
         b0
     };
 
+    // Step-granular recovery pricing (reliable variant only): the phase
+    // state is the live operand blocks plus the running accumulator —
+    // exactly what a promoted spare needs to resume the next round.
+    let mut ckpt = reliable.then(|| Checkpoint::new(phase0 + 2));
+    let phase_state = |a: &Matrix, b: &Matrix, c: &Matrix| -> Vec<f64> {
+        let mut s =
+            Vec::with_capacity(a.as_slice().len() + b.as_slice().len() + c.as_slice().len());
+        s.extend_from_slice(a.as_slice());
+        s.extend_from_slice(b.as_slice());
+        s.extend_from_slice(c.as_slice());
+        s
+    };
+    if let Some(ck) = ckpt.as_mut() {
+        ck.save(proc, phase_state(&a, &b, &c));
+    }
+
     // --- q rounds: multiply-accumulate, roll A west, roll B north. ---
     let west = mesh.rank_at(i, j - 1);
     let east = mesh.rank_at(i, j + 1);
@@ -199,6 +221,9 @@ pub(crate) fn cannon_core(
         a = Matrix::from_vec(a_shape.0, a_shape.1, a_words.into_vec());
         let b_words = pull(proc, south, tb);
         b = Matrix::from_vec(b_shape.0, b_shape.1, b_words.into_vec());
+        if let Some(ck) = ckpt.as_mut() {
+            ck.save(proc, phase_state(&a, &b, &c));
+        }
     }
     c
 }

@@ -22,23 +22,34 @@
 //! directly visible in `T_p` and in the per-processor
 //! [`mmsim::ProcStats::backoff_idle`] / `retransmissions` counters.
 //!
-//! ## Unrecoverable faults
+//! ## Fail-stop deaths
 //!
-//! Fail-stop deaths are *not* masked: a scheduled death surfaces as
-//! [`AlgoError::Sim`] wrapping the structured
-//! [`mmsim::SimError::RankDied`] (or the deadlock it provokes in
-//! peers), never as a hang or an unannotated panic — the entry points
-//! run under [`mmsim::Machine::try_run`].
+//! On a machine provisioned with spares
+//! ([`mmsim::Machine::with_spares`]) fail-stop deaths are masked too:
+//! every resilient variant registers step-granular
+//! [`mmsim::Checkpoint`]s (alignment and per-round state for Cannon,
+//! per-iteration state for Fox, per-stage state for GK and DNS), so the
+//! engine can promote a spare into the dead rank's slot and replay from
+//! the buddy's checkpoint — the product stays bit-identical and the
+//! recovery surcharge lands in [`mmsim::ProcStats::recovery_idle`] /
+//! `recoveries`.  The hooks are free (no messages, no virtual time) on
+//! machines without spares.
+//!
+//! Beyond the spare budget a death surfaces as [`AlgoError::Sim`]
+//! wrapping the structured [`mmsim::SimError::RankDied`] (or the
+//! deadlock it provokes in peers), never as a hang or an unannotated
+//! panic — the entry points run under [`mmsim::Machine::try_run`].
 
 use std::sync::Arc;
 
 use dense::{kernel, BlockGrid, Matrix};
-use mmsim::Machine;
+use mmsim::{Checkpoint, Machine};
 
 use mmsim::engine::message::tag;
 
 use crate::cannon::{self, cannon_core, MeshView};
 use crate::common::{check_square_operands, AlgoError, SimOutcome};
+use crate::dns;
 use crate::fox;
 use crate::gk::{self, route_along_i};
 use collectives::{broadcast_reliable, reduce_sum_reliable, Group};
@@ -103,6 +114,10 @@ pub fn fox_resilient(machine: &Machine, a: &Matrix, b: &Matrix) -> Result<SimOut
 
         let mut bcur = gb.block_by_rank(rank).clone();
         let mut c = Matrix::zeros(bs, bs);
+        // Phase state per iteration: the rolled B block plus the
+        // accumulator — what a promoted spare resumes the next
+        // broadcast round from.  Free without spares.
+        let mut ckpt = Checkpoint::new(u32::MAX - 1);
         for t in 0..q {
             let owner_col = (i + t) % q;
             let data = (owner_col == j).then(|| ga.block_by_rank(rank).clone().into_vec());
@@ -116,6 +131,10 @@ pub fn fox_resilient(machine: &Machine, a: &Matrix, b: &Matrix) -> Result<SimOut
                 proc.send_reliable(north, tb, bcur.into_vec());
                 bcur = Matrix::from_vec(bs, bs, proc.recv_reliable(south, tb).into_vec());
             }
+            let mut state = Vec::with_capacity(2 * bs * bs);
+            state.extend_from_slice(bcur.as_slice());
+            state.extend_from_slice(c.as_slice());
+            ckpt.save(proc, state);
         }
         c
     })?;
@@ -180,10 +199,22 @@ pub fn gk_resilient(machine: &Machine, a: &Matrix, b: &Matrix) -> Result<SimOutc
         );
         let b_blk = Matrix::from_vec(bs, bs, b_flat.into_vec());
 
+        // Checkpoint after stage 1: operands are in place.  Free
+        // without spares.
+        let mut ckpt = Checkpoint::new(5);
+        let mut state = Vec::with_capacity(2 * bs * bs);
+        state.extend_from_slice(a_blk.as_slice());
+        state.extend_from_slice(b_blk.as_slice());
+        ckpt.save(proc, state);
+
         // Stage 2: local block product.
         let mut c = Matrix::zeros(bs, bs);
         proc.compute(kernel::work_units(bs, bs, bs));
         kernel::matmul_accumulate(&mut c, &a_blk, &b_blk);
+
+        // Checkpoint after stage 2: the local product, the state the
+        // reduction consumes.
+        ckpt.save(proc, c.as_slice().to_vec());
 
         // Stage 3: reliable reduction onto the front plane.
         let r_group = Group::new(proc, (0..s).map(|l| rank_at(l, j, k)).collect());
@@ -195,6 +226,97 @@ pub fn gk_resilient(machine: &Machine, a: &Matrix, b: &Matrix) -> Result<SimOutc
         .map(|r| Matrix::from_vec(bs, bs, r.clone().expect("front plane holds C")))
         .collect();
     let c = BlockGrid::assemble_from(&blocks, s, s);
+    Ok(SimOutcome::from_report(&report, c, n))
+}
+
+/// The block-variant DNS algorithm ([`crate::dns_block`]) over the
+/// reliable transport: reliable element spread along the first cube
+/// axis, reliable internal Cannon (with its per-round checkpoints), and
+/// a reliable element-wise reduction.  Stage boundaries additionally
+/// register [`Checkpoint`]s (after the spread, after the internal
+/// multiply), so on a machine with spares a fail-stop death replays
+/// from the last completed stage.  Applicability is identical to
+/// [`crate::dns_block`]; the product is bit-identical to the fault-free
+/// run under every recoverable fault plan.
+///
+/// Tag phases: 0/1 (routes), 2/3 (broadcasts), 4–6 (internal Cannon +
+/// its checkpoints), 7 (reduction), 8 (stage checkpoints).
+///
+/// # Errors
+/// As [`crate::dns_block`], plus [`AlgoError::Sim`] when the simulated
+/// execution fails on an unrecoverable fault (fail-stop death beyond
+/// the spare budget).
+pub fn dns_resilient(machine: &Machine, a: &Matrix, b: &Matrix) -> Result<SimOutcome, AlgoError> {
+    let n = check_square_operands(a, b)?;
+    let p = machine.p();
+    let r = dns::applicability(n, p)?;
+    let m = n / r; // internal mesh side; block size of superblocks
+
+    let ga = Arc::new(BlockGrid::split(a, r, r));
+    let gb = Arc::new(BlockGrid::split(b, r, r));
+
+    let report = machine.try_run(|proc| {
+        let rank = proc.rank();
+        let (sp, local) = (rank / (m * m), rank % (m * m));
+        let (i, jk) = (sp / (r * r), sp % (r * r));
+        let (j, k) = (jk / r, jk % r);
+        let (u, v) = (local / m, local % m);
+        let rank_at = |i: usize, j: usize, k: usize| (((i * r) + j) * r + k) * m * m + local;
+        let mut ckpt = Checkpoint::new(8);
+
+        // --- Stage 1: element-wise spread over the reliable transport. ---
+        let a_src = (i == 0).then(|| vec![ga.block(j, k)[(u, v)]]);
+        let a_routed = route_along_i(proc, |ii| rank_at(ii, j, k), i, k, 0, a_src, true);
+        let b_src = (i == 0).then(|| vec![gb.block(j, k)[(u, v)]]);
+        let b_routed = route_along_i(proc, |ii| rank_at(ii, j, k), i, j, 1, b_src, true);
+
+        let a_group = Group::new(proc, (0..r).map(|l| rank_at(i, j, l)).collect());
+        let a_elem = broadcast_reliable(
+            proc,
+            &a_group,
+            2,
+            i,
+            (k == i).then(|| a_routed.expect("A at (i,j,i)")),
+        )[0];
+        let b_group = Group::new(proc, (0..r).map(|l| rank_at(i, l, k)).collect());
+        let b_elem = broadcast_reliable(
+            proc,
+            &b_group,
+            3,
+            i,
+            (j == i).then(|| b_routed.expect("B at (i,i,k)")),
+        )[0];
+        ckpt.save(proc, vec![a_elem, b_elem]);
+
+        // --- Stage 2: one-element Cannon on the internal mesh,
+        // reliable hops + per-round checkpoints. ---
+        let mesh = MeshView::contiguous(proc, sp * m * m, m);
+        let c_elem = cannon_core(
+            proc,
+            &mesh,
+            Matrix::from_vec(1, 1, vec![a_elem]),
+            Matrix::from_vec(1, 1, vec![b_elem]),
+            4,
+            true,
+        );
+        ckpt.save(proc, c_elem.as_slice().to_vec());
+
+        // --- Stage 3: element-wise reliable reduction. ---
+        let r_group = Group::new(proc, (0..r).map(|l| rank_at(l, j, k)).collect());
+        reduce_sum_reliable(proc, &r_group, 7, 0, c_elem.into_vec())
+    })?;
+
+    // C element (j·m+u, k·m+v) lives at (0, j, k, u, v).
+    let mut c = Matrix::zeros(n, n);
+    for jk in 0..r * r {
+        let (j, k) = (jk / r, jk % r);
+        for local in 0..m * m {
+            let (u, v) = (local / m, local % m);
+            let rank = jk * m * m + local;
+            let val = report.results[rank].as_ref().expect("front plane holds C")[0];
+            c[(j * m + u, k * m + v)] = val;
+        }
+    }
     Ok(SimOutcome::from_report(&report, c, n))
 }
 
@@ -381,6 +503,139 @@ mod tests {
             gk_resilient(&machine, &a, &b),
             Err(AlgoError::BadProcessorCount { .. })
         ));
+    }
+
+    #[test]
+    fn dns_resilient_healthy_matches_plain_product() {
+        let (a, b) = gen::random_pair(4, 71);
+        let machine = Machine::new(Topology::fully_connected(32), CostModel::new(3.0, 0.5));
+        let plain = dns::dns_block(&machine, &a, &b).unwrap();
+        let resilient = dns_resilient(&machine, &a, &b).unwrap();
+        assert_eq!(
+            plain.c, resilient.c,
+            "healthy transport must not perturb the product"
+        );
+        assert_eq!(total_retransmissions(&resilient), 0);
+        assert_eq!(total_backoff(&resilient), 0.0);
+        // Framing + acks make resilience strictly more expensive.
+        assert!(resilient.t_parallel > plain.t_parallel);
+    }
+
+    #[test]
+    fn dns_resilient_is_exact_under_lossy_links() {
+        let (a, b) = gen::random_pair(4, 73);
+        for topo in [Topology::hypercube_for(64), Topology::fully_connected(64)] {
+            let healthy = Machine::new(topo.clone(), CostModel::new(3.0, 0.5));
+            let faulty =
+                Machine::new(topo, CostModel::new(3.0, 0.5)).with_fault_plan(lossy_plan(29));
+            let reference = dns::dns_block(&healthy, &a, &b).unwrap();
+            let out = dns_resilient(&faulty, &a, &b).unwrap();
+            // Retransmitted payloads are bit-identical, so the product
+            // is exactly the fault-free one.
+            assert_eq!(out.c, reference.c);
+            assert!(total_retransmissions(&out) > 0, "lossy plan must retry");
+        }
+    }
+
+    #[test]
+    fn dns_resilient_structural_errors_checked_first() {
+        let (a, b) = gen::random_pair(4, 75);
+        let machine = Machine::new(Topology::fully_connected(20), CostModel::unit());
+        assert!(matches!(
+            dns_resilient(&machine, &a, &b),
+            Err(AlgoError::BadProcessorCount { .. })
+        ));
+    }
+
+    #[test]
+    fn death_in_dns_surfaces_as_structured_error() {
+        let (a, b) = gen::random_pair(4, 77);
+        let machine = Machine::new(Topology::fully_connected(32), CostModel::unit())
+            .with_fault_plan(FaultPlan::new(5).with_death(3, 10.0));
+        let err = dns_resilient(&machine, &a, &b).unwrap_err();
+        assert!(matches!(
+            err,
+            AlgoError::Sim(SimError::RankDied { rank: 3, .. })
+        ));
+    }
+
+    /// Shared harness for the spare-failover acceptance scenario: run
+    /// the algorithm healthy on a machine with one spare, then rerun
+    /// with a fail-stop death scheduled mid-run.  The death must be
+    /// masked (product bit-identical), priced (inflated `T_p`,
+    /// `recovery_idle` on the promoted rank), and counted.
+    fn assert_death_is_masked_by_spare<F>(algo: F, p_logical: usize, n: usize, victim: usize)
+    where
+        F: Fn(&Machine, &Matrix, &Matrix) -> Result<SimOutcome, AlgoError>,
+    {
+        let (a, b) = gen::random_pair(n, 79);
+        let cost = CostModel::new(5.0, 0.5);
+        let spared = Machine::new(Topology::fully_connected(p_logical + 1), cost).with_spares(1);
+        assert_eq!(spared.p(), p_logical);
+        let healthy = algo(&spared, &a, &b).unwrap();
+        assert!(
+            healthy.stats.iter().all(|s| s.checkpoint_words > 0),
+            "spared run must replicate checkpoints on every rank"
+        );
+
+        let t_death = healthy.t_parallel * 0.5;
+        let faulty = Machine::new(Topology::fully_connected(p_logical + 1), cost)
+            .with_fault_plan(FaultPlan::new(11).with_death(victim, t_death))
+            .with_spares(1);
+        let out = algo(&faulty, &a, &b).unwrap();
+        assert_eq!(
+            out.c, healthy.c,
+            "failover must reproduce the product bit-identically"
+        );
+        assert_eq!(
+            out.stats.iter().map(|s| s.recoveries).sum::<u64>(),
+            1,
+            "exactly one promotion"
+        );
+        assert!(
+            out.stats.iter().any(|s| s.recovery_idle > 0.0),
+            "the promoted rank must carry the failover surcharge"
+        );
+        assert!(
+            out.t_parallel > healthy.t_parallel,
+            "recovery must inflate T_p ({} vs {})",
+            out.t_parallel,
+            healthy.t_parallel
+        );
+        for s in &out.stats {
+            assert!(s.is_consistent(1e-9), "{s:?}");
+        }
+
+        // The same death with no spare budget degrades to the
+        // structured legacy error.
+        let bare = Machine::new(Topology::fully_connected(p_logical), cost)
+            .with_fault_plan(FaultPlan::new(11).with_death(victim, t_death));
+        assert!(matches!(
+            algo(&bare, &a, &b),
+            Err(AlgoError::Sim(
+                SimError::RankDied { .. } | SimError::Deadlock { .. }
+            ))
+        ));
+    }
+
+    #[test]
+    fn cannon_death_is_masked_by_spare() {
+        assert_death_is_masked_by_spare(cannon_resilient, 16, 8, 1);
+    }
+
+    #[test]
+    fn fox_death_is_masked_by_spare() {
+        assert_death_is_masked_by_spare(fox_resilient, 4, 8, 1);
+    }
+
+    #[test]
+    fn gk_death_is_masked_by_spare() {
+        assert_death_is_masked_by_spare(gk_resilient, 8, 8, 3);
+    }
+
+    #[test]
+    fn dns_death_is_masked_by_spare() {
+        assert_death_is_masked_by_spare(dns_resilient, 32, 4, 5);
     }
 
     #[test]

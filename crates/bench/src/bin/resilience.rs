@@ -1,16 +1,24 @@
 //! Resilience sweep: efficiency degradation of the fault-tolerant
-//! Cannon and GK variants as link fault rates rise.
+//! Cannon and GK variants as link fault rates rise, plus spare-rank
+//! failover under injected fail-stop deaths.
 //!
 //! For each algorithm × processor count × fault level the same
 //! multiplication runs under a seeded [`mmsim::FaultPlan`] whose drop
 //! and corruption rates scale with the level; the table reports the
 //! simulated parallel time, the efficiency, the degradation relative
 //! to the fault-free reliable run, and the recovery effort
-//! (retransmissions, backoff idle time).
+//! (retransmissions, backoff idle time).  The death rows additionally
+//! provision spares (`Machine::with_spares`) and fail-stop one rank
+//! halfway through the fault-free schedule: the binary *asserts* that
+//! the product stays bit-identical to the fault-free run and that the
+//! promotion shows up in the `recoveries` / `recovery_idle` columns.
 //!
 //! ```sh
-//! cargo run -p bench --release --bin resilience [-- --n 24 --seed 7]
+//! cargo run -p bench --release --bin resilience [-- --n 24 --seed 7 --smoke]
 //! ```
+//!
+//! `--smoke` shrinks the sweep to a CI-sized subset (one processor
+//! count per algorithm, two fault levels) with the same assertions.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -23,12 +31,26 @@ use mmsim::{CostModel, FaultPlan, Machine, Topology};
 /// Fault levels swept: the drop rate per transmission attempt; the
 /// corruption rate rides along at half of it.
 const DROP_RATES: [f64; 5] = [0.0, 0.05, 0.1, 0.2, 0.3];
+const SMOKE_DROP_RATES: [f64; 2] = [0.0, 0.1];
 
-fn parse_args() -> Result<(usize, u64), String> {
+/// Drop rate the death rows run under, so failover is exercised on
+/// already-lossy links rather than in isolation.
+const DEATH_DROP: f64 = 0.05;
+
+struct Args {
+    n: usize,
+    seed: u64,
+    smoke: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
     let mut flags: HashMap<String, String> = HashMap::new();
+    let mut smoke = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        if let Some(name) = arg.strip_prefix("--") {
+        if arg == "--smoke" {
+            smoke = true;
+        } else if let Some(name) = arg.strip_prefix("--") {
             let value = args
                 .next()
                 .ok_or_else(|| format!("missing value for --{name}"))?;
@@ -47,26 +69,41 @@ fn parse_args() -> Result<(usize, u64), String> {
         .map_or("7", String::as_str)
         .parse()
         .map_err(|e| format!("--seed: {e}"))?;
-    Ok((n, seed))
+    Ok(Args { n, seed, smoke })
 }
 
-/// One sweep point: algorithm name, processor count, drop rate.
+/// One sweep point: algorithm name, processor count, drop rate, and —
+/// for the failover rows — a death scheduled at `death_t` with enough
+/// hypercube left over to provision spares.
 struct Point {
     alg: &'static str,
     p: usize,
     drop: f64,
+    /// Fail-stop logical rank 1 at this virtual time (spares on).
+    death_t: Option<f64>,
 }
 
 fn run_point(point: &Point, n: usize, seed: u64) -> Result<SimOutcome, String> {
     let (a, b) = gen::random_pair(n, 17);
     let cost = CostModel::new(150.0, 3.0); // the paper's nCUBE2 constants
-    let mut machine = Machine::new(Topology::hypercube_for(point.p), cost);
+    let mut plan = FaultPlan::new(seed);
     if point.drop > 0.0 {
-        machine = machine.with_fault_plan(
-            FaultPlan::new(seed)
-                .with_drop_rate(point.drop)
-                .with_corrupt_rate(point.drop / 2.0),
-        );
+        plan = plan
+            .with_drop_rate(point.drop)
+            .with_corrupt_rate(point.drop / 2.0);
+    }
+    let mut machine = if let Some(t) = point.death_t {
+        // The next hypercube up holds the logical mesh plus spares;
+        // rank 1 dies mid-run and a spare takes its slot.
+        plan = plan.with_death(1, t);
+        let full = Machine::new(Topology::hypercube_for(2 * point.p), cost);
+        let spares = full.p() - point.p;
+        full.with_spares(spares)
+    } else {
+        Machine::new(Topology::hypercube_for(point.p), cost)
+    };
+    if point.drop > 0.0 || point.death_t.is_some() {
+        machine = machine.with_fault_plan(plan);
     }
     let out = match point.alg {
         "cannon" => cannon_resilient(&machine, &a, &b),
@@ -77,87 +114,159 @@ fn run_point(point: &Point, n: usize, seed: u64) -> Result<SimOutcome, String> {
 }
 
 fn main() -> ExitCode {
-    let (n, seed) = match parse_args() {
+    let args = match parse_args() {
         Ok(cfg) => cfg,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: resilience [--n <size>] [--seed <plan seed>]");
+            eprintln!("usage: resilience [--n <size>] [--seed <plan seed>] [--smoke]");
             return ExitCode::FAILURE;
         }
+    };
+    let (n, seed) = (args.n, args.seed);
+    let drop_rates: &[f64] = if args.smoke {
+        &SMOKE_DROP_RATES
+    } else {
+        &DROP_RATES
     };
 
     // Cannon needs a perfect square side dividing n; GK a power-of-eight
     // cube whose side divides n.  The defaults (n = 24) admit both sets.
+    let cannon_ps: &[usize] = if args.smoke { &[4] } else { &[4, 16, 64] };
+    let gk_ps: &[usize] = if args.smoke { &[8] } else { &[8, 64] };
     let mut points = Vec::new();
-    for p in [4usize, 16, 64] {
+    for &p in cannon_ps {
         if n % (p as f64).sqrt().round() as usize == 0 {
-            for drop in DROP_RATES {
+            for &drop in drop_rates {
                 points.push(Point {
                     alg: "cannon",
                     p,
                     drop,
+                    death_t: None,
                 });
             }
         }
     }
-    for p in [8usize, 64] {
+    for &p in gk_ps {
         let s = (p as f64).cbrt().round() as usize;
         if n % s == 0 {
-            for drop in DROP_RATES {
-                points.push(Point { alg: "gk", p, drop });
+            for &drop in drop_rates {
+                points.push(Point {
+                    alg: "gk",
+                    p,
+                    drop,
+                    death_t: None,
+                });
             }
         }
     }
 
     let outcomes = parallel_sweep(points, |point| {
-        run_point(point, n, seed).map(|out| (point.alg, point.p, point.drop, out))
+        run_point(point, n, seed).map(|out| (point.alg, point.p, point.drop, 0usize, out))
     });
-
-    let mut table = ResultTable::new(
-        format!("efficiency degradation under link faults (n = {n}, t_s = 150, t_w = 3, plan seed {seed})"),
-        &[
-            "algorithm",
-            "p",
-            "drop_rate",
-            "corrupt_rate",
-            "t_parallel",
-            "efficiency",
-            "degradation",
-            "retransmissions",
-            "backoff_idle",
-        ],
-    );
-    // Fault-free efficiency per (alg, p) anchors the degradation column.
-    let mut baseline: HashMap<(&str, usize), f64> = HashMap::new();
-    for (alg, p, drop, out) in outcomes.iter().flatten() {
-        if *drop == 0.0 {
-            baseline.insert((alg, *p), out.efficiency());
-        }
-    }
+    let mut rows: Vec<(&str, usize, f64, usize, SimOutcome)> = Vec::new();
     for outcome in outcomes {
         match outcome {
-            Ok((alg, p, drop, out)) => {
-                let eff = out.efficiency();
-                let base = baseline.get(&(alg, p)).copied().unwrap_or(eff);
-                let retrans: u64 = out.stats.iter().map(|s| s.retransmissions).sum();
-                let backoff: f64 = out.stats.iter().map(|s| s.backoff_idle).sum();
-                table.push_row(vec![
-                    alg.to_string(),
-                    p.to_string(),
-                    format!("{drop:.2}"),
-                    format!("{:.2}", drop / 2.0),
-                    format!("{:.1}", out.t_parallel),
-                    format!("{eff:.4}"),
-                    format!("{:.4}", eff / base),
-                    retrans.to_string(),
-                    format!("{backoff:.1}"),
-                ]);
+            Ok(row) => rows.push(row),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // Failover rows: kill logical rank 1 halfway through the fault-free
+    // schedule of each (alg, p) and let a spare absorb it.  The
+    // fault-free outcome doubles as the bit-identity reference.
+    let fault_free: Vec<(&str, usize, SimOutcome)> = rows
+        .iter()
+        .filter(|(_, _, drop, _, _)| *drop == 0.0)
+        .map(|(alg, p, _, _, out)| (*alg, *p, out.clone()))
+        .collect();
+    let death_points: Vec<Point> = fault_free
+        .iter()
+        .map(|(alg, p, out)| Point {
+            alg,
+            p: *p,
+            drop: DEATH_DROP,
+            death_t: Some(out.t_parallel * 0.5),
+        })
+        .collect();
+    let death_rows = parallel_sweep(death_points, |point| {
+        run_point(point, n, seed).map(|out| (point.alg, point.p, point.drop, 1usize, out))
+    });
+    for outcome in death_rows {
+        match outcome {
+            Ok((alg, p, drop, deaths, out)) => {
+                let reference = fault_free
+                    .iter()
+                    .find(|(a, q, _)| *a == alg && *q == p)
+                    .map(|(_, _, o)| o)
+                    .expect("death point without a fault-free reference");
+                let recoveries: u64 = out.stats.iter().map(|s| s.recoveries).sum();
+                if out.c != reference.c {
+                    eprintln!("error: {alg} p={p} death run product diverged from fault-free run");
+                    return ExitCode::FAILURE;
+                }
+                if recoveries == 0 {
+                    eprintln!("error: {alg} p={p} death row recorded no spare promotion");
+                    return ExitCode::FAILURE;
+                }
+                rows.push((alg, p, drop, deaths, out));
             }
             Err(e) => {
                 eprintln!("error: {e}");
                 return ExitCode::FAILURE;
             }
         }
+    }
+
+    let mut table = ResultTable::new(
+        format!("efficiency degradation under link faults and fail-stop deaths (n = {n}, t_s = 150, t_w = 3, plan seed {seed})"),
+        &[
+            "algorithm",
+            "p",
+            "drop_rate",
+            "corrupt_rate",
+            "deaths",
+            "spares",
+            "t_parallel",
+            "efficiency",
+            "degradation",
+            "retransmissions",
+            "backoff_idle",
+            "recoveries",
+            "recovery_idle",
+        ],
+    );
+    // Fault-free efficiency per (alg, p) anchors the degradation column.
+    let baseline: HashMap<(&str, usize), f64> = rows
+        .iter()
+        .filter(|(_, _, drop, deaths, _)| *drop == 0.0 && *deaths == 0)
+        .map(|(alg, p, _, _, out)| ((*alg, *p), out.efficiency()))
+        .collect();
+    for (alg, p, drop, deaths, out) in rows {
+        let eff = out.efficiency();
+        let base = baseline.get(&(alg, p)).copied().unwrap_or(eff);
+        let retrans: u64 = out.stats.iter().map(|s| s.retransmissions).sum();
+        let backoff: f64 = out.stats.iter().map(|s| s.backoff_idle).sum();
+        let recoveries: u64 = out.stats.iter().map(|s| s.recoveries).sum();
+        let recovery_idle: f64 = out.stats.iter().map(|s| s.recovery_idle).sum();
+        let spares = if deaths > 0 { p } else { 0 };
+        table.push_row(vec![
+            alg.to_string(),
+            p.to_string(),
+            format!("{drop:.2}"),
+            format!("{:.2}", drop / 2.0),
+            deaths.to_string(),
+            spares.to_string(),
+            format!("{:.1}", out.t_parallel),
+            format!("{eff:.4}"),
+            format!("{:.4}", eff / base),
+            retrans.to_string(),
+            format!("{backoff:.1}"),
+            recoveries.to_string(),
+            format!("{recovery_idle:.1}"),
+        ]);
     }
 
     println!("{}", table.render());

@@ -60,6 +60,12 @@ pub struct JobRecord {
     pub predicted_time: f64,
     /// The simulator's actual `T_p`.
     pub actual_time: f64,
+    /// Placements it took to finish the job: 1 plus the fail-stop
+    /// losses that forced a re-submission onto a fresh partition.
+    pub attempts: usize,
+    /// Spare-rank promotions *inside* the successful run (deaths the
+    /// partition's spare budget absorbed without a re-submission).
+    pub recoveries: u64,
     /// When the job left the queue and its partition was carved out.
     pub start: f64,
     /// When the job's partition was released (`start + actual_time`).
@@ -109,6 +115,8 @@ mod tests {
             resilient: false,
             predicted_time: 1_100.0,
             actual_time: 1_024.0,
+            attempts: 1,
+            recoveries: 0,
             start: 150.0,
             finish: 1_174.0,
         }

@@ -52,6 +52,7 @@ pub struct PartitionManager {
     /// ascending.
     free: Vec<Vec<usize>>,
     allocated: usize,
+    quarantined: usize,
 }
 
 impl PartitionManager {
@@ -71,6 +72,7 @@ impl PartitionManager {
             p,
             free,
             allocated: 0,
+            quarantined: 0,
         })
     }
 
@@ -84,6 +86,13 @@ impl PartitionManager {
     #[must_use]
     pub fn in_use(&self) -> usize {
         self.allocated
+    }
+
+    /// Ranks withheld from the free pool by
+    /// [`PartitionManager::quarantine`].
+    #[must_use]
+    pub fn quarantined(&self) -> usize {
+        self.quarantined
     }
 
     /// Size of the largest block an [`PartitionManager::alloc`] call
@@ -124,6 +133,17 @@ impl PartitionManager {
         }
         self.allocated += size;
         Some(Partition { base, size })
+    }
+
+    /// Withhold a partition from the free pool permanently (for the
+    /// manager's lifetime, i.e. one service run): the block neither
+    /// merges with its buddy nor satisfies future allocations.  Used
+    /// for partitions that contain fail-stopped ranks — a scheduled
+    /// death is a property of the physical rank, so re-placing jobs on
+    /// the block would kill them again.
+    pub fn quarantine(&mut self, part: Partition) {
+        self.allocated -= part.size;
+        self.quarantined += part.size;
     }
 
     /// Return a partition to the free pool, merging buddies greedily.
@@ -210,6 +230,25 @@ mod tests {
         assert!(pm.alloc(8).is_none());
         pm.release(b);
         assert!(pm.alloc(8).is_some());
+    }
+
+    #[test]
+    fn quarantined_blocks_never_come_back() {
+        let mut pm = PartitionManager::new(8).unwrap();
+        let a = pm.alloc(4).unwrap(); // [0, 4)
+        pm.quarantine(a);
+        assert_eq!(pm.quarantined(), 4);
+        assert_eq!(pm.in_use(), 0);
+        assert_eq!(pm.largest_free(), 4);
+        // The survivor block still allocates and releases normally…
+        let b = pm.alloc(4).unwrap();
+        assert_eq!(b.base(), 4);
+        pm.release(b);
+        // …but the quarantined half never merges back to a full 8.
+        assert_eq!(pm.largest_free(), 4);
+        assert!(pm.alloc(8).is_none());
+        // And the quarantined base is never handed out again.
+        assert_eq!(pm.alloc(4).unwrap().base(), 4);
     }
 
     #[test]

@@ -19,6 +19,9 @@ pub struct QueuedJob {
     pub spec: JobSpec,
     /// The right-sizer's verdict, made at admission and never revised.
     pub sizing: Sizing,
+    /// Placements that already failed on a fail-stop loss (0 on first
+    /// admission); bounded by the scheduler's retry budget.
+    pub attempts: usize,
 }
 
 /// Queue-ordering policy: pick the index of the next job to place.
@@ -105,6 +108,7 @@ mod tests {
                 ..JobSpec::new(n, 0.0)
             },
             sizing: Sizing { p, rec },
+            attempts: 0,
         }
     }
 

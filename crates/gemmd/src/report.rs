@@ -19,6 +19,16 @@ pub struct ServiceReport {
     pub rejected: Vec<JobSpec>,
     /// Time the last job finished (0 for an empty run).
     pub makespan: f64,
+    /// Placements lost to fail-stop deaths beyond the spare budget and
+    /// re-submitted onto fresh partitions.
+    pub requeues: usize,
+    /// Ranks withheld from the buddy pool because a job died on their
+    /// partition (quarantined for the rest of the run).
+    pub quarantined_ranks: usize,
+    /// Rank-time consumed by placements that ended in a loss
+    /// (`Σ p_block · t_death`): capacity the machine spent on work that
+    /// had to be redone.
+    pub wasted_rank_time: f64,
 }
 
 impl ServiceReport {
@@ -97,12 +107,12 @@ impl ServiceReport {
     #[must_use]
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "id,n,arrival,priority,p,base,algorithm,resilient,predicted,actual,start,finish,wait,efficiency\n",
+            "id,n,arrival,priority,p,base,algorithm,resilient,predicted,actual,attempts,recoveries,start,finish,wait,efficiency\n",
         );
         for r in &self.records {
             let _ = writeln!(
                 out,
-                "{},{},{:.3},{},{},{},{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.4}",
+                "{},{},{:.3},{},{},{},{},{},{:.3},{:.3},{},{},{:.3},{:.3},{:.3},{:.4}",
                 r.id,
                 r.spec.n,
                 r.spec.arrival,
@@ -113,6 +123,8 @@ impl ServiceReport {
                 r.resilient,
                 r.predicted_time,
                 r.actual_time,
+                r.attempts,
+                r.recoveries,
                 r.start,
                 r.finish,
                 r.wait(),
@@ -125,7 +137,7 @@ impl ServiceReport {
     /// One-line human summary.
     #[must_use]
     pub fn summary(&self) -> String {
-        format!(
+        let mut line = format!(
             "{}/{}: {} jobs ({} rejected), makespan {:.0}, util {:.2}, {:.1} ops/unit, mean wait {:.0}",
             self.policy,
             self.sizing,
@@ -135,7 +147,15 @@ impl ServiceReport {
             self.utilization(),
             self.throughput_flops(),
             self.mean_wait(),
-        )
+        );
+        if self.requeues > 0 || self.quarantined_ranks > 0 {
+            let _ = write!(
+                line,
+                ", {} requeued, {} ranks quarantined",
+                self.requeues, self.quarantined_ranks
+            );
+        }
+        line
     }
 }
 
@@ -154,6 +174,8 @@ mod tests {
             resilient: false,
             predicted_time: dur,
             actual_time: dur,
+            attempts: 1,
+            recoveries: 0,
             start,
             finish: start + dur,
         };
@@ -164,6 +186,9 @@ mod tests {
             records: vec![rec(0, 4, 0.0, 100.0), rec(1, 4, 0.0, 100.0)],
             rejected: vec![],
             makespan: 100.0,
+            requeues: 0,
+            quarantined_ranks: 0,
+            wasted_rank_time: 0.0,
         }
     }
 

@@ -37,6 +37,17 @@ pub struct Config {
     /// Verify every product against the serial kernel (costs an
     /// `O(n³)` host-side multiply per job; meant for tests).
     pub verify: bool,
+    /// Spare ranks provisioned alongside each job's compute partition
+    /// (the buddy block is rounded up to fit them), so fail-stop
+    /// deaths inside a run are absorbed by
+    /// [`mmsim::Machine::with_spares`] failover instead of killing the
+    /// placement.  0 (the default) provisions none; a job whose
+    /// rounded-up block would not fit the machine runs without spares.
+    pub spares: usize,
+    /// How many times a job lost to a fail-stop death beyond its spare
+    /// budget may be re-submitted onto a fresh partition before the
+    /// run fails with [`GemmdError::Execution`].
+    pub retry_budget: usize,
 }
 
 impl Default for Config {
@@ -45,6 +56,8 @@ impl Default for Config {
             sizing: SizingMode::default_iso(),
             queue_cap: 64,
             verify: false,
+            spares: 0,
+            retry_budget: 2,
         }
     }
 }
@@ -57,9 +70,26 @@ pub struct Scheduler<'m> {
     config: Config,
 }
 
+/// One placement in flight: either it completes and retires as a
+/// record, or a fail-stop death beyond the spare budget lost it and
+/// the partition goes to quarantine while the job is re-queued.
 struct Running {
-    record: JobRecord,
+    finish: f64,
+    id: usize,
     partition: Partition,
+    outcome: Outcome,
+}
+
+enum Outcome {
+    Completed(JobRecord),
+    /// Fail-stop loss: the closure's dead rank and the virtual death
+    /// time within the run (the partition is occupied until
+    /// `start + t_death`).
+    Lost {
+        job: QueuedJob,
+        rank: usize,
+        t: f64,
+    },
 }
 
 impl<'m> Scheduler<'m> {
@@ -120,18 +150,23 @@ impl<'m> Scheduler<'m> {
         let mut next_arrival = 0usize;
         let mut now = 0.0f64;
         let mut makespan = 0.0f64;
+        let mut requeues = 0usize;
+        let mut wasted_rank_time = 0.0f64;
 
         loop {
             // Place as many queued jobs as the policy and the free
             // blocks allow, head of line first.
             while let Some(i) = policy.select(&queue) {
-                let Some(partition) = pm.alloc(queue[i].sizing.p) else {
+                let (block, spares) = self.provision(queue[i].sizing.p);
+                let Some(partition) = pm.alloc(block) else {
                     break; // selected job blocks until space frees up
                 };
                 let job = queue.remove(i);
-                let record = self.start_job(&job, &partition, now)?;
-                makespan = makespan.max(record.finish);
-                running.push(Running { record, partition });
+                let placed = self.start_job(job, partition, spares, now)?;
+                if let Outcome::Completed(record) = &placed.outcome {
+                    makespan = makespan.max(record.finish);
+                }
+                running.push(placed);
             }
 
             // Next event: earliest completion (ties → lowest id) vs
@@ -139,21 +174,41 @@ impl<'m> Scheduler<'m> {
             let next_done = running
                 .iter()
                 .enumerate()
-                .min_by(|(_, a), (_, b)| {
-                    a.record
-                        .finish
-                        .total_cmp(&b.record.finish)
-                        .then(a.record.id.cmp(&b.record.id))
-                })
-                .map(|(i, r)| (i, r.record.finish));
+                .min_by(|(_, a), (_, b)| a.finish.total_cmp(&b.finish).then(a.id.cmp(&b.id)))
+                .map(|(i, r)| (i, r.finish));
             let arrival = jobs.get(next_arrival).map(|j| j.arrival);
 
             match (next_done, arrival) {
                 (Some((i, t)), a) if a.map_or(true, |ta| t <= ta) => {
                     now = t;
                     let done = running.swap_remove(i);
-                    pm.release(done.partition);
-                    records.push(done.record);
+                    match done.outcome {
+                        Outcome::Completed(record) => {
+                            pm.release(done.partition);
+                            records.push(record);
+                        }
+                        Outcome::Lost { mut job, rank, t } => {
+                            // A scheduled death belongs to the physical
+                            // rank: the block would kill the job again,
+                            // so it leaves the pool for good and the
+                            // job retries on a fresh partition.
+                            wasted_rank_time += done.partition.size() as f64 * t;
+                            pm.quarantine(done.partition);
+                            job.attempts += 1;
+                            if job.attempts > self.config.retry_budget {
+                                return Err(GemmdError::Execution {
+                                    id: job.id,
+                                    detail: format!(
+                                        "rank {rank} fail-stopped at t = {t:.3}; retry budget \
+                                         ({}) exhausted",
+                                        self.config.retry_budget
+                                    ),
+                                });
+                            }
+                            requeues += 1;
+                            queue.push(job);
+                        }
+                    }
                 }
                 (_, Some(t)) => {
                     now = t;
@@ -167,12 +222,30 @@ impl<'m> Scheduler<'m> {
                     let sizing =
                         right_size(&self.advisor, spec.n, self.machine.p(), self.config.sizing)
                             .ok_or(GemmdError::Unschedulable { n: spec.n })?;
-                    queue.push(QueuedJob { id, spec, sizing });
+                    queue.push(QueuedJob {
+                        id,
+                        spec,
+                        sizing,
+                        attempts: 0,
+                    });
                 }
                 _ => break,
             }
         }
-        debug_assert!(queue.is_empty() && running.is_empty());
+        debug_assert!(running.is_empty());
+        // No events left but jobs still queued: quarantine has eaten
+        // every block that could host them.  Surface the stuck job
+        // instead of hanging or dropping it silently.
+        if let Some(i) = policy.select(&queue) {
+            return Err(GemmdError::Execution {
+                id: queue[i].id,
+                detail: format!(
+                    "no allocatable partition remains ({} of {} ranks quarantined)",
+                    pm.quarantined(),
+                    pm.capacity()
+                ),
+            });
+        }
 
         Ok(ServiceReport {
             policy: policy.name().into(),
@@ -181,24 +254,63 @@ impl<'m> Scheduler<'m> {
             records,
             rejected,
             makespan,
+            requeues,
+            quarantined_ranks: pm.quarantined(),
+            wasted_rank_time,
         })
     }
 
-    /// Execute one job on its partition and build its record.
+    /// Decide the buddy block and spare count for a compute partition
+    /// of `p` ranks: with spares configured, the block is rounded up to
+    /// the next power of two that fits `p + spares`; if that exceeds
+    /// the machine, the job runs unprotected rather than not at all.
+    fn provision(&self, p: usize) -> (usize, usize) {
+        if self.config.spares == 0 {
+            return (p, 0);
+        }
+        let block = (p + self.config.spares).next_power_of_two();
+        if block > self.machine.p() {
+            (p, 0)
+        } else {
+            (block, self.config.spares)
+        }
+    }
+
+    /// Execute one job on its partition: the compute ranks are the
+    /// block's first `sizing.p` ranks, plus `spares` idle ranks for
+    /// fail-stop failover.  A death beyond the spare budget is not an
+    /// error — it becomes a [`Outcome::Lost`] placement that occupies
+    /// the partition until the death instant.
     fn start_job(
         &self,
-        job: &QueuedJob,
-        partition: &Partition,
+        job: QueuedJob,
+        partition: Partition,
+        spares: usize,
         now: f64,
-    ) -> Result<JobRecord, GemmdError> {
-        let sub = self.machine.partition(&partition.ranks());
+    ) -> Result<Running, GemmdError> {
+        let ranks = partition.ranks();
+        let sub = self
+            .machine
+            .partition(&ranks[..job.sizing.p + spares])
+            .with_spares(spares);
         let (a, b) = dense::gen::random_pair(job.spec.n, job.spec.seed);
-        let out = run_recommendation(&job.sizing.rec, &sub, &a, &b).map_err(|e| {
-            GemmdError::Execution {
-                id: job.id,
-                detail: e.to_string(),
+        let out = match run_recommendation(&job.sizing.rec, &sub, &a, &b) {
+            Ok(out) => out,
+            Err(algos::AlgoError::Sim(mmsim::SimError::RankDied { rank, t })) => {
+                return Ok(Running {
+                    finish: now + t,
+                    id: job.id,
+                    partition,
+                    outcome: Outcome::Lost { job, rank, t },
+                });
             }
-        })?;
+            Err(e) => {
+                return Err(GemmdError::Execution {
+                    id: job.id,
+                    detail: e.to_string(),
+                });
+            }
+        };
         if self.config.verify {
             let reference = &a * &b;
             assert!(
@@ -207,17 +319,25 @@ impl<'m> Scheduler<'m> {
                 job.id
             );
         }
-        Ok(JobRecord {
+        let record = JobRecord {
             id: job.id,
-            spec: job.spec.clone(),
+            spec: job.spec,
             p: partition.size(),
             base: partition.base(),
             algorithm: job.sizing.rec.algorithm,
             resilient: job.sizing.rec.resilient,
             predicted_time: job.sizing.rec.predicted_time,
             actual_time: out.t_parallel,
+            attempts: job.attempts + 1,
+            recoveries: out.stats.iter().map(|s| s.recoveries).sum(),
             start: now,
             finish: now + out.t_parallel,
+        };
+        Ok(Running {
+            finish: record.finish,
+            id: record.id,
+            partition,
+            outcome: Outcome::Completed(record),
         })
     }
 }
@@ -404,6 +524,121 @@ mod tests {
         }];
         let report = Scheduler::new(&m, config()).run(&jobs, &Fifo).unwrap();
         assert_eq!(report.deadlines(), (0, 1));
+    }
+
+    /// A lossy machine whose physical ranks in `deaths` fail-stop at
+    /// `t = 400` (inside any n = 16 run).  The small drop rate makes
+    /// the advisor pick resilient variants, so deaths surface as
+    /// structured errors instead of panics.
+    fn dying_machine(deaths: &[usize]) -> Machine {
+        use mmsim::FaultPlan;
+        let mut plan = FaultPlan::new(21).with_drop_rate(0.02);
+        for &rank in deaths {
+            plan = plan.with_death(rank, 400.0);
+        }
+        Machine::new(Topology::hypercube(4), CostModel::ncube2()).with_fault_plan(plan)
+    }
+
+    /// Iso sizing with a high floor → small partitions (p = 1 for
+    /// n = 16 on the lossy nCUBE2 constants), so the death/quarantine
+    /// geometry below is exact.
+    fn tight_config() -> Config {
+        Config {
+            sizing: SizingMode::Isoefficiency { target: 0.9 },
+            verify: true,
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn spare_budget_masks_a_death_in_place() {
+        let m = dying_machine(&[0]);
+        let cfg = Config {
+            spares: 1,
+            ..tight_config()
+        };
+        let jobs = vec![JobSpec::new(16, 0.0)];
+        let report = Scheduler::new(&m, cfg).run(&jobs, &Fifo).unwrap();
+        assert_eq!(report.records.len(), 1);
+        let r = &report.records[0];
+        assert!(r.resilient);
+        assert_eq!(r.attempts, 1, "spare failover must avoid re-submission");
+        assert!(r.recoveries >= 1, "the death must be absorbed by a spare");
+        assert_eq!(report.requeues, 0);
+        assert_eq!(report.quarantined_ranks, 0);
+        assert_eq!(report.wasted_rank_time, 0.0);
+    }
+
+    #[test]
+    fn death_beyond_budget_requeues_on_a_fresh_partition() {
+        let m = dying_machine(&[0]);
+        let jobs = vec![JobSpec::new(16, 0.0)];
+        let report = Scheduler::new(&m, tight_config())
+            .run(&jobs, &Fifo)
+            .unwrap();
+        assert_eq!(report.records.len(), 1);
+        let r = &report.records[0];
+        assert_eq!(r.attempts, 2, "one loss, one successful retry");
+        assert_ne!(r.base, 0, "the retry must land on a fresh partition");
+        assert_eq!(r.recoveries, 0);
+        assert!(
+            r.start >= 400.0,
+            "the lost placement held the block until the death"
+        );
+        assert_eq!(report.requeues, 1);
+        assert!(
+            report.quarantined_ranks > 0,
+            "the dead block leaves the pool"
+        );
+        assert!(report.wasted_rank_time > 0.0);
+        // The requeue is visible in the CSV attempts column.
+        assert!(report.to_csv().lines().nth(1).unwrap().contains(",2,"));
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_surfaces_structured_error() {
+        let m = dying_machine(&[0, 1, 2]);
+        let jobs = vec![JobSpec::new(16, 0.0)];
+        let err = Scheduler::new(&m, tight_config())
+            .run(&jobs, &Fifo)
+            .unwrap_err();
+        match err {
+            GemmdError::Execution { id: 0, detail } => {
+                assert!(
+                    detail.contains("retry budget (2) exhausted"),
+                    "unexpected detail: {detail}"
+                );
+            }
+            other => panic!("expected Execution, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quarantine_starvation_is_reported_not_hung() {
+        use mmsim::FaultPlan;
+        // Both ranks of a 2-rank machine carry deaths: after two lost
+        // placements the whole pool is quarantined and the job can
+        // never be placed again.
+        let plan = FaultPlan::new(23)
+            .with_drop_rate(0.02)
+            .with_death(0, 400.0)
+            .with_death(1, 400.0);
+        let m = Machine::new(Topology::hypercube(1), CostModel::ncube2()).with_fault_plan(plan);
+        let cfg = Config {
+            retry_budget: 5,
+            ..tight_config()
+        };
+        let jobs = vec![JobSpec::new(16, 0.0)];
+        let err = Scheduler::new(&m, cfg).run(&jobs, &Fifo).unwrap_err();
+        match err {
+            GemmdError::Execution { id: 0, detail } => {
+                assert!(
+                    detail.contains("no allocatable partition remains (2 of 2 ranks quarantined)"),
+                    "unexpected detail: {detail}"
+                );
+            }
+            other => panic!("expected Execution, got {other:?}"),
+        }
     }
 
     #[test]

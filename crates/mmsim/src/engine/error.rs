@@ -101,6 +101,32 @@ pub(crate) struct CorruptionPayload {
     pub message: String,
 }
 
+/// Silence the default panic hook for the engine's *typed* control
+/// payloads.  Injected deaths, diagnosed deadlocks and detected
+/// corruption unwind rank threads by design and are always caught and
+/// classified by the collector — printing a "thread panicked" banner
+/// plus backtrace for each one is pure noise (a death+failover bench
+/// sweep would emit dozens).  Every other payload — user-closure bugs,
+/// engine assertions — still reaches the previous hook untouched, and
+/// the terminal re-panic `Machine::run` raises on the *host* thread
+/// keeps its pinned message either way.
+pub(crate) fn install_quiet_control_panic_hook() {
+    static INSTALLED: std::sync::Once = std::sync::Once::new();
+    INSTALLED.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            if payload.is::<DiedPayload>()
+                || payload.is::<DeadlockPayload>()
+                || payload.is::<CorruptionPayload>()
+            {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

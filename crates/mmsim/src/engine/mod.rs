@@ -15,6 +15,7 @@ use crate::engine::error::{CorruptionPayload, DeadlockPayload, DiedPayload, SimE
 use crate::engine::message::Envelope;
 use crate::engine::proc_ctx::{Proc, RankStatus, RunShared, StatusBoard, ABORT_MSG};
 use crate::fault::FaultPlan;
+use crate::recovery::CkptRecord;
 use crate::stats::ProcStats;
 use crate::topology::Topology;
 use crate::trace::Timeline;
@@ -108,6 +109,11 @@ pub struct Machine {
     /// Rank translation + death schedule derived from `part` and
     /// `fault`, hoisted here so runs and ranks don't recompute it.
     table: Arc<RankTable>,
+    /// Physical ranks reserved as failover spares by
+    /// [`Machine::with_spares`], in promotion order.  They are outside
+    /// the logical topology (`part` excludes them) and idle until a
+    /// fail-stop death promotes one; empty = recovery disabled.
+    spares: Arc<Vec<usize>>,
 }
 
 impl Machine {
@@ -123,6 +129,7 @@ impl Machine {
             fault: None,
             part: None,
             table,
+            spares: Arc::new(Vec::new()),
         }
     }
 
@@ -179,6 +186,9 @@ impl Machine {
             fault: self.fault.clone(),
             part: Some(Arc::new(global)),
             table,
+            // A spare reservation does not survive partitioning: the new
+            // view names its own ranks; reserve spares on it afterwards.
+            spares: Arc::new(Vec::new()),
         }
     }
 
@@ -228,6 +238,58 @@ impl Machine {
         self.fault.as_deref()
     }
 
+    /// Builder-style: reserve the view's last `k` ranks as failover
+    /// **spares** (see [`crate::recovery`]).  The algorithm closure then
+    /// sees `p − k` logical ranks; when a logical rank fail-stops under
+    /// the machine's [`FaultPlan`], a spare is promoted into its slot
+    /// (in reservation order), the run is replayed from the rank's last
+    /// completed [`crate::Checkpoint`], and the recovery cost — lost
+    /// work plus a `t_s + t_w·m` state transfer on the buddy→spare
+    /// link — is charged to the recovered rank in virtual time.
+    ///
+    /// With more simultaneous deaths than spares remain (or a dead
+    /// buddy holding a rank's only checkpoint) the run degrades to the
+    /// spare-less behaviour: [`Machine::try_run`] returns
+    /// [`SimError::RankDied`].
+    ///
+    /// Apply *after* [`Machine::partition`] — partitioning produces a
+    /// fresh view with no spare reservation.
+    ///
+    /// # Panics
+    /// Panics unless at least one logical rank remains (`k < p`).
+    #[must_use]
+    pub fn with_spares(mut self, k: usize) -> Self {
+        assert!(
+            k < self.p(),
+            "reserving {k} spares leaves no logical ranks (p = {})",
+            self.p()
+        );
+        if k == 0 {
+            self.spares = Arc::new(Vec::new());
+            return self;
+        }
+        let view: Vec<usize> = match &self.part {
+            Some(m) => m.as_ref().clone(),
+            None => (0..self.topology.p()).collect(),
+        };
+        let (logical, spare) = view.split_at(view.len() - k);
+        self.spares = Arc::new(spare.to_vec());
+        self.table = Arc::new(RankTable::build(
+            self.topology.p(),
+            Some(logical),
+            self.fault.as_deref(),
+        ));
+        self.part = Some(Arc::new(logical.to_vec()));
+        self
+    }
+
+    /// Physical ranks currently reserved as failover spares, in
+    /// promotion order (empty when recovery is disabled).
+    #[must_use]
+    pub fn spares(&self) -> &[usize] {
+        &self.spares
+    }
+
     /// Number of processors taking part in a run: the partition size
     /// for a partition view, the full topology size otherwise.
     #[must_use]
@@ -249,13 +311,16 @@ impl Machine {
 
     /// Lease pool workers for the virtual processors, run `f` on each,
     /// and collect every rank's outcome (value or panic payload) in
-    /// rank order.
-    fn execute<T, F>(&self, f: F) -> Vec<ThreadOutcome<T>>
+    /// rank order, together with each rank's last completed checkpoint
+    /// record (always `None` on spare-less runs).
+    #[allow(clippy::type_complexity)]
+    fn execute<T, F>(&self, f: &F) -> (Vec<ThreadOutcome<T>>, Vec<Option<CkptRecord>>)
     where
         T: Send,
         F: Fn(&mut Proc) -> T + Sync,
     {
         let p = self.p();
+        crate::engine::error::install_quiet_control_panic_hook();
         let (senders, receivers): (Vec<_>, Vec<_>) = (0..p).map(|_| channel::<Envelope>()).unzip();
         // Everything run-wide lives behind one Arc built once, instead
         // of per-rank clones of the topology and friends.
@@ -268,6 +333,8 @@ impl Machine {
             table: Arc::clone(&self.table),
             trace: self.trace,
             board: StatusBoard::new(p),
+            spares: self.spares.len(),
+            ckpt_log: (0..p).map(|_| Mutex::new(None)).collect(),
         });
         // Receivers are `Send` but not `Sync`, so each rank's worker
         // takes its inbox out of a mutexed slot; outcomes travel back
@@ -319,14 +386,20 @@ impl Machine {
         };
         pool::run_on_pool(p, &job);
 
-        outcomes
+        let ckpts = shared
+            .ckpt_log
+            .iter()
+            .map(|slot| slot.lock().expect("checkpoint log slot poisoned").take())
+            .collect();
+        let outcomes = outcomes
             .into_iter()
             .map(|slot| {
                 slot.into_inner()
                     .expect("outcome slot poisoned")
                     .expect("every rank reports exactly once")
             })
-            .collect()
+            .collect();
+        (outcomes, ckpts)
     }
 
     /// Build the report once every outcome is known to be `Ok`.
@@ -350,75 +423,37 @@ impl Machine {
         }
     }
 
-    /// Run `f` on every virtual processor and collect the report.
+    /// One diagnosis shared by both run entry points, so the legacy
+    /// panic path and the structured path can never diverge.
     ///
-    /// `f` is called once per rank with that rank's [`Proc`] handle; its
-    /// return values are gathered in rank order.  The simulated parallel
-    /// time is the maximum final clock over all processors.
-    ///
-    /// Determinism: the report depends only on `f` and the machine, never
-    /// on host thread scheduling.
-    ///
-    /// # Panics
-    /// Propagates any panic raised by `f` on any rank, annotated with the
-    /// rank.  Fault-plan failures (deaths, corrupted plain receives,
-    /// fault-induced deadlocks) also panic on this entry point; use
-    /// [`Machine::try_run`] to get them as structured [`SimError`]s.
-    pub fn run<T, F>(&self, f: F) -> RunReport<T>
-    where
-        T: Send,
-        F: Fn(&mut Proc) -> T + Sync,
-    {
-        let outcomes = self.execute(f);
-
-        // Re-raise the original panic (not the cascaded aborts), if any.
-        let mut abort_payload = None;
-        for (rank, outcome) in outcomes.iter().enumerate() {
-            if let Err(payload) = outcome {
-                let what = panic_message(payload.as_ref());
-                if what.starts_with(ABORT_MSG) {
-                    abort_payload = Some((rank, what));
-                } else {
-                    panic!("virtual processor {rank} panicked: {what}");
-                }
-            }
-        }
-        if let Some((rank, what)) = abort_payload {
-            panic!("virtual processor {rank} panicked: {what}");
-        }
-
-        Self::assemble(outcomes)
-    }
-
-    /// Like [`Machine::run`], but returns engine-diagnosed failures as a
-    /// structured [`SimError`] instead of panicking, so fault-injection
-    /// sweeps can classify outcomes without `catch_unwind` plumbing.
-    ///
-    /// When several ranks fail, the most causal diagnosis wins: a
-    /// fail-stop death outranks the corruption or deadlocks it provoked,
-    /// corruption outranks the deadlocks *it* provoked, and a plain
-    /// closure panic is reported only when nothing fault-related
-    /// happened.  All deadlocked ranks are collected into
-    /// [`SimError::Deadlock`]'s waiter list.
-    ///
-    /// # Errors
-    /// Returns the classified [`SimError`] if any rank failed.
-    pub fn try_run<T, F>(&self, f: F) -> Result<RunReport<T>, SimError>
-    where
-        T: Send,
-        F: Fn(&mut Proc) -> T + Sync,
-    {
-        let outcomes = self.execute(f);
-
+    /// `error` is the [`Machine::try_run`] classification (most causal
+    /// failure wins: died > corrupted > deadlock > closure panic);
+    /// `panic_rank`/`panic_message` reproduce the historical
+    /// [`Machine::run`] re-raise selection (first non-abort failure in
+    /// rank order, last-seen abort cascade as fallback); `deaths` lists
+    /// every fail-stop of the attempt for the failover loop.
+    fn classify<T>(outcomes: &[ThreadOutcome<T>]) -> Option<RunFailure> {
         let mut died: Option<SimError> = None;
+        let mut deaths: Vec<(usize, f64)> = Vec::new();
         let mut corrupted: Option<SimError> = None;
         let mut waiters: Vec<usize> = Vec::new();
         let mut panicked: Option<SimError> = None;
-        let mut any_failure = false;
+        let mut first_non_abort: Option<(usize, String)> = None;
+        let mut last_abort: Option<(usize, String)> = None;
+        let mut fallback: Option<(usize, String)> = None;
         for (rank, outcome) in outcomes.iter().enumerate() {
             let Err(payload) = outcome else { continue };
-            any_failure = true;
+            let what = panic_message(payload.as_ref());
+            if fallback.is_none() {
+                fallback = Some((rank, what.clone()));
+            }
+            if what.starts_with(ABORT_MSG) {
+                last_abort = Some((rank, what.clone()));
+            } else if first_non_abort.is_none() {
+                first_non_abort = Some((rank, what.clone()));
+            }
             if let Some(d) = payload.downcast_ref::<DiedPayload>() {
+                deaths.push((d.rank, d.t));
                 if died.is_none() {
                     died = Some(SimError::RankDied {
                         rank: d.rank,
@@ -435,44 +470,196 @@ impl Machine {
                 }
             } else if let Some(w) = payload.downcast_ref::<DeadlockPayload>() {
                 waiters.push(w.rank);
-            } else {
-                let what = panic_message(payload.as_ref());
-                if panicked.is_none() && !what.starts_with(ABORT_MSG) {
-                    panicked = Some(SimError::RankPanicked {
-                        rank,
-                        message: what,
+            } else if panicked.is_none() && !what.starts_with(ABORT_MSG) {
+                panicked = Some(SimError::RankPanicked {
+                    rank,
+                    message: what,
+                });
+            }
+        }
+        let (panic_rank, panic_message) = first_non_abort.or(last_abort).or(fallback)?;
+        let error = died
+            .or(corrupted)
+            .or((!waiters.is_empty()).then_some(SimError::Deadlock { waiters }))
+            .or(panicked)
+            // Only abort cascades remain — cannot normally happen
+            // without an origin above, but never silently drop a
+            // failure.
+            .unwrap_or(SimError::RankPanicked {
+                rank: panic_rank,
+                message: panic_message.clone(),
+            });
+        Some(RunFailure {
+            error,
+            deaths,
+            panic_rank,
+            panic_message,
+        })
+    }
+
+    /// The engine core behind [`Machine::run`] and [`Machine::try_run`]:
+    /// execute attempts until one completes, promoting spares over
+    /// fail-stop deaths (see [`crate::recovery`]) and applying the
+    /// accumulated recovery surcharges to the surviving report.
+    fn run_recovering<T, F>(&self, f: F) -> Result<RunReport<T>, RunFailure>
+    where
+        T: Send,
+        F: Fn(&mut Proc) -> T + Sync,
+    {
+        let p = self.p();
+        let mut view = self.clone();
+        let mut spares_left: std::collections::VecDeque<usize> =
+            self.spares.iter().copied().collect();
+        // Accumulated per-logical-rank failover cost across attempts:
+        // lost-work replay + buddy→spare state transfer, and how often
+        // the slot was re-bound.
+        let mut surcharge = vec![0.0f64; p];
+        let mut recoveries = vec![0u64; p];
+        loop {
+            let (outcomes, ckpts) = view.execute(&f);
+            let Some(fail) = Self::classify(&outcomes) else {
+                let mut report = Self::assemble(outcomes);
+                for rank in 0..p {
+                    if recoveries[rank] > 0 {
+                        report.stats[rank].recoveries = recoveries[rank];
+                        report.stats[rank].recovery_idle += surcharge[rank];
+                        report.stats[rank].idle += surcharge[rank];
+                        report.stats[rank].clock += surcharge[rank];
+                    }
+                }
+                report.t_parallel = report.stats.iter().map(|s| s.clock).fold(0.0, f64::max);
+                return Ok(report);
+            };
+            // Only pure fail-stop deaths are recoverable, and only while
+            // the spare budget covers every death of the attempt.
+            if fail.deaths.is_empty() || fail.deaths.len() > spares_left.len() {
+                return Err(fail);
+            }
+            // A dead rank whose buddy died with it lost its only
+            // checkpoint replica: it cannot resume mid-run, which
+            // escalates to the spare-less diagnosis for that rank.
+            for &(dead, t) in &fail.deaths {
+                let buddy = (dead + 1) % p;
+                if ckpts[dead].is_some() && fail.deaths.iter().any(|&(b, _)| b == buddy) {
+                    return Err(RunFailure {
+                        error: SimError::RankDied { rank: dead, t },
+                        panic_message: format!(
+                            "fail-stop fault injected: rank {dead} died at virtual time {t} \
+                             (buddy {buddy} died holding its only checkpoint)"
+                        ),
+                        panic_rank: dead,
+                        deaths: fail.deaths,
                     });
                 }
             }
-        }
-        if let Some(e) = died {
-            return Err(e);
-        }
-        if let Some(e) = corrupted {
-            return Err(e);
-        }
-        if !waiters.is_empty() {
-            return Err(SimError::Deadlock { waiters });
-        }
-        if let Some(e) = panicked {
-            return Err(e);
-        }
-        if any_failure {
-            // Only abort cascades remain — cannot normally happen without
-            // an origin above, but never silently drop a failure.
-            let rank = outcomes
-                .iter()
-                .position(Result::is_err)
-                .expect("a failure exists");
-            let message = outcomes[rank]
+            // Promote spares in death-time order (rank breaks ties) and
+            // re-bind the dead slots to the spares' physical ranks.  The
+            // re-run then prices the spare's physical links — and its
+            // own death schedule, so a doomed spare fails over again.
+            let mut order = fail.deaths;
+            order.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+            let mut physical = view
+                .part
                 .as_ref()
-                .err()
-                .map(|payload| panic_message(payload.as_ref()))
-                .unwrap_or_default();
-            return Err(SimError::RankPanicked { rank, message });
+                .map_or_else(|| (0..p).collect::<Vec<_>>(), |m| m.as_ref().clone());
+            for (dead, t) in order {
+                let spare = spares_left.pop_front().expect("budget checked above");
+                let (ckpt_t, transfer) = match ckpts[dead] {
+                    Some(ck) => {
+                        let buddy_ph = physical[(dead + 1) % p];
+                        let tw = view
+                            .fault
+                            .as_ref()
+                            .map_or(1.0, |plan| plan.link(buddy_ph, spare).tw_factor);
+                        (
+                            ck.t,
+                            view.cost.sender_occupancy_scaled(ck.words as usize, tw),
+                        )
+                    }
+                    // Never checkpointed: restart from scratch — full
+                    // replay, nothing to transfer.
+                    None => (0.0, 0.0),
+                };
+                surcharge[dead] += (t - ckpt_t) + transfer;
+                recoveries[dead] += 1;
+                physical[dead] = spare;
+            }
+            view.table = Arc::new(RankTable::build(
+                view.topology.p(),
+                Some(&physical),
+                view.fault.as_deref(),
+            ));
+            view.part = Some(Arc::new(physical));
         }
-        Ok(Self::assemble(outcomes))
     }
+
+    /// Run `f` on every virtual processor and collect the report.
+    ///
+    /// `f` is called once per rank with that rank's [`Proc`] handle; its
+    /// return values are gathered in rank order.  The simulated parallel
+    /// time is the maximum final clock over all processors.
+    ///
+    /// Determinism: the report depends only on `f` and the machine, never
+    /// on host thread scheduling.
+    ///
+    /// # Panics
+    /// Propagates any panic raised by `f` on any rank, annotated with the
+    /// rank.  Fault-plan failures (deaths, corrupted plain receives,
+    /// fault-induced deadlocks) also panic on this entry point; use
+    /// [`Machine::try_run`] to get them as structured [`SimError`]s.
+    /// Both entry points share one diagnosis (and one failover loop), so
+    /// they cannot disagree about what went wrong.
+    pub fn run<T, F>(&self, f: F) -> RunReport<T>
+    where
+        T: Send,
+        F: Fn(&mut Proc) -> T + Sync,
+    {
+        self.run_recovering(f).unwrap_or_else(|fail| {
+            panic!(
+                "virtual processor {} panicked: {}",
+                fail.panic_rank, fail.panic_message
+            )
+        })
+    }
+
+    /// Like [`Machine::run`], but returns engine-diagnosed failures as a
+    /// structured [`SimError`] instead of panicking, so fault-injection
+    /// sweeps can classify outcomes without `catch_unwind` plumbing.
+    ///
+    /// When several ranks fail, the most causal diagnosis wins: a
+    /// fail-stop death outranks the corruption or deadlocks it provoked,
+    /// corruption outranks the deadlocks *it* provoked, and a plain
+    /// closure panic is reported only when nothing fault-related
+    /// happened.  All deadlocked ranks are collected into
+    /// [`SimError::Deadlock`]'s waiter list.
+    ///
+    /// On a machine with spares ([`Machine::with_spares`]), fail-stop
+    /// deaths within the spare budget are masked by failover instead of
+    /// reported; [`SimError::RankDied`] surfaces only once the budget is
+    /// exhausted (or a buddy death destroyed the only checkpoint).
+    ///
+    /// # Errors
+    /// Returns the classified [`SimError`] if any rank failed.
+    pub fn try_run<T, F>(&self, f: F) -> Result<RunReport<T>, SimError>
+    where
+        T: Send,
+        F: Fn(&mut Proc) -> T + Sync,
+    {
+        self.run_recovering(f).map_err(|fail| fail.error)
+    }
+}
+
+/// One failed attempt's complete diagnosis (see [`Machine::classify`]).
+struct RunFailure {
+    /// The [`Machine::try_run`] classification.
+    error: SimError,
+    /// Every fail-stop of the attempt, in rank order — what the
+    /// failover loop consumes spares against.
+    deaths: Vec<(usize, f64)>,
+    /// Rank whose panic [`Machine::run`] re-raises.
+    panic_rank: usize,
+    /// Message [`Machine::run`] re-raises.
+    panic_message: String,
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {

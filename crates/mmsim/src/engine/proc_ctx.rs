@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use crate::cost::{CostModel, Ports};
 use crate::engine::error::{CorruptionPayload, DeadlockPayload, DiedPayload};
@@ -11,6 +11,7 @@ use crate::engine::message::{Envelope, Message, Tag};
 use crate::engine::payload::Payload;
 use crate::engine::RankTable;
 use crate::fault::{Fate, FaultPlan, TrafficClass};
+use crate::recovery::CkptRecord;
 use crate::stats::ProcStats;
 use crate::topology::Topology;
 use crate::trace::{Timeline, TraceEvent};
@@ -33,6 +34,13 @@ pub(crate) struct RunShared {
     pub(crate) trace: bool,
     /// Per-rank terminal statuses and blocked flags (see [`StatusBoard`]).
     pub(crate) board: StatusBoard,
+    /// Spare ranks provisioned for this run (see [`crate::recovery`]);
+    /// zero disables checkpoint replication entirely.
+    pub(crate) spares: usize,
+    /// Host-side log of each rank's last completed checkpoint, read by
+    /// the engine's failover loop to price recoveries.  Never touched
+    /// on spare-less runs.
+    pub(crate) ckpt_log: Vec<Mutex<Option<CkptRecord>>>,
 }
 
 /// A virtual processor's terminal state, as published on the board.
@@ -501,9 +509,15 @@ impl Proc {
             hops,
             corrupted,
         };
-        self.shared.senders[dst]
-            .send(Envelope::App(msg))
-            .expect("engine channel closed while simulation running");
+        if self.shared.senders[dst].send(Envelope::App(msg)).is_err() {
+            // The destination has terminated and its inbox is gone: a
+            // fail-stopped peer can never receive, and a finished peer
+            // would never have matched this message.  The network
+            // swallows the message like a drop — the sender already
+            // paid the injection cost and the traffic counters — so a
+            // straggler send races no one and panics nowhere.  Blocked
+            // receives still diagnose the termination via the board.
+        }
     }
 
     /// Receive the message with the given `(src, tag)`, blocking until it
@@ -628,7 +642,7 @@ impl Proc {
             // matters — every diagnosis stays order-independent.
             let src_status = board.status_of(src);
             let all_terminated = board.terminated.load(Ordering::SeqCst) >= self.p() - 1;
-            if matches!(src_status, RankStatus::Died | RankStatus::Poisoned) || all_terminated {
+            if src_status != RankStatus::Running || all_terminated {
                 if terminal_seen {
                     // This drain started strictly after the previous
                     // iteration observed the condition, so it contained
@@ -636,8 +650,13 @@ impl Proc {
                     match src_status {
                         RankStatus::Died => self.panic_waiting_on_dead(src, tag),
                         RankStatus::Poisoned => panic!("{ABORT_MSG} (rank {src})"),
-                        // `src` alive or cleanly Done, so the flag came
-                        // from (still-monotonic) full termination.
+                        // A cleanly-terminated peer will never send
+                        // again, and its sends all happen-before its
+                        // status store — the post-observation drain
+                        // proves the awaited message does not exist.
+                        RankStatus::Done if !all_terminated => self.panic_waiting_on_done(src, tag),
+                        // `src` alive or Done, so the flag came from
+                        // (still-monotonic) full termination.
                         RankStatus::Running | RankStatus::Done => {
                             self.panic_all_terminated(src, tag)
                         }
@@ -682,6 +701,22 @@ impl Proc {
     fn panic_waiting_on_dead(&self, src: usize, tag: Tag) -> ! {
         let message = format!(
             "rank {}: deadlock — peer {src} fail-stopped before sending the awaited \
+             message (src {src}, tag {tag:#x})",
+            self.rank
+        );
+        std::panic::panic_any(DeadlockPayload {
+            rank: self.rank,
+            message,
+        });
+    }
+
+    /// The awaited peer terminated cleanly and the post-observation drain
+    /// found no match.  Its sends all happen-before its `Done` store, so
+    /// the message provably does not exist — diagnose immediately instead
+    /// of stalling until the host timeout.
+    fn panic_waiting_on_done(&self, src: usize, tag: Tag) -> ! {
+        let message = format!(
+            "rank {}: deadlock — peer {src} terminated without sending the awaited \
              message (src {src}, tag {tag:#x})",
             self.rank
         );
@@ -989,6 +1024,28 @@ impl Proc {
                 Fate::Dropped => unreachable!("dropped attempts are skipped above"),
             }
         }
+    }
+
+    /// Number of spare ranks provisioned for this run (see
+    /// [`crate::recovery`] and [`crate::Machine::with_spares`]).  Zero
+    /// means a fail-stop death is unrecoverable, so
+    /// [`crate::Checkpoint::save`] skips replication entirely.
+    #[must_use]
+    pub fn spare_count(&self) -> usize {
+        self.shared.spares
+    }
+
+    /// Record a *completed* checkpoint exchange: `words` of phase state
+    /// now replicated at the buddy, as of the current clock.  Feeds the
+    /// failover loop's recovery pricing.
+    pub(crate) fn note_checkpoint(&mut self, words: usize) {
+        self.stats.checkpoint_words += words as u64;
+        *self.shared.ckpt_log[self.rank]
+            .lock()
+            .expect("checkpoint log slot poisoned") = Some(CkptRecord {
+            t: self.clock,
+            words: words as u64,
+        });
     }
 
     /// Snapshot of this processor's accounting so far.

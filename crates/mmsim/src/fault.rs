@@ -59,6 +59,70 @@ pub enum Fate {
     Dropped,
 }
 
+/// Why a [`FaultPlan`] (or one of its [`LinkFaults`] entries) is
+/// invalid.  Produced by the non-panicking [`LinkFaults::check`] /
+/// [`FaultPlan::validate`] paths; the panicking builders raise the same
+/// messages, so the two paths cannot diverge in diagnosis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultPlanError {
+    /// A fault probability lies outside `[0, 1]`.
+    RateOutOfRange {
+        /// Which rate (`"drop"`, `"corrupt"`, `"duplicate"`).
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// `drop + corrupt > 1`: the two outcomes are disjoint, so their
+    /// probabilities must not overlap.
+    OverlappingRates {
+        /// The drop probability.
+        drop: f64,
+        /// The corrupt probability.
+        corrupt: f64,
+    },
+    /// `tw_factor` is below 1 or non-finite (a link can degrade, never
+    /// accelerate).
+    InvalidSlowdown {
+        /// The offending factor.
+        tw_factor: f64,
+    },
+    /// A fail-stop instant is negative or non-finite.
+    InvalidDeathTime {
+        /// The rank scheduled to die.
+        rank: usize,
+        /// The offending virtual time.
+        t: f64,
+    },
+    /// The reliable protocol's retransmission cap is zero.
+    ZeroAttempts,
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::RateOutOfRange { name, value } => {
+                write!(f, "{name} probability must lie in [0, 1], got {value}")
+            }
+            Self::OverlappingRates { drop, corrupt } => write!(
+                f,
+                "drop + corrupt must not exceed 1 (they are disjoint outcomes), \
+                 got {drop} + {corrupt}"
+            ),
+            Self::InvalidSlowdown { tw_factor } => write!(
+                f,
+                "tw_factor must be a finite degradation factor >= 1, got {tw_factor}"
+            ),
+            Self::InvalidDeathTime { rank, t } => write!(
+                f,
+                "death time for rank {rank} must be finite and non-negative, got {t}"
+            ),
+            Self::ZeroAttempts => write!(f, "at least one transmission attempt is required"),
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
 /// Fault behaviour of one directed link.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkFaults {
@@ -85,26 +149,41 @@ impl Default for LinkFaults {
 }
 
 impl LinkFaults {
-    fn validate(&self) {
+    /// Check this link's invariants, returning a descriptive
+    /// [`FaultPlanError`] instead of panicking — use this before handing
+    /// untrusted rates to the panicking builders.
+    ///
+    /// # Errors
+    /// Any rate outside `[0, 1]`, `drop + corrupt > 1`, or a
+    /// `tw_factor` below 1 / non-finite.
+    pub fn check(&self) -> Result<(), FaultPlanError> {
         for (name, v) in [
             ("drop", self.drop),
             ("corrupt", self.corrupt),
             ("duplicate", self.duplicate),
         ] {
-            assert!(
-                (0.0..=1.0).contains(&v),
-                "{name} probability must lie in [0, 1], got {v}"
-            );
+            if !(0.0..=1.0).contains(&v) {
+                return Err(FaultPlanError::RateOutOfRange { name, value: v });
+            }
         }
-        assert!(
-            self.drop + self.corrupt <= 1.0,
-            "drop + corrupt must not exceed 1 (they are disjoint outcomes)"
-        );
-        assert!(
-            self.tw_factor >= 1.0 && self.tw_factor.is_finite(),
-            "tw_factor must be a finite degradation factor >= 1, got {}",
-            self.tw_factor
-        );
+        if self.drop + self.corrupt > 1.0 {
+            return Err(FaultPlanError::OverlappingRates {
+                drop: self.drop,
+                corrupt: self.corrupt,
+            });
+        }
+        if !(self.tw_factor >= 1.0 && self.tw_factor.is_finite()) {
+            return Err(FaultPlanError::InvalidSlowdown {
+                tw_factor: self.tw_factor,
+            });
+        }
+        Ok(())
+    }
+
+    fn validate(&self) {
+        if let Err(e) = self.check() {
+            panic!("{e}");
+        }
     }
 
     /// Whether this link is fault-free and at full bandwidth.
@@ -170,10 +249,9 @@ impl FaultPlan {
     /// Panics on negative or non-finite `t`.
     #[must_use]
     pub fn with_death(mut self, rank: usize, t: f64) -> Self {
-        assert!(
-            t >= 0.0 && t.is_finite(),
-            "death time must be finite and non-negative, got {t}"
-        );
+        if !(t >= 0.0 && t.is_finite()) {
+            panic!("{}", FaultPlanError::InvalidDeathTime { rank, t });
+        }
         self.deaths.insert(rank, t);
         self
     }
@@ -229,7 +307,9 @@ impl FaultPlan {
     /// Panics if `n` is zero.
     #[must_use]
     pub fn with_max_attempts(mut self, n: u32) -> Self {
-        assert!(n > 0, "at least one transmission attempt is required");
+        if n == 0 {
+            panic!("{}", FaultPlanError::ZeroAttempts);
+        }
         self.max_attempts = n;
         self
     }
@@ -260,6 +340,32 @@ impl FaultPlan {
     #[must_use]
     pub fn max_attempts(&self) -> u32 {
         self.max_attempts
+    }
+
+    /// Re-check **every** invariant of the plan — default link rates,
+    /// all per-link overrides, all death times, and the attempt cap —
+    /// returning the first violation as a descriptive
+    /// [`FaultPlanError`].  The panicking builders uphold these
+    /// invariants already; this is the non-panicking path for plans
+    /// assembled from untrusted configuration.
+    ///
+    /// # Errors
+    /// The first violated invariant, in link-rate → death → attempt-cap
+    /// order.
+    pub fn validate(&self) -> Result<(), FaultPlanError> {
+        self.default_link.check()?;
+        for faults in self.links.values() {
+            faults.check()?;
+        }
+        for (&rank, &t) in &self.deaths {
+            if !(t >= 0.0 && t.is_finite()) {
+                return Err(FaultPlanError::InvalidDeathTime { rank, t });
+            }
+        }
+        if self.max_attempts == 0 {
+            return Err(FaultPlanError::ZeroAttempts);
+        }
+        Ok(())
     }
 
     /// Whether the plan injects nothing at all (no deaths, every link
@@ -499,5 +605,116 @@ mod tests {
     #[should_panic(expected = "death time")]
     fn negative_death_time_rejected() {
         let _ = FaultPlan::new(0).with_death(0, -1.0);
+    }
+
+    #[test]
+    fn check_reports_out_of_range_rate() {
+        let faults = LinkFaults {
+            corrupt: 1.5,
+            ..LinkFaults::default()
+        };
+        assert_eq!(
+            faults.check(),
+            Err(FaultPlanError::RateOutOfRange {
+                name: "corrupt",
+                value: 1.5
+            })
+        );
+        let msg = faults.check().unwrap_err().to_string();
+        assert!(msg.contains("must lie in [0, 1]"), "{msg}");
+    }
+
+    #[test]
+    fn check_reports_overlapping_rates() {
+        let faults = LinkFaults {
+            drop: 0.7,
+            corrupt: 0.5,
+            ..LinkFaults::default()
+        };
+        assert_eq!(
+            faults.check(),
+            Err(FaultPlanError::OverlappingRates {
+                drop: 0.7,
+                corrupt: 0.5
+            })
+        );
+    }
+
+    #[test]
+    fn check_reports_invalid_slowdown() {
+        for bad in [0.5, f64::NAN, f64::INFINITY] {
+            let faults = LinkFaults {
+                tw_factor: bad,
+                ..LinkFaults::default()
+            };
+            assert!(matches!(
+                faults.check(),
+                Err(FaultPlanError::InvalidSlowdown { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_plans() {
+        let plan = FaultPlan::new(9)
+            .with_drop_rate(0.4)
+            .with_corrupt_rate(0.3)
+            .with_link_slowdown(0, 1, 2.0)
+            .with_death(3, 10.0)
+            .with_max_attempts(4);
+        assert_eq!(plan.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_catches_violations_planted_past_the_builders() {
+        // The builders panic on these, so plant the violations directly
+        // (same-module access) to prove `validate` re-derives them.
+        let mut plan = FaultPlan::new(0);
+        plan.default_link.drop = -0.1;
+        assert!(matches!(
+            plan.validate(),
+            Err(FaultPlanError::RateOutOfRange { name: "drop", .. })
+        ));
+
+        let mut plan = FaultPlan::new(0);
+        plan.links.insert(
+            (1, 2),
+            LinkFaults {
+                tw_factor: 0.0,
+                ..LinkFaults::default()
+            },
+        );
+        assert!(matches!(
+            plan.validate(),
+            Err(FaultPlanError::InvalidSlowdown { tw_factor }) if tw_factor == 0.0
+        ));
+
+        let mut plan = FaultPlan::new(0);
+        plan.deaths.insert(5, f64::NAN);
+        assert!(matches!(
+            plan.validate(),
+            Err(FaultPlanError::InvalidDeathTime { rank: 5, .. })
+        ));
+
+        let mut plan = FaultPlan::new(0);
+        plan.max_attempts = 0;
+        assert_eq!(plan.validate(), Err(FaultPlanError::ZeroAttempts));
+    }
+
+    #[test]
+    fn builder_panics_and_error_display_agree() {
+        let err = std::panic::catch_unwind(|| {
+            let _ = FaultPlan::new(0).with_death(7, f64::NAN);
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("string panic payload");
+        assert_eq!(
+            *msg,
+            FaultPlanError::InvalidDeathTime {
+                rank: 7,
+                t: f64::NAN
+            }
+            .to_string()
+        );
     }
 }

@@ -73,6 +73,7 @@
 pub mod cost;
 pub mod engine;
 pub mod fault;
+pub mod recovery;
 pub mod stats;
 pub mod topology;
 pub mod trace;
@@ -83,7 +84,8 @@ pub use engine::message::{tag, Message, Tag};
 pub use engine::payload::Payload;
 pub use engine::proc_ctx::{Proc, RELIABLE_FRAME_OVERHEAD};
 pub use engine::{Machine, RunReport};
-pub use fault::{Fate, FaultPlan, LinkFaults, TrafficClass};
+pub use fault::{Fate, FaultPlan, FaultPlanError, LinkFaults, TrafficClass};
+pub use recovery::Checkpoint;
 pub use stats::ProcStats;
 pub use topology::{Topology, TopologyKind};
 pub use trace::{Timeline, TraceEvent};

@@ -35,6 +35,19 @@ pub struct ProcStats {
     /// `clock = compute + comm + idle` invariant is unchanged); it
     /// isolates the resilience share of the synchronisation overhead.
     pub backoff_idle: f64,
+    /// Number of times this logical rank was recovered onto a spare
+    /// after a fail-stop death (see [`crate::recovery`]).  Zero unless
+    /// the machine was built with spares and a death actually fired.
+    pub recoveries: u64,
+    /// Payload words this rank replicated to its buddy through the
+    /// [`crate::recovery::Checkpoint`] API (the checkpointing share of
+    /// [`ProcStats::words_sent`]).
+    pub checkpoint_words: u64,
+    /// Idle time charged to failover: the buddy-link state transfer
+    /// (`t_s + t_w·m`) plus the replay of the segment between the last
+    /// completed checkpoint and the death.  A *subset* of
+    /// [`ProcStats::idle`], like [`ProcStats::backoff_idle`].
+    pub recovery_idle: f64,
 }
 
 impl ProcStats {

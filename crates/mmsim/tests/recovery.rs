@@ -1,0 +1,307 @@
+//! Spare-rank failover: recovered runs complete with bit-identical
+//! results, replay byte-identically, price recovery in virtual time,
+//! and degrade to the spare-less diagnosis when the budget runs out.
+
+use std::time::Duration;
+
+use mmsim::{Checkpoint, CostModel, FaultPlan, Machine, Proc, RunReport, SimError, Topology};
+use proptest::prelude::*;
+
+const TIMEOUT: Duration = Duration::from_millis(2_000);
+
+/// A checkpointed ring workload: `steps` rounds of (compute, shift right
+/// over the reliable transport, checkpoint the accumulated state every
+/// `ckpt_every` steps).  Deterministic per (p, steps); every rank
+/// returns its accumulator.
+fn ring_with_interval(proc: &mut Proc, steps: u32, ckpt_every: u32) -> Vec<f64> {
+    let p = proc.p();
+    let right = (proc.rank() + 1) % p;
+    let left = (proc.rank() + p - 1) % p;
+    let mut ckpt = Checkpoint::new(0xC0DE);
+    let mut state = vec![proc.rank() as f64; 4];
+    for s in 0..steps {
+        proc.compute(10.0);
+        if p > 1 {
+            proc.send_reliable(right, mmsim::tag(1, s), state.clone());
+            let got = proc.recv_reliable(left, mmsim::tag(1, s));
+            for (acc, g) in state.iter_mut().zip(got.iter()) {
+                *acc += g;
+            }
+        }
+        if (s + 1) % ckpt_every == 0 {
+            ckpt.save(proc, state.clone());
+        }
+    }
+    state
+}
+
+fn checkpointed_ring(proc: &mut Proc, steps: u32) -> Vec<f64> {
+    ring_with_interval(proc, steps, 1)
+}
+
+fn machine(p_logical: usize, spares: usize, plan: FaultPlan) -> Machine {
+    Machine::new(
+        Topology::fully_connected(p_logical + spares),
+        CostModel::new(10.0, 2.0),
+    )
+    .with_deadlock_timeout(TIMEOUT)
+    .with_fault_plan(plan)
+    .with_spares(spares)
+}
+
+fn run_ring(m: &Machine, steps: u32) -> Result<RunReport<Vec<f64>>, SimError> {
+    m.try_run(move |proc| checkpointed_ring(proc, steps))
+}
+
+#[test]
+fn one_death_one_spare_completes_bit_identically() {
+    let p = 4;
+    // Rank 1 dies mid-run (each step costs ≥ 10 compute, so t = 35 lands
+    // inside step 3's compute phase).
+    let faulty = machine(p, 1, FaultPlan::new(7).with_death(1, 35.0));
+    let healthy = machine(p, 1, FaultPlan::new(7));
+    let recovered = run_ring(&faulty, 6).expect("one spare must mask one death");
+    let reference = run_ring(&healthy, 6).expect("healthy run");
+
+    // Product bit-identical to the fault-free run.
+    assert_eq!(recovered.results, reference.results);
+    // Exactly one promotion, charged to the recovered slot.
+    assert_eq!(recovered.stats[1].recoveries, 1);
+    assert!(recovered.stats[1].recovery_idle > 0.0);
+    assert!(recovered.stats[1].recovery_idle <= recovered.stats[1].idle + 1e-9);
+    for (rank, s) in recovered.stats.iter().enumerate() {
+        assert!(s.is_consistent(1e-9), "rank {rank}: {s:?}");
+        assert!(s.checkpoint_words > 0, "spared runs replicate state");
+        if rank != 1 {
+            assert_eq!(s.recoveries, 0);
+        }
+    }
+    // Recovery is not free: T_p inflates over the fault-free run.
+    assert!(
+        recovered.t_parallel > reference.t_parallel,
+        "{} vs {}",
+        recovered.t_parallel,
+        reference.t_parallel
+    );
+}
+
+#[test]
+fn recovery_cost_shrinks_with_denser_checkpoints() {
+    // Same 12-step run, same death — a rank that checkpoints every step
+    // loses a shorter replay segment than one that never managed a
+    // checkpoint before dying, so its surcharge is strictly smaller.
+    let surcharge = |ckpt_every: u32| {
+        let m = machine(4, 1, FaultPlan::new(3).with_death(2, 300.0));
+        m.try_run(move |proc| ring_with_interval(proc, 12, ckpt_every))
+            .expect("recoverable")
+            .stats[2]
+            .recovery_idle
+    };
+    let dense = surcharge(1);
+    let sparse = surcharge(12); // only checkpoints after the final step
+    assert!(dense > 0.0);
+    assert!(dense < sparse, "dense {dense} vs sparse {sparse}");
+    // The never-checkpointed rank replays from scratch: its surcharge
+    // is the whole lost segment, the death time itself.
+    assert_eq!(sparse, 300.0);
+}
+
+#[test]
+fn spares_exhausted_degrades_to_rank_died() {
+    // Two deaths, one spare: the first failover succeeds, the second
+    // attempt's death exceeds the remaining budget and surfaces exactly
+    // as the spare-less error.
+    let plan = FaultPlan::new(5).with_death(1, 35.0).with_death(2, 47.0);
+    let spared = machine(4, 1, plan.clone());
+    let bare = machine(4, 0, plan);
+    let err = run_ring(&spared, 6).expect_err("budget of 1 cannot mask 2 deaths");
+    let bare_err = run_ring(&bare, 6).expect_err("no spares masks nothing");
+    assert!(matches!(err, SimError::RankDied { .. }), "{err:?}");
+    assert!(
+        matches!(bare_err, SimError::RankDied { .. }),
+        "{bare_err:?}"
+    );
+}
+
+#[test]
+fn doomed_spare_fails_over_again() {
+    // The promoted spare (physical rank 4) has its own death scheduled;
+    // a second spare (physical rank 5) must absorb it.
+    let plan = FaultPlan::new(11).with_death(1, 35.0).with_death(4, 20.0);
+    let m = machine(4, 2, plan);
+    let healthy = machine(4, 2, FaultPlan::new(11));
+    let r = run_ring(&m, 6).expect("two spares mask a death chain");
+    let reference = run_ring(&healthy, 6).expect("healthy");
+    assert_eq!(r.results, reference.results);
+    assert_eq!(r.stats[1].recoveries, 2, "slot 1 was re-bound twice");
+}
+
+#[test]
+fn death_of_buddy_holding_only_checkpoint_escalates() {
+    // Ranks 1 and 2 die in the *same attempt* — both deaths land inside
+    // the compute window of step 2, after every rank completed its
+    // first checkpoint.  Rank 2 is rank 1's buddy, so rank 1's only
+    // replica dies with it even though two spares are available.
+    let healthy = machine(4, 2, FaultPlan::new(13));
+    let one_step = run_ring(&healthy, 1).expect("healthy").t_parallel;
+    let t_death = one_step + 5.0; // mid-compute of step 2 on every rank
+    let plan = FaultPlan::new(13)
+        .with_death(1, t_death)
+        .with_death(2, t_death);
+    let m = machine(4, 2, plan);
+    let err = run_ring(&m, 6).expect_err("buddy death destroys the only checkpoint");
+    assert_eq!(
+        err,
+        SimError::RankDied {
+            rank: 1,
+            t: t_death
+        }
+    );
+}
+
+#[test]
+fn simultaneous_non_buddy_deaths_recover() {
+    // Ranks 0 and 2 die together; their buddies (1 and 3) survive, so
+    // two spares cover both promotions.
+    let plan = FaultPlan::new(17).with_death(0, 35.0).with_death(2, 47.0);
+    let m = machine(4, 2, plan);
+    let healthy = machine(4, 2, FaultPlan::new(17));
+    let r = run_ring(&m, 6).expect("disjoint buddies, budget suffices");
+    assert_eq!(r.results, run_ring(&healthy, 6).expect("healthy").results);
+    assert_eq!(r.stats[0].recoveries, 1);
+    assert_eq!(r.stats[2].recoveries, 1);
+}
+
+#[test]
+fn death_after_final_step_costs_nothing() {
+    // The closure finishes before any clock advance crosses the death
+    // instant, so no recovery fires and no spare is consumed: the run
+    // is bit-identical to one under a healthy plan.
+    let healthy = machine(4, 1, FaultPlan::new(19));
+    let reference = run_ring(&healthy, 3).expect("healthy");
+    let late = machine(
+        4,
+        1,
+        FaultPlan::new(19).with_death(1, reference.t_parallel + 1.0),
+    );
+    let r = run_ring(&late, 3).expect("death never fires");
+    assert_eq!(r.t_parallel.to_bits(), reference.t_parallel.to_bits());
+    assert_eq!(r.stats, reference.stats);
+    assert_eq!(r.results, reference.results);
+}
+
+#[test]
+fn death_during_checkpoint_send_replays_from_previous_record() {
+    // Pin the death inside the checkpoint exchange itself: the victim's
+    // previous record stands, and recovery replays from it rather than
+    // from a half-written one.  Locate the exchange window from the
+    // healthy run's per-step timing.
+    let healthy = machine(4, 1, FaultPlan::new(23));
+    let one_step = run_ring(&healthy, 1).expect("healthy").t_parallel;
+    let two_steps = run_ring(&healthy, 2).expect("healthy").t_parallel;
+    // Kill rank 3 a hair before the end of step 2 — inside its second
+    // checkpoint traffic, after its second compute.
+    let t_death = two_steps - 1e-6;
+    assert!(t_death > one_step);
+    let m = machine(4, 1, FaultPlan::new(23).with_death(3, t_death));
+    let r = run_ring(&m, 2).expect("one spare masks the mid-checkpoint death");
+    assert_eq!(r.results, run_ring(&healthy, 2).expect("healthy").results);
+    assert_eq!(r.stats[3].recoveries, 1);
+    // Replay runs from the *first* checkpoint (t ≈ one_step), not from
+    // zero and not from the unfinished second exchange.
+    let replay = r.stats[3].recovery_idle;
+    assert!(replay >= t_death - one_step, "replay {replay} too short");
+    assert!(
+        replay < t_death,
+        "replay {replay} should skip the first step"
+    );
+}
+
+#[test]
+fn run_and_try_run_share_the_failover_path() {
+    // The panic entry point recovers too — and when it cannot, its
+    // message format is the pinned historical one.
+    let plan = FaultPlan::new(29).with_death(1, 35.0);
+    let m = machine(4, 1, plan.clone());
+    let r = m.run(|proc| checkpointed_ring(proc, 6));
+    assert_eq!(r.stats[1].recoveries, 1);
+
+    // Without spares the same death must panic through run() with the
+    // pinned historical format (a compute-only workload keeps the dying
+    // rank's own payload as the first non-abort failure).
+    let bare = machine(4, 0, plan);
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        bare.run(|proc| proc.compute(100.0));
+    }))
+    .expect_err("no spares: the death must panic through run()");
+    let msg = caught.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(msg.contains("virtual processor"), "{msg}");
+    assert!(msg.contains("fail-stop"), "{msg}");
+    assert!(msg.contains("virtual time 35"), "{msg}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Failover is a pure function of (seed, death schedule, spare
+    /// count): replays are byte-identical in `T_p`, per-rank stats
+    /// (including retransmissions, backoff and recovery accounting) and
+    /// results.
+    #[test]
+    fn failover_replays_byte_identically(
+        seed in 0u64..1_000_000,
+        p in 2usize..6,
+        spares in 1usize..3,
+        victim in 0usize..6,
+        t_death in 20.0f64..400.0,
+        drop in 0.0f64..0.2,
+    ) {
+        let victim = victim % p;
+        let plan = FaultPlan::new(seed)
+            .with_drop_rate(drop)
+            .with_death(victim, t_death);
+        let run = || run_ring(&machine(p, spares, plan.clone()), 4);
+        let (r1, r2) = (run(), run());
+        match (r1, r2) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.t_parallel.to_bits(), b.t_parallel.to_bits());
+                prop_assert_eq!(&a.stats, &b.stats);
+                prop_assert_eq!(&a.results, &b.results);
+                // And the masked product matches the fault-free one.
+                let clean = run_ring(
+                    &machine(p, spares, FaultPlan::new(seed).with_drop_rate(drop)),
+                    4,
+                ).expect("recoverable plan");
+                prop_assert_eq!(&a.results, &clean.results);
+                for s in &a.stats {
+                    prop_assert!(s.is_consistent(1e-9));
+                }
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert!(false, "replay diverged: {a:?} vs {b:?}"),
+        }
+    }
+
+    /// With zero spares, a death surfaces as exactly the historical
+    /// structured error — never a hang, never a panic from try_run.
+    #[test]
+    fn exhausted_budget_is_exactly_the_legacy_error(
+        seed in 0u64..1_000_000,
+        p in 2usize..6,
+        victim in 0usize..6,
+        t_death in 5.0f64..200.0,
+    ) {
+        let victim = victim % p;
+        let plan = FaultPlan::new(seed).with_death(victim, t_death);
+        let bare = Machine::new(Topology::fully_connected(p), CostModel::new(10.0, 2.0))
+            .with_deadlock_timeout(TIMEOUT)
+            .with_fault_plan(plan);
+        match run_ring(&bare, 4) {
+            Ok(r) => {
+                // The death landed after the rank finished: legal, free.
+                prop_assert!(r.stats.iter().all(|s| s.recoveries == 0));
+            }
+            Err(e) => prop_assert_eq!(e, SimError::RankDied { rank: victim, t: t_death }),
+        }
+    }
+}

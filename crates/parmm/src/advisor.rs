@@ -206,7 +206,7 @@ impl Advisor {
 pub fn has_resilient_variant(alg: Algorithm) -> bool {
     matches!(
         alg,
-        Algorithm::Cannon | Algorithm::Gk | Algorithm::FoxHypercube
+        Algorithm::Cannon | Algorithm::Gk | Algorithm::FoxHypercube | Algorithm::Dns
     )
 }
 
@@ -289,6 +289,7 @@ pub fn run_recommendation(
         Algorithm::Cannon => algos::cannon_resilient(machine, a, b),
         Algorithm::FoxHypercube => algos::fox_resilient(machine, a, b),
         Algorithm::Gk => algos::gk_resilient(machine, a, b),
+        Algorithm::Dns => algos::dns_resilient(machine, a, b),
         other => Err(AlgoError::BadProcessorCount {
             p: machine.p(),
             requirement: format!("no resilient implementation of {other}"),
@@ -489,6 +490,23 @@ mod tests {
         let rates = fault_rates_of(&lossy);
         assert_eq!(rates.drop, 0.25);
         assert!(rates.is_lossy());
+    }
+
+    #[test]
+    fn lossy_dns_regime_routes_to_the_resilient_variant() {
+        use mmsim::FaultPlan;
+        // p = n²·r with r = 2: only DNS is applicable, so a lossy
+        // machine must pick it and run the reliable-transport form.
+        let machine = Machine::new(Topology::fully_connected(32), CostModel::cm5())
+            .with_fault_plan(FaultPlan::new(19).with_drop_rate(0.2));
+        let advisor = Advisor::new(MachineParams::cm5().with_faults(fault_rates_of(&machine)));
+        let (a, b) = dense::gen::random_pair(4, 21);
+        let (rec, out) = advisor.execute(&machine, &a, &b).unwrap();
+        assert_eq!(rec.algorithm, Algorithm::Dns);
+        assert!(rec.resilient);
+        assert!(out.c.approx_eq(&(&a * &b), 1e-10));
+        let retrans: u64 = out.stats.iter().map(|s| s.retransmissions).sum();
+        assert!(retrans > 0, "lossy links must force retransmissions");
     }
 
     #[test]
