@@ -42,6 +42,9 @@ pub use common::{AlgoError, SimOutcome};
 pub use dns::{dns_block, dns_one_element};
 pub use fox::{fox_async, fox_pipelined, fox_tree};
 pub use gk::{gk, gk_improved};
-pub use resilient::{cannon_resilient, dns_resilient, fox_resilient, gk_resilient};
+pub use resilient::{
+    cannon_resilient, dns_resilient, fox_pipelined_resilient, fox_resilient, fox_tree_resilient,
+    gk_resilient,
+};
 pub use simple::simple;
 pub use verify::{verify_outcome, verify_product, Verification};

@@ -1,6 +1,11 @@
-//! Fault-tolerant variants of Cannon's and the GK algorithm.
+//! Fault-tolerant variants of all six paper algorithms: Cannon, GK,
+//! block DNS, and the three Fox formulations (hypercube/tree and
+//! pipelined; the asynchronous schedule is pipelined Fox with one
+//! packet).
 //!
-//! These run the *same schedules* as [`crate::cannon`] and [`crate::gk`]
+//! These run the *same schedules* as their plain counterparts
+//! ([`crate::cannon`], [`crate::gk`], [`crate::dns_block`],
+//! [`crate::fox_tree`], [`crate::fox_pipelined`])
 //! but move every message through the engine's reliable transport
 //! ([`mmsim::Proc::send_reliable`] / [`mmsim::Proc::recv_reliable`]) and
 //! the reliable collectives ([`collectives::broadcast_reliable`],
@@ -98,7 +103,11 @@ pub fn cannon_resilient(
 /// # Errors
 /// As [`crate::fox_tree`], plus [`AlgoError::Sim`] when the simulated
 /// execution fails on an unrecoverable fault (fail-stop death).
-pub fn fox_resilient(machine: &Machine, a: &Matrix, b: &Matrix) -> Result<SimOutcome, AlgoError> {
+pub fn fox_tree_resilient(
+    machine: &Machine,
+    a: &Matrix,
+    b: &Matrix,
+) -> Result<SimOutcome, AlgoError> {
     let n = check_square_operands(a, b)?;
     let q = fox::applicability(n, machine.p())?;
     let bs = n / q;
@@ -131,6 +140,132 @@ pub fn fox_resilient(machine: &Machine, a: &Matrix, b: &Matrix) -> Result<SimOut
                 proc.send_reliable(north, tb, bcur.into_vec());
                 bcur = Matrix::from_vec(bs, bs, proc.recv_reliable(south, tb).into_vec());
             }
+            let mut state = Vec::with_capacity(2 * bs * bs);
+            state.extend_from_slice(bcur.as_slice());
+            state.extend_from_slice(c.as_slice());
+            ckpt.save(proc, state);
+        }
+        c
+    })?;
+    let c = BlockGrid::assemble_from(&report.results, q, q);
+    Ok(SimOutcome::from_report(&report, c, n))
+}
+
+/// Historical name of [`fox_tree_resilient`], kept for source
+/// compatibility: "fox" with no qualifier has always meant the
+/// synchronous tree variant here.
+///
+/// # Errors
+/// Exactly those of [`fox_tree_resilient`].
+pub fn fox_resilient(machine: &Machine, a: &Matrix, b: &Matrix) -> Result<SimOutcome, AlgoError> {
+    fox_tree_resilient(machine, a, b)
+}
+
+/// The pipelined Fox formulation ([`crate::fox_pipelined`]) over the
+/// reliable transport: every packet of the ring relay and every
+/// northward B roll travels as a framed
+/// [`mmsim::Proc::send_reliable`] / [`mmsim::Proc::recv_reliable`]
+/// exchange, so drops, corruption and duplication are re-driven
+/// per-packet without restarting the pipeline.  The relay keeps the
+/// zero-copy forwarding of the plain variant: a received packet is
+/// forwarded east as a reference-counted [`mmsim::Payload`] clone, not
+/// a byte copy, even though it now rides inside the reliable framing.
+///
+/// Each of the `√p` iterations ends with a [`Checkpoint`] of the rolled
+/// B block plus the accumulator (phase `u32::MAX − 2`, disjoint from
+/// the relay's `tag(t, k)` packets and the roll's `tag(u32::MAX, t)`),
+/// so on a machine with spares a fail-stop death replays from the last
+/// completed iteration.  Applicability (including the `packets` bounds)
+/// is identical to [`crate::fox_pipelined`]; the product is
+/// bit-identical to the fault-free run under every recoverable plan.
+///
+/// # Errors
+/// As [`crate::fox_pipelined`], plus [`AlgoError::Sim`] when the
+/// simulated execution fails on an unrecoverable fault (fail-stop death
+/// beyond the spare budget).
+pub fn fox_pipelined_resilient(
+    machine: &Machine,
+    a: &Matrix,
+    b: &Matrix,
+    packets: usize,
+) -> Result<SimOutcome, AlgoError> {
+    let n = check_square_operands(a, b)?;
+    let q = fox::applicability(n, machine.p())?;
+    let bs = n / q;
+    let block_words = bs * bs;
+    if packets == 0 || packets > block_words.max(1) {
+        return Err(AlgoError::BadMatrixSize {
+            n,
+            requirement: format!(
+                "packet count must be in 1..={} (block words), got {packets}",
+                block_words
+            ),
+        });
+    }
+
+    let ga = Arc::new(BlockGrid::split(a, q, q));
+    let gb = Arc::new(BlockGrid::split(b, q, q));
+    let report = machine.try_run(|proc| {
+        let rank = proc.rank();
+        let (i, j) = (rank / q, rank % q);
+        let east = i * q + (j + 1) % q;
+        let west = i * q + (j + q - 1) % q;
+        let north = ((i + q - 1) % q) * q + j;
+        let south = ((i + 1) % q) * q + j;
+
+        // Packet boundaries (equal split with remainder spread left).
+        let bounds: Vec<(usize, usize)> = (0..packets)
+            .map(|k| {
+                let lo = k * block_words / packets;
+                let hi = (k + 1) * block_words / packets;
+                (lo, hi)
+            })
+            .collect();
+
+        let mut bcur = gb.block_by_rank(rank).clone();
+        let mut c = Matrix::zeros(bs, bs);
+        let mut ckpt = Checkpoint::new(u32::MAX - 2);
+        for t in 0..q {
+            let owner_col = (i + t) % q;
+            let ablk = if owner_col == j {
+                // Owner: push own block east in packets; the relay stops
+                // before wrapping back.
+                let own = ga.block_by_rank(rank).clone();
+                if q > 1 {
+                    let flat = own.as_slice();
+                    for (k, &(lo, hi)) in bounds.iter().enumerate() {
+                        proc.send_reliable(east, tag(t as u32, k as u32), flat[lo..hi].to_vec());
+                    }
+                }
+                own
+            } else {
+                // Receive packets from the west, forwarding each east
+                // unless the eastern neighbour is the owner.  The
+                // forward is a Payload refcount bump — the reliable
+                // framing never forces a byte copy of the packet.
+                let forward = (j + 1) % q != owner_col;
+                let mut flat = vec![0.0; block_words];
+                for (k, &(lo, hi)) in bounds.iter().enumerate() {
+                    let pkt = proc.recv_reliable(west, tag(t as u32, k as u32));
+                    if forward {
+                        proc.send_reliable(east, tag(t as u32, k as u32), pkt.clone());
+                    }
+                    flat[lo..hi].copy_from_slice(&pkt);
+                }
+                Matrix::from_vec(bs, bs, flat)
+            };
+
+            proc.compute(kernel::work_units(bs, bs, bs));
+            kernel::matmul_accumulate(&mut c, &ablk, &bcur);
+
+            let tb = tag(u32::MAX, t as u32);
+            if q > 1 {
+                proc.send_reliable(north, tb, bcur.into_vec());
+                bcur = Matrix::from_vec(bs, bs, proc.recv_reliable(south, tb).into_vec());
+            }
+            // Phase state per iteration: the rolled B block plus the
+            // accumulator, same as the tree variant.  Free without
+            // spares.
             let mut state = Vec::with_capacity(2 * bs * bs);
             state.extend_from_slice(bcur.as_slice());
             state.extend_from_slice(c.as_slice());
@@ -421,6 +556,65 @@ mod tests {
     }
 
     #[test]
+    fn fox_pipelined_resilient_healthy_matches_plain_product() {
+        for packets in [1usize, 3, 4] {
+            let (a, b) = gen::random_pair(8, 81);
+            let machine = Machine::new(Topology::square_torus_for(16), CostModel::new(5.0, 0.5));
+            let plain = fox::fox_pipelined(&machine, &a, &b, packets).unwrap();
+            let resilient = fox_pipelined_resilient(&machine, &a, &b, packets).unwrap();
+            assert_eq!(plain.c, resilient.c);
+            assert_eq!(total_retransmissions(&resilient), 0);
+            assert_eq!(total_backoff(&resilient), 0.0);
+            assert!(resilient.t_parallel > plain.t_parallel);
+        }
+    }
+
+    #[test]
+    fn fox_pipelined_resilient_is_exact_under_lossy_links() {
+        let (a, b) = gen::random_pair(12, 83);
+        let healthy = Machine::new(Topology::square_torus_for(9), CostModel::new(5.0, 0.5));
+        let faulty = Machine::new(Topology::square_torus_for(9), CostModel::new(5.0, 0.5))
+            .with_fault_plan(lossy_plan(19));
+        let reference = fox::fox_pipelined(&healthy, &a, &b, 4).unwrap();
+        let out = fox_pipelined_resilient(&faulty, &a, &b, 4).unwrap();
+        // Retransmitted packets are bit-identical, so the relayed block
+        // — and the product — is exactly the fault-free one.
+        assert_eq!(out.c, reference.c);
+        assert!(
+            total_retransmissions(&out) > 0,
+            "lossy plan must force retries"
+        );
+        assert!(total_backoff(&out) > 0.0);
+        let clean = fox_pipelined_resilient(&healthy, &a, &b, 4).unwrap();
+        assert!(out.t_parallel > clean.t_parallel);
+        for s in &out.stats {
+            assert!(s.backoff_idle <= s.idle, "backoff is a subset of idle");
+        }
+    }
+
+    #[test]
+    fn fox_pipelined_resilient_packet_count_validated() {
+        let (a, b) = gen::random_pair(4, 85);
+        let machine = Machine::new(Topology::square_torus_for(4), CostModel::unit());
+        assert!(fox_pipelined_resilient(&machine, &a, &b, 0).is_err());
+        assert!(fox_pipelined_resilient(&machine, &a, &b, 5).is_err());
+        assert!(fox_pipelined_resilient(&machine, &a, &b, 4).is_ok());
+    }
+
+    #[test]
+    fn death_in_fox_pipelined_surfaces_as_structured_error() {
+        let (a, b) = gen::random_pair(8, 87);
+        let machine = Machine::new(Topology::square_torus_for(4), CostModel::unit())
+            .with_fault_plan(FaultPlan::new(6).with_death(1, 40.0));
+        let err = fox_pipelined_resilient(&machine, &a, &b, 2).unwrap_err();
+        assert!(matches!(
+            err,
+            AlgoError::Sim(SimError::RankDied { rank: 1, .. })
+                | AlgoError::Sim(SimError::Deadlock { .. })
+        ));
+    }
+
+    #[test]
     fn fox_resilient_single_processor_degenerates() {
         let (a, b) = gen::random_pair(4, 65);
         let machine = Machine::new(Topology::square_torus_for(1), CostModel::unit());
@@ -625,7 +819,12 @@ mod tests {
 
     #[test]
     fn fox_death_is_masked_by_spare() {
-        assert_death_is_masked_by_spare(fox_resilient, 4, 8, 1);
+        assert_death_is_masked_by_spare(fox_tree_resilient, 4, 8, 1);
+    }
+
+    #[test]
+    fn fox_pipelined_death_is_masked_by_spare() {
+        assert_death_is_masked_by_spare(|m, a, b| fox_pipelined_resilient(m, a, b, 3), 4, 8, 2);
     }
 
     #[test]

@@ -52,7 +52,10 @@ pub struct PartitionManager {
     /// ascending.
     free: Vec<Vec<usize>>,
     allocated: usize,
-    quarantined: usize,
+    /// Blocks withheld from the pool by
+    /// [`PartitionManager::quarantine`], identity retained so
+    /// [`PartitionManager::release_quarantined`] can hand them back.
+    quarantine: Vec<Partition>,
 }
 
 impl PartitionManager {
@@ -72,7 +75,7 @@ impl PartitionManager {
             p,
             free,
             allocated: 0,
-            quarantined: 0,
+            quarantine: Vec::new(),
         })
     }
 
@@ -92,7 +95,7 @@ impl PartitionManager {
     /// [`PartitionManager::quarantine`].
     #[must_use]
     pub fn quarantined(&self) -> usize {
-        self.quarantined
+        self.quarantine.iter().map(Partition::size).sum()
     }
 
     /// Size of the largest block an [`PartitionManager::alloc`] call
@@ -135,15 +138,37 @@ impl PartitionManager {
         Some(Partition { base, size })
     }
 
-    /// Withhold a partition from the free pool permanently (for the
-    /// manager's lifetime, i.e. one service run): the block neither
-    /// merges with its buddy nor satisfies future allocations.  Used
-    /// for partitions that contain fail-stopped ranks — a scheduled
-    /// death is a property of the physical rank, so re-placing jobs on
-    /// the block would kill them again.
+    /// Withhold a partition from the free pool: the block neither
+    /// merges with its buddy nor satisfies future allocations until (if
+    /// ever) a [`PartitionManager::release_quarantined`] predicate
+    /// clears it.  Used for partitions that contain fail-stopped ranks
+    /// — a scheduled death is a property of the physical rank, so
+    /// re-placing jobs on the block *while the death is still pending*
+    /// would kill them again.
     pub fn quarantine(&mut self, part: Partition) {
         self.allocated -= part.size;
-        self.quarantined += part.size;
+        self.quarantine.push(part);
+    }
+
+    /// Hand quarantined blocks back to the free pool: every block the
+    /// predicate clears is released (merging buddies as usual) and
+    /// becomes allocatable again.  Returns the number of ranks
+    /// returned.  The scheduler calls this with "all of the block's
+    /// scheduled deaths lie strictly in the past", turning quarantine
+    /// from a permanent capacity loss into a bounded one.
+    pub fn release_quarantined(&mut self, ready: impl Fn(&Partition) -> bool) -> usize {
+        let mut released = 0;
+        let mut i = 0;
+        while i < self.quarantine.len() {
+            if ready(&self.quarantine[i]) {
+                let part = self.quarantine.remove(i);
+                released += part.size;
+                self.insert_free(part);
+            } else {
+                i += 1;
+            }
+        }
+        released
     }
 
     /// Return a partition to the free pool, merging buddies greedily.
@@ -152,9 +177,16 @@ impl PartitionManager {
     /// Panics if the block (or part of it) is already free — a
     /// double-release is always a scheduler bug.
     pub fn release(&mut self, part: Partition) {
+        self.allocated -= part.size;
+        self.insert_free(part);
+    }
+
+    /// Free-list insertion with greedy buddy merging (shared by
+    /// [`PartitionManager::release`] and
+    /// [`PartitionManager::release_quarantined`]; no accounting).
+    fn insert_free(&mut self, part: Partition) {
         let Partition { mut base, size } = part;
         let mut k = size.trailing_zeros() as usize;
-        self.allocated -= size;
         loop {
             let buddy = base ^ (1 << k);
             if k + 1 < self.free.len() {
@@ -230,6 +262,25 @@ mod tests {
         assert!(pm.alloc(8).is_none());
         pm.release(b);
         assert!(pm.alloc(8).is_some());
+    }
+
+    #[test]
+    fn release_quarantined_returns_cleared_blocks_to_the_pool() {
+        let mut pm = PartitionManager::new(8).unwrap();
+        let a = pm.alloc(4).unwrap(); // [0, 4)
+        pm.quarantine(a);
+        assert_eq!(pm.quarantined(), 4);
+        // A predicate that clears nothing moves nothing.
+        assert_eq!(pm.release_quarantined(|_| false), 0);
+        assert_eq!(pm.quarantined(), 4);
+        assert!(pm.alloc(8).is_none());
+        // Cleared: the block merges with its free buddy and the whole
+        // machine allocates in one piece again.
+        assert_eq!(pm.release_quarantined(|p| p.base() == 0), 4);
+        assert_eq!(pm.quarantined(), 0);
+        assert_eq!(pm.largest_free(), 8);
+        let all = pm.alloc(8).unwrap();
+        assert_eq!((all.base(), all.size()), (0, 8));
     }
 
     #[test]

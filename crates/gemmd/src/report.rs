@@ -23,8 +23,12 @@ pub struct ServiceReport {
     /// re-submitted onto fresh partitions.
     pub requeues: usize,
     /// Ranks withheld from the buddy pool because a job died on their
-    /// partition (quarantined for the rest of the run).
+    /// partition and the death schedule has not yet passed (still
+    /// quarantined when the service drained).
     pub quarantined_ranks: usize,
+    /// Ranks handed back to the pool after their partition's death
+    /// schedule fully passed (quarantine → un-quarantine round trips).
+    pub unquarantined_ranks: usize,
     /// Rank-time consumed by placements that ended in a loss
     /// (`Σ p_block · t_death`): capacity the machine spent on work that
     /// had to be redone.
@@ -148,11 +152,11 @@ impl ServiceReport {
             self.throughput_flops(),
             self.mean_wait(),
         );
-        if self.requeues > 0 || self.quarantined_ranks > 0 {
+        if self.requeues > 0 || self.quarantined_ranks > 0 || self.unquarantined_ranks > 0 {
             let _ = write!(
                 line,
-                ", {} requeued, {} ranks quarantined",
-                self.requeues, self.quarantined_ranks
+                ", {} requeued, {} ranks quarantined, {} returned",
+                self.requeues, self.quarantined_ranks, self.unquarantined_ranks
             );
         }
         line
@@ -188,6 +192,7 @@ mod tests {
             makespan: 100.0,
             requeues: 0,
             quarantined_ranks: 0,
+            unquarantined_ranks: 0,
             wasted_rank_time: 0.0,
         }
     }

@@ -103,7 +103,14 @@ impl<'m> Scheduler<'m> {
             TopologyKind::FullyConnected | TopologyKind::FatTree => NetworkModel::FullyConnected,
             _ => NetworkModel::Hypercube,
         };
-        let params = MachineParams::new(cm.t_s, cm.t_w).with_faults(fault_rates_of(machine));
+        let mut params = MachineParams::new(cm.t_s, cm.t_w).with_faults(fault_rates_of(machine));
+        // A detection config on the machine's fault plan prices its
+        // heartbeat duty cycle into every prediction (and forces the
+        // advisor onto the resilient candidates), mirroring what the
+        // simulator charges.
+        if let Some(det) = machine.fault_plan().and_then(mmsim::FaultPlan::detection) {
+            params = params.with_detection(det.period, det.timeout_multiple);
+        }
         let advisor = Advisor::new(params).with_network(network);
         Self {
             machine,
@@ -151,9 +158,25 @@ impl<'m> Scheduler<'m> {
         let mut now = 0.0f64;
         let mut makespan = 0.0f64;
         let mut requeues = 0usize;
+        let mut unquarantined = 0usize;
         let mut wasted_rank_time = 0.0f64;
 
         loop {
+            // Un-quarantine blocks whose death schedules have fully
+            // passed: deaths are properties of physical ranks at
+            // absolute service times, so once `now` is strictly beyond
+            // every member rank's scheduled death the block is safe
+            // again (a future job's rebased plan drops past deaths).
+            unquarantined += pm.release_quarantined(|part| {
+                part.ranks().iter().all(|&r| {
+                    !self
+                        .machine
+                        .fault_plan()
+                        .and_then(|plan| plan.death_time(r))
+                        .is_some_and(|t| t >= now)
+                })
+            });
+
             // Place as many queued jobs as the policy and the free
             // blocks allow, head of line first.
             while let Some(i) = policy.select(&queue) {
@@ -256,6 +279,7 @@ impl<'m> Scheduler<'m> {
             makespan,
             requeues,
             quarantined_ranks: pm.quarantined(),
+            unquarantined_ranks: unquarantined,
             wasted_rank_time,
         })
     }
@@ -289,10 +313,15 @@ impl<'m> Scheduler<'m> {
         now: f64,
     ) -> Result<Running, GemmdError> {
         let ranks = partition.ranks();
-        let sub = self
-            .machine
-            .partition(&ranks[..job.sizing.p + spares])
-            .with_spares(spares);
+        let mut sub = self.machine.partition(&ranks[..job.sizing.p + spares]);
+        // The plan's death times are service-absolute; each run starts
+        // at `now`, so shift them into run-relative time (deaths
+        // already in the past vanish — that is what makes a block
+        // reusable once its schedule has passed).
+        if let Some(plan) = self.machine.fault_plan() {
+            sub = sub.with_fault_plan(plan.rebased_deaths(now));
+        }
+        let sub = sub.with_spares(spares);
         let (a, b) = dense::gen::random_pair(job.spec.n, job.spec.seed);
         let out = match run_recommendation(&job.sizing.rec, &sub, &a, &b) {
             Ok(out) => out,
@@ -586,13 +615,68 @@ mod tests {
             "the lost placement held the block until the death"
         );
         assert_eq!(report.requeues, 1);
-        assert!(
-            report.quarantined_ranks > 0,
-            "the dead block leaves the pool"
-        );
+        // The dead block left the pool at t = 400 — and came back once
+        // the retry outlived the schedule, so nothing is still held.
+        assert_eq!(report.quarantined_ranks, 0);
+        assert!(report.unquarantined_ranks > 0);
         assert!(report.wasted_rank_time > 0.0);
         // The requeue is visible in the CSV attempts column.
         assert!(report.to_csv().lines().nth(1).unwrap().contains(",2,"));
+    }
+
+    #[test]
+    fn passed_death_schedules_unquarantine_the_block() {
+        // Quarantine → requeue → un-quarantine, end to end: job 0 dies
+        // on rank 0 at t = 400 and retries elsewhere; job 1 arrives
+        // long after the schedule passed, so the scheduler must hand
+        // block [0, 1) back and place job 1 on it (lowest base first)
+        // — where it survives, because the rebased plan drops the
+        // already-past death.
+        let m = dying_machine(&[0]);
+        let jobs = vec![JobSpec::new(16, 0.0), JobSpec::new(16, 100_000.0)];
+        let report = Scheduler::new(&m, tight_config())
+            .run(&jobs, &Fifo)
+            .unwrap();
+        assert_eq!(report.records.len(), 2);
+        assert_eq!(report.requeues, 1);
+        let second = report.records.iter().find(|r| r.id == 1).unwrap();
+        assert_eq!(
+            second.base, 0,
+            "the un-quarantined block must be allocatable again"
+        );
+        assert_eq!(second.attempts, 1, "no death fires on a passed schedule");
+        assert_eq!(second.recoveries, 0);
+        assert_eq!(report.quarantined_ranks, 0);
+        assert_eq!(report.unquarantined_ranks, 1);
+    }
+
+    #[test]
+    fn detection_config_reaches_the_advisor_and_the_runs() {
+        use mmsim::FaultPlan;
+        // Same dying machine, now with priced detection: the advisor
+        // models the heartbeat duty cycle and the simulator charges
+        // beats, so the job completes with visible detection costs.
+        let plan = FaultPlan::new(21)
+            .with_drop_rate(0.02)
+            .with_death(0, 400.0)
+            .with_detection(5_000.0, 2);
+        let m = Machine::new(Topology::hypercube(4), CostModel::ncube2()).with_fault_plan(plan);
+        let cfg = Config {
+            spares: 1,
+            ..tight_config()
+        };
+        let sched = Scheduler::new(&m, cfg);
+        assert_eq!(
+            sched.advisor().machine().detection.map(|d| d.latency()),
+            Some(10_000.0),
+            "the plan's detection config must reach the analytic machine"
+        );
+        let jobs = vec![JobSpec::new(16, 0.0)];
+        let report = sched.run(&jobs, &Fifo).unwrap();
+        assert_eq!(report.records.len(), 1);
+        let r = &report.records[0];
+        assert!(r.resilient);
+        assert!(r.recoveries >= 1, "the death is still masked by the spare");
     }
 
     #[test]

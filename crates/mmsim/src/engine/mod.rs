@@ -515,6 +515,11 @@ impl Machine {
         // the slot was re-bound.
         let mut surcharge = vec![0.0f64; p];
         let mut recoveries = vec![0u64; p];
+        let mut det_latency = vec![0.0f64; p];
+        // Detection pricing (None = the historical free oracle; every
+        // charge below is gated on it, so planless runs stay
+        // bit-identical).
+        let detection = view.fault.as_deref().and_then(FaultPlan::detection);
         loop {
             let (outcomes, ckpts) = view.execute(&f);
             let Some(fail) = Self::classify(&outcomes) else {
@@ -525,6 +530,23 @@ impl Machine {
                         report.stats[rank].recovery_idle += surcharge[rank];
                         report.stats[rank].idle += surcharge[rank];
                         report.stats[rank].clock += surcharge[rank];
+                        report.stats[rank].detection_latency = det_latency[rank];
+                    }
+                }
+                if let Some(det) = detection {
+                    // Heartbeat traffic, priced post-hoc against each
+                    // rank's final clock: one one-word send per elapsed
+                    // period, charged as network occupancy.
+                    let beat_cost = view.cost.sender_occupancy(1);
+                    for s in &mut report.stats {
+                        let beats = (s.clock / det.period).floor() as u64;
+                        if beats > 0 {
+                            s.comm += beat_cost * beats as f64;
+                            s.clock += beat_cost * beats as f64;
+                            s.heartbeat_words += beats;
+                            s.words_sent += beats;
+                            s.msgs_sent += beats;
+                        }
                     }
                 }
                 report.t_parallel = report.stats.iter().map(|s| s.clock).fold(0.0, f64::max);
@@ -580,7 +602,12 @@ impl Machine {
                     // replay, nothing to transfer.
                     None => (0.0, 0.0),
                 };
-                surcharge[dead] += (t - ckpt_t) + transfer;
+                // With priced detection, the survivors only *notice* the
+                // death `timeout_multiple` silent heartbeat periods after
+                // it happened; that latency delays the whole recovery.
+                let wait = detection.map_or(0.0, |det| det.latency());
+                surcharge[dead] += (t - ckpt_t) + transfer + wait;
+                det_latency[dead] += wait;
                 recoveries[dead] += 1;
                 physical[dead] = spare;
             }

@@ -48,6 +48,50 @@ impl TrafficClass {
     }
 }
 
+/// Modelled failure-detection configuration: a heartbeat protocol
+/// priced in virtual time.
+///
+/// Without a `Detection` config, survivors of a fail-stop death learn
+/// of it through the simulator for free — an oracle no real machine
+/// has.  With one, every rank emits a one-word heartbeat each `period`
+/// units of virtual time (charged as communication into its clock and
+/// counted in [`crate::ProcStats::heartbeat_words`]), and a death is
+/// only *detected* after `timeout_multiple` heartbeat periods have
+/// elapsed with no beat — that detection latency is added to the dead
+/// rank's recovery surcharge and reported in
+/// [`crate::ProcStats::detection_latency`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Detection {
+    /// Virtual-time interval between heartbeats (must be positive and
+    /// finite).
+    pub period: f64,
+    /// How many silent periods declare a rank dead (must be ≥ 1).
+    pub timeout_multiple: u32,
+}
+
+impl Detection {
+    /// Detection latency charged per recovered death:
+    /// `timeout_multiple × period`.
+    #[must_use]
+    pub fn latency(&self) -> f64 {
+        f64::from(self.timeout_multiple) * self.period
+    }
+
+    /// Check this config's invariants without panicking.
+    ///
+    /// # Errors
+    /// Non-positive / non-finite `period` or a zero `timeout_multiple`.
+    pub fn check(&self) -> Result<(), FaultPlanError> {
+        if !(self.period > 0.0 && self.period.is_finite()) || self.timeout_multiple == 0 {
+            return Err(FaultPlanError::InvalidDetection {
+                period: self.period,
+                timeout_multiple: self.timeout_multiple,
+            });
+        }
+        Ok(())
+    }
+}
+
 /// What the network does to one transmission attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Fate {
@@ -95,6 +139,14 @@ pub enum FaultPlanError {
     },
     /// The reliable protocol's retransmission cap is zero.
     ZeroAttempts,
+    /// A [`Detection`] config has a non-positive / non-finite heartbeat
+    /// period or a zero timeout multiple.
+    InvalidDetection {
+        /// The offending heartbeat period.
+        period: f64,
+        /// The offending timeout multiple.
+        timeout_multiple: u32,
+    },
 }
 
 impl std::fmt::Display for FaultPlanError {
@@ -117,6 +169,14 @@ impl std::fmt::Display for FaultPlanError {
                 "death time for rank {rank} must be finite and non-negative, got {t}"
             ),
             Self::ZeroAttempts => write!(f, "at least one transmission attempt is required"),
+            Self::InvalidDetection {
+                period,
+                timeout_multiple,
+            } => write!(
+                f,
+                "detection requires a finite positive heartbeat period and a timeout \
+                 multiple >= 1, got period {period} x {timeout_multiple}"
+            ),
         }
     }
 }
@@ -222,6 +282,7 @@ pub struct FaultPlan {
     links: BTreeMap<(usize, usize), LinkFaults>,
     deaths: BTreeMap<usize, f64>,
     max_attempts: u32,
+    detection: Option<Detection>,
 }
 
 impl FaultPlan {
@@ -234,6 +295,7 @@ impl FaultPlan {
             links: BTreeMap::new(),
             deaths: BTreeMap::new(),
             max_attempts: 16,
+            detection: None,
         }
     }
 
@@ -314,6 +376,57 @@ impl FaultPlan {
         self
     }
 
+    /// Builder: price failure detection with a heartbeat every `period`
+    /// virtual-time units and a death declared after `timeout_multiple`
+    /// silent periods.  Without this, peers learn of deaths through the
+    /// simulator for free.
+    ///
+    /// # Panics
+    /// Panics on a non-positive / non-finite `period` or a zero
+    /// `timeout_multiple`.
+    #[must_use]
+    pub fn with_detection(mut self, period: f64, timeout_multiple: u32) -> Self {
+        let det = Detection {
+            period,
+            timeout_multiple,
+        };
+        if let Err(e) = det.check() {
+            panic!("{e}");
+        }
+        self.detection = Some(det);
+        self
+    }
+
+    /// The modelled failure-detection config, if any.
+    #[must_use]
+    pub fn detection(&self) -> Option<Detection> {
+        self.detection
+    }
+
+    /// A copy of the plan with every death instant shifted `dt` earlier
+    /// (service-absolute → run-relative rebasing): a death scheduled at
+    /// `T` becomes `T - dt`; deaths already in the past (`T < dt`) are
+    /// dropped.  Everything else — rates, links, seed, detection — is
+    /// preserved.
+    ///
+    /// # Panics
+    /// Panics on a negative or non-finite `dt`.
+    #[must_use]
+    pub fn rebased_deaths(&self, dt: f64) -> Self {
+        assert!(
+            dt >= 0.0 && dt.is_finite(),
+            "rebase offset must be finite and non-negative, got {dt}"
+        );
+        let mut plan = self.clone();
+        plan.deaths = self
+            .deaths
+            .iter()
+            .filter(|&(_, &t)| t >= dt)
+            .map(|(&rank, &t)| (rank, t - dt))
+            .collect();
+        plan
+    }
+
     /// The virtual time at which `rank` fail-stops, if any.
     #[must_use]
     pub fn death_time(&self, rank: usize) -> Option<f64> {
@@ -365,15 +478,19 @@ impl FaultPlan {
         if self.max_attempts == 0 {
             return Err(FaultPlanError::ZeroAttempts);
         }
+        if let Some(det) = self.detection {
+            det.check()?;
+        }
         Ok(())
     }
 
     /// Whether the plan injects nothing at all (no deaths, every link
-    /// healthy).  A zero plan is observationally identical to running
-    /// without a plan.
+    /// healthy, no heartbeat traffic).  A zero plan is observationally
+    /// identical to running without a plan.
     #[must_use]
     pub fn is_zero(&self) -> bool {
         self.deaths.is_empty()
+            && self.detection.is_none()
             && self.default_link.is_healthy()
             && self.links.values().all(LinkFaults::is_healthy)
     }
@@ -476,6 +593,53 @@ mod tests {
         assert!(!FaultPlan::new(1).with_drop_rate(0.1).is_zero());
         assert!(!FaultPlan::new(1).with_death(0, 5.0).is_zero());
         assert!(!FaultPlan::new(1).with_link_slowdown(0, 1, 2.0).is_zero());
+        // Heartbeats cost bandwidth, so a detection config is not zero.
+        assert!(!FaultPlan::new(1).with_detection(100.0, 3).is_zero());
+    }
+
+    #[test]
+    fn detection_latency_is_period_times_multiple() {
+        let plan = FaultPlan::new(1).with_detection(50.0, 4);
+        let det = plan.detection().expect("detection set");
+        assert_eq!(det.latency(), 200.0);
+        assert_eq!(FaultPlan::new(1).detection(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "heartbeat period")]
+    fn zero_detection_period_rejected() {
+        let _ = FaultPlan::new(0).with_detection(0.0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "timeout")]
+    fn zero_timeout_multiple_rejected() {
+        let _ = FaultPlan::new(0).with_detection(10.0, 0);
+    }
+
+    #[test]
+    fn rebased_deaths_shift_and_drop() {
+        let plan = FaultPlan::new(3)
+            .with_drop_rate(0.1)
+            .with_detection(25.0, 2)
+            .with_death(0, 100.0)
+            .with_death(1, 400.0);
+        let rebased = plan.rebased_deaths(250.0);
+        // Past death dropped, future death shifted into run-relative time.
+        assert_eq!(rebased.death_time(0), None);
+        assert_eq!(rebased.death_time(1), Some(150.0));
+        // Everything else survives the rebase.
+        assert_eq!(rebased.seed(), plan.seed());
+        assert_eq!(rebased.default_link(), plan.default_link());
+        assert_eq!(rebased.detection(), plan.detection());
+        // Zero offset is an identity.
+        assert_eq!(plan.rebased_deaths(0.0), plan);
+    }
+
+    #[test]
+    #[should_panic(expected = "rebase offset")]
+    fn negative_rebase_offset_rejected() {
+        let _ = FaultPlan::new(0).rebased_deaths(-1.0);
     }
 
     #[test]
@@ -699,6 +863,19 @@ mod tests {
         let mut plan = FaultPlan::new(0);
         plan.max_attempts = 0;
         assert_eq!(plan.validate(), Err(FaultPlanError::ZeroAttempts));
+
+        let mut plan = FaultPlan::new(0);
+        plan.detection = Some(Detection {
+            period: f64::NAN,
+            timeout_multiple: 3,
+        });
+        assert!(matches!(
+            plan.validate(),
+            Err(FaultPlanError::InvalidDetection {
+                timeout_multiple: 3,
+                ..
+            })
+        ));
     }
 
     #[test]

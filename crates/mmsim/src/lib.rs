@@ -84,7 +84,7 @@ pub use engine::message::{tag, Message, Tag};
 pub use engine::payload::Payload;
 pub use engine::proc_ctx::{Proc, RELIABLE_FRAME_OVERHEAD};
 pub use engine::{Machine, RunReport};
-pub use fault::{Fate, FaultPlan, FaultPlanError, LinkFaults, TrafficClass};
+pub use fault::{Detection, Fate, FaultPlan, FaultPlanError, LinkFaults, TrafficClass};
 pub use recovery::Checkpoint;
 pub use stats::ProcStats;
 pub use topology::{Topology, TopologyKind};

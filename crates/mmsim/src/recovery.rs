@@ -32,15 +32,22 @@
 //! ```text
 //! surcharge = (t_death − t_last_checkpoint)        // lost-work replay
 //!           + t_s + t_w·m  on the buddy→spare link // state transfer
+//!           + timeout_multiple × period            // detection latency
 //! ```
 //!
 //! where `m` is the size of the buddy's last *completed* checkpoint.  A
 //! rank that never checkpointed restarts from scratch (`t_last = 0`,
-//! no transfer term).  The surcharge lands in the promoted rank's
-//! [`crate::ProcStats::recovery_idle`] (a subset of its idle time, so
-//! the `clock = compute + comm + idle` invariant holds) and inflates
-//! `T_p` accordingly; [`crate::ProcStats::recoveries`] counts the
-//! promotions.
+//! no transfer term).  The detection term exists only under a
+//! [`crate::Detection`] config ([`crate::FaultPlan::with_detection`]):
+//! without one the survivors learn of the death through the simulator's
+//! free oracle, exactly as before.  With one, every rank additionally
+//! pays one one-word heartbeat per elapsed period
+//! ([`crate::ProcStats::heartbeat_words`]), and the per-death wait is
+//! reported in [`crate::ProcStats::detection_latency`].  The surcharge
+//! lands in the promoted rank's [`crate::ProcStats::recovery_idle`] (a
+//! subset of its idle time, so the `clock = compute + comm + idle`
+//! invariant holds) and inflates `T_p` accordingly;
+//! [`crate::ProcStats::recoveries`] counts the promotions.
 //!
 //! ## Degradation
 //!

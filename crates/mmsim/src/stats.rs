@@ -48,6 +48,16 @@ pub struct ProcStats {
     /// completed checkpoint and the death.  A *subset* of
     /// [`ProcStats::idle`], like [`ProcStats::backoff_idle`].
     pub recovery_idle: f64,
+    /// Heartbeat words this rank emitted under a
+    /// [`crate::Detection`] config (the failure-detection share of
+    /// [`ProcStats::words_sent`], one word per heartbeat period).
+    pub heartbeat_words: u64,
+    /// Virtual time spent *waiting for a death to be detected* before
+    /// recovery could begin (`timeout_multiple × period` per recovered
+    /// death).  A *subset* of [`ProcStats::recovery_idle`] — and
+    /// therefore of [`ProcStats::idle`]; zero without a
+    /// [`crate::Detection`] config.
+    pub detection_latency: f64,
 }
 
 impl ProcStats {
@@ -96,6 +106,24 @@ mod tests {
         };
         assert!(s.is_consistent(1e-12));
         assert!(s.backoff_idle <= s.idle);
+    }
+
+    #[test]
+    fn detection_latency_is_part_of_recovery_idle_not_extra() {
+        let s = ProcStats {
+            clock: 20.0,
+            compute: 8.0,
+            comm: 5.0,
+            idle: 7.0,
+            recovery_idle: 6.0,     // 6 of the 7 idle units were failover
+            detection_latency: 4.0, // 4 of which were waiting on the timeout
+            recoveries: 1,
+            heartbeat_words: 3,
+            ..Default::default()
+        };
+        assert!(s.is_consistent(1e-12));
+        assert!(s.detection_latency <= s.recovery_idle);
+        assert!(s.recovery_idle <= s.idle);
     }
 
     #[test]

@@ -218,6 +218,87 @@ fn death_during_checkpoint_send_replays_from_previous_record() {
 }
 
 #[test]
+fn detection_is_strictly_opt_in() {
+    // Without a Detection config the priced layer must not exist: no
+    // heartbeat words, no latency, and the recovery pricing of the
+    // oracle model stays bit-identical (pinned by comparing against the
+    // same plan with detection: the *only* shifts are the detection
+    // charges themselves).
+    let plan = FaultPlan::new(7).with_death(1, 35.0);
+    let oracle = run_ring(&machine(4, 1, plan.clone()), 6).expect("recoverable");
+    for s in &oracle.stats {
+        assert_eq!(s.heartbeat_words, 0);
+        assert_eq!(s.detection_latency, 0.0);
+    }
+
+    let priced = run_ring(&machine(4, 1, plan.with_detection(50.0, 3)), 6).expect("recoverable");
+    // Numerics untouched; the death/checkpoint schedule is the same.
+    assert_eq!(priced.results, oracle.results);
+    // The recovered slot waits exactly timeout_multiple × period before
+    // its failover starts, on top of the oracle surcharge.
+    assert_eq!(priced.stats[1].detection_latency, 150.0);
+    assert_eq!(
+        priced.stats[1].recovery_idle.to_bits(),
+        (oracle.stats[1].recovery_idle + 150.0).to_bits()
+    );
+    assert!(priced.stats[1].detection_latency <= priced.stats[1].recovery_idle);
+    // Every rank pays heartbeat bandwidth, counted inside words_sent.
+    for (s, o) in priced.stats.iter().zip(&oracle.stats) {
+        assert!(s.heartbeat_words > 0);
+        assert!(s.words_sent > o.words_sent);
+        assert!(s.is_consistent(1e-9), "{s:?}");
+    }
+    assert!(priced.t_parallel > oracle.t_parallel);
+}
+
+#[test]
+fn detection_latency_is_monotone_in_heartbeat_period() {
+    // A slower heartbeat is cheaper in bandwidth but slower to notice a
+    // death: latency grows with the period, heartbeat traffic shrinks.
+    let run = |period: f64| {
+        run_ring(
+            &machine(
+                4,
+                1,
+                FaultPlan::new(7)
+                    .with_death(1, 35.0)
+                    .with_detection(period, 3),
+            ),
+            6,
+        )
+        .expect("recoverable")
+    };
+    let (fast, mid, slow) = (run(10.0), run(50.0), run(200.0));
+    let lat = |r: &RunReport<Vec<f64>>| r.stats[1].detection_latency;
+    assert!(lat(&fast) < lat(&mid));
+    assert!(lat(&mid) < lat(&slow));
+    let beats = |r: &RunReport<Vec<f64>>| r.stats[0].heartbeat_words;
+    assert!(beats(&fast) > beats(&mid));
+    assert!(beats(&mid) >= beats(&slow));
+}
+
+#[test]
+fn heartbeats_are_charged_even_without_deaths() {
+    // Detection is a standing cost, not a per-failure one: a healthy
+    // run under a detection config still pays the heartbeat traffic.
+    let plain = run_ring(&machine(4, 1, FaultPlan::new(31)), 6).expect("healthy");
+    let priced = run_ring(
+        &machine(4, 1, FaultPlan::new(31).with_detection(40.0, 2)),
+        6,
+    )
+    .expect("healthy");
+    assert_eq!(priced.results, plain.results);
+    for (s, o) in priced.stats.iter().zip(&plain.stats) {
+        assert!(s.heartbeat_words > 0);
+        assert_eq!(s.detection_latency, 0.0, "no death, no latency");
+        assert_eq!(s.recoveries, 0);
+        assert!(s.clock > o.clock);
+        assert!(s.is_consistent(1e-9), "{s:?}");
+    }
+    assert!(priced.t_parallel > plain.t_parallel);
+}
+
+#[test]
 fn run_and_try_run_share_the_failover_path() {
     // The panic entry point recovers too — and when it cannot, its
     // message format is the pinned historical one.

@@ -45,4 +45,4 @@ pub mod technology;
 pub mod time;
 
 pub use algorithm::Algorithm;
-pub use machine::{FaultRates, MachineParams};
+pub use machine::{DetectionParams, FaultRates, MachineParams};

@@ -70,9 +70,53 @@ impl FaultRates {
     }
 }
 
+/// Heartbeat-priced failure-detection parameters, mirroring the
+/// simulator's `mmsim::Detection` config: every rank emits a one-word
+/// heartbeat each `period` time units, and a death is declared after
+/// `timeout_multiple` consecutive missed beats.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectionParams {
+    /// Heartbeat period in the machine's normalised time units.
+    pub period: f64,
+    /// Missed beats before a rank is declared dead.
+    pub timeout_multiple: u32,
+}
+
+impl DetectionParams {
+    /// Detection parameters with the given heartbeat period and timeout
+    /// multiple.
+    ///
+    /// # Panics
+    /// Panics unless the period is finite and positive and the multiple
+    /// is at least 1 (the same domain the simulator enforces).
+    #[must_use]
+    pub fn new(period: f64, timeout_multiple: u32) -> Self {
+        assert!(
+            period > 0.0 && period.is_finite(),
+            "heartbeat period must be finite and positive, got {period}"
+        );
+        assert!(
+            timeout_multiple >= 1,
+            "timeout multiple must be at least 1, got {timeout_multiple}"
+        );
+        Self {
+            period,
+            timeout_multiple,
+        }
+    }
+
+    /// Worst-case time from a death to its detection: the full timeout
+    /// window, `timeout_multiple × period`.
+    #[must_use]
+    pub fn latency(self) -> f64 {
+        f64::from(self.timeout_multiple) * self.period
+    }
+}
+
 /// Communication constants of a machine, normalised to its unit
 /// computation time (one multiply–add), exactly as in §2 of the paper,
-/// plus optional per-attempt fault rates for lossy-machine analyses.
+/// plus optional per-attempt fault rates and failure-detection pricing
+/// for lossy-machine analyses.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MachineParams {
     /// Message startup time.
@@ -82,6 +126,9 @@ pub struct MachineParams {
     /// Per-attempt fault rates of the interconnect ([`FaultRates::ZERO`]
     /// for the paper's fault-free machines).
     pub faults: FaultRates,
+    /// Heartbeat-priced failure detection (`None` models the simulator's
+    /// free oracle — detection costs nothing).
+    pub detection: Option<DetectionParams>,
 }
 
 impl MachineParams {
@@ -103,6 +150,7 @@ impl MachineParams {
             t_s,
             t_w,
             faults: FaultRates::ZERO,
+            detection: None,
         }
     }
 
@@ -139,6 +187,7 @@ impl MachineParams {
         assert!(k > 0.0, "speedup factor must be positive");
         Self {
             faults: self.faults,
+            detection: self.detection,
             ..Self::new(self.t_s * k, self.t_w * k)
         }
     }
@@ -147,6 +196,15 @@ impl MachineParams {
     #[must_use]
     pub fn with_faults(mut self, faults: FaultRates) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Builder-style: the same machine with heartbeat-priced failure
+    /// detection.  Panics on an invalid period/multiple (see
+    /// [`DetectionParams::new`]).
+    #[must_use]
+    pub fn with_detection(mut self, period: f64, timeout_multiple: u32) -> Self {
+        self.detection = Some(DetectionParams::new(period, timeout_multiple));
         self
     }
 
@@ -169,15 +227,40 @@ impl MachineParams {
     /// fault-free machine this still charges the framing and
     /// acknowledgement overhead — exactly what the engine does.
     ///
-    /// The returned params keep the fault rates, so `is_lossy` remains
-    /// visible to callers; the analytic time formulas ignore the field.
+    /// Under a [`DetectionParams`] config every rank additionally spends
+    /// `t_s + t_w` of sender occupancy per heartbeat period on the
+    /// one-word beat, a duty cycle of `h = (t_s + t_w) / period` that
+    /// steals link time from algorithm traffic — so both effective
+    /// constants scale by `1/(1 − h)`.  Without detection (`None`, the
+    /// free oracle) the term vanishes and the result is bit-identical to
+    /// the pre-detection formula.
+    ///
+    /// The returned params keep the fault rates and detection config, so
+    /// `is_lossy` remains visible to callers; the analytic time formulas
+    /// ignore the fields.
+    ///
+    /// # Panics
+    /// Panics if the heartbeat duty cycle reaches 1 — a period too short
+    /// to fit the beat itself leaves no capacity for real traffic.
     #[must_use]
     pub fn reliable_effective(self) -> Self {
         let a = self.faults.expected_attempts();
+        let det_scale = match self.detection {
+            None => 1.0,
+            Some(det) => {
+                let h = (self.t_s + self.t_w) / det.period;
+                assert!(
+                    h < 1.0,
+                    "heartbeat duty cycle (t_s + t_w)/period = {h} must stay below 1"
+                );
+                1.0 / (1.0 - h)
+            }
+        };
         Self {
-            t_s: a * (self.t_s + 2.0 * self.t_w) + (self.t_s + self.t_w),
-            t_w: a * self.t_w,
+            t_s: det_scale * (a * (self.t_s + 2.0 * self.t_w) + (self.t_s + self.t_w)),
+            t_w: det_scale * a * self.t_w,
             faults: self.faults,
+            detection: self.detection,
         }
     }
 }
@@ -229,6 +312,58 @@ mod tests {
         // A = 1: t_s' = (10 + 4) + (10 + 2) = 26, t_w' = 2.
         assert_eq!(m.t_s, 26.0);
         assert_eq!(m.t_w, 2.0);
+    }
+
+    #[test]
+    fn detection_free_reliable_effective_is_bit_identical() {
+        // None must reproduce the pre-detection formula *exactly*: the
+        // scale factor is the literal 1.0, not a computed near-1 value.
+        let m = MachineParams::new(10.0, 2.0);
+        let eff = m.reliable_effective();
+        assert_eq!(eff.t_s.to_bits(), 26.0f64.to_bits());
+        assert_eq!(eff.t_w.to_bits(), 2.0f64.to_bits());
+        assert_eq!(eff.detection, None);
+    }
+
+    #[test]
+    fn detection_scales_both_constants_and_survives_the_transform() {
+        let base = MachineParams::new(10.0, 2.0).reliable_effective();
+        let det = MachineParams::new(10.0, 2.0)
+            .with_detection(48.0, 3)
+            .reliable_effective();
+        // h = 12/48 = 1/4 → scale 4/3.
+        assert!((det.t_s - base.t_s * 4.0 / 3.0).abs() < 1e-12);
+        assert!((det.t_w - base.t_w * 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(det.detection, Some(DetectionParams::new(48.0, 3)));
+        // A longer period means a lighter tax but a longer wait.
+        let slow = MachineParams::new(10.0, 2.0)
+            .with_detection(480.0, 3)
+            .reliable_effective();
+        assert!(slow.t_s < det.t_s);
+        assert!(slow.detection.unwrap().latency() > det.detection.unwrap().latency());
+    }
+
+    #[test]
+    #[should_panic(expected = "duty cycle")]
+    fn saturating_heartbeat_period_rejected() {
+        let _ = MachineParams::new(10.0, 2.0)
+            .with_detection(12.0, 1)
+            .reliable_effective();
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn zero_detection_period_rejected() {
+        let _ = MachineParams::new(10.0, 2.0).with_detection(0.0, 2);
+    }
+
+    #[test]
+    fn cpu_speedup_preserves_detection() {
+        let m = MachineParams::new(10.0, 2.0)
+            .with_detection(100.0, 2)
+            .with_cpu_speedup(3.0);
+        assert_eq!(m.detection, Some(DetectionParams::new(100.0, 2)));
+        assert_eq!(m.detection.unwrap().latency(), 200.0);
     }
 
     #[test]

@@ -65,6 +65,7 @@ mod tests {
         t_s: 150.0,
         t_w: 3.0,
         faults: crate::machine::FaultRates::ZERO,
+        detection: None,
     };
 
     #[test]

@@ -120,9 +120,12 @@ impl Advisor {
     /// are the reliable-transport effective constants: on a lossy
     /// machine every message must ride the reliable protocol, so the
     /// advisor prices framing, acknowledgements and expected
-    /// retransmissions via [`MachineParams::reliable_effective`].
+    /// retransmissions via [`MachineParams::reliable_effective`].  A
+    /// [`model::DetectionParams`] config likewise forces the resilient
+    /// path, and its heartbeat duty cycle joins the effective constants
+    /// through the same transform.
     fn pricing(&self) -> (MachineParams, bool) {
-        if self.machine.faults.is_lossy() {
+        if self.machine.faults.is_lossy() || self.machine.detection.is_some() {
             (self.machine.reliable_effective(), true)
         } else {
             (self.machine, false)
@@ -206,7 +209,11 @@ impl Advisor {
 pub fn has_resilient_variant(alg: Algorithm) -> bool {
     matches!(
         alg,
-        Algorithm::Cannon | Algorithm::Gk | Algorithm::FoxHypercube | Algorithm::Dns
+        Algorithm::Cannon
+            | Algorithm::Gk
+            | Algorithm::FoxHypercube
+            | Algorithm::FoxPipelined
+            | Algorithm::Dns
     )
 }
 
@@ -287,7 +294,14 @@ pub fn run_recommendation(
     }
     match rec.algorithm {
         Algorithm::Cannon => algos::cannon_resilient(machine, a, b),
-        Algorithm::FoxHypercube => algos::fox_resilient(machine, a, b),
+        Algorithm::FoxHypercube => algos::fox_tree_resilient(machine, a, b),
+        Algorithm::FoxPipelined => {
+            // Same default packet count as the plain dispatch above.
+            let q = algos::fox::applicability(a.rows(), machine.p())?;
+            let block_words = (a.rows() / q) * (a.rows() / q);
+            let packets = ((block_words as f64).sqrt().round() as usize).clamp(1, block_words);
+            algos::fox_pipelined_resilient(machine, a, b, packets)
+        }
         Algorithm::Gk => algos::gk_resilient(machine, a, b),
         Algorithm::Dns => algos::dns_resilient(machine, a, b),
         other => Err(AlgoError::BadProcessorCount {
@@ -507,6 +521,53 @@ mod tests {
         assert!(out.c.approx_eq(&(&a * &b), 1e-10));
         let retrans: u64 = out.stats.iter().map(|s| s.retransmissions).sum();
         assert!(retrans > 0, "lossy links must force retransmissions");
+    }
+
+    #[test]
+    fn detection_config_forces_and_prices_the_resilient_path() {
+        // Healthy machine + detection: no loss, but heartbeats steal
+        // link capacity and every variant must ride the resilient path.
+        let free = Advisor::for_cm5();
+        let priced =
+            Advisor::for_cm5().with_machine(MachineParams::cm5().with_detection(2_000.0, 3));
+        let (f, p) = (
+            free.recommend(96, 64).unwrap(),
+            priced.recommend(96, 64).unwrap(),
+        );
+        assert!(!f.resilient);
+        assert!(p.resilient, "detection alone must force resilient pricing");
+        assert!(
+            p.predicted_time > f.predicted_time,
+            "heartbeat duty cycle must surcharge predictions: {} vs {}",
+            p.predicted_time,
+            f.predicted_time
+        );
+        for (alg, _) in &p.ranking {
+            assert!(has_resilient_variant(*alg));
+        }
+    }
+
+    #[test]
+    fn resilient_dispatch_covers_both_fox_formulations() {
+        use mmsim::FaultPlan;
+        let machine = Machine::new(Topology::fully_connected(4), CostModel::cm5())
+            .with_fault_plan(FaultPlan::new(23).with_drop_rate(0.15))
+            .with_deadlock_timeout(std::time::Duration::from_millis(4_000));
+        let (a, b) = dense::gen::random_pair(8, 17);
+        for alg in [Algorithm::FoxHypercube, Algorithm::FoxPipelined] {
+            let rec = Recommendation {
+                algorithm: alg,
+                predicted_time: 0.0,
+                predicted_efficiency: 0.0,
+                ranking: vec![(alg, 0.0)],
+                resilient: true,
+            };
+            let out =
+                run_recommendation(&rec, &machine, &a, &b).unwrap_or_else(|e| panic!("{alg}: {e}"));
+            assert!(out.c.approx_eq(&(&a * &b), 1e-10), "{alg}");
+            let retrans: u64 = out.stats.iter().map(|s| s.retransmissions).sum();
+            assert!(retrans > 0, "{alg} must ride the reliable transport");
+        }
     }
 
     #[test]
