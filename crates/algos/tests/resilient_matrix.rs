@@ -65,7 +65,12 @@ where
                 prop_assert!(s.is_consistent(1e-9), "{:?}", s);
                 prop_assert!(s.backoff_idle <= s.idle + 1e-9);
                 prop_assert!(s.recovery_idle <= s.idle + 1e-9);
-                prop_assert!(s.detection_latency <= s.recovery_idle + 1e-9);
+                // True- and false-positive detector charges are
+                // disjoint slices of the failover idle bucket.
+                prop_assert!(
+                    s.detection_latency + s.wasted_promotion_idle <= s.recovery_idle + 1e-9
+                );
+                prop_assert!((s.false_positives > 0) == (s.wasted_promotion_idle > 0.0));
             }
         }
         (Err(a), Err(b)) => prop_assert_eq!(a, b, "error replay diverged"),
@@ -167,6 +172,78 @@ resilient_matrix!(
     plain = algos::dns_block,
     resilient = algos::dns_resilient
 );
+
+/// The lossy-detection grid: heartbeats ride the same faulted links as
+/// data, so sweeping heartbeat-drop rate × detection period × timeout
+/// multiple over every resilient variant (with one spare to waste)
+/// must provoke spurious failovers — and they must be priced,
+/// deterministic, and invisible in the data plane.
+#[test]
+fn lossy_detection_grid_prices_false_positives_without_touching_data() {
+    type Entry = (
+        &'static str,
+        usize,
+        usize,
+        fn(&Machine, &Matrix, &Matrix) -> Result<SimOutcome, AlgoError>,
+    );
+    let fox_piped: fn(&Machine, &Matrix, &Matrix) -> Result<SimOutcome, AlgoError> =
+        |m, a, b| algos::fox_pipelined_resilient(m, a, b, 2);
+    let entries: [Entry; 6] = [
+        ("cannon", 9, 6, algos::cannon_resilient),
+        ("fox", 4, 8, algos::fox_resilient),
+        ("fox_tree", 9, 6, algos::fox_tree_resilient),
+        ("fox_pipelined", 9, 6, fox_piped),
+        ("gk", 8, 8, algos::gk_resilient),
+        ("dns", 16, 4, algos::dns_resilient),
+    ];
+    const HB_DROPS: [f64; 2] = [0.25, 0.5];
+    const PERIODS: [f64; 2] = [20.0, 60.0];
+    const MULTS: [u32; 2] = [1, 3];
+    let mut grid_false_positives = 0u64;
+    for (name, p, n, algo) in entries {
+        let (a, b) = gen::random_pair(n, 0xD1FF);
+        let reference = algo(&sweep_machine(p, 1, FaultPlan::new(11)), &a, &b)
+            .unwrap_or_else(|e| panic!("{name}: {e}"))
+            .c;
+        for drop in HB_DROPS {
+            for period in PERIODS {
+                for mult in MULTS {
+                    let plan = FaultPlan::new(11)
+                        .with_drop_rate(drop)
+                        .with_detection(period, mult);
+                    let m = sweep_machine(p, 1, plan);
+                    let x = algo(&m, &a, &b).unwrap_or_else(|e| panic!("{name}: {e}"));
+                    let y = algo(&m, &a, &b).unwrap_or_else(|e| panic!("{name}: {e}"));
+                    let point = format!("{name} drop={drop} period={period} mult={mult}");
+                    // Spurious failovers never reach the data plane.
+                    assert_eq!(x.c, reference, "{point}: product drifted");
+                    // Byte-identical replay, accusation charges included.
+                    assert_eq!(x.t_parallel.to_bits(), y.t_parallel.to_bits(), "{point}");
+                    assert_eq!(x.stats, y.stats, "{point}");
+                    for s in &x.stats {
+                        assert!(s.is_consistent(1e-9), "{point}: {s:?}");
+                        assert!(
+                            s.detection_latency + s.wasted_promotion_idle <= s.recovery_idle + 1e-9,
+                            "{point}: detector charges exceed the failover bucket: {s:?}"
+                        );
+                        assert!(s.recovery_idle <= s.idle + 1e-9, "{point}");
+                        assert_eq!(
+                            s.false_positives > 0,
+                            s.wasted_promotion_idle > 0.0,
+                            "{point}: accusation count and charge must agree"
+                        );
+                        assert_eq!(s.recoveries, 0, "{point}: no real death in this grid");
+                    }
+                    grid_false_positives += x.stats.iter().map(|s| s.false_positives).sum::<u64>();
+                }
+            }
+        }
+    }
+    assert!(
+        grid_false_positives > 0,
+        "a lossy grid this aggressive must provoke spurious failovers"
+    );
+}
 
 /// The detection config composes with every variant: a priced sweep
 /// point still reproduces the exact product, and its heartbeat traffic

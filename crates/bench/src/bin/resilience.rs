@@ -18,7 +18,11 @@
 //! [`mmsim::FaultPlan::with_detection`] config (heartbeat period = 10%
 //! of the fault-free schedule, timeout multiple 2), asserting nonzero
 //! `heartbeat_words` and `detection_latency` — the priced replacement
-//! of the free death oracle.
+//! of the free death oracle.  Heartbeats ride the same lossy links as
+//! data, so detection rows may also record spurious failovers
+//! (`false_positives` / `wasted_promotion_idle`): a live rank accused
+//! by a run of dropped beats, a spare pointlessly promoted and
+//! reconciled away.
 //!
 //! ```sh
 //! cargo run -p bench --release --bin resilience \
@@ -438,11 +442,14 @@ fn main() -> ExitCode {
             "recovery_idle",
             "heartbeat_words",
             "detection_latency",
+            "false_positives",
+            "wasted_promotion_idle",
         ],
     );
     let mut golden = String::from(
         "algorithm,p,n,drop_rate,deaths,detection_period_bits,t_parallel_bits,\
-         retransmissions,recoveries,heartbeat_words,detection_latency_bits\n",
+         retransmissions,recoveries,heartbeat_words,detection_latency_bits,\
+         false_positives,wasted_promotion_idle_bits\n",
     );
     // Fault-free efficiency per (alg, p) anchors the degradation column.
     let baseline: HashMap<(&str, usize), f64> = rows
@@ -460,6 +467,8 @@ fn main() -> ExitCode {
         let recovery_idle: f64 = out.stats.iter().map(|s| s.recovery_idle).sum();
         let heartbeats: u64 = out.stats.iter().map(|s| s.heartbeat_words).sum();
         let det_latency: f64 = out.stats.iter().map(|s| s.detection_latency).sum();
+        let false_pos: u64 = out.stats.iter().map(|s| s.false_positives).sum();
+        let wasted: f64 = out.stats.iter().map(|s| s.wasted_promotion_idle).sum();
         let spares = if row.deaths > 0 { row.p } else { 0 };
         table.push_row(vec![
             row.alg.to_string(),
@@ -480,10 +489,12 @@ fn main() -> ExitCode {
             format!("{recovery_idle:.1}"),
             heartbeats.to_string(),
             format!("{det_latency:.1}"),
+            false_pos.to_string(),
+            format!("{wasted:.1}"),
         ]);
         let _ = writeln!(
             golden,
-            "{},{},{},{:.2},{},{},{},{retrans},{recoveries},{heartbeats},{}",
+            "{},{},{},{:.2},{},{},{},{retrans},{recoveries},{heartbeats},{},{false_pos},{}",
             row.alg,
             row.p,
             row.n,
@@ -492,6 +503,7 @@ fn main() -> ExitCode {
             row.detection_period.map_or_else(|| "none".into(), bits),
             bits(out.t_parallel),
             bits(det_latency),
+            bits(wasted),
         );
     }
 

@@ -66,6 +66,15 @@ pub struct JobRecord {
     /// Spare-rank promotions *inside* the successful run (deaths the
     /// partition's spare budget absorbed without a re-submission).
     pub recoveries: u64,
+    /// Proactive live migrations before this (successful) placement:
+    /// the scheduler evacuated the job off a degrading block — the
+    /// detector's missed-heartbeat streak crossed the migration
+    /// threshold while staying below the death threshold — onto a
+    /// fresh partition, resuming from the transferred checkpoint.
+    pub migrations: usize,
+    /// Heartbeat words the successful run's partition emitted under
+    /// the fault plan's detection config (its failure-detection bill).
+    pub heartbeat_words: u64,
     /// When the job left the queue and its partition was carved out.
     pub start: f64,
     /// When the job's partition was released (`start + actual_time`).
@@ -117,6 +126,8 @@ mod tests {
             actual_time: 1_024.0,
             attempts: 1,
             recoveries: 0,
+            migrations: 0,
+            heartbeat_words: 0,
             start: 150.0,
             finish: 1_174.0,
         }

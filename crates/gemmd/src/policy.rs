@@ -22,6 +22,14 @@ pub struct QueuedJob {
     /// Placements that already failed on a fail-stop loss (0 on first
     /// admission); bounded by the scheduler's retry budget.
     pub attempts: usize,
+    /// Proactive evacuations this job has already performed (0 on
+    /// first admission); bounded by the scheduler's retry budget so a
+    /// persistently-degraded machine cannot migrate a job forever.
+    pub migrations: usize,
+    /// Virtual work time already checkpointed off an evacuated block:
+    /// a migrated placement resumes from the transferred state, so
+    /// this much of the fresh run is not re-executed.
+    pub credit: f64,
 }
 
 /// Queue-ordering policy: pick the index of the next job to place.
@@ -109,6 +117,8 @@ mod tests {
             },
             sizing: Sizing { p, rec },
             attempts: 0,
+            migrations: 0,
+            credit: 0.0,
         }
     }
 

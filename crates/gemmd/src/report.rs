@@ -33,6 +33,15 @@ pub struct ServiceReport {
     /// (`Σ p_block · t_death`): capacity the machine spent on work that
     /// had to be redone.
     pub wasted_rank_time: f64,
+    /// Proactive live migrations: placements evacuated onto fresh
+    /// blocks because the detector's missed-heartbeat streak crossed
+    /// the migration threshold before the degradation became a loss.
+    /// Migrated work is checkpointed and resumed, so it does *not*
+    /// count into [`ServiceReport::wasted_rank_time`].
+    pub migrations: usize,
+    /// Words of checkpointed state (`3n²` per migration: the A, B and
+    /// C blocks) carried over buddy links by proactive migrations.
+    pub migration_transfer_words: u64,
 }
 
 impl ServiceReport {
@@ -93,6 +102,13 @@ impl ServiceReport {
             / self.records.len() as f64
     }
 
+    /// Total heartbeat words emitted by completed runs — the service's
+    /// failure-detection bill under the fault plan's detection config.
+    #[must_use]
+    pub fn heartbeat_words(&self) -> u64 {
+        self.records.iter().map(|r| r.heartbeat_words).sum()
+    }
+
     /// Of the jobs that carried deadlines, the count that met them and
     /// the total count.
     #[must_use]
@@ -111,12 +127,12 @@ impl ServiceReport {
     #[must_use]
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "id,n,arrival,priority,p,base,algorithm,resilient,predicted,actual,attempts,recoveries,start,finish,wait,efficiency\n",
+            "id,n,arrival,priority,p,base,algorithm,resilient,predicted,actual,attempts,recoveries,migrations,heartbeat_words,start,finish,wait,efficiency\n",
         );
         for r in &self.records {
             let _ = writeln!(
                 out,
-                "{},{},{:.3},{},{},{},{},{},{:.3},{:.3},{},{},{:.3},{:.3},{:.3},{:.4}",
+                "{},{},{:.3},{},{},{},{},{},{:.3},{:.3},{},{},{},{},{:.3},{:.3},{:.3},{:.4}",
                 r.id,
                 r.spec.n,
                 r.spec.arrival,
@@ -129,6 +145,8 @@ impl ServiceReport {
                 r.actual_time,
                 r.attempts,
                 r.recoveries,
+                r.migrations,
+                r.heartbeat_words,
                 r.start,
                 r.finish,
                 r.wait(),
@@ -159,6 +177,13 @@ impl ServiceReport {
                 self.requeues, self.quarantined_ranks, self.unquarantined_ranks
             );
         }
+        if self.migrations > 0 {
+            let _ = write!(
+                line,
+                ", {} migrated ({} words)",
+                self.migrations, self.migration_transfer_words
+            );
+        }
         line
     }
 }
@@ -180,6 +205,8 @@ mod tests {
             actual_time: dur,
             attempts: 1,
             recoveries: 0,
+            migrations: 0,
+            heartbeat_words: 0,
             start,
             finish: start + dur,
         };
@@ -194,6 +221,8 @@ mod tests {
             quarantined_ranks: 0,
             unquarantined_ranks: 0,
             wasted_rank_time: 0.0,
+            migrations: 0,
+            migration_transfer_words: 0,
         }
     }
 

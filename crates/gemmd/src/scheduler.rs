@@ -17,7 +17,7 @@
 use mmsim::{Machine, TopologyKind};
 use model::time::NetworkModel;
 use model::MachineParams;
-use parmm::{fault_rates_of, run_recommendation, Advisor};
+use parmm::{detection_of, fault_rates_of, run_recommendation, Advisor};
 
 use crate::job::{JobRecord, JobSpec};
 use crate::partition::{Partition, PartitionManager};
@@ -48,6 +48,17 @@ pub struct Config {
     /// budget may be re-submitted onto a fresh partition before the
     /// run fails with [`GemmdError::Execution`].
     pub retry_budget: usize,
+    /// Proactive live migration: when a partition's own heartbeat
+    /// stream shows this many *consecutive* lost beats — a sustained
+    /// degradation alarm — the scheduler evacuates the job onto a
+    /// fresh block via a buddy-checkpoint transfer instead of waiting
+    /// for the degradation to become a death.  0 (the default)
+    /// disables migration; the threshold should sit *below* the fault
+    /// plan's `timeout_multiple`, or the detector declares the rank
+    /// dead before the mover acts.  Migrations per job are capped by
+    /// [`Config::retry_budget`], so a machine that is degraded
+    /// everywhere cannot bounce a job forever.
+    pub migration_streak: u32,
 }
 
 impl Default for Config {
@@ -58,6 +69,7 @@ impl Default for Config {
             verify: false,
             spares: 0,
             retry_budget: 2,
+            migration_streak: 0,
         }
     }
 }
@@ -90,6 +102,14 @@ enum Outcome {
         rank: usize,
         t: f64,
     },
+    /// Proactive evacuation: the partition's missed-heartbeat streak
+    /// crossed [`Config::migration_streak`] at virtual time `t` within
+    /// the run, so the job checkpoints off the degrading block (which
+    /// is occupied until `start + t`) and resumes elsewhere.
+    Migrated {
+        job: QueuedJob,
+        t: f64,
+    },
 }
 
 impl<'m> Scheduler<'m> {
@@ -107,9 +127,14 @@ impl<'m> Scheduler<'m> {
         // A detection config on the machine's fault plan prices its
         // heartbeat duty cycle into every prediction (and forces the
         // advisor onto the resilient candidates), mirroring what the
-        // simulator charges.
-        if let Some(det) = machine.fault_plan().and_then(mmsim::FaultPlan::detection) {
+        // simulator charges.  Per-link period overrides reach the
+        // analytic machine as its tightest period — the busiest
+        // detector link bounds the duty cycle.
+        if let Some(det) = detection_of(machine) {
             params = params.with_detection(det.period, det.timeout_multiple);
+            if let Some(lp) = det.link_period {
+                params = params.with_link_detection_period(lp);
+            }
         }
         let advisor = Advisor::new(params).with_network(network);
         Self {
@@ -160,6 +185,8 @@ impl<'m> Scheduler<'m> {
         let mut requeues = 0usize;
         let mut unquarantined = 0usize;
         let mut wasted_rank_time = 0.0f64;
+        let mut migrations = 0usize;
+        let mut migration_words = 0u64;
 
         loop {
             // Un-quarantine blocks whose death schedules have fully
@@ -231,6 +258,23 @@ impl<'m> Scheduler<'m> {
                             requeues += 1;
                             queue.push(job);
                         }
+                        Outcome::Migrated { mut job, t } => {
+                            // The degrading block is sidelined exactly
+                            // like a dead one — but a block with no
+                            // pending death (a link-level degradation,
+                            // or a detector crying wolf) is handed
+                            // straight back by the next
+                            // release_quarantined pass.  The work up to
+                            // the alarm is checkpointed and travels
+                            // with the job, so nothing is wasted and
+                            // nothing is redone.
+                            pm.quarantine(done.partition);
+                            migrations += 1;
+                            migration_words += 3 * (job.spec.n as u64).pow(2);
+                            job.migrations += 1;
+                            job.credit += t;
+                            queue.push(job);
+                        }
                     }
                 }
                 (_, Some(t)) => {
@@ -250,6 +294,8 @@ impl<'m> Scheduler<'m> {
                         spec,
                         sizing,
                         attempts: 0,
+                        migrations: 0,
+                        credit: 0.0,
                     });
                 }
                 _ => break,
@@ -281,6 +327,8 @@ impl<'m> Scheduler<'m> {
             quarantined_ranks: pm.quarantined(),
             unquarantined_ranks: unquarantined,
             wasted_rank_time,
+            migrations,
+            migration_transfer_words: migration_words,
         })
     }
 
@@ -304,7 +352,10 @@ impl<'m> Scheduler<'m> {
     /// block's first `sizing.p` ranks, plus `spares` idle ranks for
     /// fail-stop failover.  A death beyond the spare budget is not an
     /// error — it becomes a [`Outcome::Lost`] placement that occupies
-    /// the partition until the death instant.
+    /// the partition until the death instant.  With
+    /// [`Config::migration_streak`] set, a sustained-degradation alarm
+    /// that fires before the run would have ended pre-empts either
+    /// ending and becomes an [`Outcome::Migrated`] placement instead.
     fn start_job(
         &self,
         job: QueuedJob,
@@ -318,12 +369,35 @@ impl<'m> Scheduler<'m> {
         // at `now`, so shift them into run-relative time (deaths
         // already in the past vanish — that is what makes a block
         // reusable once its schedule has passed).
-        if let Some(plan) = self.machine.fault_plan() {
-            sub = sub.with_fault_plan(plan.rebased_deaths(now));
+        let plan = self.machine.fault_plan().map(|p| p.rebased_deaths(now));
+        if let Some(plan) = plan.clone() {
+            sub = sub.with_fault_plan(plan);
         }
         let sub = sub.with_spares(spares);
         let (a, b) = dense::gen::random_pair(job.spec.n, job.spec.seed);
-        let out = match run_recommendation(&job.sizing.rec, &sub, &a, &b) {
+        let run = run_recommendation(&job.sizing.rec, &sub, &a, &b);
+        // The mover only gets to act on alarms that precede the run's
+        // natural end — completion or death, whichever the simulator
+        // reported.
+        let horizon = match &run {
+            Ok(out) => out.t_parallel,
+            Err(algos::AlgoError::Sim(mmsim::SimError::RankDied { t, .. })) => *t,
+            Err(_) => 0.0,
+        };
+        if let Some(t) = self.migration_alarm(
+            &ranks[..job.sizing.p],
+            plan.as_ref(),
+            job.migrations,
+            horizon,
+        ) {
+            return Ok(Running {
+                finish: now + t,
+                id: job.id,
+                partition,
+                outcome: Outcome::Migrated { job, t },
+            });
+        }
+        let out = match run {
             Ok(out) => out,
             Err(algos::AlgoError::Sim(mmsim::SimError::RankDied { rank, t })) => {
                 return Ok(Running {
@@ -348,6 +422,17 @@ impl<'m> Scheduler<'m> {
                 job.id
             );
         }
+        // A migrated job resumes from its transferred checkpoint: the
+        // fresh placement pays the state transfer (`t_s + t_w·3n²/p`)
+        // once, then only re-executes what the evacuated segments had
+        // not already covered.
+        let actual_time = if job.migrations > 0 {
+            let cm = self.machine.cost_model();
+            let state_words = 3.0 * (job.spec.n as f64).powi(2) / job.sizing.p as f64;
+            cm.t_s + cm.t_w * state_words + (out.t_parallel - job.credit).max(0.0)
+        } else {
+            out.t_parallel
+        };
         let record = JobRecord {
             id: job.id,
             spec: job.spec,
@@ -356,11 +441,13 @@ impl<'m> Scheduler<'m> {
             algorithm: job.sizing.rec.algorithm,
             resilient: job.sizing.rec.resilient,
             predicted_time: job.sizing.rec.predicted_time,
-            actual_time: out.t_parallel,
+            actual_time,
             attempts: job.attempts + 1,
             recoveries: out.stats.iter().map(|s| s.recoveries).sum(),
+            migrations: job.migrations,
+            heartbeat_words: out.stats.iter().map(|s| s.heartbeat_words).sum(),
             start: now,
-            finish: now + out.t_parallel,
+            finish: now + actual_time,
         };
         Ok(Running {
             finish: record.finish,
@@ -368,6 +455,40 @@ impl<'m> Scheduler<'m> {
             partition,
             outcome: Outcome::Completed(record),
         })
+    }
+
+    /// The earliest sustained-degradation alarm on this placement's
+    /// heartbeat ring, in run-relative time: the first instant any
+    /// member's monitor link accumulates [`Config::migration_streak`]
+    /// consecutive lost beats within `horizon`.  Heartbeat fates are a
+    /// pure function of the fault plan, so the mover sees exactly the
+    /// streaks the engine's detector would observe — just at a lower
+    /// threshold, which is what makes the migration *proactive*.
+    /// `None` when migration is off, the job has exhausted its
+    /// migration budget, the partition is a single rank (no ring), or
+    /// no link alarms in time.
+    fn migration_alarm(
+        &self,
+        compute: &[usize],
+        plan: Option<&mmsim::FaultPlan>,
+        migrations: usize,
+        horizon: f64,
+    ) -> Option<f64> {
+        let streak = self.config.migration_streak;
+        if streak == 0 || compute.len() < 2 || migrations >= self.config.retry_budget {
+            return None;
+        }
+        let plan = plan?;
+        plan.detection()?;
+        compute
+            .iter()
+            .enumerate()
+            .filter_map(|(r, &src)| {
+                let dst = compute[(r + 1) % compute.len()];
+                let period = plan.detection_period_for(src)?;
+                plan.first_streak(src, dst, streak, period, horizon)
+            })
+            .min_by(f64::total_cmp)
     }
 }
 
@@ -723,6 +844,124 @@ mod tests {
             }
             other => panic!("expected Execution, got {other:?}"),
         }
+    }
+
+    /// A 16-rank machine whose directed link 0 → 1 — the heartbeat
+    /// path of physical rank 0 — drops half its frames, with a tight
+    /// detector (period 500, death threshold 4 beats) and optionally a
+    /// fail-stop death.  n = 32 jobs right-size to p = 4 here, so the
+    /// first placement lands on block [0, 4) and sees the degradation.
+    fn degrading_machine(death: Option<(usize, f64)>) -> Machine {
+        use mmsim::{FaultPlan, LinkFaults};
+        let mut plan = FaultPlan::new(33)
+            .with_drop_rate(0.02)
+            .with_link(
+                0,
+                1,
+                LinkFaults {
+                    drop: 0.5,
+                    corrupt: 0.0,
+                    duplicate: 0.0,
+                    tw_factor: 1.0,
+                },
+            )
+            .with_detection(500.0, 4);
+        if let Some((rank, t)) = death {
+            plan = plan.with_death(rank, t);
+        }
+        Machine::new(Topology::hypercube(4), CostModel::ncube2()).with_fault_plan(plan)
+    }
+
+    #[test]
+    fn proactive_migration_beats_reactive_recovery() {
+        // Rank 0's outgoing link degrades, then the rank dies at
+        // t = 10 000 — a third of the way into the ~19 000-unit run.
+        // The reactive service rides the job into the death and redoes
+        // everything; the proactive mover reads the missed-heartbeat
+        // streak, evacuates early and resumes from the checkpoint.
+        let m = degrading_machine(Some((0, 10_000.0)));
+        let jobs = vec![JobSpec::new(32, 0.0)];
+        let reactive = Scheduler::new(&m, config()).run(&jobs, &Fifo).unwrap();
+        let proactive = Scheduler::new(
+            &m,
+            Config {
+                migration_streak: 2,
+                ..config()
+            },
+        )
+        .run(&jobs, &Fifo)
+        .unwrap();
+
+        let r = &reactive.records[0];
+        assert_eq!(r.attempts, 2, "reactive path loses the first placement");
+        assert_eq!(reactive.requeues, 1);
+        assert_eq!(reactive.migrations, 0);
+        assert!(reactive.wasted_rank_time >= 4.0 * 10_000.0);
+
+        let p = &proactive.records[0];
+        assert_eq!(p.attempts, 1, "migration is not a loss");
+        assert_eq!(p.migrations, 1, "one evacuation off the dying block");
+        assert_ne!(p.base, 0, "the job must finish on a fresh block");
+        assert_eq!(proactive.requeues, 0);
+        assert_eq!(proactive.migrations, 1);
+        assert_eq!(proactive.migration_transfer_words, 3 * 32 * 32);
+        assert_eq!(
+            proactive.wasted_rank_time, 0.0,
+            "checkpointed work is moved, not redone"
+        );
+        assert!(
+            p.finish < r.finish,
+            "proactive finish {} must beat reactive {}",
+            p.finish,
+            r.finish
+        );
+        // The schedule is a pure function of the trace: byte-identical
+        // on replay.
+        let again = Scheduler::new(
+            &m,
+            Config {
+                migration_streak: 2,
+                ..config()
+            },
+        )
+        .run(&jobs, &Fifo)
+        .unwrap();
+        assert_eq!(again.to_csv(), proactive.to_csv());
+    }
+
+    #[test]
+    fn migration_off_a_deathless_block_releases_it_immediately() {
+        // Pure link degradation, no death anywhere: the evacuated
+        // block has no pending death schedule, so release_quarantined
+        // must hand it straight back — and the buddy allocator
+        // (lowest base first) places the job right back on it.  The
+        // migration budget (retry_budget = 2) caps the resulting
+        // ping-pong, after which the job runs the degraded block to
+        // completion on the reliable transport.
+        let m = degrading_machine(None);
+        let jobs = vec![JobSpec::new(32, 0.0)];
+        let report = Scheduler::new(
+            &m,
+            Config {
+                migration_streak: 2,
+                ..config()
+            },
+        )
+        .run(&jobs, &Fifo)
+        .unwrap();
+        assert_eq!(report.records.len(), 1);
+        let r = &report.records[0];
+        assert_eq!(r.attempts, 1);
+        assert_eq!(r.migrations, 2, "budget caps the ping-pong");
+        assert_eq!(r.base, 0, "the released block is reused immediately");
+        assert_eq!(report.migrations, 2);
+        assert_eq!(report.quarantined_ranks, 0, "nothing stays quarantined");
+        assert_eq!(
+            report.unquarantined_ranks, 8,
+            "each of the two evacuated blocks (4 ranks) came back at once"
+        );
+        assert_eq!(report.wasted_rank_time, 0.0);
+        assert!(r.heartbeat_words > 0, "detection is priced into the run");
     }
 
     #[test]

@@ -221,8 +221,19 @@ impl Machine {
     /// Builder-style: run under the given fault schedule (see
     /// [`crate::fault`]).  A zero plan is observationally identical to
     /// no plan.
+    ///
+    /// # Panics
+    /// Panics with the [`crate::FaultPlanError`] message if the plan
+    /// violates a machine-relative invariant — e.g. a
+    /// [`FaultPlan::with_link_detection`] override targeting a rank the
+    /// topology does not have ([`FaultPlan::validate_for`]); validating
+    /// here keeps the failure at the attach site instead of deep in the
+    /// engine.
     #[must_use]
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        if let Err(e) = plan.validate_for(self.topology.p()) {
+            panic!("{e}");
+        }
         self.fault = Some(Arc::new(plan));
         self.table = Arc::new(RankTable::build(
             self.topology.p(),
@@ -534,12 +545,88 @@ impl Machine {
                     }
                 }
                 if let Some(det) = detection {
+                    let plan = view.fault.as_deref().expect("detection implies a plan");
+                    let physical: Vec<usize> = view
+                        .part
+                        .as_ref()
+                        .map_or_else(|| (0..p).collect(), |m| m.as_ref().clone());
+                    // Spurious failovers: heartbeats ride the faulted
+                    // links (see `FaultPlan::heartbeat_missed`), so
+                    // `timeout_multiple` consecutive lost beats make the
+                    // watcher `(rank+1) % p` falsely declare its
+                    // neighbour dead and promote the next spare — a
+                    // pointless buddy→spare state transfer plus a
+                    // reconciliation window until the accused rank's
+                    // next delivered beat proves it alive and the spare
+                    // is demoted.  Pure oracle arithmetic over the final
+                    // attempt's clocks, so replays stay byte-identical;
+                    // with healthy heartbeat links (or no spare left to
+                    // waste) nothing here fires and the PR-5 timings are
+                    // reproduced bit-for-bit.
+                    if p > 1 {
+                        if let Some(&spare) = spares_left.front() {
+                            for rank in 0..p {
+                                let (src, dst) = (physical[rank], physical[(rank + 1) % p]);
+                                let period = plan.detection_period_for(src).unwrap_or(det.period);
+                                let transfer = ckpts[rank].map_or(0.0, |ck| {
+                                    let tw = plan.link(dst, spare).tw_factor;
+                                    view.cost.sender_occupancy_scaled(ck.words as usize, tw)
+                                });
+                                let horizon = report.stats[rank].clock;
+                                let (mut beat, mut run_len) = (0u64, 0u32);
+                                let (mut events, mut charge) = (0u64, 0.0f64);
+                                loop {
+                                    let t = (beat + 1) as f64 * period;
+                                    if t > horizon {
+                                        break;
+                                    }
+                                    run_len = if plan.heartbeat_missed(src, dst, beat) {
+                                        run_len + 1
+                                    } else {
+                                        0
+                                    };
+                                    if run_len >= det.timeout_multiple {
+                                        // Reconcile at the next delivered
+                                        // beat, or at the end of the run.
+                                        let mut j = beat + 1;
+                                        let reconcile = loop {
+                                            let tj = (j + 1) as f64 * period;
+                                            if tj > horizon {
+                                                break horizon;
+                                            }
+                                            if !plan.heartbeat_missed(src, dst, j) {
+                                                break tj;
+                                            }
+                                            j += 1;
+                                        };
+                                        events += 1;
+                                        charge += transfer + (reconcile - t);
+                                        beat = j;
+                                        run_len = 0;
+                                    }
+                                    beat += 1;
+                                }
+                                if events > 0 {
+                                    let s = &mut report.stats[rank];
+                                    s.false_positives = events;
+                                    s.wasted_promotion_idle = charge;
+                                    s.recovery_idle += charge;
+                                    s.idle += charge;
+                                    s.clock += charge;
+                                }
+                            }
+                        }
+                    }
                     // Heartbeat traffic, priced post-hoc against each
                     // rank's final clock: one one-word send per elapsed
-                    // period, charged as network occupancy.
+                    // period (the rank's own monitor-link period),
+                    // charged as network occupancy.
                     let beat_cost = view.cost.sender_occupancy(1);
-                    for s in &mut report.stats {
-                        let beats = (s.clock / det.period).floor() as u64;
+                    for (rank, s) in report.stats.iter_mut().enumerate() {
+                        let period = plan
+                            .detection_period_for(physical[rank])
+                            .unwrap_or(det.period);
+                        let beats = (s.clock / period).floor() as u64;
                         if beats > 0 {
                             s.comm += beat_cost * beats as f64;
                             s.clock += beat_cost * beats as f64;
@@ -605,7 +692,13 @@ impl Machine {
                 // With priced detection, the survivors only *notice* the
                 // death `timeout_multiple` silent heartbeat periods after
                 // it happened; that latency delays the whole recovery.
-                let wait = detection.map_or(0.0, |det| det.latency());
+                // The dead rank's own monitor link sets the period, so a
+                // `with_link_detection` override buys faster failover.
+                let wait = view
+                    .fault
+                    .as_deref()
+                    .and_then(|plan| plan.detection_latency_for(physical[dead]))
+                    .unwrap_or(0.0);
                 surcharge[dead] += (t - ckpt_t) + transfer + wait;
                 det_latency[dead] += wait;
                 recoveries[dead] += 1;

@@ -37,6 +37,11 @@ pub enum TrafficClass {
     Plain,
     /// A framed [`crate::Proc::send_reliable`] data frame.
     Reliable,
+    /// A one-word failure-detector heartbeat (see
+    /// [`FaultPlan::with_detection`]).  Heartbeats ride the same faulted
+    /// links as data — under a nonzero drop/corrupt rate a beat can be
+    /// lost, so a detector can time out on a *live* rank.
+    Heartbeat,
 }
 
 impl TrafficClass {
@@ -44,6 +49,7 @@ impl TrafficClass {
         match self {
             TrafficClass::Plain => 1,
             TrafficClass::Reliable => 2,
+            TrafficClass::Heartbeat => 3,
         }
     }
 }
@@ -147,6 +153,29 @@ pub enum FaultPlanError {
         /// The offending timeout multiple.
         timeout_multiple: u32,
     },
+    /// A [`FaultPlan::with_link_detection`] override has a non-positive
+    /// or non-finite heartbeat period.
+    InvalidLinkDetection {
+        /// The monitored rank the override targets.
+        rank: usize,
+        /// The offending heartbeat period.
+        period: f64,
+    },
+    /// A per-link detection override targets a rank outside the
+    /// machine it was attached to.
+    LinkDetectionOutOfRange {
+        /// The monitored rank the override targets.
+        rank: usize,
+        /// The machine's physical rank count.
+        p: usize,
+    },
+    /// Per-link detection overrides exist but no base
+    /// [`FaultPlan::with_detection`] config does — there is no detector
+    /// to tighten.
+    OrphanLinkDetection {
+        /// One offending override's monitored rank.
+        rank: usize,
+    },
 }
 
 impl std::fmt::Display for FaultPlanError {
@@ -176,6 +205,21 @@ impl std::fmt::Display for FaultPlanError {
                 f,
                 "detection requires a finite positive heartbeat period and a timeout \
                  multiple >= 1, got period {period} x {timeout_multiple}"
+            ),
+            Self::InvalidLinkDetection { rank, period } => write!(
+                f,
+                "per-link detection period for rank {rank} must be finite and positive, \
+                 got {period}"
+            ),
+            Self::LinkDetectionOutOfRange { rank, p } => write!(
+                f,
+                "per-link detection period targets rank {rank}, but the machine has only \
+                 {p} physical ranks"
+            ),
+            Self::OrphanLinkDetection { rank } => write!(
+                f,
+                "per-link detection period for rank {rank} has no base detection config \
+                 (call with_detection first)"
             ),
         }
     }
@@ -283,6 +327,7 @@ pub struct FaultPlan {
     deaths: BTreeMap<usize, f64>,
     max_attempts: u32,
     detection: Option<Detection>,
+    link_detection: BTreeMap<usize, f64>,
 }
 
 impl FaultPlan {
@@ -296,6 +341,7 @@ impl FaultPlan {
             deaths: BTreeMap::new(),
             max_attempts: 16,
             detection: None,
+            link_detection: BTreeMap::new(),
         }
     }
 
@@ -397,10 +443,73 @@ impl FaultPlan {
         self
     }
 
+    /// Builder: tighten (or loosen) the heartbeat period on the link
+    /// monitoring `rank` — a lossy link deserves a shorter period at a
+    /// higher heartbeat cost.  Heartbeats from `rank` travel the
+    /// directed link `rank → watcher` (the checkpoint buddy ring, see
+    /// [`crate::recovery`]), so the override keys on the *monitored*
+    /// physical rank.  Requires a base [`Self::with_detection`] config
+    /// (in either builder order; [`Self::validate`] enforces the pairing)
+    /// and, once attached to a machine, `rank` must be one of its
+    /// physical ranks ([`Self::validate_for`]).
+    ///
+    /// # Panics
+    /// Panics on a non-positive / non-finite `period`.
+    #[must_use]
+    pub fn with_link_detection(mut self, rank: usize, period: f64) -> Self {
+        if !(period > 0.0 && period.is_finite()) {
+            panic!("{}", FaultPlanError::InvalidLinkDetection { rank, period });
+        }
+        self.link_detection.insert(rank, period);
+        self
+    }
+
     /// The modelled failure-detection config, if any.
     #[must_use]
     pub fn detection(&self) -> Option<Detection> {
         self.detection
+    }
+
+    /// The heartbeat period monitoring `rank`: the per-link override if
+    /// one was set, the base period otherwise.  `None` without a
+    /// detection config.
+    #[must_use]
+    pub fn detection_period_for(&self, rank: usize) -> Option<f64> {
+        self.detection.map(|det| {
+            self.link_detection
+                .get(&rank)
+                .copied()
+                .unwrap_or(det.period)
+        })
+    }
+
+    /// Detection latency charged when `rank` fail-stops:
+    /// `timeout_multiple × period` with `rank`'s effective period.
+    /// `None` without a detection config.
+    #[must_use]
+    pub fn detection_latency_for(&self, rank: usize) -> Option<f64> {
+        self.detection.and_then(|det| {
+            self.detection_period_for(rank)
+                .map(|period| f64::from(det.timeout_multiple) * period)
+        })
+    }
+
+    /// The tightest heartbeat period anywhere in the plan (the base
+    /// period or the smallest per-link override).  This is the duty
+    /// cycle the analytic layer prices, since the busiest detector link
+    /// bounds the machine.  `None` without a detection config.
+    #[must_use]
+    pub fn min_detection_period(&self) -> Option<f64> {
+        self.detection.map(|det| {
+            self.link_detection
+                .values()
+                .fold(det.period, |acc, &p| acc.min(p))
+        })
+    }
+
+    /// The per-link detection overrides, keyed by monitored rank.
+    pub fn link_detection(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.link_detection.iter().map(|(&rank, &p)| (rank, p))
     }
 
     /// A copy of the plan with every death instant shifted `dt` earlier
@@ -481,6 +590,30 @@ impl FaultPlan {
         if let Some(det) = self.detection {
             det.check()?;
         }
+        for (&rank, &period) in &self.link_detection {
+            if !(period > 0.0 && period.is_finite()) {
+                return Err(FaultPlanError::InvalidLinkDetection { rank, period });
+            }
+            if self.detection.is_none() {
+                return Err(FaultPlanError::OrphanLinkDetection { rank });
+            }
+        }
+        Ok(())
+    }
+
+    /// [`Self::validate`] plus the machine-relative invariants: every
+    /// per-link detection override must target one of the machine's `p`
+    /// physical ranks.  [`crate::Machine::with_fault_plan`] runs this at
+    /// attach time, so a bad override fails loudly there instead of
+    /// deep in the engine.
+    ///
+    /// # Errors
+    /// The first violated invariant, plan-local checks first.
+    pub fn validate_for(&self, p: usize) -> Result<(), FaultPlanError> {
+        self.validate()?;
+        if let Some((&rank, _)) = self.link_detection.iter().find(|(&rank, _)| rank >= p) {
+            return Err(FaultPlanError::LinkDetectionOutOfRange { rank, p });
+        }
         Ok(())
     }
 
@@ -526,6 +659,60 @@ impl FaultPlan {
             Fate::Corrupted
         } else {
             Fate::Delivered
+        }
+    }
+
+    /// Whether heartbeat number `beat` on the monitor link `src → dst`
+    /// is *missed* — dropped or corrupted in flight, so the watcher
+    /// never books it.  Beat `k` (0-based) is emitted at virtual time
+    /// `(k + 1) × period`; its fate is one [`TrafficClass::Heartbeat`]
+    /// draw from the link's ordinary drop/corrupt rates, so a healthy
+    /// link never misses and a detection-free plan is untouched.
+    #[must_use]
+    pub fn heartbeat_missed(&self, src: usize, dst: usize, beat: u64) -> bool {
+        self.fate(TrafficClass::Heartbeat, src, dst, beat, 0) != Fate::Delivered
+    }
+
+    /// Earliest virtual time at which the watcher on `src → dst` has
+    /// seen `streak` *consecutive* missed heartbeats, scanning beats
+    /// whose emission time lies within `horizon` under the given
+    /// `period`.  Returns the completion time of the streak's last beat
+    /// (`(k + 1) × period`), or `None` if no such streak occurs.  Pure
+    /// oracle arithmetic: this is how the engine sites spurious
+    /// failovers and how `gemmd` sites proactive migration alarms.
+    #[must_use]
+    pub fn first_streak(
+        &self,
+        src: usize,
+        dst: usize,
+        streak: u32,
+        period: f64,
+        horizon: f64,
+    ) -> Option<f64> {
+        let positive = |x: f64| x.partial_cmp(&0.0) == Some(std::cmp::Ordering::Greater);
+        if streak == 0 || !positive(period) || !positive(horizon) {
+            return None;
+        }
+        let link = self.link(src, dst);
+        if link.drop == 0.0 && link.corrupt == 0.0 {
+            return None;
+        }
+        let mut run = 0u32;
+        let mut beat = 0u64;
+        loop {
+            let t = (beat + 1) as f64 * period;
+            if t > horizon {
+                return None;
+            }
+            run = if self.heartbeat_missed(src, dst, beat) {
+                run + 1
+            } else {
+                0
+            };
+            if run >= streak {
+                return Some(t);
+            }
+            beat += 1;
         }
     }
 
@@ -615,6 +802,110 @@ mod tests {
     #[should_panic(expected = "timeout")]
     fn zero_timeout_multiple_rejected() {
         let _ = FaultPlan::new(0).with_detection(10.0, 0);
+    }
+
+    #[test]
+    fn per_link_detection_overrides_the_base_period() {
+        let plan = FaultPlan::new(1)
+            .with_detection(50.0, 4)
+            .with_link_detection(2, 10.0);
+        assert_eq!(plan.detection_period_for(2), Some(10.0));
+        assert_eq!(plan.detection_period_for(0), Some(50.0));
+        assert_eq!(plan.detection_latency_for(2), Some(40.0));
+        assert_eq!(plan.detection_latency_for(0), Some(200.0));
+        assert_eq!(plan.min_detection_period(), Some(10.0));
+        assert_eq!(plan.link_detection().collect::<Vec<_>>(), vec![(2, 10.0)]);
+        assert_eq!(FaultPlan::new(1).detection_period_for(0), None);
+        assert_eq!(FaultPlan::new(1).min_detection_period(), None);
+        assert_eq!(plan.validate_for(4), Ok(()));
+    }
+
+    #[test]
+    #[should_panic(expected = "per-link detection period")]
+    fn non_finite_link_detection_period_rejected() {
+        let _ = FaultPlan::new(0)
+            .with_detection(10.0, 2)
+            .with_link_detection(1, f64::NAN);
+    }
+
+    #[test]
+    fn orphan_link_detection_caught_by_validate() {
+        // Builder order is free, so the orphan is only diagnosable at
+        // validation time.
+        let plan = FaultPlan::new(0).with_link_detection(3, 5.0);
+        assert_eq!(
+            plan.validate(),
+            Err(FaultPlanError::OrphanLinkDetection { rank: 3 })
+        );
+        let paired = plan.with_detection(20.0, 2);
+        assert_eq!(paired.validate(), Ok(()));
+    }
+
+    #[test]
+    fn out_of_range_link_detection_caught_by_validate_for() {
+        let plan = FaultPlan::new(0)
+            .with_detection(20.0, 2)
+            .with_link_detection(7, 5.0);
+        assert_eq!(plan.validate(), Ok(()));
+        assert_eq!(
+            plan.validate_for(4),
+            Err(FaultPlanError::LinkDetectionOutOfRange { rank: 7, p: 4 })
+        );
+        assert_eq!(plan.validate_for(8), Ok(()));
+    }
+
+    #[test]
+    fn heartbeats_draw_an_independent_fate_stream() {
+        let plan = FaultPlan::new(11).with_drop_rate(0.5);
+        let differs = (0..200u64).any(|seq| {
+            plan.fate(TrafficClass::Heartbeat, 0, 1, seq, 0)
+                != plan.fate(TrafficClass::Reliable, 0, 1, seq, 0)
+        });
+        assert!(differs, "heartbeats must not share the reliable stream");
+        // Healthy links never miss a beat.
+        assert!((0..100).all(|b| !FaultPlan::new(11).heartbeat_missed(0, 1, b)));
+    }
+
+    #[test]
+    fn first_streak_is_the_oracle_scan() {
+        let plan = FaultPlan::new(42).with_drop_rate(0.5);
+        let t = plan.first_streak(0, 1, 2, 10.0, 10_000.0);
+        if let Some(t) = t {
+            // Re-derive by hand: t = (k+1)·10 where beats k−1 and k miss.
+            let k = (t / 10.0).round() as u64 - 1;
+            assert!(plan.heartbeat_missed(0, 1, k));
+            assert!(plan.heartbeat_missed(0, 1, k - 1));
+            // No earlier pair of consecutive misses.
+            let mut run = 0;
+            for b in 0..k - 1 {
+                run = if plan.heartbeat_missed(0, 1, b) {
+                    run + 1
+                } else {
+                    0
+                };
+                assert!(run < 2, "earlier streak at beat {b}");
+            }
+        }
+        // Deterministic replay.
+        assert_eq!(t, plan.first_streak(0, 1, 2, 10.0, 10_000.0));
+        // Healthy link or degenerate parameters: no streak.
+        assert_eq!(FaultPlan::new(42).first_streak(0, 1, 2, 10.0, 1e6), None);
+        assert_eq!(plan.first_streak(0, 1, 0, 10.0, 1e6), None);
+        assert_eq!(plan.first_streak(0, 1, 2, 10.0, 5.0), None);
+        // A certain-drop link streaks at exactly streak × period.
+        let dead_link = FaultPlan::new(1).with_drop_rate(1.0);
+        assert_eq!(dead_link.first_streak(0, 1, 3, 10.0, 100.0), Some(30.0));
+    }
+
+    #[test]
+    fn rebased_deaths_preserve_link_detection() {
+        let plan = FaultPlan::new(3)
+            .with_detection(25.0, 2)
+            .with_link_detection(1, 5.0)
+            .with_death(1, 400.0);
+        let rebased = plan.rebased_deaths(100.0);
+        assert_eq!(rebased.detection_period_for(1), Some(5.0));
+        assert_eq!(rebased.death_time(1), Some(300.0));
     }
 
     #[test]

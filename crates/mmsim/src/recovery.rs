@@ -49,6 +49,26 @@
 //! invariant holds) and inflates `T_p` accordingly;
 //! [`crate::ProcStats::recoveries`] counts the promotions.
 //!
+//! Detection is *imperfect*: heartbeats ride the faulted transport
+//! (their fates come from the oracle under the `Heartbeat` traffic
+//! class), so a lossy monitor link can miss `timeout_multiple` beats
+//! from a live rank.  The engine then promotes a spare **spuriously**
+//! — paying the state transfer and the detection window — and
+//! reconciles at the next delivered beat: the live rank is re-adopted,
+//! the spare demoted back ([`crate::ProcStats::recoveries`] untouched),
+//! and the round trip charged as
+//! [`crate::ProcStats::wasted_promotion_idle`] with
+//! [`crate::ProcStats::false_positives`] counting the accusations.
+//! Per-link heartbeat cadences
+//! ([`crate::FaultPlan::with_link_detection`]) trade a bigger beat bill
+//! for earlier alarms on individual monitor links.  Service layers can
+//! act on the same stream *before* the death threshold:
+//! [`crate::FaultPlan::first_streak`] reports when a sustained
+//! missed-beat streak first appears on a link, which is what gemmd's
+//! proactive live migration uses to evacuate a job off a degrading
+//! block at a `t_s + t_w·3n²/p` state-transfer surcharge instead of
+//! riding the placement into its death.
+//!
 //! ## Degradation
 //!
 //! Failure beyond the spare budget — more simultaneous deaths than

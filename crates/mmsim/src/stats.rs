@@ -58,6 +58,20 @@ pub struct ProcStats {
     /// therefore of [`ProcStats::idle`]; zero without a
     /// [`crate::Detection`] config.
     pub detection_latency: f64,
+    /// Times this rank was *falsely* declared dead: its heartbeats ride
+    /// the faulted links, so `timeout_multiple` consecutive lost beats
+    /// make the watcher promote a spare against a live rank.  Zero
+    /// unless the plan is lossy, detection is configured and the
+    /// machine has spares to waste.
+    pub false_positives: u64,
+    /// Idle time charged for spurious failovers: the pointless
+    /// buddy→spare state transfer plus the reconciliation window until
+    /// the accused rank's next delivered heartbeat proves it alive and
+    /// the spare is demoted.  A *subset* of
+    /// [`ProcStats::recovery_idle`] — and therefore of
+    /// [`ProcStats::idle`]; disjoint from
+    /// [`ProcStats::detection_latency`] (which prices *true* positives).
+    pub wasted_promotion_idle: f64,
 }
 
 impl ProcStats {
@@ -123,6 +137,26 @@ mod tests {
         };
         assert!(s.is_consistent(1e-12));
         assert!(s.detection_latency <= s.recovery_idle);
+        assert!(s.recovery_idle <= s.idle);
+    }
+
+    #[test]
+    fn wasted_promotion_idle_is_part_of_recovery_idle_not_extra() {
+        let s = ProcStats {
+            clock: 20.0,
+            compute: 8.0,
+            comm: 5.0,
+            idle: 7.0,
+            recovery_idle: 6.0,         // 6 of the 7 idle units were failover
+            detection_latency: 2.0,     // true-positive share
+            wasted_promotion_idle: 3.0, // false-positive share
+            false_positives: 1,
+            recoveries: 1,
+            ..Default::default()
+        };
+        assert!(s.is_consistent(1e-12));
+        // The two detector charges are disjoint slices of recovery_idle.
+        assert!(s.detection_latency + s.wasted_promotion_idle <= s.recovery_idle);
         assert!(s.recovery_idle <= s.idle);
     }
 

@@ -299,6 +299,135 @@ fn heartbeats_are_charged_even_without_deaths() {
 }
 
 #[test]
+fn lossy_heartbeats_trigger_spurious_failover() {
+    // Heartbeats ride the plan's faulted links: at a 0.5 drop rate with
+    // a tight period and timeout multiple 2, some watcher inevitably
+    // misses two beats in a row on a *live* rank and promotes a spare
+    // for nothing.  The waste is charged and reconciled, never hidden.
+    let plan = FaultPlan::new(41)
+        .with_drop_rate(0.5)
+        .with_detection(5.0, 2);
+    let r = run_ring(&machine(4, 1, plan.clone()), 6).expect("no deaths, recoverable");
+    let false_positives: u64 = r.stats.iter().map(|s| s.false_positives).sum();
+    assert!(
+        false_positives > 0,
+        "0.5-lossy heartbeats must eventually streak"
+    );
+    for s in &r.stats {
+        assert!(s.is_consistent(1e-9), "{s:?}");
+        // The false-positive charge is a slice of recovery_idle, which
+        // stays a slice of idle; true-positive latency stays disjoint.
+        assert!(s.detection_latency + s.wasted_promotion_idle <= s.recovery_idle + 1e-9);
+        assert!(s.recovery_idle <= s.idle + 1e-9);
+        assert_eq!(
+            s.false_positives > 0,
+            s.wasted_promotion_idle > 0.0,
+            "every spurious failover costs time: {s:?}"
+        );
+        // The spare was demoted, not kept: no real promotion happened.
+        assert_eq!(s.recoveries, 0);
+    }
+    // The product is untouched and the whole thing replays byte-exactly.
+    let again = run_ring(&machine(4, 1, plan.clone()), 6).expect("replay");
+    assert_eq!(r.t_parallel.to_bits(), again.t_parallel.to_bits());
+    assert_eq!(r.stats, again.stats);
+    assert_eq!(
+        r.results,
+        run_ring(&machine(4, 1, FaultPlan::new(41).with_drop_rate(0.5)), 6)
+            .expect("same plan, no detection")
+            .results
+    );
+
+    // Without a spare to waste there is no spurious failover to price:
+    // the suspicion cannot be acted on.
+    let bare = run_ring(&machine(4, 0, plan), 6).expect("no spares, no deaths");
+    for s in &bare.stats {
+        assert_eq!(s.false_positives, 0);
+        assert_eq!(s.wasted_promotion_idle, 0.0);
+    }
+}
+
+#[test]
+fn perfect_heartbeat_links_never_lie() {
+    // Healthy links deliver every beat, so a detection config alone —
+    // even with spares provisioned — never produces a false positive:
+    // exactly the PR-5 perfect-detector behaviour.
+    let r =
+        run_ring(&machine(4, 1, FaultPlan::new(43).with_detection(5.0, 2)), 6).expect("healthy");
+    for s in &r.stats {
+        assert_eq!(s.false_positives, 0);
+        assert_eq!(s.wasted_promotion_idle, 0.0);
+        assert!(s.heartbeat_words > 0);
+    }
+}
+
+#[test]
+fn per_link_detection_tightens_failover_at_higher_beat_cost() {
+    // A with_link_detection override on the dying rank's monitor link
+    // shortens its detection latency (timeout_multiple × the tighter
+    // period) and raises its heartbeat bill; everyone else's stays on
+    // the base period.
+    let base = FaultPlan::new(7)
+        .with_death(1, 35.0)
+        .with_detection(50.0, 3);
+    let tight = base.clone().with_link_detection(1, 10.0);
+    let slow = run_ring(&machine(4, 1, base), 6).expect("recoverable");
+    let fast = run_ring(&machine(4, 1, tight), 6).expect("recoverable");
+    assert_eq!(slow.stats[1].detection_latency, 150.0);
+    assert_eq!(fast.stats[1].detection_latency, 30.0);
+    // The override keys on the *physical* rank: a live rank under the
+    // tighter period pays proportionally more heartbeat bandwidth.
+    // (After the failover above, slot 1 is backed by the spare — which
+    // beats at the base period — so measure the bill on a healthy run.)
+    let healthy = run_ring(
+        &machine(
+            4,
+            1,
+            FaultPlan::new(7)
+                .with_detection(50.0, 3)
+                .with_link_detection(1, 10.0),
+        ),
+        6,
+    )
+    .expect("healthy");
+    assert!(healthy.stats[1].heartbeat_words > 4 * healthy.stats[0].heartbeat_words);
+    // Ranks off the overridden link keep the base duty cycle (their
+    // clocks shift with the faster failover, so compare beat *rates*).
+    for rank in [0, 2] {
+        let rate =
+            |r: &RunReport<Vec<f64>>| r.stats[rank].heartbeat_words as f64 / r.stats[rank].clock;
+        assert!((rate(&fast) - rate(&slow)).abs() < 1e-3);
+    }
+    assert_eq!(fast.results, slow.results);
+    // Faster detection means a cheaper recovery overall.
+    assert!(fast.stats[1].recovery_idle < slow.stats[1].recovery_idle);
+}
+
+#[test]
+fn spurious_and_real_failovers_coexist() {
+    // A real death and lossy heartbeats in one run: the true positive
+    // promotes a spare for good, the false positives borrow and return
+    // one, and the accounting keeps the two disjoint.
+    let plan = FaultPlan::new(47)
+        .with_drop_rate(0.5)
+        .with_death(1, 35.0)
+        .with_detection(5.0, 2);
+    let r = run_ring(&machine(4, 2, plan.clone()), 6).expect("budget covers the death");
+    assert_eq!(r.stats[1].recoveries, 1);
+    assert!(r.stats[1].detection_latency > 0.0);
+    let false_positives: u64 = r.stats.iter().map(|s| s.false_positives).sum();
+    assert!(false_positives > 0, "lossy beats must streak somewhere");
+    for s in &r.stats {
+        assert!(s.is_consistent(1e-9), "{s:?}");
+        assert!(s.detection_latency + s.wasted_promotion_idle <= s.recovery_idle + 1e-9);
+    }
+    // Byte-identical replay, bit-identical product.
+    let again = run_ring(&machine(4, 2, plan), 6).expect("replay");
+    assert_eq!(r.t_parallel.to_bits(), again.t_parallel.to_bits());
+    assert_eq!(r.stats, again.stats);
+}
+
+#[test]
 fn run_and_try_run_share_the_failover_path() {
     // The panic entry point recovers too — and when it cannot, its
     // message format is the pinned historical one.

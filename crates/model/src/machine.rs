@@ -80,6 +80,12 @@ pub struct DetectionParams {
     pub period: f64,
     /// Missed beats before a rank is declared dead.
     pub timeout_multiple: u32,
+    /// The tightest per-link heartbeat period, when the plan monitors
+    /// some links harder than the base `period` (the simulator's
+    /// `FaultPlan::with_link_detection`).  The analytic layer prices the
+    /// busiest detector link, since that rank's duty cycle bounds the
+    /// machine.  `None` when every link beats at the base period.
+    pub link_period: Option<f64>,
 }
 
 impl DetectionParams {
@@ -102,7 +108,31 @@ impl DetectionParams {
         Self {
             period,
             timeout_multiple,
+            link_period: None,
         }
+    }
+
+    /// Builder-style: record the tightest per-link heartbeat period.
+    ///
+    /// # Panics
+    /// Panics unless the period is finite and positive (the same domain
+    /// `FaultPlan::with_link_detection` enforces).
+    #[must_use]
+    pub fn with_link_period(mut self, period: f64) -> Self {
+        assert!(
+            period > 0.0 && period.is_finite(),
+            "per-link heartbeat period must be finite and positive, got {period}"
+        );
+        self.link_period = Some(period);
+        self
+    }
+
+    /// The shortest heartbeat period anywhere on the machine: the base
+    /// period or the tightest per-link override, whichever is smaller.
+    #[must_use]
+    pub fn tightest_period(self) -> f64 {
+        self.link_period
+            .map_or(self.period, |lp| lp.min(self.period))
     }
 
     /// Worst-case time from a death to its detection: the full timeout
@@ -208,6 +238,23 @@ impl MachineParams {
         self
     }
 
+    /// Builder-style: record the tightest per-link heartbeat period on
+    /// an already-configured detector (mirrors the simulator's
+    /// `FaultPlan::with_link_detection` overrides; the busiest link sets
+    /// the machine's priced duty cycle).
+    ///
+    /// # Panics
+    /// Panics without a prior [`Self::with_detection`] (there is no
+    /// detector to tighten) or on a non-positive/non-finite period.
+    #[must_use]
+    pub fn with_link_detection_period(mut self, period: f64) -> Self {
+        let det = self
+            .detection
+            .expect("with_link_detection_period requires with_detection first");
+        self.detection = Some(det.with_link_period(period));
+        self
+    }
+
     /// Effective communication constants when every message rides the
     /// engine's reliable transport (checksummed frames, per-hop
     /// acknowledgements, retransmission on drop or corruption).
@@ -231,7 +278,10 @@ impl MachineParams {
     /// `t_s + t_w` of sender occupancy per heartbeat period on the
     /// one-word beat, a duty cycle of `h = (t_s + t_w) / period` that
     /// steals link time from algorithm traffic — so both effective
-    /// constants scale by `1/(1 − h)`.  Without detection (`None`, the
+    /// constants scale by `1/(1 − h)`.  The period is the machine's
+    /// *tightest* one ([`DetectionParams::tightest_period`]): per-link
+    /// overrides monitor lossy links harder, and the busiest detector
+    /// rank bounds the whole machine.  Without detection (`None`, the
     /// free oracle) the term vanishes and the result is bit-identical to
     /// the pre-detection formula.
     ///
@@ -248,7 +298,7 @@ impl MachineParams {
         let det_scale = match self.detection {
             None => 1.0,
             Some(det) => {
-                let h = (self.t_s + self.t_w) / det.period;
+                let h = (self.t_s + self.t_w) / det.tightest_period();
                 assert!(
                     h < 1.0,
                     "heartbeat duty cycle (t_s + t_w)/period = {h} must stay below 1"
@@ -341,6 +391,43 @@ mod tests {
             .reliable_effective();
         assert!(slow.t_s < det.t_s);
         assert!(slow.detection.unwrap().latency() > det.detection.unwrap().latency());
+    }
+
+    #[test]
+    fn link_period_tightens_the_priced_duty_cycle() {
+        // A per-link override below the base period raises the machine's
+        // priced heartbeat tax; one above it changes nothing (the base
+        // duty cycle already dominates).
+        let base = MachineParams::new(10.0, 2.0)
+            .with_detection(48.0, 3)
+            .reliable_effective();
+        let tight = MachineParams::new(10.0, 2.0)
+            .with_detection(48.0, 3)
+            .with_link_detection_period(24.0)
+            .reliable_effective();
+        // h = 12/24 = 1/2 → scale 2 vs the base 4/3.
+        assert!((tight.t_s - base.t_s * (2.0 / (4.0 / 3.0))).abs() < 1e-9);
+        assert!(tight.t_w > base.t_w);
+        let loose = MachineParams::new(10.0, 2.0)
+            .with_detection(48.0, 3)
+            .with_link_detection_period(96.0)
+            .reliable_effective();
+        assert_eq!(loose.t_s.to_bits(), base.t_s.to_bits());
+        assert_eq!(loose.t_w.to_bits(), base.t_w.to_bits());
+        // The accessor reports the machine's shortest period.
+        assert_eq!(DetectionParams::new(48.0, 3).tightest_period(), 48.0);
+        assert_eq!(
+            DetectionParams::new(48.0, 3)
+                .with_link_period(24.0)
+                .tightest_period(),
+            24.0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "requires with_detection")]
+    fn orphan_link_detection_period_rejected() {
+        let _ = MachineParams::new(10.0, 2.0).with_link_detection_period(5.0);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use algos::{AlgoError, SimOutcome};
 use dense::Matrix;
 use mmsim::Machine;
 use model::time::{parallel_time_on, NetworkModel};
-use model::{Algorithm, FaultRates, MachineParams};
+use model::{Algorithm, DetectionParams, FaultRates, MachineParams};
 
 /// The advisor's verdict for one `(n, p)` query.
 #[derive(Debug, Clone)]
@@ -228,6 +228,23 @@ pub fn fault_rates_of(machine: &Machine) -> FaultRates {
         let link = plan.default_link();
         FaultRates::new(link.drop, link.corrupt, link.duplicate)
     })
+}
+
+/// The analytic detection parameters implied by a simulated machine's
+/// fault plan: the base heartbeat period and timeout multiple, with the
+/// tightest per-link override folded in via
+/// [`DetectionParams::with_link_period`] so the advisor prices the
+/// busiest detector link.  `None` when the machine carries no plan or
+/// the plan has no detection config.
+#[must_use]
+pub fn detection_of(machine: &Machine) -> Option<DetectionParams> {
+    let plan = machine.fault_plan()?;
+    let det = plan.detection()?;
+    let params = DetectionParams::new(det.period, det.timeout_multiple);
+    match plan.min_detection_period() {
+        Some(min) if min < det.period => Some(params.with_link_period(min)),
+        _ => Some(params),
+    }
 }
 
 /// Exact-executability check for one algorithm (delegates to the
@@ -504,6 +521,39 @@ mod tests {
         let rates = fault_rates_of(&lossy);
         assert_eq!(rates.drop, 0.25);
         assert!(rates.is_lossy());
+    }
+
+    #[test]
+    fn detection_of_mirrors_the_plan_and_its_tightest_link() {
+        use mmsim::FaultPlan;
+        let clean = Machine::new(Topology::ring(4), CostModel::unit());
+        assert!(detection_of(&clean).is_none());
+        let undetected = clean.clone().with_fault_plan(FaultPlan::new(3));
+        assert!(detection_of(&undetected).is_none());
+
+        let base = clean
+            .clone()
+            .with_fault_plan(FaultPlan::new(3).with_detection(48.0, 3));
+        let det = detection_of(&base).unwrap();
+        assert_eq!(det, DetectionParams::new(48.0, 3));
+        assert_eq!(det.tightest_period(), 48.0);
+
+        // A tighter per-link period must reprice the duty cycle; a
+        // looser one must not.
+        let tight = clean.clone().with_fault_plan(
+            FaultPlan::new(3)
+                .with_detection(48.0, 3)
+                .with_link_detection(1, 12.0)
+                .with_link_detection(2, 96.0),
+        );
+        let det = detection_of(&tight).unwrap();
+        assert_eq!(det.tightest_period(), 12.0);
+        let loose = clean.with_fault_plan(
+            FaultPlan::new(3)
+                .with_detection(48.0, 3)
+                .with_link_detection(2, 96.0),
+        );
+        assert_eq!(detection_of(&loose).unwrap().tightest_period(), 48.0);
     }
 
     #[test]

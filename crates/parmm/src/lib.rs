@@ -40,7 +40,7 @@
 pub mod advisor;
 
 pub use advisor::{
-    executable_applicability, fault_rates_of, has_resilient_variant, run_algorithm,
+    detection_of, executable_applicability, fault_rates_of, has_resilient_variant, run_algorithm,
     run_recommendation, Advisor, Recommendation,
 };
 
