@@ -9,6 +9,7 @@
 pub mod cm5_common;
 pub mod plot;
 pub mod regions_common;
+pub mod service_common;
 pub mod svg;
 pub mod workload_common;
 

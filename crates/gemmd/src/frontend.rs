@@ -1,0 +1,330 @@
+//! The live front-end: a JSON-line protocol over the deterministic
+//! core.
+//!
+//! `gemmd-serve` (the binary) listens on TCP and bridges wall-clock
+//! clients onto the virtual-time scheduler; everything below the
+//! socket lives here and is testable without one.  The protocol is one
+//! JSON object per line, one reply line per request:
+//!
+//! ```text
+//! → {"verb":"submit","n":16,"priority":1}
+//! ← {"ok":true,"id":0,"arrival":0.000,"n":16}
+//! → {"verb":"status","id":0}
+//! ← {"ok":true,"id":0,"state":"done","start":0.000,"finish":3164.000,"sojourn":3164.000,"batch":0}
+//! → {"verb":"stats"}
+//! ← {"ok":true,"policy":"edf","jobs":1,"rejected":0,"makespan":3164.000,"utilization":0.0432,"p50":3164.000,"p99":3164.000,"p999":3164.000}
+//! → {"verb":"shutdown"}
+//! ← {"ok":true,"bye":true}
+//! ```
+//!
+//! Determinism by **replay**: the front-end only accumulates the
+//! submitted [`JobSpec`]s (arrival times clamped monotone, so the
+//! trace stays sorted no matter when requests land) and re-runs the
+//! scheduler from scratch on every `status`/`stats` query.  The reply
+//! is a pure function of the submissions so far — ask twice, get the
+//! same bytes — and the wall clock only ever influences *arrival
+//! stamps*, never results.  JSON is hand-rolled (flat objects, no
+//! nesting) because the build is offline and std-only.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+
+use mmsim::Machine;
+
+use crate::job::JobSpec;
+use crate::policy::policy_by_name;
+use crate::report::ServiceReport;
+use crate::scheduler::{Config, Scheduler};
+use crate::slo::Percentiles;
+
+/// The deterministic service core behind the socket.
+#[derive(Debug)]
+pub struct Frontend {
+    machine: Machine,
+    config: Config,
+    policy: String,
+    jobs: Vec<JobSpec>,
+}
+
+/// Value of a flat JSON field: the raw slice for numbers/booleans, the
+/// unquoted content for strings.  Good enough for this protocol —
+/// values never contain escapes, commas or nesting.
+fn field<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\"");
+    let at = obj.find(&pat)? + pat.len();
+    let rest = obj[at..].trim_start().strip_prefix(':')?.trim_start();
+    if let Some(s) = rest.strip_prefix('"') {
+        s.find('"').map(|end| &s[..end])
+    } else {
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim())
+    }
+}
+
+fn num(obj: &str, key: &str) -> Option<f64> {
+    field(obj, key)?.parse().ok()
+}
+
+fn err(detail: &str) -> String {
+    format!("{{\"ok\":false,\"error\":\"{detail}\"}}")
+}
+
+impl Frontend {
+    /// A front-end over `machine` with a named queue policy (see
+    /// [`policy_by_name`]); `None` for an unknown policy name.
+    #[must_use]
+    pub fn new(machine: Machine, config: Config, policy: &str) -> Option<Self> {
+        policy_by_name(policy)?;
+        Some(Self {
+            machine,
+            config,
+            policy: policy.to_string(),
+            jobs: Vec::new(),
+        })
+    }
+
+    /// Jobs accepted so far (the replayed trace).
+    #[must_use]
+    pub fn jobs(&self) -> &[JobSpec] {
+        &self.jobs
+    }
+
+    /// Replay the accepted trace through the scheduler — the single
+    /// source of truth every query answers from.
+    fn replay(&self) -> Result<ServiceReport, crate::GemmdError> {
+        let policy = policy_by_name(&self.policy).expect("validated at construction");
+        Scheduler::new(&self.machine, self.config).run(&self.jobs, policy.as_ref())
+    }
+
+    /// Handle one request line and say whether the connection should
+    /// shut the service down.  `default_at` stamps submissions that
+    /// carry no explicit `arrival` — the binary passes mapped
+    /// wall-clock time; tests pass virtual time directly.  Arrivals
+    /// are clamped monotone against the trace tail so the replayed
+    /// workload is always sorted.
+    pub fn handle(&mut self, line: &str, default_at: f64) -> (String, bool) {
+        let Some(verb) = field(line, "verb") else {
+            return (err("missing verb"), false);
+        };
+        match verb {
+            "submit" => (self.submit(line, default_at), false),
+            "status" => (self.status(line), false),
+            "stats" => (self.stats(), false),
+            "shutdown" => ("{\"ok\":true,\"bye\":true}".to_string(), true),
+            other => (err(&format!("unknown verb {other}")), false),
+        }
+    }
+
+    fn submit(&mut self, line: &str, default_at: f64) -> String {
+        let Some(n) = num(line, "n").map(|x| x as usize).filter(|&n| n > 0) else {
+            return err("submit needs a positive n");
+        };
+        let floor = self.jobs.last().map_or(0.0, |j| j.arrival);
+        let arrival = num(line, "arrival")
+            .unwrap_or(default_at)
+            .max(floor)
+            .max(0.0);
+        let id = self.jobs.len();
+        let spec = JobSpec {
+            n,
+            arrival,
+            priority: num(line, "priority").map_or(0, |x| x as u8),
+            seed: num(line, "seed")
+                .map_or_else(|| detrng::mix(&[id as u64, n as u64]), |x| x as u64),
+            deadline: num(line, "deadline"),
+        };
+        self.jobs.push(spec);
+        format!("{{\"ok\":true,\"id\":{id},\"arrival\":{arrival:.3},\"n\":{n}}}")
+    }
+
+    fn status(&self, line: &str) -> String {
+        let Some(id) = num(line, "id").map(|x| x as usize) else {
+            return err("status needs an id");
+        };
+        if id >= self.jobs.len() {
+            return err(&format!("unknown job {id}"));
+        }
+        let report = match self.replay() {
+            Ok(r) => r,
+            Err(e) => return err(&e.to_string()),
+        };
+        if let Some(r) = report.records.iter().find(|r| r.id == id) {
+            format!(
+                "{{\"ok\":true,\"id\":{id},\"state\":\"done\",\"start\":{:.3},\"finish\":{:.3},\"sojourn\":{:.3},\"batch\":{}}}",
+                r.start,
+                r.finish,
+                r.sojourn(),
+                r.batch,
+            )
+        } else {
+            // Accepted but not in the records: the replay rejected it
+            // at admission (queue cap).
+            format!("{{\"ok\":true,\"id\":{id},\"state\":\"rejected\"}}")
+        }
+    }
+
+    fn stats(&self) -> String {
+        let report = match self.replay() {
+            Ok(r) => r,
+            Err(e) => return err(&e.to_string()),
+        };
+        let mut sojourn = Percentiles::new();
+        for r in &report.records {
+            sojourn.push(r.sojourn());
+        }
+        format!(
+            "{{\"ok\":true,\"policy\":\"{}\",\"jobs\":{},\"rejected\":{},\"makespan\":{:.3},\"utilization\":{:.4},\"p50\":{:.3},\"p99\":{:.3},\"p999\":{:.3}}}",
+            report.policy,
+            report.records.len(),
+            report.rejected.len(),
+            report.makespan,
+            report.utilization(),
+            sojourn.p50(),
+            sojourn.p99(),
+            sojourn.p999(),
+        )
+    }
+}
+
+/// Serve the JSON-line protocol on `listener`, one client at a time
+/// (requests interleave across reconnects; the trace persists).
+/// `now_fn` supplies the default arrival stamp for submissions without
+/// one — the binary maps wall-clock elapsed time onto the virtual
+/// clock here, keeping the core free of real time.  Returns after a
+/// `shutdown` verb.
+///
+/// # Errors
+/// Propagates socket I/O errors.
+pub fn serve<F: FnMut() -> f64>(
+    listener: &TcpListener,
+    frontend: &mut Frontend,
+    mut now_fn: F,
+) -> std::io::Result<()> {
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut writer = stream;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if reader.read_line(&mut line)? == 0 {
+                break; // client hung up; wait for the next one
+            }
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            let (reply, shutdown) = frontend.handle(trimmed, now_fn());
+            writer.write_all(reply.as_bytes())?;
+            writer.write_all(b"\n")?;
+            writer.flush()?;
+            if shutdown {
+                return Ok(());
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmsim::{CostModel, Topology};
+
+    fn frontend(policy: &str) -> Frontend {
+        let machine = Machine::new(Topology::hypercube(4), CostModel::ncube2());
+        Frontend::new(machine, Config::default(), policy).unwrap()
+    }
+
+    #[test]
+    fn unknown_policies_are_refused_at_construction() {
+        let machine = Machine::new(Topology::hypercube(2), CostModel::ncube2());
+        assert!(Frontend::new(machine, Config::default(), "lifo").is_none());
+    }
+
+    #[test]
+    fn submit_status_stats_round_trip() {
+        let mut fe = frontend("fifo");
+        let (reply, down) = fe.handle("{\"verb\":\"submit\",\"n\":16}", 0.0);
+        assert!(!down);
+        assert!(
+            reply.contains("\"ok\":true") && reply.contains("\"id\":0"),
+            "{reply}"
+        );
+        let (reply, _) = fe.handle("{\"verb\":\"submit\",\"n\":16,\"arrival\":50.0}", 0.0);
+        assert!(reply.contains("\"id\":1"), "{reply}");
+
+        let (status, _) = fe.handle("{\"verb\":\"status\",\"id\":0}", 0.0);
+        assert!(status.contains("\"state\":\"done\""), "{status}");
+        assert!(status.contains("\"sojourn\":"), "{status}");
+
+        let (stats, _) = fe.handle("{\"verb\":\"stats\"}", 0.0);
+        assert!(stats.contains("\"jobs\":2"), "{stats}");
+        assert!(stats.contains("\"p99\":"), "{stats}");
+        assert!(stats.contains("\"policy\":\"fifo\""), "{stats}");
+    }
+
+    #[test]
+    fn replies_are_a_pure_function_of_the_submissions() {
+        let drive = |fe: &mut Frontend| {
+            for i in 0..3 {
+                let (_, _) = fe.handle(
+                    &format!("{{\"verb\":\"submit\",\"n\":8,\"arrival\":{}.0}}", i * 10),
+                    0.0,
+                );
+            }
+            let (a, _) = fe.handle("{\"verb\":\"stats\"}", 0.0);
+            let (b, _) = fe.handle("{\"verb\":\"stats\"}", 0.0);
+            assert_eq!(a, b, "replay must be idempotent");
+            a
+        };
+        assert_eq!(
+            drive(&mut frontend("edf")),
+            drive(&mut frontend("edf")),
+            "two front-ends fed the same lines must agree byte-for-byte"
+        );
+    }
+
+    #[test]
+    fn arrivals_are_clamped_monotone() {
+        let mut fe = frontend("fifo");
+        let _ = fe.handle("{\"verb\":\"submit\",\"n\":8,\"arrival\":100.0}", 0.0);
+        // An out-of-order stamp (or a negative one) snaps to the tail.
+        let (reply, _) = fe.handle("{\"verb\":\"submit\",\"n\":8,\"arrival\":5.0}", 0.0);
+        assert!(reply.contains("\"arrival\":100.000"), "{reply}");
+        assert_eq!(fe.jobs()[1].arrival, 100.0);
+        // No stamp at all: the supplied default applies (then clamps).
+        let (reply, _) = fe.handle("{\"verb\":\"submit\",\"n\":8}", 250.0);
+        assert!(reply.contains("\"arrival\":250.000"), "{reply}");
+    }
+
+    #[test]
+    fn malformed_requests_are_structured_errors() {
+        let mut fe = frontend("fifo");
+        let (reply, down) = fe.handle("{\"n\":16}", 0.0);
+        assert!(reply.contains("\"ok\":false") && !down, "{reply}");
+        let (reply, _) = fe.handle("{\"verb\":\"submit\"}", 0.0);
+        assert!(reply.contains("positive n"), "{reply}");
+        let (reply, _) = fe.handle("{\"verb\":\"status\",\"id\":9}", 0.0);
+        assert!(reply.contains("unknown job 9"), "{reply}");
+        let (reply, _) = fe.handle("{\"verb\":\"dance\"}", 0.0);
+        assert!(reply.contains("unknown verb dance"), "{reply}");
+    }
+
+    #[test]
+    fn shutdown_flags_the_loop() {
+        let mut fe = frontend("fifo");
+        let (reply, down) = fe.handle("{\"verb\":\"shutdown\"}", 0.0);
+        assert!(down);
+        assert!(reply.contains("\"bye\":true"));
+    }
+
+    #[test]
+    fn deadlines_reach_the_scheduler() {
+        let mut fe = frontend("edf");
+        let _ = fe.handle("{\"verb\":\"submit\",\"n\":16,\"deadline\":1.0}", 0.0);
+        assert_eq!(fe.jobs()[0].deadline, Some(1.0));
+        let (stats, _) = fe.handle("{\"verb\":\"stats\"}", 0.0);
+        assert!(stats.contains("\"jobs\":1"), "{stats}");
+    }
+}

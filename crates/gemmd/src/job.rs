@@ -75,17 +75,45 @@ pub struct JobRecord {
     /// Heartbeat words the successful run's partition emitted under
     /// the fault plan's detection config (its failure-detection bill).
     pub heartbeat_words: u64,
-    /// When the job left the queue and its partition was carved out.
+    /// Batch this job rode in: 0 for a solo placement, otherwise the
+    /// 1-based sequence number of the coalesced small-GEMM batch (all
+    /// members of one batch share the number — see
+    /// [`crate::batch::Batching`]).
+    pub batch: usize,
+    /// Time the job spent waiting before its computation began:
+    /// `start − arrival`.  Covers the queue proper plus any placement
+    /// dispatch delay ([`crate::scheduler::Config::placement_overhead`])
+    /// and, for batch members, the wait behind sibling sub-jobs on the
+    /// shared rank.  The completion split is exact:
+    /// `queue_wait + service_time() == sojourn()`, test-pinned.
+    pub queue_wait: f64,
+    /// When the job's own computation began (it left the queue at
+    /// `start − dispatch delay`; see [`JobRecord::queue_wait`]).
     pub start: f64,
-    /// When the job's partition was released (`start + actual_time`).
+    /// When the job finished (`start + actual_time`).
     pub finish: f64,
 }
 
 impl JobRecord {
-    /// Time spent queued: `start − arrival`.
+    /// Time spent queued: `start − arrival` (identical to
+    /// [`JobRecord::queue_wait`], kept as the historical accessor).
     #[must_use]
     pub fn wait(&self) -> f64 {
         self.start - self.spec.arrival
+    }
+
+    /// Time the job spent in service: its own computation on the
+    /// partition (`actual_time`).
+    #[must_use]
+    pub fn service_time(&self) -> f64 {
+        self.actual_time
+    }
+
+    /// End-to-end latency the submitter observed: `finish − arrival`.
+    /// Invariant (test-pinned): `sojourn == queue_wait + service_time`.
+    #[must_use]
+    pub fn sojourn(&self) -> f64 {
+        self.finish - self.spec.arrival
     }
 
     /// Whether the job met its deadline (`None` when it had none).
@@ -128,6 +156,8 @@ mod tests {
             recoveries: 0,
             migrations: 0,
             heartbeat_words: 0,
+            batch: 0,
+            queue_wait: 50.0,
             start: 150.0,
             finish: 1_174.0,
         }
@@ -141,5 +171,18 @@ mod tests {
         assert!((r.efficiency() - 1.0).abs() < 1e-12); // 16³ = 4·1024
         assert!(r.prediction_error() < 0.0, "overprediction is negative");
         assert_eq!(JobSpec::new(8, 0.0).work(), 512.0);
+    }
+
+    #[test]
+    fn completion_splits_exactly_into_wait_plus_service() {
+        let r = record();
+        assert_eq!(r.queue_wait, r.wait());
+        assert_eq!(r.service_time(), r.actual_time);
+        assert_eq!(r.sojourn(), r.finish - r.spec.arrival);
+        assert_eq!(
+            r.queue_wait + r.service_time(),
+            r.sojourn(),
+            "the completion-time split must be exact"
+        );
     }
 }

@@ -22,6 +22,13 @@
 //!    queue waits, utilization and throughput, rendering
 //!    deterministically to CSV.
 //!
+//! On top of that replay core sits the **online service** layer:
+//! open-loop [`traffic`] generation (heavy-tailed mixes, diurnal rate
+//! curves, burst episodes), [`slo`] latency percentiles and per-class
+//! objectives, EDF scheduling plus small-GEMM [`batch`] coalescing for
+//! tail latency, and a JSON-line TCP [`frontend`] (the `gemmd-serve`
+//! binary) bridging wall-clock clients onto the virtual-time core.
+//!
 //! Everything is a pure function of `(machine, workload, policy,
 //! config)`: two runs with the same seed are byte-identical, which the
 //! property tests assert literally on the CSV bytes.
@@ -39,21 +46,31 @@
 //! assert!(report.utilization() <= 1.0);
 //! ```
 
+pub mod batch;
+pub mod frontend;
 pub mod job;
 pub mod partition;
 pub mod policy;
 pub mod report;
 pub mod scheduler;
 pub mod sizing;
+pub mod slo;
+pub mod traffic;
 pub mod workload;
 
+pub use batch::Batching;
 pub use job::{JobRecord, JobSpec};
 pub use partition::{Partition, PartitionManager};
-pub use policy::{Fifo, Policy, PriorityFirst, QueuedJob, ShortestPredictedTime};
-pub use report::ServiceReport;
+pub use policy::{
+    policy_by_name, EarliestDeadlineFirst, Fifo, Policy, PriorityFirst, QueuedJob,
+    ShortestPredictedTime,
+};
+pub use report::{ServiceReport, TimePoint};
 pub use scheduler::{Config, Scheduler};
 pub use sizing::{right_size, Sizing, SizingMode};
-pub use workload::Workload;
+pub use slo::{analyze, JobClasses, Percentiles, Slo, SloOutcome, SloReport};
+pub use traffic::{heavy_tailed_mix, Traffic, TrafficError};
+pub use workload::{Workload, WorkloadError};
 
 /// Errors surfaced by the service layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -111,12 +128,17 @@ impl std::error::Error for GemmdError {}
 
 /// One-stop imports for examples and tests.
 pub mod prelude {
+    pub use crate::batch::Batching;
     pub use crate::job::{JobRecord, JobSpec};
     pub use crate::partition::{Partition, PartitionManager};
-    pub use crate::policy::{Fifo, Policy, PriorityFirst, ShortestPredictedTime};
-    pub use crate::report::ServiceReport;
+    pub use crate::policy::{
+        policy_by_name, EarliestDeadlineFirst, Fifo, Policy, PriorityFirst, ShortestPredictedTime,
+    };
+    pub use crate::report::{ServiceReport, TimePoint};
     pub use crate::scheduler::{Config, Scheduler};
     pub use crate::sizing::{right_size, Sizing, SizingMode};
+    pub use crate::slo::{analyze, JobClasses, Percentiles, Slo, SloReport};
+    pub use crate::traffic::{heavy_tailed_mix, Traffic};
     pub use crate::workload::Workload;
     pub use crate::GemmdError;
 }

@@ -82,6 +82,48 @@ impl Policy for ShortestPredictedTime {
     }
 }
 
+/// Earliest deadline first (EDF): the job whose absolute deadline is
+/// nearest runs next, which is the classic tail-latency discipline for
+/// open-loop SLO traffic — small interactive jobs (near deadlines)
+/// overtake batch work, but an old large job's deadline eventually
+/// becomes the earliest, so nothing starves the way it does under
+/// [`ShortestPredictedTime`].  Deadline-free jobs sort after every
+/// deadlined one; ties break towards the lower id.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EarliestDeadlineFirst;
+
+impl Policy for EarliestDeadlineFirst {
+    fn name(&self) -> &'static str {
+        "edf"
+    }
+
+    fn select(&self, queue: &[QueuedJob]) -> Option<usize> {
+        queue
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                let da = a.spec.deadline.unwrap_or(f64::INFINITY);
+                let db = b.spec.deadline.unwrap_or(f64::INFINITY);
+                da.total_cmp(&db).then(a.id.cmp(&b.id))
+            })
+            .map(|(i, _)| i)
+    }
+}
+
+/// Look a built-in policy up by its stable [`Policy::name`] — the
+/// dispatch the JSON front-end and the bench sweeps use.  `None` for
+/// an unknown name.
+#[must_use]
+pub fn policy_by_name(name: &str) -> Option<Box<dyn Policy + Send + Sync>> {
+    match name {
+        "fifo" => Some(Box::new(Fifo)),
+        "spt" => Some(Box::new(ShortestPredictedTime)),
+        "priority" => Some(Box::new(PriorityFirst)),
+        "edf" => Some(Box::new(EarliestDeadlineFirst)),
+        _ => None,
+    }
+}
+
 /// Highest priority first; ties fall back to arrival order.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PriorityFirst;
@@ -145,5 +187,35 @@ mod tests {
     fn priority_first_prefers_urgent_then_oldest() {
         let q = vec![queued(0, 32, 1, 16), queued(1, 8, 3, 4), queued(2, 8, 3, 4)];
         assert_eq!(PriorityFirst.select(&q), Some(1));
+    }
+
+    #[test]
+    fn edf_picks_the_nearest_deadline_and_parks_deadline_free_jobs_last() {
+        let with_deadline = |id: usize, d: Option<f64>| {
+            let mut q = queued(id, 16, 0, 4);
+            q.spec.deadline = d;
+            q
+        };
+        let q = vec![
+            with_deadline(0, None),
+            with_deadline(1, Some(9_000.0)),
+            with_deadline(2, Some(2_000.0)),
+        ];
+        assert_eq!(EarliestDeadlineFirst.select(&q), Some(2));
+        // Only deadline-free jobs left: lowest id wins.
+        let q = vec![with_deadline(5, None), with_deadline(3, None)];
+        assert_eq!(EarliestDeadlineFirst.select(&q), Some(1));
+        assert_eq!(EarliestDeadlineFirst.select(&[]), None);
+        // Deadline ties break by id.
+        let q = vec![with_deadline(7, Some(100.0)), with_deadline(4, Some(100.0))];
+        assert_eq!(EarliestDeadlineFirst.select(&q), Some(1));
+    }
+
+    #[test]
+    fn policies_resolve_by_name() {
+        for name in ["fifo", "spt", "priority", "edf"] {
+            assert_eq!(policy_by_name(name).unwrap().name(), name);
+        }
+        assert!(policy_by_name("lifo").is_none());
     }
 }

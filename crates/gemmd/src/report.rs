@@ -4,6 +4,21 @@ use std::fmt::Write as _;
 
 use crate::job::{JobRecord, JobSpec};
 
+/// One sample of the service's utilisation/backlog time-series: the
+/// state after the placement pass at one scheduler event.  Samples
+/// are recorded on change only, so the series is a compact step
+/// function of virtual time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimePoint {
+    /// Virtual time of the event.
+    pub t: f64,
+    /// Ranks allocated to placements (busy or quarantined blocks do
+    /// not count — this is work, not unavailability).
+    pub busy_ranks: usize,
+    /// Jobs waiting in the queue (the backlog).
+    pub queued: usize,
+}
+
 /// Everything the service measured over one run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServiceReport {
@@ -17,6 +32,10 @@ pub struct ServiceReport {
     pub records: Vec<JobRecord>,
     /// Jobs refused at admission (queue full), in arrival order.
     pub rejected: Vec<JobSpec>,
+    /// Utilisation/backlog time-series sampled at scheduler events
+    /// (on change only) — see [`TimePoint`] and
+    /// [`ServiceReport::timeline_csv`].
+    pub timeline: Vec<TimePoint>,
     /// Time the last job finished (0 for an empty run).
     pub makespan: f64,
     /// Placements lost to fail-stop deaths beyond the spare budget and
@@ -127,12 +146,12 @@ impl ServiceReport {
     #[must_use]
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "id,n,arrival,priority,p,base,algorithm,resilient,predicted,actual,attempts,recoveries,migrations,heartbeat_words,start,finish,wait,efficiency\n",
+            "id,n,arrival,priority,p,base,algorithm,resilient,predicted,actual,attempts,recoveries,migrations,heartbeat_words,batch,start,finish,queue_wait,service,sojourn,efficiency\n",
         );
         for r in &self.records {
             let _ = writeln!(
                 out,
-                "{},{},{:.3},{},{},{},{},{},{:.3},{:.3},{},{},{},{},{:.3},{:.3},{:.3},{:.4}",
+                "{},{},{:.3},{},{},{},{},{},{:.3},{:.3},{},{},{},{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.4}",
                 r.id,
                 r.spec.n,
                 r.spec.arrival,
@@ -147,10 +166,32 @@ impl ServiceReport {
                 r.recoveries,
                 r.migrations,
                 r.heartbeat_words,
+                r.batch,
                 r.start,
                 r.finish,
-                r.wait(),
+                r.queue_wait,
+                r.service_time(),
+                r.sojourn(),
                 r.efficiency(),
+            );
+        }
+        out
+    }
+
+    /// Deterministic utilisation/backlog time-series CSV:
+    /// `t,busy_ranks,queued,utilization` with instantaneous
+    /// utilisation `busy_ranks / P`.
+    #[must_use]
+    pub fn timeline_csv(&self) -> String {
+        let mut out = String::from("t,busy_ranks,queued,utilization\n");
+        for p in &self.timeline {
+            let _ = writeln!(
+                out,
+                "{:.3},{},{},{:.4}",
+                p.t,
+                p.busy_ranks,
+                p.queued,
+                p.busy_ranks as f64 / self.machine_p as f64,
             );
         }
         out
@@ -207,6 +248,8 @@ mod tests {
             recoveries: 0,
             migrations: 0,
             heartbeat_words: 0,
+            batch: 0,
+            queue_wait: start,
             start,
             finish: start + dur,
         };
@@ -216,6 +259,18 @@ mod tests {
             machine_p: 8,
             records: vec![rec(0, 4, 0.0, 100.0), rec(1, 4, 0.0, 100.0)],
             rejected: vec![],
+            timeline: vec![
+                TimePoint {
+                    t: 0.0,
+                    busy_ranks: 8,
+                    queued: 0,
+                },
+                TimePoint {
+                    t: 100.0,
+                    busy_ranks: 0,
+                    queued: 0,
+                },
+            ],
             makespan: 100.0,
             requeues: 0,
             quarantined_ranks: 0,
@@ -255,6 +310,19 @@ mod tests {
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 3);
         assert!(lines[0].starts_with("id,n,arrival"));
+        assert!(lines[0].contains(",queue_wait,service,sojourn,"));
         assert!(lines[1].starts_with("0,16,"));
+        // queue_wait 0, service 100, sojourn 100 for the first job.
+        assert!(lines[1].contains(",0.000,100.000,100.000,"));
+    }
+
+    #[test]
+    fn timeline_csv_renders_the_series() {
+        let csv = report().timeline_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "t,busy_ranks,queued,utilization");
+        assert_eq!(lines[1], "0.000,8,0,1.0000");
+        assert_eq!(lines[2], "100.000,0,0,0.0000");
     }
 }

@@ -59,6 +59,20 @@ pub struct Config {
     /// [`Config::retry_budget`], so a machine that is degraded
     /// everywhere cannot bounce a job forever.
     pub migration_streak: u32,
+    /// Fixed dispatch cost charged at every placement (partition
+    /// setup, operand staging): the partition is held from the
+    /// placement instant but computation starts `placement_overhead`
+    /// later, and the delay counts into the job's `queue_wait`.  For a
+    /// tiny GEMM this can dwarf the multiply itself — which is exactly
+    /// what [`crate::batch`] coalescing amortises: a batch pays it
+    /// once where `k` solo placements pay it `k` times.  0 (the
+    /// default) keeps the historical behaviour.
+    pub placement_overhead: f64,
+    /// Small-GEMM batching (see [`crate::batch::Batching`]); `None`
+    /// (the default) places every job solo.  Ignored on a machine with
+    /// a fault plan — recovery of a half-finished batch is out of
+    /// scope, so lossy machines fall back to solo placement.
+    pub batching: Option<crate::batch::Batching>,
 }
 
 impl Default for Config {
@@ -70,6 +84,8 @@ impl Default for Config {
             spares: 0,
             retry_budget: 2,
             migration_streak: 0,
+            placement_overhead: 0.0,
+            batching: None,
         }
     }
 }
@@ -94,6 +110,11 @@ struct Running {
 
 enum Outcome {
     Completed(JobRecord),
+    /// A coalesced small-GEMM batch: every member's record, retired
+    /// together when the batch's partition frees (the slowest rank
+    /// finishes); members keep their individual `start`/`finish`
+    /// stamps, so the final report interleaves them correctly.
+    Batch(Vec<JobRecord>),
     /// Fail-stop loss: the closure's dead rank and the virtual death
     /// time within the run (the partition is occupied until
     /// `start + t_death`).
@@ -179,6 +200,7 @@ impl<'m> Scheduler<'m> {
         let mut running: Vec<Running> = Vec::new();
         let mut records: Vec<JobRecord> = Vec::new();
         let mut rejected: Vec<JobSpec> = Vec::new();
+        let mut timeline: Vec<crate::report::TimePoint> = Vec::new();
         let mut next_arrival = 0usize;
         let mut now = 0.0f64;
         let mut makespan = 0.0f64;
@@ -187,6 +209,7 @@ impl<'m> Scheduler<'m> {
         let mut wasted_rank_time = 0.0f64;
         let mut migrations = 0usize;
         let mut migration_words = 0u64;
+        let mut batch_seq = 0usize;
 
         loop {
             // Un-quarantine blocks whose death schedules have fully
@@ -207,6 +230,72 @@ impl<'m> Scheduler<'m> {
             // Place as many queued jobs as the policy and the free
             // blocks allow, head of line first.
             while let Some(i) = policy.select(&queue) {
+                // Batch attempt first: coalesce the selected job with
+                // its queued same-shape siblings onto one placement
+                // (fault-plan machines always place solo — see
+                // [`Config::batching`]).
+                if let Some(mut members) = self
+                    .config
+                    .batching
+                    .filter(|_| self.machine.fault_plan().is_none())
+                    .and_then(|b| b.gather(&queue, i))
+                {
+                    let b = self.config.batching.expect("gather implies batching");
+                    // Wide-to-narrow, then shrink-to-fit: prefer
+                    // spreading the members (one per rank, overhead
+                    // still paid once) and only deepen towards
+                    // [`crate::batch::Batching::depth`] as free blocks
+                    // run out; when not even the depth-capped block is
+                    // free, shed the highest-id non-anchor members and
+                    // retry (a pair on one rank always remains
+                    // possible, so pressure never blocks coalescing).
+                    let partition = loop {
+                        // A batch can hold more members than the
+                        // machine has ranks — the widest block to try
+                        // is still capped by the machine itself.
+                        let mut size = members.len().next_power_of_two().min(self.machine.p());
+                        let floor = b.block_for(members.len()).min(self.machine.p());
+                        let got = loop {
+                            if let Some(p) = pm.alloc(size) {
+                                break Some(p);
+                            }
+                            if size <= floor {
+                                break None;
+                            }
+                            size /= 2;
+                        };
+                        if got.is_some() {
+                            break got;
+                        }
+                        if members.len() <= 2 {
+                            break None;
+                        }
+                        let drop_at = members
+                            .iter()
+                            .rposition(|&idx| idx != i)
+                            .expect("a batch holds at least one non-anchor member");
+                        members.remove(drop_at);
+                    };
+                    if let Some(partition) = partition {
+                        // Drain members by descending queue index so
+                        // removals do not shift pending ones, then
+                        // restore id order for the rank round-robin.
+                        members.sort_unstable_by(|a, b| b.cmp(a));
+                        let mut batch: Vec<QueuedJob> =
+                            members.into_iter().map(|idx| queue.remove(idx)).collect();
+                        batch.sort_by_key(|j| j.id);
+                        batch_seq += 1;
+                        let placed = self.start_batch(batch, partition, now, batch_seq)?;
+                        if let Outcome::Batch(recs) = &placed.outcome {
+                            for r in recs {
+                                makespan = makespan.max(r.finish);
+                            }
+                        }
+                        running.push(placed);
+                        continue;
+                    }
+                    // Not even a pair fits: fall through to solo.
+                }
                 let (block, spares) = self.provision(queue[i].sizing.p);
                 let Some(partition) = pm.alloc(block) else {
                     break; // selected job blocks until space frees up
@@ -217,6 +306,21 @@ impl<'m> Scheduler<'m> {
                     makespan = makespan.max(record.finish);
                 }
                 running.push(placed);
+            }
+
+            // Sample the utilisation/backlog time-series whenever the
+            // placement pass left the service in a new state (pushed
+            // on change only, so the series stays compact and two runs
+            // of one trace produce identical points).
+            let busy_ranks = pm.in_use();
+            if timeline.last().map_or(true, |l| {
+                l.busy_ranks != busy_ranks || l.queued != queue.len()
+            }) {
+                timeline.push(crate::report::TimePoint {
+                    t: now,
+                    busy_ranks,
+                    queued: queue.len(),
+                });
             }
 
             // Next event: earliest completion (ties → lowest id) vs
@@ -236,6 +340,10 @@ impl<'m> Scheduler<'m> {
                         Outcome::Completed(record) => {
                             pm.release(done.partition);
                             records.push(record);
+                        }
+                        Outcome::Batch(mut recs) => {
+                            pm.release(done.partition);
+                            records.append(&mut recs);
                         }
                         Outcome::Lost { mut job, rank, t } => {
                             // A scheduled death belongs to the physical
@@ -316,12 +424,19 @@ impl<'m> Scheduler<'m> {
             });
         }
 
+        // Batch members retire together when their partition frees but
+        // carry individual finish stamps: re-establish global
+        // completion order (a no-op for solo-only runs, whose push
+        // order already matches the event order).
+        records.sort_by(|a, b| a.finish.total_cmp(&b.finish).then(a.id.cmp(&b.id)));
+
         Ok(ServiceReport {
             policy: policy.name().into(),
             sizing: self.config.sizing.label(),
             machine_p: self.machine.p(),
             records,
             rejected,
+            timeline,
             makespan,
             requeues,
             quarantined_ranks: pm.quarantined(),
@@ -363,13 +478,17 @@ impl<'m> Scheduler<'m> {
         spares: usize,
         now: f64,
     ) -> Result<Running, GemmdError> {
+        // The placement holds the partition from `now`, but computation
+        // begins after the dispatch overhead; the delay is queueing
+        // from the job's point of view.
+        let begin = now + self.config.placement_overhead;
         let ranks = partition.ranks();
         let mut sub = self.machine.partition(&ranks[..job.sizing.p + spares]);
         // The plan's death times are service-absolute; each run starts
         // at `now`, so shift them into run-relative time (deaths
         // already in the past vanish — that is what makes a block
         // reusable once its schedule has passed).
-        let plan = self.machine.fault_plan().map(|p| p.rebased_deaths(now));
+        let plan = self.machine.fault_plan().map(|p| p.rebased_deaths(begin));
         if let Some(plan) = plan.clone() {
             sub = sub.with_fault_plan(plan);
         }
@@ -391,7 +510,7 @@ impl<'m> Scheduler<'m> {
             horizon,
         ) {
             return Ok(Running {
-                finish: now + t,
+                finish: begin + t,
                 id: job.id,
                 partition,
                 outcome: Outcome::Migrated { job, t },
@@ -401,7 +520,7 @@ impl<'m> Scheduler<'m> {
             Ok(out) => out,
             Err(algos::AlgoError::Sim(mmsim::SimError::RankDied { rank, t })) => {
                 return Ok(Running {
-                    finish: now + t,
+                    finish: begin + t,
                     id: job.id,
                     partition,
                     outcome: Outcome::Lost { job, rank, t },
@@ -433,6 +552,7 @@ impl<'m> Scheduler<'m> {
         } else {
             out.t_parallel
         };
+        let queue_wait = begin - job.spec.arrival;
         let record = JobRecord {
             id: job.id,
             spec: job.spec,
@@ -446,14 +566,87 @@ impl<'m> Scheduler<'m> {
             recoveries: out.stats.iter().map(|s| s.recoveries).sum(),
             migrations: job.migrations,
             heartbeat_words: out.stats.iter().map(|s| s.heartbeat_words).sum(),
-            start: now,
-            finish: now + actual_time,
+            batch: 0,
+            queue_wait,
+            start: begin,
+            finish: begin + actual_time,
         };
         Ok(Running {
             finish: record.finish,
             id: record.id,
             partition,
             outcome: Outcome::Completed(record),
+        })
+    }
+
+    /// Execute a coalesced small-GEMM batch on its partition.  Members
+    /// arrive in job-id order and are dealt round-robin across the
+    /// block's ranks; each rank runs its hand back-to-back.  Every
+    /// sub-job executes through [`run_recommendation`] on a
+    /// *single-rank* sub-machine — literally the unbatched execution
+    /// path — so its product is bit-identical to a solo placement's
+    /// (pinned in `crates/gemmd/tests/online.rs`); only its virtual
+    /// start time differs.  The one placement overhead is paid up
+    /// front, which is the whole point (see [`crate::batch`]).
+    fn start_batch(
+        &self,
+        jobs: Vec<QueuedJob>,
+        partition: Partition,
+        now: f64,
+        batch_no: usize,
+    ) -> Result<Running, GemmdError> {
+        let begin = now + self.config.placement_overhead;
+        let ranks = partition.ranks();
+        let mut rank_clock = vec![begin; ranks.len()];
+        let mut records = Vec::with_capacity(jobs.len());
+        let lead_id = jobs.first().map_or(0, |j| j.id);
+        for (slot, job) in jobs.into_iter().enumerate() {
+            let rank = ranks[slot % ranks.len()];
+            let sub = self.machine.partition(&[rank]).with_spares(0);
+            let (a, b) = dense::gen::random_pair(job.spec.n, job.spec.seed);
+            let out = run_recommendation(&job.sizing.rec, &sub, &a, &b).map_err(|e| {
+                GemmdError::Execution {
+                    id: job.id,
+                    detail: e.to_string(),
+                }
+            })?;
+            if self.config.verify {
+                let reference = &a * &b;
+                assert!(
+                    out.c.approx_eq(&reference, 1e-8),
+                    "batched job {} produced a wrong product",
+                    job.id
+                );
+            }
+            let start = rank_clock[slot % ranks.len()];
+            let finish = start + out.t_parallel;
+            rank_clock[slot % ranks.len()] = finish;
+            let queue_wait = start - job.spec.arrival;
+            records.push(JobRecord {
+                id: job.id,
+                spec: job.spec,
+                p: 1,
+                base: rank,
+                algorithm: job.sizing.rec.algorithm,
+                resilient: job.sizing.rec.resilient,
+                predicted_time: job.sizing.rec.predicted_time,
+                actual_time: out.t_parallel,
+                attempts: job.attempts + 1,
+                recoveries: 0,
+                migrations: job.migrations,
+                heartbeat_words: out.stats.iter().map(|s| s.heartbeat_words).sum(),
+                batch: batch_no,
+                queue_wait,
+                start,
+                finish,
+            });
+        }
+        let end = rank_clock.iter().fold(begin, |acc, &t| acc.max(t));
+        Ok(Running {
+            finish: end,
+            id: lead_id,
+            partition,
+            outcome: Outcome::Batch(records),
         })
     }
 

@@ -9,6 +9,53 @@ use detrng::SplitMix64;
 
 use crate::job::JobSpec;
 
+/// A structurally invalid workload specification, rejected at
+/// construction so degenerate streams (zero-gap arrival storms,
+/// unsampleable size mixes) never reach the scheduler.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadError {
+    /// `mean_interarrival` was zero, negative, or not finite — the
+    /// exponential gap draw would collapse every arrival onto `t = 0`
+    /// (or produce NaN timestamps).
+    NonPositiveInterarrival {
+        /// The offending mean gap.
+        mean: f64,
+    },
+    /// The size mix had no entries, so no job size can be drawn.
+    EmptyMix,
+    /// A mix entry carried a zero job size or a non-positive /
+    /// non-finite weight — either makes the weighted draw degenerate.
+    BadMixEntry {
+        /// Index of the offending entry in the mix.
+        index: usize,
+        /// The entry's job size.
+        n: usize,
+        /// The entry's weight.
+        weight: f64,
+    },
+}
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadError::NonPositiveInterarrival { mean } => {
+                write!(
+                    f,
+                    "mean interarrival must be positive and finite, got {mean}"
+                )
+            }
+            WorkloadError::EmptyMix => write!(f, "size mix cannot be empty"),
+            WorkloadError::BadMixEntry { index, n, weight } => write!(
+                f,
+                "mix entry {index} (n = {n}, weight = {weight}) needs a positive size and a \
+                 positive finite weight"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
 /// A workload specification: `jobs` arrivals at mean gap
 /// `mean_interarrival`, sizes drawn from the weighted `mix`.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,28 +82,60 @@ impl Workload {
     /// Poisson arrivals over a weighted size mix, priorities 0–3, no
     /// deadlines.
     ///
+    /// Arrivals are *open-loop*: the exponential interarrival gaps are
+    /// drawn once from the seed and never consult service progress, so
+    /// the generated trace keeps arriving at full rate even when the
+    /// machine saturates (queues genuinely build — see
+    /// [`crate::traffic`] for rate curves and bursts on top of this).
+    /// `mean_interarrival` is in virtual-time units (one multiply–add
+    /// = one unit, the simulator's clock); weights need not sum to 1.
+    ///
     /// # Panics
-    /// Panics on an empty mix, non-positive weights or a non-positive
-    /// mean gap.
+    /// Panics on an invalid spec — see [`Workload::try_poisson`] for
+    /// the non-panicking, structured-error form.
     #[must_use]
     pub fn poisson(jobs: usize, mean_interarrival: f64, mix: &[(usize, f64)], seed: u64) -> Self {
-        assert!(!mix.is_empty(), "size mix cannot be empty");
-        assert!(
-            mix.iter().all(|&(n, w)| n > 0 && w > 0.0),
-            "mix entries need positive sizes and weights"
-        );
-        assert!(
-            mean_interarrival > 0.0,
-            "mean interarrival must be positive"
-        );
-        Self {
+        match Self::try_poisson(jobs, mean_interarrival, mix, seed) {
+            Ok(w) => w,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`Workload::poisson`] with construction-time validation: rejects
+    /// a non-positive or non-finite `mean_interarrival`, an empty
+    /// `mix`, and zero-size / non-positive-weight mix entries with a
+    /// structured [`WorkloadError`] instead of silently generating a
+    /// degenerate stream (or panicking deep inside a sweep).
+    ///
+    /// # Errors
+    /// The first violated rule, as a [`WorkloadError`].
+    pub fn try_poisson(
+        jobs: usize,
+        mean_interarrival: f64,
+        mix: &[(usize, f64)],
+        seed: u64,
+    ) -> Result<Self, WorkloadError> {
+        if !(mean_interarrival > 0.0 && mean_interarrival.is_finite()) {
+            return Err(WorkloadError::NonPositiveInterarrival {
+                mean: mean_interarrival,
+            });
+        }
+        if mix.is_empty() {
+            return Err(WorkloadError::EmptyMix);
+        }
+        for (index, &(n, weight)) in mix.iter().enumerate() {
+            if n == 0 || !(weight > 0.0 && weight.is_finite()) {
+                return Err(WorkloadError::BadMixEntry { index, n, weight });
+            }
+        }
+        Ok(Self {
             jobs,
             mean_interarrival,
             mix: mix.to_vec(),
             priority_levels: 4,
             deadline_slack: None,
             seed,
-        }
+        })
     }
 
     /// Builder-style: give every job a deadline at `slack` times its
@@ -152,5 +231,48 @@ mod tests {
     #[should_panic(expected = "cannot be empty")]
     fn empty_mix_rejected() {
         let _ = Workload::poisson(1, 100.0, &[], 0);
+    }
+
+    #[test]
+    fn try_poisson_rejects_degenerate_specs_structurally() {
+        assert_eq!(
+            Workload::try_poisson(4, 0.0, &[(8, 1.0)], 0).unwrap_err(),
+            WorkloadError::NonPositiveInterarrival { mean: 0.0 }
+        );
+        assert_eq!(
+            Workload::try_poisson(4, -5.0, &[(8, 1.0)], 0).unwrap_err(),
+            WorkloadError::NonPositiveInterarrival { mean: -5.0 }
+        );
+        assert!(matches!(
+            Workload::try_poisson(4, f64::NAN, &[(8, 1.0)], 0).unwrap_err(),
+            WorkloadError::NonPositiveInterarrival { .. }
+        ));
+        assert_eq!(
+            Workload::try_poisson(4, 100.0, &[], 0).unwrap_err(),
+            WorkloadError::EmptyMix
+        );
+        assert_eq!(
+            Workload::try_poisson(4, 100.0, &[(8, 1.0), (0, 2.0)], 0).unwrap_err(),
+            WorkloadError::BadMixEntry {
+                index: 1,
+                n: 0,
+                weight: 2.0
+            }
+        );
+        assert_eq!(
+            Workload::try_poisson(4, 100.0, &[(8, 0.0)], 0).unwrap_err(),
+            WorkloadError::BadMixEntry {
+                index: 0,
+                n: 8,
+                weight: 0.0
+            }
+        );
+        // Errors render a usable diagnosis.
+        let msg = Workload::try_poisson(4, 0.0, &[(8, 1.0)], 0)
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("positive and finite"), "message: {msg}");
+        // And the valid spec still constructs.
+        assert!(Workload::try_poisson(4, 100.0, &[(8, 1.0)], 0).is_ok());
     }
 }

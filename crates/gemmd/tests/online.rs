@@ -1,0 +1,245 @@
+//! Online-service properties: the percentile estimator against a sort
+//! oracle, traffic byte-identity, batching bit-identity, and the
+//! EDF-vs-FIFO deadline story.
+
+use gemmd::prelude::*;
+use mmsim::{CostModel, Machine, Topology};
+use parmm::run_recommendation;
+use proptest::prelude::*;
+
+fn machine(dim: u32) -> Machine {
+    Machine::new(Topology::hypercube(dim), CostModel::ncube2())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The streaming sorted-insert percentile estimator agrees with
+    /// the naive oracle — sort everything, take the nearest-rank
+    /// element — at every quantile, on every input order.
+    #[test]
+    fn streaming_percentiles_match_the_sort_oracle(
+        values in proptest::collection::vec(0.0f64..1.0e6, 1..80),
+        q in 0.0f64..1.0,
+    ) {
+        let mut streaming = Percentiles::new();
+        for &v in &values {
+            streaming.push(v);
+        }
+        let mut oracle = values.clone();
+        oracle.sort_by(f64::total_cmp);
+        let rank = |q: f64| {
+            let r = (q * oracle.len() as f64).ceil() as usize;
+            oracle[r.max(1) - 1]
+        };
+        prop_assert_eq!(streaming.percentile(q).unwrap(), rank(q));
+        for fixed in [0.5, 0.99, 0.999, 1.0] {
+            prop_assert_eq!(streaming.percentile(fixed).unwrap(), rank(fixed));
+        }
+        prop_assert_eq!(streaming.len(), oracle.len());
+    }
+
+    /// Open-loop traffic is a pure value: the same spec (seed, mix,
+    /// diurnal curve, bursts) generates a byte-identical trace every
+    /// time, and a different seed diverges.
+    #[test]
+    fn traffic_generation_is_byte_identical_for_a_fixed_seed(
+        seed in 0u64..1_000_000,
+        jobs in 1usize..120,
+        alpha in 0.5f64..3.0,
+    ) {
+        let spec = Traffic::new(jobs, 2.0e4, &heavy_tailed_mix(&[8, 16, 32], alpha), seed)
+            .unwrap()
+            .with_diurnal(4.0e5, 0.6)
+            .unwrap()
+            .with_bursts(4.0, 5.0e4, 2.0e5)
+            .unwrap()
+            .with_deadline_slack(8.0);
+        let one = spec.generate();
+        let two = spec.generate();
+        prop_assert_eq!(&one, &two);
+        // Byte-level: render every field's exact bits and compare.
+        let bytes = |trace: &[JobSpec]| -> String {
+            trace
+                .iter()
+                .map(|j| {
+                    format!(
+                        "{},{:016x},{},{:016x},{:016x};",
+                        j.n,
+                        j.arrival.to_bits(),
+                        j.priority,
+                        j.seed,
+                        j.deadline.map_or(0, f64::to_bits),
+                    )
+                })
+                .collect()
+        };
+        prop_assert_eq!(bytes(&one), bytes(&two));
+        let other = Traffic { seed: seed ^ 0xDEAD_BEEF, ..spec };
+        prop_assert_ne!(one, other.generate(), "seed must matter");
+    }
+}
+
+/// Coalesced sub-jobs are executed through the same single-rank
+/// simulator path a solo placement uses: service times match the
+/// unbatched run bit-for-bit, and the product bits are independent of
+/// which physical rank the batcher landed the job on.
+#[test]
+fn batched_subjobs_are_bit_identical_to_unbatched_execution() {
+    // A small 4-rank machine under sustained overload-for-solo
+    // traffic: with a 500-unit placement overhead a solo n = 8 job
+    // costs ~1012 rank-units, so arrivals every 200 offer ~1.26× the
+    // machine's solo capacity and the backlog grows without batching.
+    // verify: true checks every product (batched or not) against the
+    // serial kernel.
+    let m = machine(2);
+    let trace: Vec<JobSpec> = (0..40)
+        .map(|i| JobSpec {
+            seed: 1000 + i as u64,
+            ..JobSpec::new(8, 200.0 * i as f64)
+        })
+        .collect();
+    let base = Config {
+        verify: true,
+        placement_overhead: 500.0,
+        ..Config::default()
+    };
+    let solo_cfg = base;
+    let batch_cfg = Config {
+        batching: Some(Batching::default()),
+        ..base
+    };
+    let sched_solo = Scheduler::new(&m, solo_cfg);
+    let sched_batch = Scheduler::new(&m, batch_cfg);
+    let solo = sched_solo.run(&trace, &Fifo).unwrap();
+    let batched = sched_batch.run(&trace, &Fifo).unwrap();
+
+    assert_eq!(solo.records.len(), batched.records.len());
+    let coalesced = batched.records.iter().filter(|r| r.batch > 0).count();
+    assert!(coalesced >= 2, "batching must actually trigger");
+
+    for r in &batched.records {
+        let s = solo.records.iter().find(|s| s.id == r.id).unwrap();
+        assert_eq!(
+            r.actual_time.to_bits(),
+            s.actual_time.to_bits(),
+            "job {}: batched service time must be bit-identical to solo",
+            r.id
+        );
+    }
+
+    // Product bits do not depend on the rank the batcher chose: run
+    // one sub-job's recommendation on two different single-rank
+    // partitions and compare raw output bits.
+    let rec = sched_batch.advisor().recommend_executable(8, 1).unwrap();
+    let (a, b) = dense::gen::random_pair(8, trace[3].seed);
+    let on_rank0 = run_recommendation(&rec, &m.partition(&[0]), &a, &b).unwrap();
+    let on_rank3 = run_recommendation(&rec, &m.partition(&[3]), &a, &b).unwrap();
+    assert_eq!(on_rank0.c, on_rank3.c);
+    assert_eq!(on_rank0.t_parallel.to_bits(), on_rank3.t_parallel.to_bits());
+
+    // And the batched schedule replays byte-identically.
+    let again = sched_batch.run(&trace, &Fifo).unwrap();
+    assert_eq!(again.to_csv(), batched.to_csv());
+
+    // The economics: coalescing pays the placement overhead once per
+    // batch instead of once per job, so under sustained pressure the
+    // batched service's tail latency is strictly better.
+    let p99 = |report: &ServiceReport| {
+        let mut s = Percentiles::new();
+        for r in &report.records {
+            s.push(r.sojourn());
+        }
+        s.p99()
+    };
+    assert!(
+        p99(&batched) < p99(&solo),
+        "batched p99 {} must beat solo p99 {}",
+        p99(&batched),
+        p99(&solo)
+    );
+}
+
+/// A batch may gather more members than the machine has ranks; the
+/// placement must clamp its widest attempt to the machine instead of
+/// asking the buddy allocator for an impossible block.
+#[test]
+fn oversized_batches_clamp_to_the_machine() {
+    let m = machine(1); // 2 ranks, far below Batching::limit
+    let trace: Vec<JobSpec> = (0..12)
+        .map(|i| JobSpec {
+            seed: 50 + i as u64,
+            ..JobSpec::new(8, 10.0 * i as f64)
+        })
+        .collect();
+    let cfg = Config {
+        placement_overhead: 500.0,
+        batching: Some(Batching::default()),
+        ..Config::default()
+    };
+    let report = Scheduler::new(&m, cfg).run(&trace, &Fifo).unwrap();
+    assert_eq!(report.records.len(), trace.len());
+    assert!(
+        report.records.iter().any(|r| r.batch > 0),
+        "the contended 2-rank stream must coalesce"
+    );
+}
+
+/// The deadline story the example tells, pinned as a test: a tight-
+/// deadline small job stuck behind a FIFO convoy misses its SLO, EDF
+/// reorders the queue and meets it — same trace, same seed.
+#[test]
+fn edf_meets_an_slo_fifo_misses_on_the_same_trace() {
+    let m = machine(4);
+    let cfg = Config {
+        sizing: SizingMode::WholeMachine,
+        verify: true,
+        ..Config::default()
+    };
+    let sched = Scheduler::new(&m, cfg);
+    // Calibrate the convoy length from a probe run.
+    let probe = sched.run(&[JobSpec::new(32, 0.0)], &Fifo).unwrap();
+    let big = probe.records[0].actual_time;
+
+    // Job 0 holds the machine; job 1 is a second big job with no
+    // deadline; job 2 is a tiny interactive job that can only meet its
+    // deadline if it overtakes job 1.
+    let deadline = 2.0 + 1.5 * big;
+    let trace = vec![
+        JobSpec::new(32, 0.0),
+        JobSpec {
+            seed: 77,
+            ..JobSpec::new(32, 1.0)
+        },
+        JobSpec {
+            deadline: Some(deadline),
+            seed: 5,
+            ..JobSpec::new(8, 2.0)
+        },
+    ];
+    let fifo = sched.run(&trace, &Fifo).unwrap();
+    let edf = sched.run(&trace, &EarliestDeadlineFirst).unwrap();
+
+    assert_eq!(fifo.deadlines(), (0, 1), "FIFO rides the convoy and misses");
+    assert_eq!(edf.deadlines(), (1, 1), "EDF overtakes and meets");
+
+    // Same story through the SLO machinery: an interactive-class p99
+    // target between the two sojourns separates the policies.
+    let classes = JobClasses::default_split();
+    let slo = [Slo::new("interactive", 0.99, deadline - 2.0)];
+    assert!(!analyze(&fifo, &classes, &slo).all_attained());
+    assert!(analyze(&edf, &classes, &slo).all_attained());
+
+    // The queue-wait/service split pins where the latency went: under
+    // FIFO the tiny job's sojourn is almost all queueing.
+    let victim = fifo.records.iter().find(|r| r.id == 2).unwrap();
+    assert!(
+        victim.queue_wait > victim.service_time(),
+        "the convoy victim's sojourn must be dominated by queueing"
+    );
+    let drift = (victim.queue_wait + victim.service_time() - victim.sojourn()).abs();
+    assert!(
+        drift <= 1e-9 * victim.sojourn(),
+        "split must be exact: {drift}"
+    );
+}
