@@ -180,7 +180,10 @@ impl ServiceRow {
     }
 }
 
-/// Run one sweep point.
+/// Run one sweep point.  On top of [`VARIANTS`], the harness accepts
+/// `edf+preempt` — `edf+batch` with preemptive gang rescheduling armed
+/// (the `preemption` bench's headline variant; not part of the
+/// `service` sweep, whose goldens predate it).
 ///
 /// # Panics
 /// Panics on an unknown policy name or a failed service run — those
@@ -193,15 +196,20 @@ pub fn run_point(
     alpha: f64,
     variant: &'static str,
 ) -> ServiceRow {
-    let (policy_name, batched) = match variant {
-        "edf+batch" => ("edf", true),
-        other => (other, false),
+    let (policy_name, batched, preempt) = match variant {
+        "edf+batch" => ("edf", true, false),
+        "edf+preempt" => ("edf", true, true),
+        other => (other, false, false),
     };
     let policy =
         policy_by_name(policy_name).unwrap_or_else(|| panic!("unknown policy {policy_name}"));
     let machine = sweep.machine();
     let trace = sweep.trace(gap, alpha);
-    let report = Scheduler::new(&machine, sweep.config(batched))
+    let config = Config {
+        preemption: preempt,
+        ..sweep.config(batched)
+    };
+    let report = Scheduler::new(&machine, config)
         .run(&trace, policy.as_ref())
         .unwrap_or_else(|e| panic!("{variant} on {mix}@{gap}: {e}"));
     ServiceRow {

@@ -115,6 +115,9 @@ mod tests {
             attempts: 0,
             migrations: 0,
             credit: 0.0,
+            preemptions: 0,
+            resizes: 0,
+            done: 0.0,
         }
     }
 

@@ -10,14 +10,22 @@
 //!
 //! ```text
 //! gemmd-serve [--addr 127.0.0.1:7878] [--dim 4] [--policy edf] [--rate 1e6]
-//!             [--batch] [--overhead 500]
+//!             [--batch] [--overhead 500] [--preempt] [--elastic] [--shed]
 //! ```
+//!
+//! `--preempt`, `--elastic` and `--shed` switch on the scheduler's
+//! graceful-degradation machinery (preemptive gang rescheduling,
+//! elastic repartitioning, policy-aware load shedding — see
+//! `docs/gemmd.md`).  The front-end also understands `drain`: stop
+//! admitting, answer queries, bounce later submits with a structured
+//! backpressure reply.
 //!
 //! Try it with a line-mode TCP client (`nc localhost 7878`):
 //!
 //! ```text
 //! {"verb":"submit","n":16}
 //! {"verb":"stats"}
+//! {"verb":"drain"}
 //! {"verb":"shutdown"}
 //! ```
 
@@ -35,6 +43,9 @@ fn main() {
     let mut rate = 1.0e6f64;
     let mut overhead = 0.0f64;
     let mut batch = false;
+    let mut preempt = false;
+    let mut elastic = false;
+    let mut shed = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -49,10 +60,14 @@ fn main() {
             "--rate" => rate = take("--rate").parse().expect("--rate: number"),
             "--overhead" => overhead = take("--overhead").parse().expect("--overhead: number"),
             "--batch" => batch = true,
+            "--preempt" => preempt = true,
+            "--elastic" => elastic = true,
+            "--shed" => shed = true,
             "--help" | "-h" => {
                 println!(
                     "gemmd-serve [--addr HOST:PORT] [--dim D] [--policy fifo|spt|priority|edf] \
-                     [--rate VIRT_PER_SEC] [--overhead T] [--batch]"
+                     [--rate VIRT_PER_SEC] [--overhead T] [--batch] [--preempt] [--elastic] \
+                     [--shed]"
                 );
                 return;
             }
@@ -64,6 +79,9 @@ fn main() {
     let config = Config {
         placement_overhead: overhead,
         batching: batch.then(Batching::default),
+        preemption: preempt,
+        elastic,
+        shed,
         ..Config::default()
     };
     let mut frontend = Frontend::new(machine, config, &policy)

@@ -13,9 +13,23 @@
 //! ← {"ok":true,"id":0,"state":"done","start":0.000,"finish":3164.000,"sojourn":3164.000,"batch":0}
 //! → {"verb":"stats"}
 //! ← {"ok":true,"policy":"edf","jobs":1,"rejected":0,"makespan":3164.000,"utilization":0.0432,"p50":3164.000,"p99":3164.000,"p999":3164.000}
+//! → {"verb":"drain"}
+//! ← {"ok":true,"draining":true,"jobs":1,"rejected":0,"shed":0}
 //! → {"verb":"shutdown"}
 //! ← {"ok":true,"bye":true}
 //! ```
+//!
+//! **Overload surface.**  A `drain` flips the front-end into
+//! stop-accepting mode: queries keep answering, but every later
+//! `submit` gets a structured backpressure reply
+//! (`{"ok":false,"error":"draining","backpressure":true}`) instead of
+//! an admission — the client knows to go elsewhere rather than time
+//! out.  Submissions are also validated before they touch the trace:
+//! `n` must be an integer in `1..=MAX_SUBMIT_N`, so a malformed or
+//! hostile client cannot wedge the replay loop with a multi-gigabyte
+//! GEMM.  The socket loop bounds request lines at [`MAX_LINE`] bytes
+//! and drops clients that exceed it (the rest of their stream is
+//! mid-line garbage).
 //!
 //! Determinism by **replay**: the front-end only accumulates the
 //! submitted [`JobSpec`]s (arrival times clamped monotone, so the
@@ -26,7 +40,7 @@
 //! stamps*, never results.  JSON is hand-rolled (flat objects, no
 //! nesting) because the build is offline and std-only.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpListener;
 
 use mmsim::Machine;
@@ -37,6 +51,15 @@ use crate::report::ServiceReport;
 use crate::scheduler::{Config, Scheduler};
 use crate::slo::Percentiles;
 
+/// Largest matrix order a `submit` may request.  Replay cost and
+/// operand memory are both polynomial in `n`; everything the service
+/// benchmarks is far below this.
+pub const MAX_SUBMIT_N: usize = 4096;
+
+/// Longest request line (bytes, newline included) the socket loop
+/// reads before giving up on the client.
+pub const MAX_LINE: u64 = 8 * 1024;
+
 /// The deterministic service core behind the socket.
 #[derive(Debug)]
 pub struct Frontend {
@@ -44,6 +67,7 @@ pub struct Frontend {
     config: Config,
     policy: String,
     jobs: Vec<JobSpec>,
+    draining: bool,
 }
 
 /// Value of a flat JSON field: the raw slice for numbers/booleans, the
@@ -80,7 +104,14 @@ impl Frontend {
             config,
             policy: policy.to_string(),
             jobs: Vec::new(),
+            draining: false,
         })
+    }
+
+    /// Whether a `drain` has closed admission.
+    #[must_use]
+    pub fn draining(&self) -> bool {
+        self.draining
     }
 
     /// Jobs accepted so far (the replayed trace).
@@ -110,14 +141,21 @@ impl Frontend {
             "submit" => (self.submit(line, default_at), false),
             "status" => (self.status(line), false),
             "stats" => (self.stats(), false),
+            "drain" => (self.drain(), false),
             "shutdown" => ("{\"ok\":true,\"bye\":true}".to_string(), true),
             other => (err(&format!("unknown verb {other}")), false),
         }
     }
 
     fn submit(&mut self, line: &str, default_at: f64) -> String {
-        let Some(n) = num(line, "n").map(|x| x as usize).filter(|&n| n > 0) else {
-            return err("submit needs a positive n");
+        if self.draining {
+            return "{\"ok\":false,\"error\":\"draining\",\"backpressure\":true}".to_string();
+        }
+        let Some(n) = num(line, "n")
+            .filter(|x| x.fract() == 0.0 && *x >= 1.0 && *x <= MAX_SUBMIT_N as f64)
+            .map(|x| x as usize)
+        else {
+            return err(&format!("submit needs an integer n in 1..={MAX_SUBMIT_N}"));
         };
         let floor = self.jobs.last().map_or(0.0, |j| j.arrival);
         let arrival = num(line, "arrival")
@@ -156,11 +194,35 @@ impl Frontend {
                 r.sojourn(),
                 r.batch,
             )
+        } else if let Some(s) = report.shed.iter().find(|s| s.id == id) {
+            // The replay shed it under load — a structured outcome the
+            // submitter can see, never a silent drop.
+            format!(
+                "{{\"ok\":true,\"id\":{id},\"state\":\"shed\",\"at\":{:.3}}}",
+                s.t
+            )
         } else {
             // Accepted but not in the records: the replay rejected it
             // at admission (queue cap).
             format!("{{\"ok\":true,\"id\":{id},\"state\":\"rejected\"}}")
         }
+    }
+
+    /// Close admission and answer with the final replayed totals: the
+    /// schedule is frozen (queries stay pure), and every later submit
+    /// gets a backpressure reply.
+    fn drain(&mut self) -> String {
+        self.draining = true;
+        let report = match self.replay() {
+            Ok(r) => r,
+            Err(e) => return err(&e.to_string()),
+        };
+        format!(
+            "{{\"ok\":true,\"draining\":true,\"jobs\":{},\"rejected\":{},\"shed\":{}}}",
+            report.records.len(),
+            report.rejected.len(),
+            report.shed.len(),
+        )
     }
 
     fn stats(&self) -> String {
@@ -173,10 +235,11 @@ impl Frontend {
             sojourn.push(r.sojourn());
         }
         format!(
-            "{{\"ok\":true,\"policy\":\"{}\",\"jobs\":{},\"rejected\":{},\"makespan\":{:.3},\"utilization\":{:.4},\"p50\":{:.3},\"p99\":{:.3},\"p999\":{:.3}}}",
+            "{{\"ok\":true,\"policy\":\"{}\",\"jobs\":{},\"rejected\":{},\"shed\":{},\"makespan\":{:.3},\"utilization\":{:.4},\"p50\":{:.3},\"p99\":{:.3},\"p999\":{:.3}}}",
             report.policy,
             report.records.len(),
             report.rejected.len(),
+            report.shed.len(),
             report.makespan,
             report.utilization(),
             sojourn.p50(),
@@ -190,7 +253,10 @@ impl Frontend {
 /// (requests interleave across reconnects; the trace persists).
 /// `now_fn` supplies the default arrival stamp for submissions without
 /// one — the binary maps wall-clock elapsed time onto the virtual
-/// clock here, keeping the core free of real time.  Returns after a
+/// clock here, keeping the core free of real time.  Request lines are
+/// bounded at [`MAX_LINE`] bytes; a client that exceeds the bound gets
+/// one structured error reply and is disconnected (the rest of its
+/// stream is the tail of the oversized line).  Returns after a
 /// `shutdown` verb.
 ///
 /// # Errors
@@ -207,8 +273,14 @@ pub fn serve<F: FnMut() -> f64>(
         let mut line = String::new();
         loop {
             line.clear();
-            if reader.read_line(&mut line)? == 0 {
+            if reader.by_ref().take(MAX_LINE).read_line(&mut line)? == 0 {
                 break; // client hung up; wait for the next one
+            }
+            if line.len() as u64 >= MAX_LINE && !line.ends_with('\n') {
+                writer.write_all(err("request line too long").as_bytes())?;
+                writer.write_all(b"\n")?;
+                writer.flush()?;
+                break; // drop the client; its stream is mid-line
             }
             let trimmed = line.trim();
             if trimmed.is_empty() {
@@ -304,11 +376,129 @@ mod tests {
         let (reply, down) = fe.handle("{\"n\":16}", 0.0);
         assert!(reply.contains("\"ok\":false") && !down, "{reply}");
         let (reply, _) = fe.handle("{\"verb\":\"submit\"}", 0.0);
-        assert!(reply.contains("positive n"), "{reply}");
+        assert!(reply.contains("integer n in 1..="), "{reply}");
         let (reply, _) = fe.handle("{\"verb\":\"status\",\"id\":9}", 0.0);
         assert!(reply.contains("unknown job 9"), "{reply}");
         let (reply, _) = fe.handle("{\"verb\":\"dance\"}", 0.0);
         assert!(reply.contains("unknown verb dance"), "{reply}");
+        // Not valid JSON at all: still one structured reply, no panic.
+        let (reply, down) = fe.handle("submit n=16 please", 0.0);
+        assert!(reply.contains("\"ok\":false") && !down, "{reply}");
+        // Wrong field type: a string where a number belongs.
+        let (reply, _) = fe.handle("{\"verb\":\"submit\",\"n\":\"big\"}", 0.0);
+        assert!(reply.contains("integer n in 1..="), "{reply}");
+        let (reply, _) = fe.handle("{\"verb\":\"status\",\"id\":\"zero\"}", 0.0);
+        assert!(reply.contains("\"ok\":false"), "{reply}");
+        // Nothing malformed touched the trace.
+        assert!(fe.jobs().is_empty());
+    }
+
+    #[test]
+    fn out_of_range_dims_are_refused_before_the_trace() {
+        let mut fe = frontend("fifo");
+        for bad in [
+            "{\"verb\":\"submit\",\"n\":0}",
+            "{\"verb\":\"submit\",\"n\":-8}",
+            "{\"verb\":\"submit\",\"n\":16.5}",
+            "{\"verb\":\"submit\",\"n\":1000000}",
+            "{\"verb\":\"submit\",\"n\":1e300}",
+        ] {
+            let (reply, down) = fe.handle(bad, 0.0);
+            assert!(
+                reply.contains("\"ok\":false") && reply.contains("integer n in 1..=") && !down,
+                "{bad} -> {reply}"
+            );
+        }
+        assert!(fe.jobs().is_empty(), "rejected submits never enter replay");
+        // The boundary itself is accepted.
+        let (reply, _) = fe.handle("{\"verb\":\"submit\",\"n\":4096}", 0.0);
+        assert!(reply.contains("\"ok\":true"), "{reply}");
+    }
+
+    #[test]
+    fn drain_freezes_admission_with_backpressure() {
+        let mut fe = frontend("edf");
+        let _ = fe.handle("{\"verb\":\"submit\",\"n\":16}", 0.0);
+        let (reply, down) = fe.handle("{\"verb\":\"drain\"}", 0.0);
+        assert!(!down, "drain is not shutdown");
+        assert!(
+            reply.contains("\"draining\":true") && reply.contains("\"jobs\":1"),
+            "{reply}"
+        );
+        assert!(fe.draining());
+        // Later submits bounce with a structured backpressure reply...
+        let (reply, down) = fe.handle("{\"verb\":\"submit\",\"n\":8}", 0.0);
+        assert_eq!(
+            reply, "{\"ok\":false,\"error\":\"draining\",\"backpressure\":true}",
+            "{reply}"
+        );
+        assert!(!down);
+        assert_eq!(fe.jobs().len(), 1, "bounced submits never enter the trace");
+        // ...while queries keep answering, pure as ever.
+        let (a, _) = fe.handle("{\"verb\":\"stats\"}", 0.0);
+        let (b, _) = fe.handle("{\"verb\":\"stats\"}", 0.0);
+        assert_eq!(a, b);
+        assert!(a.contains("\"jobs\":1"), "{a}");
+        let (status, _) = fe.handle("{\"verb\":\"status\",\"id\":0}", 0.0);
+        assert!(status.contains("\"state\":\"done\""), "{status}");
+    }
+
+    #[test]
+    fn shed_jobs_surface_in_status_and_stats() {
+        // Whole-machine sizing with a one-slot queue and shedding on:
+        // job 0 holds the machine, job 1 queues, job 2 (same priority,
+        // younger) sheds itself at arrival.
+        let machine = Machine::new(Topology::hypercube(4), CostModel::ncube2());
+        let config = Config {
+            sizing: crate::sizing::SizingMode::WholeMachine,
+            queue_cap: 1,
+            shed: true,
+            ..Config::default()
+        };
+        let mut fe = Frontend::new(machine, config, "fifo").unwrap();
+        for at in 0..3 {
+            let (reply, _) = fe.handle(
+                &format!("{{\"verb\":\"submit\",\"n\":16,\"arrival\":{at}.0}}"),
+                0.0,
+            );
+            assert!(reply.contains("\"ok\":true"), "{reply}");
+        }
+        let (stats, _) = fe.handle("{\"verb\":\"stats\"}", 0.0);
+        assert!(stats.contains("\"shed\":1"), "{stats}");
+        assert!(stats.contains("\"rejected\":0"), "{stats}");
+        let (status, _) = fe.handle("{\"verb\":\"status\",\"id\":2}", 0.0);
+        assert!(
+            status.contains("\"state\":\"shed\"") && status.contains("\"at\":2.000"),
+            "{status}"
+        );
+    }
+
+    #[test]
+    fn replay_stays_pure_under_interleaved_submits_and_queries() {
+        // Queries between submissions must not perturb the trace: the
+        // stats after [submit, stats, submit, status, submit] equal
+        // the stats after three bare submits.
+        let submit = |fe: &mut Frontend, i: usize| {
+            let (reply, _) = fe.handle(
+                &format!("{{\"verb\":\"submit\",\"n\":8,\"arrival\":{}.0}}", i * 10),
+                0.0,
+            );
+            assert!(reply.contains("\"ok\":true"), "{reply}");
+        };
+        let mut noisy = frontend("edf");
+        submit(&mut noisy, 0);
+        let _ = noisy.handle("{\"verb\":\"stats\"}", 0.0);
+        submit(&mut noisy, 1);
+        let _ = noisy.handle("{\"verb\":\"status\",\"id\":0}", 0.0);
+        submit(&mut noisy, 2);
+
+        let mut quiet = frontend("edf");
+        for i in 0..3 {
+            submit(&mut quiet, i);
+        }
+        let (a, _) = noisy.handle("{\"verb\":\"stats\"}", 0.0);
+        let (b, _) = quiet.handle("{\"verb\":\"stats\"}", 0.0);
+        assert_eq!(a, b, "queries must not perturb the replayed schedule");
     }
 
     #[test]

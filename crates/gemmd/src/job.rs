@@ -72,6 +72,14 @@ pub struct JobRecord {
     /// threshold while staying below the death threshold — onto a
     /// fresh partition, resuming from the transferred checkpoint.
     pub migrations: usize,
+    /// Times the scheduler paused this job mid-flight to hand its
+    /// aligned block to a more urgent job, resuming it later from the
+    /// checkpoint with elapsed-time credit.
+    pub preemptions: usize,
+    /// Elastic resizes: grows into a freed buddy block (checkpoint →
+    /// re-place on `2p` → resume) plus admission-time shrinks onto the
+    /// largest free block in lieu of shedding.
+    pub resizes: usize,
     /// Heartbeat words the successful run's partition emitted under
     /// the fault plan's detection config (its failure-detection bill).
     pub heartbeat_words: u64,
@@ -155,6 +163,8 @@ mod tests {
             attempts: 1,
             recoveries: 0,
             migrations: 0,
+            preemptions: 0,
+            resizes: 0,
             heartbeat_words: 0,
             batch: 0,
             queue_wait: 50.0,

@@ -110,6 +110,31 @@ impl PartitionManager {
             .map_or(0, |(k, _)| 1 << k)
     }
 
+    /// Whether the aligned block `[base, base + size)` is entirely
+    /// free right now (so `alloc(size)` *could* carve it out, and an
+    /// elastic grow into it cannot collide with a running or
+    /// quarantined placement).  Greedy merging keeps the free lists
+    /// canonical — no two free buddies coexist — so a fully-free
+    /// aligned block is always represented by exactly one free entry
+    /// of its own order or higher that contains it.
+    ///
+    /// # Panics
+    /// Panics on a `size` that is zero, not a power of two, or not
+    /// aligned at `base` — such a block can never exist under the
+    /// buddy scheme, so asking is a caller bug.
+    #[must_use]
+    pub fn is_block_free(&self, base: usize, size: usize) -> bool {
+        assert!(
+            size > 0 && size.is_power_of_two() && base % size == 0,
+            "block [{base}, {base}+{size}) is not an aligned buddy block"
+        );
+        let want = size.trailing_zeros() as usize;
+        (want..self.free.len()).any(|k| {
+            let aligned = base & !((1usize << k) - 1);
+            self.free[k].binary_search(&aligned).is_ok()
+        })
+    }
+
     /// Allocate an aligned block of `size` ranks (a power of two),
     /// lowest base first; `None` when no block of that order is free.
     ///
@@ -300,6 +325,25 @@ mod tests {
         assert!(pm.alloc(8).is_none());
         // And the quarantined base is never handed out again.
         assert_eq!(pm.alloc(4).unwrap().base(), 4);
+    }
+
+    #[test]
+    fn is_block_free_sees_exactly_the_free_coverage() {
+        let mut pm = PartitionManager::new(8).unwrap();
+        assert!(pm.is_block_free(0, 8));
+        assert!(pm.is_block_free(2, 2)); // contained in the free 8-block
+        let a = pm.alloc(2).unwrap(); // [0, 2)
+        assert!(!pm.is_block_free(0, 2));
+        assert!(!pm.is_block_free(0, 4));
+        assert!(pm.is_block_free(2, 2));
+        assert!(pm.is_block_free(4, 4));
+        pm.release(a);
+        assert!(pm.is_block_free(0, 8));
+        // Quarantined blocks are not free.
+        let q = pm.alloc(4).unwrap(); // [0, 4)
+        pm.quarantine(q);
+        assert!(!pm.is_block_free(0, 4));
+        assert!(pm.is_block_free(4, 4));
     }
 
     #[test]

@@ -30,6 +30,21 @@ pub struct QueuedJob {
     /// a migrated placement resumes from the transferred state, so
     /// this much of the fresh run is not re-executed.
     pub credit: f64,
+    /// Times this job has been preempted mid-flight for a more urgent
+    /// job (0 on first admission); bounded by the scheduler's retry
+    /// budget so an unlucky job cannot be paused forever.
+    pub preemptions: usize,
+    /// Elastic resizes (grow or shrink) this job has undergone;
+    /// bounded by the scheduler's retry budget.
+    pub resizes: usize,
+    /// Fraction of the job's work already completed at the last
+    /// checkpoint, for resumes that change the partition size (elastic
+    /// grow/shrink): time credit at the old `p` does not transfer, but
+    /// the completed fraction does.  `0.0` means "use the time
+    /// [`QueuedJob::credit`] instead" — same-size resumes (migration,
+    /// preemption) keep the exact-subtraction path so their replay
+    /// stays bit-identical to the pre-elastic scheduler.
+    pub done: f64,
 }
 
 /// Queue-ordering policy: pick the index of the next job to place.
@@ -161,6 +176,9 @@ mod tests {
             attempts: 0,
             migrations: 0,
             credit: 0.0,
+            preemptions: 0,
+            resizes: 0,
+            done: 0.0,
         }
     }
 

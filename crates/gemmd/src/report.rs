@@ -19,6 +19,20 @@ pub struct TimePoint {
     pub queued: usize,
 }
 
+/// A job the admission controller shed under overload: a structured
+/// outcome, not a silent drop — sheds appear in the report's CSV with
+/// `shed = 1` so SLO analysis can separate them from deadline misses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShedRecord {
+    /// Workload index of the shed job.
+    pub id: usize,
+    /// The job as submitted.
+    pub spec: JobSpec,
+    /// Virtual time the shed decision was taken (the arrival that
+    /// found the queue full).
+    pub t: f64,
+}
+
 /// Everything the service measured over one run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServiceReport {
@@ -30,8 +44,15 @@ pub struct ServiceReport {
     pub machine_p: usize,
     /// Completed jobs in completion order.
     pub records: Vec<JobRecord>,
-    /// Jobs refused at admission (queue full), in arrival order.
+    /// Jobs refused at admission (queue full), in arrival order —
+    /// the historical silent-bounce path, used when
+    /// [`crate::scheduler::Config::shed`] is off.
     pub rejected: Vec<JobSpec>,
+    /// Jobs shed by policy-aware admission control (queue full with
+    /// [`crate::scheduler::Config::shed`] on): the lowest-value /
+    /// latest-deadline candidate goes, which may be an already-queued
+    /// job rather than the arrival.
+    pub shed: Vec<ShedRecord>,
     /// Utilisation/backlog time-series sampled at scheduler events
     /// (on change only) — see [`TimePoint`] and
     /// [`ServiceReport::timeline_csv`].
@@ -61,6 +82,20 @@ pub struct ServiceReport {
     /// Words of checkpointed state (`3n²` per migration: the A, B and
     /// C blocks) carried over buddy links by proactive migrations.
     pub migration_transfer_words: u64,
+    /// Placements paused mid-flight so a more urgent job could take
+    /// their aligned block; the paused work is checkpointed and
+    /// resumed, so it does not count into
+    /// [`ServiceReport::wasted_rank_time`].
+    pub preemptions: usize,
+    /// Words of checkpointed state (`3n²` per preemption) drained off
+    /// preempted blocks.
+    pub preemption_transfer_words: u64,
+    /// Elastic grows: running placements checkpointed and re-placed on
+    /// their freed buddy block (double the partition).
+    pub grows: usize,
+    /// Elastic shrinks: queued jobs re-sized down onto the largest
+    /// free block at admission time instead of shedding the arrival.
+    pub shrinks: usize,
 }
 
 impl ServiceReport {
@@ -141,17 +176,25 @@ impl ServiceReport {
     }
 
     /// Deterministic per-job CSV (one header, one row per completed
-    /// job in completion order).  Two runs over the same trace produce
+    /// job in completion order, then one row per shed job in shed
+    /// order with `shed = 1`).  Two runs over the same trace produce
     /// byte-identical output — the property tests compare these bytes.
+    /// `deadline_met` is `1`/`0` for deadlined jobs and `na` without
+    /// one, so SLO analysis can separate misses from sheds.
     #[must_use]
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "id,n,arrival,priority,p,base,algorithm,resilient,predicted,actual,attempts,recoveries,migrations,heartbeat_words,batch,start,finish,queue_wait,service,sojourn,efficiency\n",
+            "id,n,arrival,priority,p,base,algorithm,resilient,predicted,actual,attempts,recoveries,migrations,preemptions,resizes,heartbeat_words,batch,start,finish,queue_wait,service,sojourn,efficiency,deadline_met,shed\n",
         );
         for r in &self.records {
+            let deadline_met = match r.met_deadline() {
+                Some(true) => "1",
+                Some(false) => "0",
+                None => "na",
+            };
             let _ = writeln!(
                 out,
-                "{},{},{:.3},{},{},{},{},{},{:.3},{:.3},{},{},{},{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.4}",
+                "{},{},{:.3},{},{},{},{},{},{:.3},{:.3},{},{},{},{},{},{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.4},{},0",
                 r.id,
                 r.spec.n,
                 r.spec.arrival,
@@ -165,6 +208,8 @@ impl ServiceReport {
                 r.attempts,
                 r.recoveries,
                 r.migrations,
+                r.preemptions,
+                r.resizes,
                 r.heartbeat_words,
                 r.batch,
                 r.start,
@@ -173,6 +218,17 @@ impl ServiceReport {
                 r.service_time(),
                 r.sojourn(),
                 r.efficiency(),
+                deadline_met,
+            );
+        }
+        for s in &self.shed {
+            // A shed job never ran: placement columns are zeroed, and
+            // a deadline it carried is a miss by construction.
+            let deadline_met = if s.spec.deadline.is_some() { "0" } else { "na" };
+            let _ = writeln!(
+                out,
+                "{},{},{:.3},{},0,0,-,false,0.000,0.000,0,0,0,0,0,0,0,{:.3},{:.3},0.000,0.000,0.000,0.0000,{},1",
+                s.id, s.spec.n, s.spec.arrival, s.spec.priority, s.t, s.t, deadline_met,
             );
         }
         out
@@ -225,6 +281,19 @@ impl ServiceReport {
                 self.migrations, self.migration_transfer_words
             );
         }
+        if self.preemptions > 0 {
+            let _ = write!(
+                line,
+                ", {} preempted ({} words)",
+                self.preemptions, self.preemption_transfer_words
+            );
+        }
+        if self.grows > 0 || self.shrinks > 0 {
+            let _ = write!(line, ", {} grown, {} shrunk", self.grows, self.shrinks);
+        }
+        if !self.shed.is_empty() {
+            let _ = write!(line, ", {} shed", self.shed.len());
+        }
         line
     }
 }
@@ -247,6 +316,8 @@ mod tests {
             attempts: 1,
             recoveries: 0,
             migrations: 0,
+            preemptions: 0,
+            resizes: 0,
             heartbeat_words: 0,
             batch: 0,
             queue_wait: start,
@@ -259,6 +330,7 @@ mod tests {
             machine_p: 8,
             records: vec![rec(0, 4, 0.0, 100.0), rec(1, 4, 0.0, 100.0)],
             rejected: vec![],
+            shed: vec![],
             timeline: vec![
                 TimePoint {
                     t: 0.0,
@@ -278,6 +350,10 @@ mod tests {
             wasted_rank_time: 0.0,
             migrations: 0,
             migration_transfer_words: 0,
+            preemptions: 0,
+            preemption_transfer_words: 0,
+            grows: 0,
+            shrinks: 0,
         }
     }
 
@@ -311,9 +387,44 @@ mod tests {
         assert_eq!(lines.len(), 3);
         assert!(lines[0].starts_with("id,n,arrival"));
         assert!(lines[0].contains(",queue_wait,service,sojourn,"));
+        assert!(lines[0].ends_with(",deadline_met,shed"));
         assert!(lines[1].starts_with("0,16,"));
-        // queue_wait 0, service 100, sojourn 100 for the first job.
+        // queue_wait 0, service 100, sojourn 100 for the first job;
+        // no deadline, not shed.
         assert!(lines[1].contains(",0.000,100.000,100.000,"));
+        assert!(lines[1].ends_with(",na,0"));
+    }
+
+    #[test]
+    fn csv_appends_shed_rows_with_the_shed_flag() {
+        let mut r = report();
+        r.shed.push(ShedRecord {
+            id: 7,
+            spec: JobSpec {
+                deadline: Some(500.0),
+                ..JobSpec::new(32, 40.0)
+            },
+            t: 40.0,
+        });
+        r.shed.push(ShedRecord {
+            id: 9,
+            spec: JobSpec::new(8, 60.0),
+            t: 60.0,
+        });
+        let csv = r.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 5);
+        // A deadlined shed is a miss; an undeadlined one is `na`.
+        // Both carry the shed flag.
+        assert!(lines[3].starts_with("7,32,40.000,"));
+        assert!(lines[3].ends_with(",0,1"));
+        assert!(lines[4].starts_with("9,8,60.000,"));
+        assert!(lines[4].ends_with(",na,1"));
+        // Column count matches the header on every row.
+        let cols = lines[0].split(',').count();
+        for line in &lines[1..] {
+            assert_eq!(line.split(',').count(), cols, "ragged row: {line}");
+        }
     }
 
     #[test]

@@ -14,16 +14,16 @@
 //! completion times break towards the lower job id — the tie rules
 //! that make two runs of one trace byte-identical.
 
-use mmsim::{Machine, TopologyKind};
+use mmsim::{Machine, StateTransfer, TopologyKind};
 use model::time::NetworkModel;
 use model::MachineParams;
-use parmm::{detection_of, fault_rates_of, run_recommendation, Advisor};
+use parmm::{detection_of, fault_rates_of, run_recommendation, Advisor, Recommendation};
 
 use crate::job::{JobRecord, JobSpec};
 use crate::partition::{Partition, PartitionManager};
 use crate::policy::{Policy, QueuedJob};
-use crate::report::ServiceReport;
-use crate::sizing::{right_size, SizingMode};
+use crate::report::{ServiceReport, ShedRecord};
+use crate::sizing::{right_size, Sizing, SizingMode};
 use crate::GemmdError;
 
 /// Service configuration.
@@ -73,6 +73,32 @@ pub struct Config {
     /// a fault plan — recovery of a half-finished batch is out of
     /// scope, so lossy machines fall back to solo placement.
     pub batching: Option<crate::batch::Batching>,
+    /// Preemptive gang rescheduling: when the policy's selected job
+    /// cannot be placed, the scheduler may checkpoint the running jobs
+    /// inside one aligned block — provided the waiting job strictly
+    /// outranks every victim under the same policy — pay each victim's
+    /// pause surcharge (`t_s + t_w·3n²/p`), free the block, and resume
+    /// the victims later with elapsed-time credit.  Preemptions per
+    /// job are capped by [`Config::retry_budget`].  Off by default; a
+    /// FIFO service never preempts even when this is on (nothing
+    /// outranks the queue head).
+    pub preemption: bool,
+    /// Elastic repartitioning: a running job whose buddy block frees
+    /// may grow into it (checkpoint → re-place on `2p` → resume) when
+    /// the queue is starved and the advisor predicts a win at or above
+    /// the sizing target; conversely a queued job may be shrunk onto
+    /// the largest free block at admission time instead of shedding
+    /// the arrival.  Resizes per job are capped by
+    /// [`Config::retry_budget`].  Off by default.
+    pub elastic: bool,
+    /// Policy-aware load shedding: an arrival that finds the queue at
+    /// [`Config::queue_cap`] sheds the lowest-value candidate — lowest
+    /// priority first, then latest deadline, then youngest — from the
+    /// queue-plus-arrival set, as a structured
+    /// [`crate::report::ShedRecord`] (visible in the report and its
+    /// CSV).  Off by default: the historical behaviour silently
+    /// bounces the arrival into [`ServiceReport::rejected`].
+    pub shed: bool,
 }
 
 impl Default for Config {
@@ -86,6 +112,9 @@ impl Default for Config {
             migration_streak: 0,
             placement_overhead: 0.0,
             batching: None,
+            preemption: false,
+            elastic: false,
+            shed: false,
         }
     }
 }
@@ -106,6 +135,23 @@ struct Running {
     id: usize,
     partition: Partition,
     outcome: Outcome,
+    /// Resume state for pausable placements (solo completions only):
+    /// enough to checkpoint the job mid-flight — for preemption or an
+    /// elastic resize — and requeue it.  `None` for batches and for
+    /// placements already headed for a loss or migration.
+    pause: Option<PauseState>,
+}
+
+/// What a mid-flight pause needs to reconstruct the job.
+struct PauseState {
+    /// The job exactly as placed (credit/done as of this placement).
+    job: QueuedJob,
+    /// The simulator's full fresh `T_p` on this partition.
+    raw: f64,
+    /// The resume surcharge charged at the head of this run (0 for a
+    /// first placement); no new work completes while it is paid, so
+    /// pause-time progress accounting must skip it.
+    surcharge: f64,
 }
 
 enum Outcome {
@@ -130,6 +176,19 @@ enum Outcome {
     Migrated {
         job: QueuedJob,
         t: f64,
+    },
+    /// Mid-flight preemption: the job checkpointed its progress so a
+    /// more urgent job can take the block, which stays held until the
+    /// drain (`finish = pause instant + pause cost`) completes; the
+    /// job then requeues carrying its credit.
+    Preempted {
+        job: QueuedJob,
+    },
+    /// Elastic resize: the job checkpointed off this block to re-place
+    /// on its doubled partition; the block is held until the drain
+    /// completes, then releases and merges with its free buddy.
+    Resized {
+        job: QueuedJob,
     },
 }
 
@@ -210,6 +269,11 @@ impl<'m> Scheduler<'m> {
         let mut migrations = 0usize;
         let mut migration_words = 0u64;
         let mut batch_seq = 0usize;
+        let mut shed: Vec<ShedRecord> = Vec::new();
+        let mut preemptions = 0usize;
+        let mut preemption_words = 0u64;
+        let mut grows = 0usize;
+        let mut shrinks = 0usize;
 
         loop {
             // Un-quarantine blocks whose death schedules have fully
@@ -298,7 +362,12 @@ impl<'m> Scheduler<'m> {
                 }
                 let (block, spares) = self.provision(queue[i].sizing.p);
                 let Some(partition) = pm.alloc(block) else {
-                    break; // selected job blocks until space frees up
+                    // No free block: the preemptor may assemble one by
+                    // checkpointing less-urgent running jobs.  Either
+                    // way the selected job blocks the queue until
+                    // space frees up (head-of-line semantics).
+                    self.try_preempt(&pm, &mut running, &queue[i], block, now, policy);
+                    break;
                 };
                 let job = queue.remove(i);
                 let placed = self.start_job(job, partition, spares, now)?;
@@ -306,6 +375,15 @@ impl<'m> Scheduler<'m> {
                     makespan = makespan.max(record.finish);
                 }
                 running.push(placed);
+            }
+
+            // Elastic grow: with the queue starved, one running job
+            // may take its freed buddy block (checkpoint → release →
+            // re-place on 2p → resume) when the advisor predicts the
+            // doubled partition still meets the sizing target and the
+            // move beats riding the current placement out.
+            if self.config.elastic && queue.is_empty() {
+                self.try_grow(&pm, &mut running, now);
             }
 
             // Sample the utilisation/backlog time-series whenever the
@@ -366,6 +444,27 @@ impl<'m> Scheduler<'m> {
                             requeues += 1;
                             queue.push(job);
                         }
+                        Outcome::Preempted { job } => {
+                            // The block is healthy — hand it straight
+                            // back.  The checkpointed progress travels
+                            // with the job (its credit), so nothing is
+                            // wasted and nothing is redone; the job
+                            // requeues without burning an attempt.
+                            pm.release(done.partition);
+                            preemptions += 1;
+                            preemption_words += 3 * (job.spec.n as u64).pow(2);
+                            queue.push(job);
+                        }
+                        Outcome::Resized { job } => {
+                            // Releasing the old block merges it with
+                            // its free buddy; the next placement pass
+                            // re-places the job on the doubled block
+                            // (or queues it if an arrival stole the
+                            // buddy meanwhile).
+                            pm.release(done.partition);
+                            grows += 1;
+                            queue.push(job);
+                        }
                         Outcome::Migrated { mut job, t } => {
                             // The degrading block is sidelined exactly
                             // like a dead one — but a block with no
@@ -391,8 +490,53 @@ impl<'m> Scheduler<'m> {
                     let spec = jobs[id].clone();
                     next_arrival += 1;
                     if queue.len() >= self.config.queue_cap {
-                        rejected.push(spec);
-                        continue;
+                        // Elastic relief first: shrink the policy's
+                        // selected job onto the largest free block —
+                        // it never ran, so no checkpoint moves — and
+                        // place it now, freeing a queue slot.
+                        let mut relieved = false;
+                        if self.config.elastic {
+                            if let Some(i) = policy.select(&queue) {
+                                if let Some((p_s, rec)) = self.shrink_candidate(&pm, &queue[i]) {
+                                    let (block, spares) = self.provision(p_s);
+                                    if let Some(partition) = pm.alloc(block) {
+                                        let mut job = queue.remove(i);
+                                        job.sizing = Sizing { p: p_s, rec };
+                                        job.resizes += 1;
+                                        let placed = self.start_job(job, partition, spares, now)?;
+                                        if let Outcome::Completed(record) = &placed.outcome {
+                                            makespan = makespan.max(record.finish);
+                                        }
+                                        running.push(placed);
+                                        shrinks += 1;
+                                        relieved = true;
+                                    }
+                                }
+                            }
+                        }
+                        if !relieved {
+                            if !self.config.shed {
+                                rejected.push(spec);
+                                continue;
+                            }
+                            // Policy-aware shedding: drop the lowest-
+                            // value candidate from queue ∪ {arrival}
+                            // as a structured outcome, never silently.
+                            match Self::shed_victim(&queue, &spec, id) {
+                                None => {
+                                    shed.push(ShedRecord { id, spec, t: now });
+                                    continue;
+                                }
+                                Some(v) => {
+                                    let out = queue.remove(v);
+                                    shed.push(ShedRecord {
+                                        id: out.id,
+                                        spec: out.spec,
+                                        t: now,
+                                    });
+                                }
+                            }
+                        }
                     }
                     let sizing =
                         right_size(&self.advisor, spec.n, self.machine.p(), self.config.sizing)
@@ -404,6 +548,9 @@ impl<'m> Scheduler<'m> {
                         attempts: 0,
                         migrations: 0,
                         credit: 0.0,
+                        preemptions: 0,
+                        resizes: 0,
+                        done: 0.0,
                     });
                 }
                 _ => break,
@@ -444,6 +591,11 @@ impl<'m> Scheduler<'m> {
             wasted_rank_time,
             migrations,
             migration_transfer_words: migration_words,
+            shed,
+            preemptions,
+            preemption_transfer_words: preemption_words,
+            grows,
+            shrinks,
         })
     }
 
@@ -514,6 +666,7 @@ impl<'m> Scheduler<'m> {
                 id: job.id,
                 partition,
                 outcome: Outcome::Migrated { job, t },
+                pause: None,
             });
         }
         let out = match run {
@@ -524,6 +677,7 @@ impl<'m> Scheduler<'m> {
                     id: job.id,
                     partition,
                     outcome: Outcome::Lost { job, rank, t },
+                    pause: None,
                 });
             }
             Err(e) => {
@@ -541,16 +695,36 @@ impl<'m> Scheduler<'m> {
                 job.id
             );
         }
-        // A migrated job resumes from its transferred checkpoint: the
-        // fresh placement pays the state transfer (`t_s + t_w·3n²/p`)
-        // once, then only re-executes what the evacuated segments had
-        // not already covered.
-        let actual_time = if job.migrations > 0 {
-            let cm = self.machine.cost_model();
-            let state_words = 3.0 * (job.spec.n as f64).powi(2) / job.sizing.p as f64;
-            cm.t_s + cm.t_w * state_words + (out.t_parallel - job.credit).max(0.0)
+        // A resumed job — migrated, preempted, or elastically resized
+        // with progress — pays the state transfer (`t_s + t_w·3n²/p`,
+        // see [`StateTransfer`]) once, then only re-executes what its
+        // checkpoints had not already covered.  Same-size resumes
+        // subtract the exact time credit; once a resize is involved
+        // the completed *fraction* carries instead (time at the old
+        // size does not transfer across partition sizes).
+        let resumed = job.migrations > 0 || job.preemptions > 0 || job.done > 0.0;
+        let resume_surcharge = if resumed {
+            StateTransfer::gemm(job.spec.n).surcharge(self.machine.cost_model(), job.sizing.p)
+        } else {
+            0.0
+        };
+        let actual_time = if resumed {
+            let left = if job.done > 0.0 {
+                out.t_parallel * (1.0 - job.done)
+            } else {
+                (out.t_parallel - job.credit).max(0.0)
+            };
+            resume_surcharge + left
         } else {
             out.t_parallel
+        };
+        // Snapshot the resume state before the record consumes the
+        // job: this is what a later pause (preemption, elastic grow)
+        // folds its progress into.
+        let pause = PauseState {
+            job: job.clone(),
+            raw: out.t_parallel,
+            surcharge: resume_surcharge,
         };
         let queue_wait = begin - job.spec.arrival;
         let record = JobRecord {
@@ -565,6 +739,8 @@ impl<'m> Scheduler<'m> {
             attempts: job.attempts + 1,
             recoveries: out.stats.iter().map(|s| s.recoveries).sum(),
             migrations: job.migrations,
+            preemptions: job.preemptions,
+            resizes: job.resizes,
             heartbeat_words: out.stats.iter().map(|s| s.heartbeat_words).sum(),
             batch: 0,
             queue_wait,
@@ -576,6 +752,7 @@ impl<'m> Scheduler<'m> {
             id: record.id,
             partition,
             outcome: Outcome::Completed(record),
+            pause: Some(pause),
         })
     }
 
@@ -634,6 +811,8 @@ impl<'m> Scheduler<'m> {
                 attempts: job.attempts + 1,
                 recoveries: 0,
                 migrations: job.migrations,
+                preemptions: job.preemptions,
+                resizes: job.resizes,
                 heartbeat_words: out.stats.iter().map(|s| s.heartbeat_words).sum(),
                 batch: batch_no,
                 queue_wait,
@@ -647,6 +826,7 @@ impl<'m> Scheduler<'m> {
             id: lead_id,
             partition,
             outcome: Outcome::Batch(records),
+            pause: None,
         })
     }
 
@@ -682,6 +862,241 @@ impl<'m> Scheduler<'m> {
                 plan.first_streak(src, dst, streak, period, horizon)
             })
             .min_by(f64::total_cmp)
+    }
+
+    /// Virtual-time cost of draining (or re-loading) one rank's share
+    /// of a job's live state — the single quote migration, preemption
+    /// and elastic resizes all use (see [`StateTransfer`]).
+    fn pause_cost(&self, n: usize, p: usize) -> f64 {
+        StateTransfer::gemm(n).surcharge(self.machine.cost_model(), p)
+    }
+
+    /// Fold the work a running solo placement has completed by `now`
+    /// into its job's resume state and return the job ready to
+    /// requeue: time credit while the partition size is unchanged, a
+    /// completed fraction once any resize is involved.  No new work
+    /// completes during the run's own resume surcharge, so that
+    /// window contributes nothing.
+    fn paused_job(v: &Running, now: f64) -> QueuedJob {
+        let ps = v.pause.as_ref().expect("pausable placements carry state");
+        let Outcome::Completed(record) = &v.outcome else {
+            unreachable!("pausable placements retire as records");
+        };
+        let span = ((v.finish - record.start) - ps.surcharge).max(0.0);
+        let work = (now - record.start - ps.surcharge).clamp(0.0, span);
+        let mut job = ps.job.clone();
+        if job.done > 0.0 {
+            job.done = (job.done + work / ps.raw).min(1.0);
+        } else {
+            job.credit += work;
+        }
+        job
+    }
+
+    /// Gang preemption: assemble an aligned block of `needed` ranks
+    /// for `waiting` by checkpointing every running job inside one
+    /// candidate block — provided the run's own policy ranks `waiting`
+    /// strictly ahead of *each* victim, every victim has preemption
+    /// budget left, and each victim's remaining time exceeds its pause
+    /// cost (otherwise waiting out the block is cheaper than moving
+    /// it).  Candidate blocks scan lowest base first and at most one
+    /// gang pauses at a time, so replays stay byte-identical.  Under
+    /// FIFO nothing ever outranks the queue head, so a FIFO service
+    /// never preempts even with the feature on.
+    fn try_preempt(
+        &self,
+        pm: &PartitionManager,
+        running: &mut [Running],
+        waiting: &QueuedJob,
+        needed: usize,
+        now: f64,
+        policy: &dyn Policy,
+    ) {
+        if !self.config.preemption {
+            return;
+        }
+        // One gang at a time: while a drain is in flight the waiting
+        // job re-tries its allocation at every event anyway.
+        if running.iter().any(|r| {
+            matches!(
+                r.outcome,
+                Outcome::Preempted { .. } | Outcome::Resized { .. }
+            )
+        }) {
+            return;
+        }
+        'blocks: for base in (0..pm.capacity()).step_by(needed) {
+            let mut victims: Vec<usize> = Vec::new();
+            for rank in base..base + needed {
+                let holder = running.iter().position(|r| {
+                    rank >= r.partition.base() && rank < r.partition.base() + r.partition.size()
+                });
+                match holder {
+                    Some(j) => {
+                        if victims.contains(&j) {
+                            continue;
+                        }
+                        let r = &running[j];
+                        let Some(ps) = &r.pause else {
+                            continue 'blocks; // batches and doomed runs don't pause
+                        };
+                        if ps.job.preemptions >= self.config.retry_budget {
+                            continue 'blocks;
+                        }
+                        let pause = self.pause_cost(ps.job.spec.n, ps.job.sizing.p);
+                        if r.finish - now <= pause {
+                            continue 'blocks; // about to finish anyway
+                        }
+                        let probe = [ps.job.clone(), waiting.clone()];
+                        if policy.select(&probe) != Some(1) {
+                            continue 'blocks; // waiting does not outrank it
+                        }
+                        victims.push(j);
+                    }
+                    // Unheld ranks must be free — a quarantined rank
+                    // poisons the whole candidate block.
+                    None if pm.is_block_free(rank, 1) => {}
+                    None => continue 'blocks,
+                }
+            }
+            if victims.is_empty() {
+                continue; // fully-free blocks never reach the preemptor
+            }
+            for j in victims {
+                let mut job = Self::paused_job(&running[j], now);
+                let pause = self.pause_cost(job.spec.n, job.sizing.p);
+                job.preemptions += 1;
+                running[j].finish = now + pause;
+                running[j].outcome = Outcome::Preempted { job };
+                running[j].pause = None;
+            }
+            return;
+        }
+    }
+
+    /// Elastic grow: pick the lowest-base running job whose buddy
+    /// block is free, whose doubled partition the advisor still rates
+    /// at or above the sizing target, and for which
+    /// `pause + resume + predicted remaining on 2p` beats riding the
+    /// current placement out — then checkpoint it off its block.  At
+    /// most one resize initiates per placement pass.
+    fn try_grow(&self, pm: &PartitionManager, running: &mut [Running], now: f64) {
+        if running.iter().any(|r| {
+            matches!(
+                r.outcome,
+                Outcome::Preempted { .. } | Outcome::Resized { .. }
+            )
+        }) {
+            return;
+        }
+        let mut order: Vec<usize> = (0..running.len()).collect();
+        order.sort_by_key(|&i| running[i].partition.base());
+        for i in order {
+            let (part_base, part_size, finish) = {
+                let r = &running[i];
+                (r.partition.base(), r.partition.size(), r.finish)
+            };
+            let Some(ps) = &running[i].pause else {
+                continue;
+            };
+            if ps.job.resizes >= self.config.retry_budget {
+                continue;
+            }
+            // Spare-padded blocks keep their provisioning; only exact
+            // placements grow.
+            if part_size != ps.job.sizing.p {
+                continue;
+            }
+            let p2 = part_size * 2;
+            if p2 > self.machine.p() || !pm.is_block_free(part_base ^ part_size, part_size) {
+                continue;
+            }
+            let Some(rec2) = self.advisor.recommend_executable(ps.job.spec.n, p2) else {
+                continue;
+            };
+            let floor = match self.config.sizing {
+                SizingMode::Isoefficiency { target } => target,
+                SizingMode::WholeMachine => 0.0,
+            };
+            if rec2.predicted_efficiency < floor {
+                continue;
+            }
+            let mut job = Self::paused_job(&running[i], now);
+            let frac = if job.done > 0.0 {
+                job.done
+            } else {
+                (job.credit / ps.raw).min(1.0)
+            };
+            let pause = self.pause_cost(job.spec.n, part_size);
+            let resume = self.pause_cost(job.spec.n, p2);
+            if pause + resume + rec2.predicted_time * (1.0 - frac) >= finish - now {
+                continue; // no predicted win
+            }
+            job.done = frac;
+            job.credit = 0.0;
+            job.resizes += 1;
+            job.sizing = Sizing { p: p2, rec: rec2 };
+            running[i].finish = now + pause;
+            running[i].outcome = Outcome::Resized { job };
+            running[i].pause = None;
+            return;
+        }
+    }
+
+    /// A smaller sizing for a queued job under admission pressure: the
+    /// largest executable partition at or below the biggest free block
+    /// — strictly smaller than the job deserved, and only for jobs
+    /// with no checkpointed progress (credit at the old size would not
+    /// transfer).  Shrinking raises predicted efficiency, so no target
+    /// check is needed.
+    fn shrink_candidate(
+        &self,
+        pm: &PartitionManager,
+        job: &QueuedJob,
+    ) -> Option<(usize, Recommendation)> {
+        if job.resizes >= self.config.retry_budget || job.credit > 0.0 || job.done > 0.0 {
+            return None;
+        }
+        let mut p = pm.largest_free();
+        if p == 0 || p >= job.sizing.p {
+            return None;
+        }
+        loop {
+            if let Some(rec) = self.advisor.recommend_executable(job.spec.n, p) {
+                return Some((p, rec));
+            }
+            if p == 1 {
+                return None;
+            }
+            p /= 2;
+        }
+    }
+
+    /// Under [`Config::shed`], the admission victim among the queued
+    /// jobs and the arrival: lowest priority first, then latest
+    /// deadline (no deadline = latest of all), then the youngest
+    /// (highest id).  `None` means the arrival itself is the least
+    /// valuable — the historical bounce, now structured.
+    fn shed_victim(queue: &[QueuedJob], arrival: &JobSpec, arrival_id: usize) -> Option<usize> {
+        use std::cmp::Ordering;
+        let sheds_before = |sa: &JobSpec, ia: usize, sb: &JobSpec, ib: usize| -> Ordering {
+            let da = sa.deadline.unwrap_or(f64::INFINITY);
+            let db = sb.deadline.unwrap_or(f64::INFINITY);
+            sa.priority
+                .cmp(&sb.priority)
+                .then(db.total_cmp(&da))
+                .then(ib.cmp(&ia))
+        };
+        let mut victim: Option<usize> = None; // None = the arrival
+        let (mut vs, mut vi) = (arrival, arrival_id);
+        for (idx, q) in queue.iter().enumerate() {
+            if sheds_before(&q.spec, q.id, vs, vi) == Ordering::Less {
+                victim = Some(idx);
+                vs = &q.spec;
+                vi = q.id;
+            }
+        }
+        victim
     }
 }
 
@@ -1155,6 +1570,248 @@ mod tests {
         );
         assert_eq!(report.wasted_rank_time, 0.0);
         assert!(r.heartbeat_words > 0, "detection is priced into the run");
+    }
+
+    #[test]
+    fn preemption_frees_the_machine_for_an_urgent_job() {
+        // j0 (priority 0) holds the whole machine; j1 (priority 7)
+        // arrives behind it.  Without preemption j1 convoys; with it
+        // the scheduler checkpoints j0, pays the pause surcharge,
+        // runs j1, and resumes j0 from its credit — both products
+        // still verify against the serial kernel.
+        let m = machine();
+        let cfg = Config {
+            sizing: SizingMode::WholeMachine,
+            preemption: true,
+            ..config()
+        };
+        let jobs = vec![
+            JobSpec::new(32, 0.0),
+            JobSpec {
+                priority: 7,
+                seed: 3,
+                ..JobSpec::new(16, 100.0)
+            },
+        ];
+        let sched = Scheduler::new(&m, cfg);
+        let report = sched.run(&jobs, &PriorityFirst).unwrap();
+        assert_eq!(report.records.len(), 2);
+        assert_eq!(report.preemptions, 1);
+        assert_eq!(report.preemption_transfer_words, 3 * 32 * 32);
+        let j0 = report.records.iter().find(|r| r.id == 0).unwrap();
+        let j1 = report.records.iter().find(|r| r.id == 1).unwrap();
+        assert_eq!(j0.preemptions, 1);
+        assert_eq!(j0.attempts, 1, "a preemption is not a loss");
+        assert_eq!(j1.preemptions, 0);
+        assert!(
+            j1.finish < j0.finish,
+            "the urgent job must overtake: {} vs {}",
+            j1.finish,
+            j0.finish
+        );
+        assert!(
+            j0.start >= j1.finish,
+            "the victim resumes after the urgent job clears"
+        );
+        assert_eq!(report.wasted_rank_time, 0.0, "paused work is not redone");
+        // Byte-identical on replay.
+        let again = sched.run(&jobs, &PriorityFirst).unwrap();
+        assert_eq!(again.to_csv(), report.to_csv());
+        // The CSV carries the preemption count.
+        assert!(report.to_csv().lines().nth(1).unwrap().contains(",1,0,"));
+    }
+
+    #[test]
+    fn preemption_credits_elapsed_work_on_resume() {
+        let m = machine();
+        let base_cfg = Config {
+            sizing: SizingMode::WholeMachine,
+            ..config()
+        };
+        let solo = Scheduler::new(&m, base_cfg)
+            .run(&[JobSpec::new(32, 0.0)], &Fifo)
+            .unwrap();
+        let raw = solo.records[0].actual_time;
+
+        let cfg = Config {
+            preemption: true,
+            ..base_cfg
+        };
+        // Preempt 1000 time units in: the credit (1000) beats the
+        // resume surcharge (t_s + t_w·3n²/p = 726 here), so pausing is
+        // cheaper than a from-scratch rerun would be.
+        let jobs = vec![
+            JobSpec::new(32, 0.0),
+            JobSpec {
+                priority: 7,
+                seed: 3,
+                ..JobSpec::new(16, 1_000.0)
+            },
+        ];
+        let report = Scheduler::new(&m, cfg).run(&jobs, &PriorityFirst).unwrap();
+        assert_eq!(report.preemptions, 1);
+        let j0 = report.records.iter().find(|r| r.id == 0).unwrap();
+        assert!(j0.actual_time < raw, "credit must shorten the resume");
+        let cm = m.cost_model();
+        let surcharge = cm.t_s + cm.t_w * (3.0 * 32.0f64.powi(2) / j0.p as f64);
+        assert!(
+            (j0.actual_time - (surcharge + raw - 1_000.0)).abs() < 1e-6,
+            "resume = surcharge + (raw − credit): {} vs {}",
+            j0.actual_time,
+            surcharge + raw - 1_000.0
+        );
+    }
+
+    #[test]
+    fn fifo_never_preempts_even_when_enabled() {
+        let m = machine();
+        let cfg = Config {
+            sizing: SizingMode::WholeMachine,
+            preemption: true,
+            ..config()
+        };
+        let jobs = vec![
+            JobSpec::new(32, 0.0),
+            JobSpec {
+                priority: 7,
+                seed: 3,
+                ..JobSpec::new(16, 100.0)
+            },
+        ];
+        let report = Scheduler::new(&m, cfg).run(&jobs, &Fifo).unwrap();
+        assert_eq!(report.preemptions, 0, "nothing outranks the FIFO head");
+        let j0 = report.records.iter().find(|r| r.id == 0).unwrap();
+        let j1 = report.records.iter().find(|r| r.id == 1).unwrap();
+        assert!(j1.start >= j0.finish, "strict convoy under FIFO");
+    }
+
+    #[test]
+    fn edf_preempts_for_a_tighter_deadline() {
+        let m = machine();
+        let cfg = Config {
+            sizing: SizingMode::WholeMachine,
+            preemption: true,
+            ..config()
+        };
+        let jobs = vec![
+            JobSpec {
+                deadline: Some(1.0e9),
+                ..JobSpec::new(32, 0.0)
+            },
+            JobSpec {
+                deadline: Some(3_500.0),
+                seed: 3,
+                ..JobSpec::new(16, 100.0)
+            },
+        ];
+        let report = Scheduler::new(&m, cfg)
+            .run(&jobs, &crate::policy::EarliestDeadlineFirst)
+            .unwrap();
+        assert_eq!(report.preemptions, 1);
+        let j1 = report.records.iter().find(|r| r.id == 1).unwrap();
+        assert_eq!(
+            j1.met_deadline(),
+            Some(true),
+            "preemption must rescue the tight deadline (finish {})",
+            j1.finish
+        );
+    }
+
+    #[test]
+    fn elastic_shrink_then_grow_rides_the_load_wave() {
+        // 16-rank machine at iso 0.5: n = 32 deserves p = 8
+        // (E(8) = 0.573, E(16) = 0.428).  j0 takes [0, 8); three
+        // single-rank n = 8 jobs take ranks 8–10, leaving largest free
+        // block [12, 16).  j4 (another n = 32) queues behind them;
+        // when j5 arrives against queue_cap = 1, the scheduler shrinks
+        // j4 onto [12, 16) at p = 4 instead of shedding, and j5 is
+        // admitted.  Once the singles drain, j4 grows back into its
+        // freed buddy [8, 12) to run at its deserved p = 8 — and stops
+        // there: doubling again to 16 would dip below the iso floor,
+        // and the resize budget (2) is spent.
+        let m = machine();
+        let cfg = Config {
+            queue_cap: 1,
+            elastic: true,
+            ..config()
+        };
+        let mut jobs = vec![JobSpec::new(32, 0.0)];
+        jobs.extend((0..3).map(|i| JobSpec {
+            seed: i,
+            ..JobSpec::new(8, 1.0 + i as f64)
+        }));
+        jobs.push(JobSpec {
+            seed: 9,
+            ..JobSpec::new(32, 4.0)
+        });
+        jobs.push(JobSpec {
+            seed: 10,
+            ..JobSpec::new(8, 5.0)
+        });
+        let sched = Scheduler::new(&m, cfg);
+        let report = sched.run(&jobs, &Fifo).unwrap();
+        assert_eq!(report.records.len(), 6, "nothing is shed or lost");
+        assert!(report.rejected.is_empty());
+        assert!(report.shed.is_empty());
+        assert_eq!(report.shrinks, 1);
+        assert_eq!(report.grows, 1, "the shrunk job must grow back");
+        let j4 = report.records.iter().find(|r| r.id == 4).unwrap();
+        assert_eq!(j4.resizes, 2, "one shrink + one grow");
+        assert_eq!(j4.p, 8, "the job finishes at its deserved size");
+        let j0 = report.records.iter().find(|r| r.id == 0).unwrap();
+        assert_eq!(j0.p, 8);
+        assert_eq!(
+            j0.resizes, 0,
+            "growing j0 to 16 would break the iso floor (E = 0.428)"
+        );
+        // Byte-identical on replay.
+        let again = sched.run(&jobs, &Fifo).unwrap();
+        assert_eq!(again.to_csv(), report.to_csv());
+    }
+
+    #[test]
+    fn shedding_drops_the_lowest_value_job_structurally() {
+        let m = machine();
+        let cfg = Config {
+            sizing: SizingMode::WholeMachine,
+            queue_cap: 1,
+            shed: true,
+            ..config()
+        };
+        let jobs = vec![
+            JobSpec::new(32, 0.0), // holds the machine
+            JobSpec {
+                priority: 5,
+                seed: 1,
+                ..JobSpec::new(16, 1.0)
+            }, // queued
+            JobSpec {
+                priority: 0,
+                seed: 2,
+                deadline: Some(9_000.0),
+                ..JobSpec::new(16, 2.0)
+            }, // arrival: lower priority than the queued job → sheds itself
+            JobSpec {
+                priority: 9,
+                seed: 3,
+                ..JobSpec::new(16, 3.0)
+            }, // arrival: outranks the queued job → sheds it instead
+        ];
+        let report = Scheduler::new(&m, cfg).run(&jobs, &PriorityFirst).unwrap();
+        assert!(report.rejected.is_empty(), "sheds are never silent drops");
+        let shed_ids: Vec<usize> = report.shed.iter().map(|s| s.id).collect();
+        assert_eq!(shed_ids, vec![2, 1]);
+        let done_ids: Vec<usize> = report.records.iter().map(|r| r.id).collect();
+        assert_eq!(done_ids, vec![0, 3]);
+        // The CSV separates shed rows (shed = 1) from completions, and
+        // a deadlined shed reads as a miss while an undeadlined one is
+        // `na`.
+        let csv = report.to_csv();
+        let shed_rows: Vec<&str> = csv.lines().filter(|l| l.ends_with(",1")).collect();
+        assert_eq!(shed_rows.len(), 2);
+        assert!(shed_rows[0].starts_with("2,16,") && shed_rows[0].ends_with(",0,1"));
+        assert!(shed_rows[1].starts_with("1,16,") && shed_rows[1].ends_with(",na,1"));
+        assert!(report.summary().contains("2 shed"));
     }
 
     #[test]

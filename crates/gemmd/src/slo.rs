@@ -427,6 +427,8 @@ mod tests {
             attempts: 1,
             recoveries: 0,
             migrations: 0,
+            preemptions: 0,
+            resizes: 0,
             heartbeat_words: 0,
             batch: 0,
             queue_wait: start - arrival,
@@ -443,6 +445,7 @@ mod tests {
             makespan: records.iter().map(|r| r.finish).fold(0.0, f64::max),
             records,
             rejected: vec![],
+            shed: vec![],
             timeline: vec![],
             requeues: 0,
             quarantined_ranks: 0,
@@ -450,6 +453,10 @@ mod tests {
             wasted_rank_time: 0.0,
             migrations: 0,
             migration_transfer_words: 0,
+            preemptions: 0,
+            preemption_transfer_words: 0,
+            grows: 0,
+            shrinks: 0,
         }
     }
 

@@ -26,7 +26,7 @@ proptest! {
         for &v in &values {
             streaming.push(v);
         }
-        let mut oracle = values.clone();
+        let mut oracle = values;
         oracle.sort_by(f64::total_cmp);
         let rank = |q: f64| {
             let r = (q * oracle.len() as f64).ceil() as usize;

@@ -57,3 +57,107 @@ fn three_jobs_over_tcp_yield_stats() {
     assert!(bye.contains("\"bye\":true"), "shutdown: {bye}");
     server.join().expect("server thread");
 }
+
+#[test]
+fn drain_over_tcp_bounces_late_submits_and_survives_reconnect() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+
+    let server = std::thread::spawn(move || {
+        let machine = Machine::new(Topology::hypercube(4), CostModel::ncube2());
+        let mut frontend =
+            Frontend::new(machine, Config::default(), "edf").expect("edf is a known policy");
+        serve(&listener, &mut frontend, || 0.0).expect("serve");
+    });
+
+    let connect = || {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let reader = BufReader::new(stream.try_clone().expect("clone"));
+        (reader, stream)
+    };
+    let ask = |reader: &mut BufReader<TcpStream>, writer: &mut TcpStream, line: &str| {
+        writeln!(writer, "{line}").expect("write");
+        writer.flush().expect("flush");
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("read");
+        reply.trim().to_string()
+    };
+
+    let (mut reader, mut writer) = connect();
+    let reply = ask(&mut reader, &mut writer, "{\"verb\":\"submit\",\"n\":16}");
+    assert!(reply.contains("\"ok\":true"), "submit: {reply}");
+
+    let drain = ask(&mut reader, &mut writer, "{\"verb\":\"drain\"}");
+    assert!(
+        drain.contains("\"draining\":true") && drain.contains("\"jobs\":1"),
+        "drain: {drain}"
+    );
+
+    let bounced = ask(&mut reader, &mut writer, "{\"verb\":\"submit\",\"n\":8}");
+    assert!(
+        bounced.contains("\"backpressure\":true"),
+        "late submit: {bounced}"
+    );
+
+    // The drain survives a reconnect: the state lives in the
+    // front-end, not the connection.
+    drop((reader, writer));
+    let (mut reader, mut writer) = connect();
+    let bounced = ask(&mut reader, &mut writer, "{\"verb\":\"submit\",\"n\":8}");
+    assert!(
+        bounced.contains("\"backpressure\":true"),
+        "post-reconnect submit: {bounced}"
+    );
+    let stats = ask(&mut reader, &mut writer, "{\"verb\":\"stats\"}");
+    assert!(stats.contains("\"jobs\":1"), "stats: {stats}");
+
+    let bye = ask(&mut reader, &mut writer, "{\"verb\":\"shutdown\"}");
+    assert!(bye.contains("\"bye\":true"), "shutdown: {bye}");
+    server.join().expect("server thread");
+}
+
+#[test]
+fn oversized_request_lines_get_one_error_and_a_disconnect() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+
+    let server = std::thread::spawn(move || {
+        let machine = Machine::new(Topology::hypercube(2), CostModel::ncube2());
+        let mut frontend =
+            Frontend::new(machine, Config::default(), "fifo").expect("fifo is a known policy");
+        serve(&listener, &mut frontend, || 0.0).expect("serve");
+    });
+
+    // Exactly MAX_LINE bytes with no newline: the bound trips the
+    // moment the server has consumed them all, so its close is a clean
+    // FIN (no unread bytes to turn it into a reset).
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let huge = "x".repeat(gemmd::frontend::MAX_LINE as usize);
+    writer.write_all(huge.as_bytes()).expect("write");
+    writer.flush().expect("flush");
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("read");
+    assert!(reply.contains("request line too long"), "oversize: {reply}");
+    // The server dropped us: the stream reaches EOF.
+    let mut rest = String::new();
+    while reader.read_line(&mut rest).expect("drain") > 0 {}
+
+    // A fresh, well-behaved client still gets served.
+    let stream = TcpStream::connect(addr).expect("reconnect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let mut ask = |line: &str| {
+        writeln!(writer, "{line}").expect("write");
+        writer.flush().expect("flush");
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("read");
+        reply.trim().to_string()
+    };
+    let stats = ask("{\"verb\":\"stats\"}");
+    assert!(stats.contains("\"jobs\":0"), "stats: {stats}");
+    let bye = ask("{\"verb\":\"shutdown\"}");
+    assert!(bye.contains("\"bye\":true"), "shutdown: {bye}");
+    server.join().expect("server thread");
+}

@@ -85,7 +85,7 @@ pub use engine::payload::Payload;
 pub use engine::proc_ctx::{Proc, RELIABLE_FRAME_OVERHEAD};
 pub use engine::{Machine, RunReport};
 pub use fault::{Detection, Fate, FaultPlan, FaultPlanError, LinkFaults, TrafficClass};
-pub use recovery::Checkpoint;
+pub use recovery::{Checkpoint, StateTransfer};
 pub use stats::ProcStats;
 pub use topology::{Topology, TopologyKind};
 pub use trace::{Timeline, TraceEvent};

@@ -80,9 +80,58 @@
 //! runs replay byte-identically and products are bit-identical to the
 //! fault-free run (pinned by `tests/recovery.rs`).
 
+use crate::cost::CostModel;
 use crate::engine::message::tag;
 use crate::engine::payload::Payload;
 use crate::engine::proc_ctx::Proc;
+
+/// The resumable state of a paused GEMM placement, priced the way the
+/// engine prices a checkpoint transfer: the words that must move to
+/// re-materialise the computation somewhere else.
+///
+/// A p-rank GEMM holds `3n²` words of live state (the A, B and C
+/// operands, spread evenly so each rank carries `3n²/p`).  Pausing a
+/// placement — for migration off a degrading block, for preemption by
+/// a more urgent job, or for an elastic resize — means draining one
+/// rank's share over the transport, so the service layer charges
+///
+/// ```text
+/// pause or resume surcharge = t_s + t_w · 3n²/p
+/// ```
+///
+/// in virtual time, mirroring the per-rank term of the recovery
+/// surcharge above.  Keeping the arithmetic here (rather than inlined
+/// per call-site in `gemmd`) pins every consumer to bit-identical
+/// pricing: migration, preemption and elastic grow/shrink all quote
+/// the same float for the same `(n, p, cost model)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StateTransfer {
+    /// Total live words across the whole partition.
+    pub words: u64,
+}
+
+impl StateTransfer {
+    /// The state of an `n × n` GEMM: the three operand matrices.
+    #[must_use]
+    pub fn gemm(n: usize) -> Self {
+        Self {
+            words: 3 * (n as u64).pow(2),
+        }
+    }
+
+    /// Words held per rank on a `p`-rank partition.
+    #[must_use]
+    pub fn words_per_rank(&self, p: usize) -> f64 {
+        self.words as f64 / p as f64
+    }
+
+    /// Virtual-time surcharge for draining (or re-loading) one rank's
+    /// share of the state: `t_s + t_w · words/p`.
+    #[must_use]
+    pub fn surcharge(&self, cm: &CostModel, p: usize) -> f64 {
+        cm.t_s + cm.t_w * self.words_per_rank(p)
+    }
+}
 
 /// One rank's last completed checkpoint, as recorded on the engine's
 /// host-side log: when it finished and how many words it replicated.
@@ -200,6 +249,17 @@ mod tests {
         for s in &r.stats {
             assert_eq!(s.checkpoint_words, 3);
             assert!(s.is_consistent(1e-9), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn state_transfer_matches_the_inline_formula_bit_for_bit() {
+        let cm = CostModel::ncube2();
+        for (n, p) in [(8usize, 1usize), (16, 4), (32, 16), (96, 8)] {
+            let st = StateTransfer::gemm(n);
+            assert_eq!(st.words, 3 * (n as u64) * (n as u64));
+            let inline = cm.t_s + cm.t_w * (3.0 * (n as f64).powi(2) / p as f64);
+            assert_eq!(st.surcharge(&cm, p).to_bits(), inline.to_bits());
         }
     }
 
