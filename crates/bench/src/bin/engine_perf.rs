@@ -17,6 +17,9 @@
 //! * `cm5_64`   — the Figure 4 curve (Cannon and GK at p = 64).
 //! * `cm5_512`  — the Figure 5 slice (GK at p = 512, Cannon at
 //!   p = 484): the engine's thread/messaging overhead dominates here.
+//! * `event_4k` — Cannon at p = 4096 on the event-driven engine: the
+//!   massive-p regime, gated against a measured thread-per-rank
+//!   baseline (the wall-clock floor for the engine refactor).
 //! * `workload` — a gemmd service sweep (scheduler + partitioned runs).
 //!
 //! Every slice reduces its runs to virtual-time observables —
@@ -34,7 +37,7 @@ use std::time::Instant;
 
 use bench::workload_common::{run_workload_sweep, WorkloadSweep};
 use dense::gen;
-use mmsim::{CostModel, Machine, ProcStats, Topology};
+use mmsim::{CostModel, EngineKind, Machine, ProcStats, Topology};
 use model::regions::RegionMap;
 use model::MachineParams;
 
@@ -43,11 +46,15 @@ use model::MachineParams;
 /// (see docs/performance.md for the methodology).  Speedups in
 /// `BENCH_engine.json` are relative to these.
 mod baseline {
-    /// Full-mode baselines: (slice, wall_ms).
+    /// Full-mode baselines: (slice, wall_ms).  `event_4k`'s baseline is
+    /// the *threaded* engine on the same points (n = 64: ~5.5 s,
+    /// n = 128: ~4.1 s), so its "speedup" is event-vs-threaded — the
+    /// wall-clock floor for the engine refactor.
     pub const FULL: &[(&str, f64)] = &[
         ("regions", 35.0),
         ("cm5_64", 140.0),
         ("cm5_512", 1210.0),
+        ("event_4k", 9600.0),
         ("workload", 7.8),
     ];
     /// Smoke-mode baselines: (slice, wall_ms).
@@ -55,6 +62,7 @@ mod baseline {
         ("regions", 0.3),
         ("cm5_64", 12.0),
         ("cm5_512", 168.0),
+        ("event_4k", 5500.0),
         ("workload", 6.6),
     ];
 }
@@ -229,6 +237,31 @@ fn run_regions_slice(reps: usize, cols: usize, rows: usize, csv: &mut String) ->
     }
 }
 
+/// The massive-p slice: Cannon on a 64×64 torus of 4096 virtual ranks,
+/// event-driven engine.  The threaded engine *can* still run these
+/// points (that is how the baseline was measured), but at 5–7× the
+/// wall clock — this slice pins both the virtual-time goldens in the
+/// new regime and the event engine's wall-clock advantage.
+fn run_event4k_slice(points: &[(usize, usize)], runs_csv: &mut String) -> SliceResult {
+    let cost = CostModel::cm5();
+    let start = Instant::now();
+    let mut runs = 0;
+    for &(p, n) in points {
+        let (a, b) = gen::random_pair(n, n as u64);
+        let machine =
+            Machine::new(Topology::square_torus_for(p), cost).with_engine(EngineKind::Event);
+        let out = algos::cannon(&machine, &a, &b)
+            .unwrap_or_else(|e| panic!("event_4k cannon p={p} n={n}: {e}"));
+        runs += 1;
+        runs_csv.push_str(&run_row("event_4k", "cannon_event", p, n, &out));
+    }
+    SliceResult {
+        name: "event_4k",
+        runs,
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
 /// The gemmd slice: one deterministic service sweep (scheduler +
 /// partitioned engine runs); the golden is the full metrics table.
 fn run_workload_slice(csv: &mut String) -> SliceResult {
@@ -349,6 +382,15 @@ fn main() {
         &mut ranks_csv,
     ));
 
+    // Massive-p slice on the event engine: smoke = one point, full
+    // adds the n = 128 (one-element-block) configuration.
+    let event_4k: &[(usize, usize)] = if smoke {
+        &[(4096, 64)]
+    } else {
+        &[(4096, 64), (4096, 128)]
+    };
+    slices.push(run_event4k_slice(event_4k, &mut runs_csv));
+
     // gemmd workload slice (same shape in both modes; it is already
     // the CI smoke sweep).
     slices.push(run_workload_slice(&mut workload_csv));
@@ -374,7 +416,7 @@ fn main() {
     }
 
     if enforce {
-        let need = [("cm5_512", 3.0), ("regions", 2.0)];
+        let need = [("cm5_512", 3.0), ("regions", 2.0), ("event_4k", 3.0)];
         let baselines = if smoke {
             baseline::SMOKE
         } else {

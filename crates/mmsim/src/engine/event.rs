@@ -1,0 +1,405 @@
+//! The event-driven engine: thousands of virtual ranks multiplexed
+//! over one scheduler thread.
+//!
+//! ## Shape
+//!
+//! Where the threaded engine leases one OS thread per virtual rank
+//! (capping p near host thread limits), this engine runs every rank as
+//! a resumable [`fiber`] task and drives them from a single scheduler
+//! loop.  A rank runs until its `recv` finds no matching message; it
+//! then *parks* (records what it waits for and suspends its fiber) and
+//! the scheduler resumes the next task from a virtual-time ready queue
+//! — a min-heap keyed on `(park-time clock, rank)`.  Sends never block,
+//! so a send delivers straight into the destination's mailbox and, when
+//! the destination is parked on exactly that `(src, tag)`, moves it to
+//! the ready queue.  Park/unpark rendezvous, futexes, and spin-yields
+//! all disappear; a context switch is ~12 instructions of userspace
+//! register shuffling.
+//!
+//! ## Determinism and bit-identity
+//!
+//! Virtual time is a pure function of message causality: clocks advance
+//! only through the shared [`Proc`] cost arithmetic, and a receive
+//! matches messages of its `(src, tag)` in send order — the mailbox
+//! preserves per-sender program order just as the threaded engine's
+//! channels do.  The scheduler itself is deterministic (the ready queue
+//! breaks clock ties by rank, and every wake has a single cause), so
+//! two event runs are byte-identical — and because none of the clock
+//! arithmetic depends on *which* host thread executes a rank, event
+//! runs are bit-identical to threaded runs of the same machine.  The
+//! differential suite (`tests/engine_differential.rs`) pins this across
+//! all six algorithms, fault plans, spares and detection.
+//!
+//! ## Failure diagnosis without timeouts
+//!
+//! The threaded engine diagnoses a live cyclic deadlock by letting a
+//! blocked `recv` time out on the host clock.  Here the scheduler
+//! *knows* when nothing can progress: the ready queue is empty and
+//! every unfinished rank is parked.  It then resumes the lowest parked
+//! rank with a timeout verdict, which raises exactly the
+//! [`DeadlockPayload`] the threaded engine's timeout would have raised
+//! — same classification, no 10-second stall.  All other diagnoses
+//! (peer died / poisoned / done, all-terminated) re-use the `Proc`
+//! panic helpers verbatim, driven by the same status conditions the
+//! `StatusBoard` encodes, so `SimError` attribution is engine-agnostic.
+
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+use crate::engine::error::install_quiet_control_panic_hook;
+use crate::engine::fiber;
+use crate::engine::message::{Message, Tag};
+use crate::engine::proc_ctx::{NetShared, Proc, RankStatus, RunShared};
+use crate::engine::{outcome_from_panic, Machine, ThreadOutcome};
+use crate::recovery::CkptRecord;
+use std::cmp::Reverse;
+
+/// Why a blocked receive cannot park (or was woken): mirrors the
+/// threaded engine's board-condition match in `take_matching`.
+pub(crate) enum Wait {
+    /// Woken (or raced by nothing — single scheduler thread): rescan
+    /// the mailbox and call again if still unmatched.
+    Recheck,
+    /// Awaited peer fail-stopped.
+    SrcDied,
+    /// Awaited peer panicked.
+    SrcPoisoned,
+    /// Awaited peer finished cleanly without sending the match.
+    SrcDone,
+    /// Every peer terminated; nothing can satisfy the receive.
+    AllTerminated,
+    /// Elected to diagnose a live cyclic deadlock.
+    Timeout,
+}
+
+/// One parked receive.
+struct Waiting {
+    src: usize,
+    tag: Tag,
+    /// The rank's clock at park time — the ready-queue key (f64 bits;
+    /// clocks are non-negative, so bit order is numeric order).
+    clock_bits: u64,
+    /// Park generation, so stale `waiters_on` entries (from earlier
+    /// parks that a message wake already satisfied) are skipped.
+    token: u32,
+}
+
+/// Scheduler bookkeeping, all behind one mutex.  Uncontended on the
+/// hot path — only the scheduler thread and the fiber it is currently
+/// running ever touch it, and never at the same time.
+struct SchedState {
+    /// Mirrors the threaded `StatusBoard` statuses.
+    status: Vec<RankStatus>,
+    /// Terminal statuses published so far.
+    terminated: usize,
+    waiting: Vec<Option<Waiting>>,
+    /// Park generation counter per rank.
+    park_seq: Vec<u32>,
+    /// `src → [(peer, token)]`: who is parked waiting on `src`.
+    /// Entries are lazily invalidated (checked against the peer's
+    /// current park token), so unparking is O(1).
+    waiters_on: Vec<Vec<(usize, u32)>>,
+    /// Virtual-time ready queue: `(clock bits, rank)` min-heap.
+    ready: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Guards against double-queuing a rank.
+    queued: Vec<bool>,
+    /// Set by the stuck-resolution path: the rank was elected to
+    /// self-diagnose the live deadlock (the event-engine analogue of
+    /// the threaded `recv_timeout` firing).
+    timeout_elected: Vec<bool>,
+}
+
+impl SchedState {
+    fn new(p: usize) -> Self {
+        Self {
+            status: vec![RankStatus::Running; p],
+            terminated: 0,
+            waiting: (0..p).map(|_| None).collect(),
+            park_seq: vec![0; p],
+            waiters_on: (0..p).map(|_| Vec::new()).collect(),
+            ready: BinaryHeap::with_capacity(p),
+            queued: vec![false; p],
+            timeout_elected: vec![false; p],
+        }
+    }
+
+    /// Move a parked rank to the ready queue (no-op if it is not
+    /// parked — stale wake — or already queued).
+    fn make_ready(&mut self, rank: usize) {
+        let Some(w) = self.waiting[rank].take() else {
+            return;
+        };
+        if !self.queued[rank] {
+            self.queued[rank] = true;
+            self.ready.push(Reverse((w.clock_bits, rank)));
+        }
+    }
+}
+
+/// The event engine's shared network state: per-rank mailboxes plus
+/// the scheduler bookkeeping.  Lives inside [`NetShared::Event`], so
+/// `Proc`'s send/receive paths dispatch to it without knowing about
+/// fibers at all.
+pub(crate) struct EventNet {
+    /// Delivered-but-unmatched messages per rank, in delivery order
+    /// (per-sender program order — what send-order matching needs).
+    mailboxes: Vec<Mutex<VecDeque<Message>>>,
+    state: Mutex<SchedState>,
+}
+
+impl EventNet {
+    pub(crate) fn new(p: usize) -> Self {
+        Self {
+            mailboxes: (0..p).map(|_| Mutex::new(VecDeque::new())).collect(),
+            state: Mutex::new(SchedState::new(p)),
+        }
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, SchedState> {
+        self.state.lock().expect("event scheduler state poisoned")
+    }
+
+    fn lock_mailbox(&self, rank: usize) -> std::sync::MutexGuard<'_, VecDeque<Message>> {
+        self.mailboxes[rank].lock().expect("event mailbox poisoned")
+    }
+
+    /// First message matching `(src, tag)` in `rank`'s mailbox, if any
+    /// — send order within the pair, like the threaded pending scan.
+    pub(crate) fn pop_matching(&self, rank: usize, src: usize, tag: Tag) -> Option<Message> {
+        let mut mailbox = self.lock_mailbox(rank);
+        let pos = mailbox.iter().position(|m| m.src == src && m.tag == tag)?;
+        mailbox.remove(pos)
+    }
+
+    /// Deliver a message into its destination's mailbox, waking the
+    /// destination if it is parked on exactly this `(src, tag)`.
+    ///
+    /// A terminated destination swallows the message, mirroring the
+    /// threaded engine's send-to-closed-inbox behaviour: the sender
+    /// already paid the injection cost and the traffic counters.
+    pub(crate) fn deliver(&self, msg: Message) {
+        let (src, dst, tag) = (msg.src, msg.dst, msg.tag);
+        {
+            let st = self.lock_state();
+            if st.status[dst] != RankStatus::Running {
+                return;
+            }
+        }
+        self.lock_mailbox(dst).push_back(msg);
+        let mut st = self.lock_state();
+        let matches = st.waiting[dst]
+            .as_ref()
+            .is_some_and(|w| w.src == src && w.tag == tag);
+        if matches {
+            st.make_ready(dst);
+        }
+    }
+
+    /// Publish `rank`'s terminal status and wake exactly the parked
+    /// ranks whose diagnosis conditions may have changed: those waiting
+    /// on `rank`, plus everyone once all peers have terminated.  O(its
+    /// own waiters) per termination instead of the O(p) blocked-flag
+    /// scan the threaded board performs.
+    pub(crate) fn announce(&self, rank: usize, status: RankStatus) {
+        let mut st = self.lock_state();
+        debug_assert_eq!(st.status[rank], RankStatus::Running, "double termination");
+        st.status[rank] = status;
+        st.terminated += 1;
+        let waiters = std::mem::take(&mut st.waiters_on[rank]);
+        for (peer, token) in waiters {
+            let current = st.waiting[peer]
+                .as_ref()
+                .is_some_and(|w| w.token == token && w.src == rank);
+            if current {
+                st.make_ready(peer);
+            }
+        }
+        if st.terminated >= st.status.len().saturating_sub(1) {
+            // All-terminated condition newly (or still) true: every
+            // parked rank can now self-diagnose.  Reached at most twice
+            // per run (the last two terminations), so the O(p) scan
+            // does not reintroduce the termination storm.
+            for peer in 0..st.status.len() {
+                st.make_ready(peer);
+            }
+        }
+    }
+
+    /// Block `rank`'s receive on `(src, tag)`: either return a terminal
+    /// diagnosis immediately (mirroring the threaded board-condition
+    /// match — no deferred drain needed, because nothing runs
+    /// concurrently with a fiber) or park, suspend the fiber, and
+    /// report how it was woken.
+    pub(crate) fn wait_for(&self, rank: usize, src: usize, tag: Tag, clock: f64) -> Wait {
+        {
+            let mut st = self.lock_state();
+            let p = st.status.len();
+            let all_terminated = st.terminated >= p - 1;
+            match st.status[src] {
+                RankStatus::Died => return Wait::SrcDied,
+                RankStatus::Poisoned => return Wait::SrcPoisoned,
+                RankStatus::Done if !all_terminated => return Wait::SrcDone,
+                RankStatus::Running | RankStatus::Done if all_terminated => {
+                    return Wait::AllTerminated
+                }
+                RankStatus::Running | RankStatus::Done => {}
+            }
+            let token = st.park_seq[rank].wrapping_add(1);
+            st.park_seq[rank] = token;
+            st.waiting[rank] = Some(Waiting {
+                src,
+                tag,
+                clock_bits: clock.to_bits(),
+                token,
+            });
+            st.waiters_on[src].push((rank, token));
+        }
+        fiber::suspend();
+        let mut st = self.lock_state();
+        debug_assert!(st.waiting[rank].is_none(), "woken while still parked");
+        if std::mem::take(&mut st.timeout_elected[rank]) {
+            Wait::Timeout
+        } else {
+            Wait::Recheck
+        }
+    }
+
+    /// Peers currently holding `wanted` terminal status, in rank order
+    /// (the event-side mirror of `StatusBoard::ranks_with`).
+    pub(crate) fn ranks_with(&self, wanted: RankStatus) -> Vec<usize> {
+        let st = self.lock_state();
+        (0..st.status.len())
+            .filter(|&r| st.status[r] == wanted)
+            .collect()
+    }
+
+    /// Count and discard `rank`'s unmatched messages at closure end
+    /// (the event-side mirror of the final channel drain).
+    pub(crate) fn drain_unreceived(&self, rank: usize) -> u64 {
+        let mut mailbox = self.lock_mailbox(rank);
+        let n = mailbox.len() as u64;
+        mailbox.clear();
+        n
+    }
+}
+
+/// Run `f` on every virtual rank as a fiber under the event scheduler;
+/// same contract (and same outcome/checkpoint shape) as the threaded
+/// `Machine::execute` path.
+#[allow(clippy::type_complexity)]
+pub(crate) fn execute<T, F>(
+    machine: &Machine,
+    f: &F,
+) -> (Vec<ThreadOutcome<T>>, Vec<Option<CkptRecord>>)
+where
+    T: Send,
+    F: Fn(&mut Proc) -> T + Sync,
+{
+    let p = machine.p();
+    install_quiet_control_panic_hook();
+    let shared = Arc::new(RunShared {
+        topology: machine.topology().clone(),
+        cost: *machine.cost_model(),
+        recv_timeout: machine.recv_timeout,
+        fault: machine.fault.clone(),
+        table: Arc::clone(&machine.table),
+        trace: machine.trace,
+        spares: machine.spares().len(),
+        ckpt_log: (0..p).map(|_| Mutex::new(None)).collect(),
+        net: NetShared::Event(EventNet::new(p)),
+    });
+    let outcomes: Vec<Mutex<Option<ThreadOutcome<T>>>> = (0..p).map(|_| Mutex::new(None)).collect();
+
+    let stack_bytes = fiber::stack_bytes();
+    let mut fibers: Vec<fiber::Fiber> = (0..p)
+        .map(|rank| {
+            let shared = Arc::clone(&shared);
+            let f_ptr: *const F = f;
+            let out_ptr: *const Mutex<Option<ThreadOutcome<T>>> = &outcomes[rank];
+            let job = move || {
+                // SAFETY: the scheduler below drives every fiber to
+                // completion before `execute` returns (asserted), so
+                // the borrows behind these pointers outlive all uses —
+                // the same argument the worker pool's latch makes.
+                let f = unsafe { &*f_ptr };
+                let slot = unsafe { &*out_ptr };
+                let mut proc = Proc::new_event(rank, Arc::clone(&shared));
+                let outcome =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut proc)));
+                *slot.lock().expect("outcome slot poisoned") =
+                    Some(outcome_from_panic(rank, outcome, &shared, proc));
+            };
+            let job: Box<dyn FnOnce()> = Box::new(job);
+            // SAFETY: lifetime erasure only — the completion argument
+            // above keeps every borrow alive past the fiber's end.
+            let job: Box<dyn FnOnce() + 'static> = unsafe { std::mem::transmute(job) };
+            fiber::Fiber::new(stack_bytes, job)
+        })
+        .collect();
+
+    let net = match &shared.net {
+        NetShared::Event(net) => net,
+        NetShared::Threaded { .. } => unreachable!("event execute built an event net"),
+    };
+    // Seed: every rank ready at clock 0, tie-broken by rank — the first
+    // scheduling round runs ranks in rank order, deterministically.
+    {
+        let mut st = net.lock_state();
+        for rank in 0..p {
+            st.queued[rank] = true;
+            st.ready.push(Reverse((0u64, rank)));
+        }
+    }
+    let mut finished = 0usize;
+    while finished < p {
+        let next = {
+            let mut st = net.lock_state();
+            match st.ready.pop() {
+                Some(Reverse((_, rank))) => {
+                    st.queued[rank] = false;
+                    Some(rank)
+                }
+                None => None,
+            }
+        };
+        let rank = match next {
+            Some(rank) => rank,
+            None => {
+                // Global no-progress: every unfinished rank is parked
+                // and no pending event can wake one.  Elect the lowest
+                // parked rank to self-diagnose the live deadlock —
+                // deterministic, and exactly what the threaded
+                // engine's recv timeout would eventually conclude.
+                let mut st = net.lock_state();
+                let rank = st
+                    .waiting
+                    .iter()
+                    .position(Option::is_some)
+                    .expect("scheduler stuck with no parked rank (engine bug)");
+                st.waiting[rank] = None;
+                st.timeout_elected[rank] = true;
+                rank
+            }
+        };
+        if fibers[rank].resume() {
+            finished += 1;
+        }
+    }
+    debug_assert!(fibers.iter().all(fiber::Fiber::finished));
+    drop(fibers);
+
+    let ckpts = shared
+        .ckpt_log
+        .iter()
+        .map(|slot| slot.lock().expect("checkpoint log slot poisoned").take())
+        .collect();
+    let outcomes = outcomes
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("outcome slot poisoned")
+                .expect("every rank reports exactly once")
+        })
+        .collect();
+    (outcomes, ckpts)
+}

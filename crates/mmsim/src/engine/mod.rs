@@ -2,6 +2,8 @@
 //! processor and collects the deterministic virtual-time report.
 
 pub mod error;
+pub(crate) mod event;
+pub(crate) mod fiber;
 pub mod message;
 pub mod payload;
 pub(crate) mod pool;
@@ -13,7 +15,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use crate::cost::CostModel;
 use crate::engine::error::{CorruptionPayload, DeadlockPayload, DiedPayload, SimError};
 use crate::engine::message::Envelope;
-use crate::engine::proc_ctx::{Proc, RankStatus, RunShared, StatusBoard, ABORT_MSG};
+use crate::engine::proc_ctx::{NetShared, Proc, RankStatus, RunShared, StatusBoard, ABORT_MSG};
 use crate::fault::FaultPlan;
 use crate::recovery::CkptRecord;
 use crate::stats::ProcStats;
@@ -23,6 +25,23 @@ use crate::trace::Timeline;
 /// What one engine worker reports back: the closure's value plus
 /// accounting on success, or the panic payload on failure.
 type ThreadOutcome<T> = Result<(T, ProcStats, Timeline), Box<dyn std::any::Any + Send>>;
+
+/// How a [`Machine`] executes its virtual processors.  Both engines
+/// share every layer above the transport — cost arithmetic, fault
+/// fates, diagnosis attribution — so their virtual-time reports are
+/// bit-identical; they differ only in host mechanics and in how far p
+/// scales (see `tests/engine_differential.rs` for the proof and
+/// `docs/performance.md` for the architecture).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// One pooled OS thread per virtual rank (the historical engine):
+    /// real preemptive parallelism, p capped near host thread limits.
+    #[default]
+    Threaded,
+    /// One fiber per virtual rank, multiplexed on the calling thread by
+    /// a virtual-time event scheduler: reaches p ≥ 16k ranks.
+    Event,
+}
 
 /// Parse an `MMSIM_DEADLOCK_TIMEOUT_MS` value (`None` = variable unset)
 /// into the blocked-receive host-time budget.  Pure, so tests can cover
@@ -114,6 +133,8 @@ pub struct Machine {
     /// the logical topology (`part` excludes them) and idle until a
     /// fail-stop death promotes one; empty = recovery disabled.
     spares: Arc<Vec<usize>>,
+    /// Execution engine (see [`EngineKind`] and [`Machine::with_engine`]).
+    engine: EngineKind,
 }
 
 impl Machine {
@@ -130,6 +151,7 @@ impl Machine {
             part: None,
             table,
             spares: Arc::new(Vec::new()),
+            engine: EngineKind::default(),
         }
     }
 
@@ -189,6 +211,7 @@ impl Machine {
             // A spare reservation does not survive partitioning: the new
             // view names its own ranks; reserve spares on it afterwards.
             spares: Arc::new(Vec::new()),
+            engine: self.engine,
         }
     }
 
@@ -216,6 +239,23 @@ impl Machine {
     pub fn with_trace(mut self) -> Self {
         self.trace = true;
         self
+    }
+
+    /// Builder-style: select the execution engine.  Virtual-time
+    /// results are bit-identical across engines (every layer above the
+    /// transport is shared); [`EngineKind::Event`] lifts the
+    /// thread-per-rank cap so machines of tens of thousands of ranks
+    /// run on one host thread.  Partition views inherit the choice.
+    #[must_use]
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The execution engine this machine runs on.
+    #[must_use]
+    pub fn engine(&self) -> EngineKind {
+        self.engine
     }
 
     /// Builder-style: run under the given fault schedule (see
@@ -320,12 +360,25 @@ impl Machine {
         &self.cost
     }
 
-    /// Lease pool workers for the virtual processors, run `f` on each,
+    /// Run `f` on every virtual processor using the configured engine
     /// and collect every rank's outcome (value or panic payload) in
     /// rank order, together with each rank's last completed checkpoint
     /// record (always `None` on spare-less runs).
     #[allow(clippy::type_complexity)]
     fn execute<T, F>(&self, f: &F) -> (Vec<ThreadOutcome<T>>, Vec<Option<CkptRecord>>)
+    where
+        T: Send,
+        F: Fn(&mut Proc) -> T + Sync,
+    {
+        match self.engine {
+            EngineKind::Threaded => self.execute_threaded(f),
+            EngineKind::Event => event::execute(self, f),
+        }
+    }
+
+    /// The threaded engine: lease one pooled OS thread per rank.
+    #[allow(clippy::type_complexity)]
+    fn execute_threaded<T, F>(&self, f: &F) -> (Vec<ThreadOutcome<T>>, Vec<Option<CkptRecord>>)
     where
         T: Send,
         F: Fn(&mut Proc) -> T + Sync,
@@ -338,12 +391,14 @@ impl Machine {
         let shared = Arc::new(RunShared {
             topology: self.topology.clone(),
             cost: self.cost,
-            senders,
+            net: NetShared::Threaded {
+                senders,
+                board: StatusBoard::new(p),
+            },
             recv_timeout: self.recv_timeout,
             fault: self.fault.clone(),
             table: Arc::clone(&self.table),
             trace: self.trace,
-            board: StatusBoard::new(p),
             spares: self.spares.len(),
             ckpt_log: (0..p).map(|_| Mutex::new(None)).collect(),
         });
@@ -363,37 +418,8 @@ impl Machine {
                 .expect("each rank runs exactly once");
             let mut proc = Proc::new(rank, Arc::clone(&shared), inbox);
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut proc)));
-            let outcome = match outcome {
-                Ok(out) => {
-                    // Publish the termination so a blocked receive
-                    // becomes a diagnosed deadlock instead of a hang.
-                    shared.announce_termination(rank, RankStatus::Done);
-                    let (stats, timeline) = proc.into_final_parts();
-                    Ok((out, stats, timeline))
-                }
-                Err(payload) => {
-                    let status = if payload.downcast_ref::<DiedPayload>().is_some() {
-                        // A fail-stop is not an abort: peers keep
-                        // running on the messages already sent and
-                        // diagnose their own blocked receives
-                        // deterministically.
-                        RankStatus::Died
-                    } else if payload.downcast_ref::<DeadlockPayload>().is_some() {
-                        // A deadlocked rank will never send again — from
-                        // its peers' view that is a termination, so
-                        // other blocked ranks self-diagnose instead of
-                        // being racily aborted (keeps the waiter list
-                        // deterministic).
-                        RankStatus::Done
-                    } else {
-                        // Abort the rest of the machine.
-                        RankStatus::Poisoned
-                    };
-                    shared.announce_termination(rank, status);
-                    Err(payload)
-                }
-            };
-            *outcomes[rank].lock().expect("outcome slot poisoned") = Some(outcome);
+            *outcomes[rank].lock().expect("outcome slot poisoned") =
+                Some(outcome_from_panic(rank, outcome, &shared, proc));
         };
         pool::run_on_pool(p, &job);
 
@@ -780,6 +806,45 @@ struct RunFailure {
     panic_rank: usize,
     /// Message [`Machine::run`] re-raises.
     panic_message: String,
+}
+
+/// Shared per-rank epilogue of both engines: publish the termination
+/// (so blocked receives become diagnosed deadlocks instead of hangs),
+/// map the panic payload onto the rank's terminal status, and finalise
+/// the accounting on success.  One function so the engines cannot
+/// disagree about termination semantics.
+fn outcome_from_panic<T>(
+    rank: usize,
+    outcome: Result<T, Box<dyn std::any::Any + Send>>,
+    shared: &RunShared,
+    proc: Proc,
+) -> ThreadOutcome<T> {
+    match outcome {
+        Ok(out) => {
+            shared.announce_termination(rank, RankStatus::Done);
+            let (stats, timeline) = proc.into_final_parts();
+            Ok((out, stats, timeline))
+        }
+        Err(payload) => {
+            let status = if payload.downcast_ref::<DiedPayload>().is_some() {
+                // A fail-stop is not an abort: peers keep running on
+                // the messages already sent and diagnose their own
+                // blocked receives deterministically.
+                RankStatus::Died
+            } else if payload.downcast_ref::<DeadlockPayload>().is_some() {
+                // A deadlocked rank will never send again — from its
+                // peers' view that is a termination, so other blocked
+                // ranks self-diagnose instead of being racily aborted
+                // (keeps the waiter list deterministic).
+                RankStatus::Done
+            } else {
+                // Abort the rest of the machine.
+                RankStatus::Poisoned
+            };
+            shared.announce_termination(rank, status);
+            Err(payload)
+        }
+    }
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -1507,5 +1572,134 @@ mod tests {
             }
         });
         assert_eq!(r.results[1], 7.0);
+    }
+
+    // -----------------------------------------------------------------
+    // Event engine smoke tests.  The full bit-identity proof lives in
+    // tests/engine_differential.rs; these pin the basics close to the
+    // engine so a regression points here first.
+    // -----------------------------------------------------------------
+
+    fn event_machine(p: usize) -> Machine {
+        unit_machine(p).with_engine(EngineKind::Event)
+    }
+
+    #[test]
+    fn event_engine_is_a_machine_knob() {
+        assert_eq!(unit_machine(2).engine(), EngineKind::Threaded);
+        assert_eq!(event_machine(2).engine(), EngineKind::Event);
+        // Partition views inherit the knob.
+        assert_eq!(
+            event_machine(4).partition(&[0, 1]).engine(),
+            EngineKind::Event
+        );
+    }
+
+    #[test]
+    fn event_ping_matches_threaded_timing() {
+        let r = event_machine(2).run(|proc| {
+            if proc.rank() == 0 {
+                proc.send(1, 7, vec![1.0, 2.0, 3.0]);
+            } else {
+                let msg = proc.recv(0, 7);
+                assert_eq!(msg.payload, vec![1.0, 2.0, 3.0]);
+                assert_eq!(msg.sent_at, 0.0);
+                assert_eq!(msg.arrival, 4.0);
+            }
+        });
+        assert_eq!(r.t_parallel, 4.0);
+        assert_eq!(r.stats[1].idle, 4.0);
+        assert_eq!(r.stats[0].comm, 4.0);
+    }
+
+    #[test]
+    fn event_ring_is_bitwise_identical_to_threaded() {
+        // A ring exchange where every rank sends before receiving —
+        // the all-park-then-deliver shape the scheduler must handle.
+        let workload = |proc: &mut Proc| {
+            let p = proc.p();
+            let me = proc.rank();
+            proc.compute((me + 1) as f64);
+            proc.send((me + 1) % p, 5, vec![me as f64; 8]);
+            let got = proc.recv_payload((me + p - 1) % p, 5);
+            got[0]
+        };
+        let rt = unit_machine(6).run(workload);
+        let re = event_machine(6).run(workload);
+        assert_eq!(rt.t_parallel.to_bits(), re.t_parallel.to_bits());
+        assert_eq!(rt.stats, re.stats);
+        assert_eq!(rt.results, re.results);
+    }
+
+    #[test]
+    fn event_engine_collects_deadlock_waiters() {
+        // No timeout needed: the scheduler proves no-progress directly.
+        let err = event_machine(3)
+            .try_run(|proc| {
+                if proc.rank() > 0 {
+                    proc.recv_payload(0, 99);
+                }
+            })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::Deadlock {
+                waiters: vec![1, 2]
+            }
+        );
+    }
+
+    #[test]
+    fn event_engine_diagnoses_cyclic_deadlock() {
+        // A true cycle: every rank waits for its left neighbour and no
+        // one ever sends.  The threaded engine needs its host timeout
+        // to fire; the event scheduler sees the empty ready queue and
+        // diagnoses instantly with the same waiter list.
+        let err = event_machine(3)
+            .try_run(|proc| {
+                let p = proc.p();
+                let left = (proc.rank() + p - 1) % p;
+                proc.recv_payload(left, 1);
+            })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::Deadlock {
+                waiters: vec![0, 1, 2]
+            }
+        );
+    }
+
+    #[test]
+    fn event_engine_counts_unreceived() {
+        let r = event_machine(2).run(|proc| {
+            if proc.rank() == 0 {
+                proc.send(1, 0, vec![1.0]);
+                proc.send(1, 1, vec![2.0]);
+            } else {
+                proc.recv(0, 1);
+            }
+        });
+        assert_eq!(r.stats[1].unreceived, 1);
+    }
+
+    #[test]
+    fn event_engine_scales_past_thread_limits() {
+        // More virtual ranks than any host could ever lease threads
+        // for, on one scheduler thread: a p = 20 000 ring exchange.
+        let p = 20_000;
+        let m = Machine::new(Topology::fully_connected(p), CostModel::unit())
+            .with_engine(EngineKind::Event);
+        let r = m.run(|proc| {
+            let p = proc.p();
+            let me = proc.rank();
+            proc.send((me + 1) % p, 3, vec![me as f64]);
+            proc.recv_payload((me + p - 1) % p, 3)[0] as usize
+        });
+        // Everyone sends at t = 0 (occupancy t_s + t_w = 2) and the
+        // neighbour's one-word message arrives at t = 2 as well.
+        assert_eq!(r.t_parallel, 2.0);
+        assert_eq!(r.results[0], p - 1);
+        assert_eq!(r.results[p - 1], p - 2);
     }
 }

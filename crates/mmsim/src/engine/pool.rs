@@ -41,6 +41,26 @@ const WORKER_STACK_BYTES: usize = 1 << 20;
 /// enough that back-to-back sweep runs never pay a respawn.
 const IDLE_REAP_AFTER: Duration = Duration::from_secs(30);
 
+/// Floor for the reap override: a sub-10 ms window would have workers
+/// thrashing through retire/respawn cycles between back-to-back runs.
+const MIN_REAP: Duration = Duration::from_millis(10);
+
+/// Resolve the idle-retirement window: `MMSIM_POOL_REAP_MS` in whole
+/// milliseconds (clamped to [`MIN_REAP`]), else [`IDLE_REAP_AFTER`].
+/// Read once; the pool is process-wide, so a per-run toggle would only
+/// apply to workers spawned after the change anyway.
+fn idle_reap_after() -> Duration {
+    static REAP: OnceLock<Duration> = OnceLock::new();
+    *REAP.get_or_init(|| parse_reap_ms(std::env::var("MMSIM_POOL_REAP_MS").ok().as_deref()))
+}
+
+fn parse_reap_ms(var: Option<&str>) -> Duration {
+    var.and_then(|v| v.trim().parse::<u64>().ok())
+        .map_or(IDLE_REAP_AFTER, |ms| {
+            Duration::from_millis(ms).max(MIN_REAP)
+        })
+}
+
 /// A countdown latch: `wait` returns once `count_down` has been called
 /// `n` times.
 struct Latch {
@@ -114,7 +134,7 @@ fn idle_pool() -> &'static Mutex<Vec<Worker>> {
 }
 
 fn spawn_worker(seq: usize) -> Worker {
-    spawn_worker_with_reap(seq, IDLE_REAP_AFTER)
+    spawn_worker_with_reap(seq, idle_reap_after())
 }
 
 fn spawn_worker_with_reap(seq: usize, reap_after: Duration) -> Worker {
@@ -280,6 +300,66 @@ mod tests {
             );
             std::thread::sleep(Duration::from_millis(5));
         }
+    }
+
+    #[test]
+    fn reap_timeout_env_knob_parses() {
+        assert_eq!(parse_reap_ms(None), IDLE_REAP_AFTER);
+        assert_eq!(parse_reap_ms(Some("oops")), IDLE_REAP_AFTER);
+        assert_eq!(parse_reap_ms(Some("")), IDLE_REAP_AFTER);
+        assert_eq!(parse_reap_ms(Some("250")), Duration::from_millis(250));
+        assert_eq!(parse_reap_ms(Some(" 90000 ")), Duration::from_secs(90));
+        // Sub-floor values clamp instead of thrashing.
+        assert_eq!(parse_reap_ms(Some("0")), MIN_REAP);
+        assert_eq!(parse_reap_ms(Some("3")), MIN_REAP);
+    }
+
+    #[test]
+    fn retired_worker_is_replaced_on_next_lease() {
+        // Retirement must not wedge the pool: plant a short-fuse worker,
+        // let it reap itself, then lease right through the gap — the
+        // pool respawns on demand and the run completes normally.
+        let worker = spawn_worker_with_reap(usize::MAX - 1, Duration::from_millis(20));
+        let id = worker.id;
+        idle_pool().lock().unwrap().push(worker);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while idle_pool().lock().unwrap().iter().any(|w| w.id == id) {
+            assert!(std::time::Instant::now() < deadline, "worker never retired");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let hits = AtomicUsize::new(0);
+        run_on_pool(6, &|_| {
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 6);
+    }
+
+    #[test]
+    fn leased_worker_outlives_reap_timeout_and_still_runs_its_job() {
+        // The keep-waiting branch: a worker whose reap timer fires while
+        // it is *leased* (absent from the idle list) must not exit — its
+        // job may already be in flight.  Hold one out of the pool for
+        // several reap windows, then deliver the job late.
+        let worker = spawn_worker_with_reap(usize::MAX - 2, Duration::from_millis(20));
+        std::thread::sleep(Duration::from_millis(120));
+        let hits = Arc::new(AtomicUsize::new(0));
+        let hits2 = Arc::clone(&hits);
+        let job: Box<dyn Fn(usize) + Sync> = Box::new(move |_| {
+            hits2.fetch_add(1, Ordering::SeqCst);
+        });
+        let latch = Arc::new(Latch::new(1));
+        worker
+            .jobs
+            .send(Job {
+                f: &*job as *const (dyn Fn(usize) + Sync),
+                rank: 0,
+                latch: Arc::clone(&latch),
+            })
+            .expect("worker retired while leased");
+        latch.wait();
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        // Park it in the idle list so it can retire and not leak.
+        idle_pool().lock().unwrap().push(worker);
     }
 
     #[test]

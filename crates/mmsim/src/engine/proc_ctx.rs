@@ -7,6 +7,7 @@ use std::sync::{Arc, Mutex};
 
 use crate::cost::{CostModel, Ports};
 use crate::engine::error::{CorruptionPayload, DeadlockPayload, DiedPayload};
+use crate::engine::event::{EventNet, Wait};
 use crate::engine::message::{Envelope, Message, Tag};
 use crate::engine::payload::Payload;
 use crate::engine::RankTable;
@@ -24,7 +25,8 @@ use crate::Word;
 pub(crate) struct RunShared {
     pub(crate) topology: Topology,
     pub(crate) cost: CostModel,
-    pub(crate) senders: Vec<Sender<Envelope>>,
+    /// Engine-specific message transport + termination tracking.
+    pub(crate) net: NetShared,
     pub(crate) recv_timeout: std::time::Duration,
     pub(crate) fault: Option<Arc<FaultPlan>>,
     /// Local-rank → physical-rank translation and fail-stop schedule,
@@ -32,8 +34,6 @@ pub(crate) struct RunShared {
     /// time.
     pub(crate) table: Arc<RankTable>,
     pub(crate) trace: bool,
-    /// Per-rank terminal statuses and blocked flags (see [`StatusBoard`]).
-    pub(crate) board: StatusBoard,
     /// Spare ranks provisioned for this run (see [`crate::recovery`]);
     /// zero disables checkpoint replication entirely.
     pub(crate) spares: usize,
@@ -107,24 +107,66 @@ impl StatusBoard {
     }
 }
 
+/// The engine-specific half of [`RunShared`]: how messages travel and
+/// how terminations are published.  Everything above this layer — cost
+/// arithmetic, fault fates, diagnosis attribution — is shared between
+/// the engines, which is what makes their virtual time bit-identical.
+pub(crate) enum NetShared {
+    /// One pooled OS thread per rank: mpsc channels + the atomic
+    /// [`StatusBoard`] with its park/wake protocol.
+    Threaded {
+        senders: Vec<Sender<Envelope>>,
+        board: StatusBoard,
+    },
+    /// Fiber-per-rank event scheduler (see [`crate::engine::event`]):
+    /// per-rank mailboxes + a virtual-time ready queue.
+    Event(EventNet),
+}
+
+impl NetShared {
+    /// Peers currently holding `wanted` terminal status, in rank order.
+    fn ranks_with(&self, wanted: RankStatus) -> Vec<usize> {
+        match self {
+            NetShared::Threaded { board, .. } => board.ranks_with(wanted),
+            NetShared::Event(net) => net.ranks_with(wanted),
+        }
+    }
+}
+
+/// A `Proc`'s private receive endpoint, matching the run's [`NetShared`]
+/// flavour.
+pub(crate) enum Port {
+    /// The rank's channel inbox (threaded engine).
+    Threaded(Receiver<Envelope>),
+    /// Event-engine ranks receive straight from their shared mailbox.
+    Event,
+}
+
 impl RunShared {
     /// Publish `rank`'s terminal status and wake every peer currently
-    /// parked in a receive so it re-reads the board.
+    /// parked in a receive so it re-reads the termination facts.
     ///
-    /// The publish order (status first, then read the blocked flags)
-    /// mirrors the receiver's park order (set blocked first, then read
-    /// statuses): sequential consistency guarantees at least one side
-    /// sees the other, so a receiver can never park after missing a
-    /// termination it needed to observe.
+    /// On the threaded engine, the publish order (status first, then
+    /// read the blocked flags) mirrors the receiver's park order (set
+    /// blocked first, then read statuses): sequential consistency
+    /// guarantees at least one side sees the other, so a receiver can
+    /// never park after missing a termination it needed to observe.
+    /// The event engine's scheduler lock makes the same guarantee
+    /// trivially.
     pub(crate) fn announce_termination(&self, rank: usize, status: RankStatus) {
-        self.board.status[rank].store(status as u8, Ordering::SeqCst);
-        self.board.terminated.fetch_add(1, Ordering::SeqCst);
-        for (peer, sender) in self.senders.iter().enumerate() {
-            if peer != rank && self.board.blocked[peer].load(Ordering::SeqCst) {
-                // Peer may have unparked since — a spurious wake is
-                // drained and ignored.
-                let _ = sender.send(Envelope::Wake);
+        match &self.net {
+            NetShared::Threaded { senders, board } => {
+                board.status[rank].store(status as u8, Ordering::SeqCst);
+                board.terminated.fetch_add(1, Ordering::SeqCst);
+                for (peer, sender) in senders.iter().enumerate() {
+                    if peer != rank && board.blocked[peer].load(Ordering::SeqCst) {
+                        // Peer may have unparked since — a spurious wake
+                        // is drained and ignored.
+                        let _ = sender.send(Envelope::Wake);
+                    }
+                }
             }
+            NetShared::Event(net) => net.announce(rank, status),
         }
     }
 }
@@ -157,8 +199,10 @@ pub struct Proc {
     /// Copy of the run's cost model (hot path; `CostModel` is `Copy`).
     cost: CostModel,
     shared: Arc<RunShared>,
-    inbox: Receiver<Envelope>,
-    /// Messages received from the channel but not yet matched by a recv.
+    port: Port,
+    /// Messages received from the channel but not yet matched by a recv
+    /// (always empty on the event engine — unmatched messages stay in
+    /// the shared mailbox).
     pending: Vec<Message>,
     /// Event timeline, populated only when tracing is enabled.
     timeline: Option<Timeline>,
@@ -204,12 +248,22 @@ fn next_seq(seqs: &mut HashMap<usize, u64>, peer: usize) -> u64 {
 
 impl Proc {
     pub(crate) fn new(rank: usize, shared: Arc<RunShared>, inbox: Receiver<Envelope>) -> Self {
+        Self::with_port(rank, shared, Port::Threaded(inbox))
+    }
+
+    /// An event-engine processor: no private inbox — receives pull from
+    /// the run's shared mailboxes and park on the fiber scheduler.
+    pub(crate) fn new_event(rank: usize, shared: Arc<RunShared>) -> Self {
+        Self::with_port(rank, shared, Port::Event)
+    }
+
+    fn with_port(rank: usize, shared: Arc<RunShared>, port: Port) -> Self {
         Self {
             rank,
             clock: 0.0,
             stats: ProcStats::default(),
             cost: shared.cost,
-            inbox,
+            port,
             pending: Vec::new(),
             timeline: shared.trace.then(Vec::new),
             death_at: shared.table.death_at[rank],
@@ -509,14 +563,23 @@ impl Proc {
             hops,
             corrupted,
         };
-        if self.shared.senders[dst].send(Envelope::App(msg)).is_err() {
-            // The destination has terminated and its inbox is gone: a
-            // fail-stopped peer can never receive, and a finished peer
-            // would never have matched this message.  The network
-            // swallows the message like a drop — the sender already
-            // paid the injection cost and the traffic counters — so a
-            // straggler send races no one and panics nowhere.  Blocked
-            // receives still diagnose the termination via the board.
+        match &self.shared.net {
+            NetShared::Threaded { senders, .. } => {
+                if senders[dst].send(Envelope::App(msg)).is_err() {
+                    // The destination has terminated and its inbox is
+                    // gone: a fail-stopped peer can never receive, and
+                    // a finished peer would never have matched this
+                    // message.  The network swallows the message like a
+                    // drop — the sender already paid the injection cost
+                    // and the traffic counters — so a straggler send
+                    // races no one and panics nowhere.  Blocked
+                    // receives still diagnose the termination via the
+                    // board.
+                }
+            }
+            // Same swallow rule for terminated destinations, applied
+            // inside `deliver`.
+            NetShared::Event(net) => net.deliver(msg),
         }
     }
 
@@ -586,6 +649,55 @@ impl Proc {
     }
 
     fn take_matching(&mut self, src: usize, tag: Tag) -> Message {
+        match self.port {
+            Port::Threaded(_) => self.take_matching_threaded(src, tag),
+            Port::Event => self.take_matching_event(src, tag),
+        }
+    }
+
+    /// Event-engine blocking receive: scan the shared mailbox, park the
+    /// fiber when nothing matches, and map the scheduler's wake verdict
+    /// onto the same diagnosis panics the threaded path raises — the
+    /// conditions are identical (awaited peer's status + the
+    /// all-terminated flag), only the waiting mechanics differ.  No
+    /// deferred `terminal_seen` drain is needed: deliveries are
+    /// synchronous with the sender's fiber, so when a termination is
+    /// visible every message that peer ever sent is already in the
+    /// mailbox.
+    fn take_matching_event(&mut self, src: usize, tag: Tag) -> Message {
+        loop {
+            let NetShared::Event(net) = &self.shared.net else {
+                unreachable!("event receive on a threaded machine")
+            };
+            if let Some(msg) = net.pop_matching(self.rank, src, tag) {
+                return msg;
+            }
+            match net.wait_for(self.rank, src, tag, self.clock) {
+                Wait::Recheck => {}
+                Wait::SrcDied => self.panic_waiting_on_dead(src, tag),
+                Wait::SrcPoisoned => panic!("{ABORT_MSG} (rank {src})"),
+                Wait::SrcDone => self.panic_waiting_on_done(src, tag),
+                Wait::AllTerminated => self.panic_all_terminated(src, tag),
+                Wait::Timeout => {
+                    // The scheduler proved global no-progress — the
+                    // condition the threaded engine's host timeout
+                    // approximates — and elected this rank to diagnose
+                    // it.  Same payload, same message, no host stall.
+                    let message = format!(
+                        "rank {}: no message for {:?} while waiting for (src {src}, tag {tag:#x}) — \
+                         live deadlock (cyclic mutual wait) in the simulated algorithm",
+                        self.rank, self.shared.recv_timeout
+                    );
+                    std::panic::panic_any(DeadlockPayload {
+                        rank: self.rank,
+                        message,
+                    });
+                }
+            }
+        }
+    }
+
+    fn take_matching_threaded(&mut self, src: usize, tag: Tag) -> Message {
         if let Some(pos) = self
             .pending
             .iter()
@@ -593,7 +705,12 @@ impl Proc {
         {
             return self.pending.remove(pos);
         }
-        let board = &self.shared.board;
+        let NetShared::Threaded { board, .. } = &self.shared.net else {
+            unreachable!("threaded receive on an event machine")
+        };
+        let Port::Threaded(inbox) = &self.port else {
+            unreachable!("threaded receive without an inbox")
+        };
         // On an oversubscribed host a few yields often let the awaited
         // sender run and enqueue, turning a futex park + wake pair
         // (two syscalls and a forced reschedule of the sender) into a
@@ -620,7 +737,7 @@ impl Proc {
             // transition (same argument as announce_termination).
             board.blocked[self.rank].store(true, Ordering::SeqCst);
             let mut matched = None;
-            while let Ok(envelope) = self.inbox.try_recv() {
+            while let Ok(envelope) = inbox.try_recv() {
                 match envelope {
                     Envelope::App(msg) if matched.is_none() && msg.src == src && msg.tag == tag => {
                         matched = Some(msg);
@@ -670,7 +787,7 @@ impl Proc {
                 std::thread::yield_now();
                 continue;
             }
-            match self.inbox.recv_timeout(self.shared.recv_timeout) {
+            match inbox.recv_timeout(self.shared.recv_timeout) {
                 Ok(envelope) => {
                     board.blocked[self.rank].store(false, Ordering::SeqCst);
                     spins = 0;
@@ -731,7 +848,7 @@ impl Proc {
     /// (attributed to the lowest-ranked poisoner — a board fact, not an
     /// arrival order), else diagnose the deadlock.
     fn panic_all_terminated(&self, src: usize, tag: Tag) -> ! {
-        let poisoners = self.shared.board.ranks_with(RankStatus::Poisoned);
+        let poisoners = self.shared.net.ranks_with(RankStatus::Poisoned);
         if let Some(&poisoner) = poisoners.first() {
             panic!("{ABORT_MSG} (rank {poisoner})");
         }
@@ -740,7 +857,7 @@ impl Proc {
              but every peer has terminated without sending it",
             self.rank
         );
-        let dead = self.shared.board.ranks_with(RankStatus::Died);
+        let dead = self.shared.net.ranks_with(RankStatus::Died);
         if !dead.is_empty() {
             let dead: std::collections::BTreeSet<usize> = dead.into_iter().collect();
             message.push_str(&format!(" (fail-stopped peers: {dead:?})"));
@@ -1057,11 +1174,22 @@ impl Proc {
     pub(crate) fn into_final_parts(mut self) -> (ProcStats, Timeline) {
         self.stats.clock = self.clock;
         let mut unreceived = self.pending.len() as u64;
-        // Drain leftover envelopes, counting only application messages
-        // (spurious Wake control signals are the engine's business).
-        while let Ok(envelope) = self.inbox.try_recv() {
-            if matches!(envelope, Envelope::App(_)) {
-                unreceived += 1;
+        match (&self.port, &self.shared.net) {
+            // Drain leftover envelopes, counting only application
+            // messages (spurious Wake control signals are the engine's
+            // business).
+            (Port::Threaded(inbox), _) => {
+                while let Ok(envelope) = inbox.try_recv() {
+                    if matches!(envelope, Envelope::App(_)) {
+                        unreceived += 1;
+                    }
+                }
+            }
+            (Port::Event, NetShared::Event(net)) => {
+                unreceived += net.drain_unreceived(self.rank);
+            }
+            (Port::Event, NetShared::Threaded { .. }) => {
+                unreachable!("event processor on a threaded machine")
             }
         }
         self.stats.unreceived = unreceived;

@@ -12,11 +12,20 @@
 //! ```
 //!
 //! We have no hypercube, so we simulate one.  Each of the `p` *virtual
-//! processors* runs as a real (scoped) OS thread executing a user closure
-//! against a [`Proc`] handle, in natural blocking message-passing style —
-//! the algorithms read like the MPI programs the paper describes.  Real
-//! data moves through real channels, so the numerics of the simulated
-//! algorithms can be verified bit-for-bit against a serial kernel.
+//! processors* executes a user closure against a [`Proc`] handle, in
+//! natural blocking message-passing style — the algorithms read like
+//! the MPI programs the paper describes.  Real data moves through real
+//! queues, so the numerics of the simulated algorithms can be verified
+//! bit-for-bit against a serial kernel.  Two interchangeable engines
+//! execute the ranks ([`Machine::with_engine`]):
+//!
+//! * [`EngineKind::Threaded`] (default) — one pooled OS thread per
+//!   rank, parallel across host cores;
+//! * [`EngineKind::Event`] — every rank a resumable fiber multiplexed
+//!   over one scheduler thread by a virtual-time event queue, reaching
+//!   tens of thousands of ranks.  Virtual-time results are
+//!   bit-identical to the threaded engine (the differential suite in
+//!   `tests/engine_differential.rs` pins this at every overlapping p).
 //!
 //! ## Virtual time
 //!
@@ -83,7 +92,7 @@ pub use engine::error::SimError;
 pub use engine::message::{tag, Message, Tag};
 pub use engine::payload::Payload;
 pub use engine::proc_ctx::{Proc, RELIABLE_FRAME_OVERHEAD};
-pub use engine::{Machine, RunReport};
+pub use engine::{EngineKind, Machine, RunReport};
 pub use fault::{Detection, Fate, FaultPlan, FaultPlanError, LinkFaults, TrafficClass};
 pub use recovery::{Checkpoint, StateTransfer};
 pub use stats::ProcStats;

@@ -1,0 +1,320 @@
+//! The engine differential: every observable of a run — product bits,
+//! `T_p` bits, per-rank [`ProcStats`], structured [`SimError`]
+//! diagnoses — must be identical between the thread-per-rank engine
+//! and the event-driven engine at every overlapping `p`.
+//!
+//! Sweeps:
+//!
+//! * **Fault-free algorithms** at `p ∈ {4, 16, 64, 256}` over all six
+//!   algorithm families (simple, Cannon, Fox×3, Berntsen, GK, DNS) on
+//!   their native topologies, comparing bit-for-bit.
+//! * **Fault plans, spares, and detection** through the resilient
+//!   entry points at their native geometries: message drops with
+//!   retransmission, payload corruption, duplication, fail-stop deaths
+//!   with spare failover, and lossy heartbeat detection.
+//! * **Diagnosis parity** on raw machines: cyclic deadlocks,
+//!   starvation deadlocks, deaths without spares, and unreceived-
+//!   message accounting must classify to equal [`SimError`] values
+//!   even though the engines discover them by different mechanisms
+//!   (wall-clock recv timeouts vs. virtual-time stuck-resolution).
+//!
+//! The threaded side holds a short deadlock timeout so that genuinely
+//! stuck sweeps diagnose quickly; the event side never waits on the
+//! wall clock at all, which is exactly the asymmetry this suite pins.
+
+use std::time::Duration;
+
+use algos::common::{AlgoError, SimOutcome};
+use dense::{gen, Matrix};
+use mmsim::{CostModel, EngineKind, FaultPlan, Machine, Proc, Topology};
+
+/// Wall-clock deadlock budget for the *threaded* engine only: long
+/// enough that a loaded CI box never spuriously diagnoses a live run,
+/// short enough that intentionally-stuck sweeps finish fast.
+const TIMEOUT: Duration = Duration::from_millis(4_000);
+
+/// The standard sweep cost model (shared with the resilience matrix).
+fn cost() -> CostModel {
+    CostModel::new(5.0, 0.5)
+}
+
+/// Exact bit pattern of a matrix, for bit-identity (not `==`, which
+/// would conflate `-0.0` with `0.0`).
+fn bits(m: &Matrix) -> Vec<u64> {
+    m.as_slice().iter().map(|x| x.to_bits()).collect()
+}
+
+/// Run `run` on the same machine under both engines and require every
+/// observable to match exactly.
+fn check_algo<F>(label: &str, machine: &Machine, run: F)
+where
+    F: Fn(&Machine) -> Result<SimOutcome, AlgoError>,
+{
+    let threaded = run(&machine.clone().with_engine(EngineKind::Threaded));
+    let event = run(&machine.clone().with_engine(EngineKind::Event));
+    match (threaded, event) {
+        (Ok(t), Ok(e)) => {
+            assert_eq!(bits(&t.c), bits(&e.c), "{label}: product bits diverge");
+            assert_eq!(
+                t.t_parallel.to_bits(),
+                e.t_parallel.to_bits(),
+                "{label}: T_p diverges (threaded {} vs event {})",
+                t.t_parallel,
+                e.t_parallel
+            );
+            assert_eq!(t.stats, e.stats, "{label}: per-rank ProcStats diverge");
+            assert_eq!(t.p, e.p, "{label}: processor count diverges");
+        }
+        (Err(t), Err(e)) => {
+            assert_eq!(t, e, "{label}: structured errors diverge");
+        }
+        (t, e) => {
+            panic!("{label}: engines disagree on success:\n  threaded: {t:?}\n  event:    {e:?}")
+        }
+    }
+}
+
+/// Raw-machine differential: identical closure under both engines,
+/// comparing `try_run` verbatim (results, `T_p` bits, stats, errors).
+fn check_raw<T, F>(label: &str, machine: &Machine, f: F)
+where
+    T: Send + PartialEq + std::fmt::Debug,
+    F: Fn(&mut Proc) -> T + Sync,
+{
+    let threaded = machine
+        .clone()
+        .with_engine(EngineKind::Threaded)
+        .try_run(|p| f(p));
+    let event = machine
+        .clone()
+        .with_engine(EngineKind::Event)
+        .try_run(|p| f(p));
+    match (threaded, event) {
+        (Ok(t), Ok(e)) => {
+            assert_eq!(t.results, e.results, "{label}: results diverge");
+            assert_eq!(
+                t.t_parallel.to_bits(),
+                e.t_parallel.to_bits(),
+                "{label}: T_p diverges"
+            );
+            assert_eq!(t.stats, e.stats, "{label}: ProcStats diverge");
+        }
+        (Err(t), Err(e)) => assert_eq!(t, e, "{label}: diagnoses diverge"),
+        (t, e) => {
+            panic!("{label}: engines disagree on success:\n  threaded: {t:?}\n  event:    {e:?}")
+        }
+    }
+}
+
+/// One fault-free sweep point: every algorithm applicable at this `p`
+/// on its native topology.
+fn fault_free_point(p: usize, n: usize) {
+    let (a, b) = gen::random_pair(n, 0xD1FF ^ p as u64);
+    let mesh = Machine::new(Topology::square_torus_for(p), cost());
+    let full = Machine::new(Topology::fully_connected(p), cost());
+
+    check_algo(&format!("simple p={p}"), &full, |m| {
+        algos::simple(m, &a, &b)
+    });
+    check_algo(&format!("cannon p={p}"), &mesh, |m| {
+        algos::cannon(m, &a, &b)
+    });
+    check_algo(&format!("cannon_gray p={p}"), &mesh, |m| {
+        algos::cannon_gray(m, &a, &b)
+    });
+    check_algo(&format!("fox_tree p={p}"), &mesh, |m| {
+        algos::fox_tree(m, &a, &b)
+    });
+    check_algo(&format!("fox_async p={p}"), &mesh, |m| {
+        algos::fox_async(m, &a, &b)
+    });
+    let block_words = (n / (p as f64).sqrt() as usize).pow(2);
+    let packets = 2.min(block_words.max(1));
+    check_algo(&format!("fox_pipelined p={p}"), &mesh, |m| {
+        algos::fox_pipelined(m, &a, &b, packets)
+    });
+}
+
+#[test]
+fn fault_free_p4() {
+    fault_free_point(4, 8);
+}
+
+#[test]
+fn fault_free_p16() {
+    fault_free_point(16, 8);
+}
+
+#[test]
+fn fault_free_p64() {
+    fault_free_point(64, 16);
+}
+
+#[test]
+fn fault_free_p256() {
+    fault_free_point(256, 16);
+}
+
+/// The cube-topology families, applicable where `p = 2^{3q}` (GK,
+/// Berntsen) or `p = n²·r` (DNS).
+#[test]
+fn fault_free_cube_families() {
+    // GK and Berntsen at p = 64 (s = 4), n = 16.
+    let (a, b) = gen::random_pair(16, 0xBEEF);
+    let cube = Machine::new(Topology::hypercube_for(64), cost());
+    check_algo("gk p=64", &cube, |m| algos::gk(m, &a, &b));
+    check_algo("gk_improved p=64", &cube, |m| algos::gk_improved(m, &a, &b));
+    check_algo("berntsen p=64", &cube, |m| algos::berntsen(m, &a, &b));
+
+    // DNS block variant: p = n² (r = 1) at every differential p.
+    for (p, n) in [(4, 2), (16, 4), (64, 8), (256, 16)] {
+        let (a, b) = gen::random_pair(n, 0xD05 ^ p as u64);
+        let cube = Machine::new(Topology::hypercube_for(p), cost());
+        check_algo(&format!("dns_block p={p}"), &cube, |m| {
+            algos::dns_block(m, &a, &b)
+        });
+    }
+    // The one-element variant saturates p = n³ concurrency.
+    let (a, b) = gen::random_pair(4, 0xD06);
+    let cube = Machine::new(Topology::hypercube_for(64), cost());
+    check_algo("dns_one_element p=64", &cube, |m| {
+        algos::dns_one_element(m, &a, &b)
+    });
+}
+
+/// Build the resilient-sweep machine exactly like the resilience
+/// matrix does: fully-connected fabric, `p + spares` ranks.
+fn sweep_machine(p: usize, spares: usize, plan: FaultPlan) -> Machine {
+    Machine::new(Topology::fully_connected(p + spares), cost())
+        .with_deadlock_timeout(TIMEOUT)
+        .with_fault_plan(plan)
+        .with_spares(spares)
+}
+
+/// Fault-plan differential across all six resilient entry points at
+/// their native geometries: drops (retransmission), corruption
+/// (checksums), duplication (dedup), and a mid-run death absorbed by a
+/// spare under lossy heartbeat detection.
+#[test]
+fn faults_spares_and_detection() {
+    type Entry = (
+        &'static str,
+        usize,
+        usize,
+        fn(&Machine, &Matrix, &Matrix) -> Result<SimOutcome, AlgoError>,
+    );
+    let entries: [Entry; 6] = [
+        ("cannon_resilient", 9, 6, algos::cannon_resilient),
+        ("fox_resilient", 4, 8, algos::fox_resilient),
+        ("fox_tree_resilient", 9, 6, algos::fox_tree_resilient),
+        ("fox_pipelined_resilient", 9, 6, |m, a, b| {
+            algos::fox_pipelined_resilient(m, a, b, 2)
+        }),
+        ("gk_resilient", 8, 8, algos::gk_resilient),
+        ("dns_resilient", 16, 4, algos::dns_resilient),
+    ];
+    for (name, p, n, entry) in entries {
+        let (a, b) = gen::random_pair(n, 0xFA0 ^ p as u64);
+        // Lossy links: drops force retransmission, corruption forces
+        // checksum rejection, duplicates force dedup.
+        let lossy = FaultPlan::new(0x5EED ^ p as u64)
+            .with_drop_rate(0.1)
+            .with_corrupt_rate(0.05)
+            .with_duplicate_rate(0.1);
+        check_algo(&format!("{name} lossy"), &sweep_machine(p, 0, lossy), |m| {
+            entry(m, &a, &b)
+        });
+        // Fail-stop death absorbed by one spare, detected through
+        // heartbeats that ride the same lossy links.
+        let death = FaultPlan::new(0xDEAD ^ p as u64)
+            .with_drop_rate(0.05)
+            .with_death(p / 2, 60.0)
+            .with_detection(25.0, 3);
+        check_algo(
+            &format!("{name} death+spare+detection"),
+            &sweep_machine(p, 1, death),
+            |m| entry(m, &a, &b),
+        );
+        // Death with *no* spare budget: must fail with the same
+        // structured error under both engines, never hang.
+        let fatal = FaultPlan::new(0xFA7A ^ p as u64)
+            .with_death(p / 2, 60.0)
+            .with_detection(25.0, 3);
+        check_algo(
+            &format!("{name} unrecoverable death"),
+            &sweep_machine(p, 0, fatal),
+            |m| entry(m, &a, &b),
+        );
+    }
+}
+
+/// Cyclic deadlock (every rank receives from its successor, nobody
+/// sends): the threaded engine discovers it by wall-clock timeout on
+/// every rank, the event engine by electing the lowest stuck rank and
+/// cascading terminal diagnoses — the `SimError` must be equal.
+#[test]
+fn cyclic_deadlock_diagnosis_is_equal() {
+    for p in [4usize, 16] {
+        let machine = Machine::new(Topology::fully_connected(p), cost())
+            .with_deadlock_timeout(Duration::from_millis(300));
+        check_raw(&format!("cycle p={p}"), &machine, |proc| {
+            let from = (proc.rank() + 1) % proc.p();
+            let _ = proc.recv(from, 7);
+        });
+    }
+}
+
+/// Starvation deadlock: rank 0 exits immediately; everyone else waits
+/// on it forever. The event engine diagnoses this with no timeout at
+/// all (terminal-status cascade); the error must still be equal.
+#[test]
+fn starvation_deadlock_diagnosis_is_equal() {
+    for p in [4usize, 16] {
+        let machine = Machine::new(Topology::fully_connected(p), cost())
+            .with_deadlock_timeout(Duration::from_millis(300));
+        check_raw(&format!("starve p={p}"), &machine, |proc| {
+            if proc.rank() != 0 {
+                let _ = proc.recv(0, 3);
+            }
+        });
+    }
+}
+
+/// Fail-stop death without spares on a raw ring workload: both engines
+/// must attribute the death (and its collateral waiters) identically.
+#[test]
+fn death_attribution_is_equal() {
+    for p in [4usize, 16] {
+        let machine = Machine::new(Topology::fully_connected(p), cost())
+            .with_deadlock_timeout(TIMEOUT)
+            .with_fault_plan(FaultPlan::new(9).with_death(1, 1.5));
+        check_raw(&format!("death p={p}"), &machine, |proc| {
+            let (rank, p) = (proc.rank(), proc.p());
+            for round in 0..4u64 {
+                proc.compute(1.0);
+                proc.send((rank + 1) % p, round, vec![rank as f64]);
+                let _ = proc.recv((rank + p - 1) % p, round);
+            }
+        });
+    }
+}
+
+/// Unreceived-message accounting: the engines count leftovers by
+/// different mechanisms (inbox drain vs. mailbox scan) and must agree.
+#[test]
+fn unreceived_accounting_is_equal() {
+    let machine = Machine::new(Topology::fully_connected(4), cost());
+    check_raw("unreceived", &machine, |proc| {
+        if proc.rank() == 0 {
+            proc.send(1, 0, vec![1.0]);
+            proc.send(1, 1, vec![2.0]);
+            proc.send(1, 2, vec![3.0]);
+        }
+        if proc.rank() == 1 {
+            // Take the middle tag only; two messages stay unreceived.
+            proc.recv(0, 1).payload.into_vec()
+        } else {
+            Vec::new()
+        }
+    });
+}

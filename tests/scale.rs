@@ -1,10 +1,50 @@
-//! Large-configuration stress tests (512-processor simulations, the
-//! paper's largest experimental machine).  Ignored by default — run
-//! with `cargo test --release -- --ignored` — so the default suite
-//! stays fast in debug builds.
+//! Large-configuration stress tests.  The 512-processor threaded-engine
+//! sweeps (the paper's largest experimental machine) are ignored by
+//! default — run with `cargo test --release -- --ignored` — so the
+//! default suite stays fast in debug builds.  The 16384-rank event-
+//! engine smoke runs in tier-1: it is the coverage for the massive-p
+//! regime the event scheduler exists for.
 
 use dense::{gen, kernel};
-use mmsim::{CostModel, Machine, Topology};
+use mmsim::{CostModel, EngineKind, Machine, Topology};
+
+#[test]
+fn cannon_at_16384_processors_event_engine() {
+    // The massive-p regime the threaded engine cannot reach (16384 OS
+    // threads would exhaust default process limits): Cannon on a
+    // 128×128 torus, one matrix element per rank, on the event engine.
+    // Not `#[ignore]`d — this is tier-1 coverage for the new regime.
+    let n = 128usize;
+    let p = 16384usize;
+    let (a, b) = gen::random_pair(n, 6);
+    let machine = Machine::new(Topology::square_torus_for(p), CostModel::new(5.0, 0.5))
+        .with_engine(EngineKind::Event);
+    let out = algos::cannon(&machine, &a, &b).expect("applicable");
+    assert!(out.c.approx_eq(&kernel::matmul(&a, &b), 1e-9));
+    // Exact closed form (Eq. 3 plus the executed alignment steps)…
+    let expect = algos::cannon::predicted_time(n, p, 5.0, 0.5);
+    assert!(
+        (out.t_parallel - expect).abs() < 1e-6,
+        "T_p {} vs closed form {}",
+        out.t_parallel,
+        expect
+    );
+    // …and the model crate's Eq. (3) itself, which omits alignment, so
+    // agreement is asymptotic rather than exact.
+    let eq3 = model::time::cannon_time(n as f64, p as f64, model::MachineParams::new(5.0, 0.5));
+    let rel = (out.t_parallel - eq3).abs() / eq3;
+    assert!(
+        rel < 0.05,
+        "T_p {} deviates {:.1}% from Eq.3 {}",
+        out.t_parallel,
+        rel * 100.0,
+        eq3
+    );
+    for s in &out.stats {
+        assert!(s.is_consistent(1e-6));
+        assert_eq!(s.unreceived, 0);
+    }
+}
 
 #[test]
 #[ignore = "spawns 512 virtual processors; run with --release -- --ignored"]
